@@ -1,0 +1,27 @@
+//! Criterion bench for experiment E1 (§2.2): per-update latency of
+//! maintaining `related` under shredded IVM vs re-evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_bench::e1_related::{one_update, setup};
+use nrc_engine::Strategy;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_related");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [128usize, 256, 512] {
+        for (label, strategy) in
+            [("ivm", Strategy::Shredded), ("reeval", Strategy::Reevaluate)]
+        {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let (mut sys, mut gen) = setup(n, strategy, 42);
+                b.iter(|| one_update(&mut sys, &mut gen, 4));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for experiment E2 (Ex. 3): first-order IVM of a filter
+//! vs re-evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_bench::e2_filter::setup;
+use nrc_engine::Strategy;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_filter");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [1024usize, 8192] {
+        for (label, strategy) in
+            [("ivm", Strategy::FirstOrder), ("reeval", Strategy::Reevaluate)]
+        {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let (mut sys, mut gen) = setup(n, strategy, 1);
+                b.iter(|| {
+                    let batch = gen.bag(16);
+                    sys.apply_update("M", &batch).expect("update");
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for experiment E3 (§4.1): recursive IVM vs first-order
+//! vs re-evaluation on the square-of-count query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_bench::e3_recursive::{setup, square_of_count};
+use nrc_engine::Strategy;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_recursive");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [250usize, 1000] {
+        for (label, strategy) in [
+            ("reeval", Strategy::Reevaluate),
+            ("first_order", Strategy::FirstOrder),
+            ("recursive", Strategy::Recursive),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, n * 4), &n, |b, &n| {
+                let (mut sys, mut gen) = setup(square_of_count(), n, 4, strategy, 9);
+                b.iter(|| {
+                    let delta = gen.bag(&[2, 4]);
+                    sys.apply_update("R", &delta).expect("update");
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for experiment E4 (§4.2): evaluation vs delta-evaluation
+//! cost across the query suite, validating the tcost separation in wall
+//! time as well as in the cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_bench::e4_cost::suite;
+use nrc_core::delta::delta_wrt_rel;
+use nrc_core::eval::{eval_query, Env};
+use nrc_core::optimize::simplify;
+use nrc_core::typecheck::TypeEnv;
+use nrc_workloads::SkewGen;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_cost");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let mut gen = SkewGen::new(17, 1_000_000_000);
+    let db = gen.database(&[200, 8]);
+    let update = gen.update(db.get("R").unwrap(), &[2, 8], 1);
+    let tenv = TypeEnv::from_database(&db);
+    for (name, q) in suite() {
+        let d = simplify(&delta_wrt_rel(&q, "R", &tenv).unwrap(), &tenv).unwrap();
+        g.bench_function(BenchmarkId::new("eval", name), |b| {
+            b.iter(|| {
+                let mut env = Env::new(&db);
+                eval_query(&q, &mut env).expect("eval")
+            });
+        });
+        g.bench_function(BenchmarkId::new("delta", name), |b| {
+            b.iter(|| {
+                let mut env = Env::new(&db).with_delta("R", update.clone());
+                eval_query(&d, &mut env).expect("eval delta")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for experiment E5 (§5): deep updates via dictionary ⊎
+//! vs re-evaluation of the nested view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_bench::e5_deep::{deep_update, first_items_label, setup};
+use nrc_engine::Strategy;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_deep");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [100usize, 400, 1600] {
+        g.bench_with_input(BenchmarkId::new("deep_ivm", n), &n, |b, &n| {
+            let (mut sys, mut gen) = setup(n, Strategy::Shredded, 21);
+            let label = first_items_label(&sys);
+            b.iter(|| {
+                let upd = deep_update(gen.item_batch(3), label.clone());
+                sys.apply_shredded_update("Customers", &upd).expect("deep update");
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("reeval", n), &n, |b, &n| {
+            let (mut sys, mut gen) = setup(n, Strategy::Reevaluate, 21);
+            b.iter(|| {
+                let batch = gen.customer_batch(1, 2, 3);
+                sys.apply_update("Customers", &batch).expect("update");
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for experiment E6 (Thm. 9): building and evaluating the
+//! NC⁰ refresh circuits vs the growing re-evaluation circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_circuit::{flatten_circuit, refresh_circuit, BagLayout};
+use nrc_data::{Bag, Value};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_circuit");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let k = 4;
+    for n in [16usize, 64, 256] {
+        let layout = BagLayout::int_domain(n, k);
+        let refresh = refresh_circuit(&layout);
+        let view = Bag::from_pairs((0..n as i64).map(|i| (Value::int(i), i % 7)));
+        let delta = Bag::from_pairs([(Value::int(0), 1), (Value::int(1), -1)]);
+        let mut bits = layout.encode(&view);
+        bits.extend(layout.encode(&delta));
+        g.bench_with_input(BenchmarkId::new("refresh_eval", n), &n, |b, _| {
+            b.iter(|| refresh.evaluate(&bits));
+        });
+        g.bench_with_input(BenchmarkId::new("build_flatten", n), &n, |b, &n| {
+            let elem = BagLayout::int_domain(4, k);
+            b.iter(|| flatten_circuit(&elem, n).depth());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

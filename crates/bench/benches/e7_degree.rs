@@ -1,0 +1,28 @@
+//! Criterion bench for experiment E7 (Thm. 2): deriving and simplifying the
+//! full higher-order delta tower for queries of increasing degree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_bench::e7_degree::degree_query;
+use nrc_core::delta::delta_tower;
+use nrc_core::typecheck::TypeEnv;
+use nrc_workloads::SkewGen;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_degree");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let mut gen = SkewGen::new(31, 1_000_000);
+    let db = gen.database(&[10, 2]);
+    let tenv = TypeEnv::from_database(&db);
+    for k in [1usize, 2, 3, 4] {
+        let q = degree_query(k);
+        g.bench_with_input(BenchmarkId::new("tower", k), &k, |b, _| {
+            b.iter(|| delta_tower(&q, "R", &tenv, 8).expect("tower").len());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! The experiment harness: regenerates every quantitative claim of the
+//! paper (experiments E1–E7, DESIGN.md §3) and prints markdown tables
+//! (stdout) plus machine-readable JSON (`results/experiments.json`).
+//!
+//! Usage:
+//!
+//! ```text
+//! harness [--quick] [e1 e2 …]     # default: all experiments, full sizes
+//! ```
+
+use nrc_bench::{e1_related, e2_filter, e3_recursive, e4_cost, e5_deep, e6_circuit, e7_degree};
+use nrc_bench::Table;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let want = |id: &str| selected.is_empty() || selected.contains(&id);
+
+    type Runner = fn(bool) -> Table;
+    let mut tables: Vec<Table> = Vec::new();
+    let runs: Vec<(&str, Runner)> = vec![
+        ("e1", e1_related::run),
+        ("e2", e2_filter::run),
+        ("e3", e3_recursive::run),
+        ("e4", e4_cost::run),
+        ("e5", e5_deep::run),
+        ("e6", e6_circuit::run),
+        ("e7", e7_degree::run),
+    ];
+    for (id, f) in runs {
+        if want(id) {
+            eprintln!("running {id}{}…", if quick { " (quick)" } else { "" });
+            let t = f(quick);
+            print!("{}", t.to_markdown());
+            tables.push(t);
+        }
+    }
+
+    if let Err(e) = write_json(&tables) {
+        eprintln!("warning: could not write results/experiments.json: {e}");
+    }
+}
+
+fn write_json(tables: &[Table]) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut f = std::fs::File::create("results/experiments.json")?;
+    let json = serde_json::to_string_pretty(tables).expect("serializable tables");
+    f.write_all(json.as_bytes())
+}

@@ -1,0 +1,109 @@
+//! E1 — §2.2 cost analysis: incremental maintenance of `related` costs
+//! O(nd + d²) while re-evaluation costs Ω((n+d)²).
+//!
+//! `related` is outside IncNRC⁺ (footnote 5), so incremental maintenance
+//! goes through shredding. We sweep the base cardinality `n` at fixed update
+//! sizes `d` and time one update under shredded IVM vs full re-evaluation.
+//! Expected shape: re-evaluation grows ~quadratically in `n`; IVM grows
+//! ~linearly (the `nd` term), with a large and widening gap.
+
+use crate::report::{fmt_us, Table};
+use crate::time_avg_us;
+use nrc_core::builder::related_query;
+use nrc_engine::{IvmSystem, Strategy};
+use nrc_workloads::MovieGen;
+
+/// Sweep parameters.
+pub fn sizes(quick: bool) -> (Vec<usize>, Vec<usize>) {
+    if quick {
+        (vec![64, 128, 256], vec![1, 8])
+    } else {
+        (vec![256, 512, 1024, 2048], vec![1, 16])
+    }
+}
+
+/// Build a system maintaining `related` over `n` movies under `strategy`.
+pub fn setup(n: usize, strategy: Strategy, seed: u64) -> (IvmSystem, MovieGen) {
+    let mut gen = MovieGen::new(seed, 16, 32);
+    let db = gen.database(n);
+    let mut sys = IvmSystem::new(db);
+    sys.register("related", related_query(), strategy).expect("register related");
+    (sys, gen)
+}
+
+/// Apply one insert-only batch of `d` movies; returns per-update µs.
+pub fn one_update(sys: &mut IvmSystem, gen: &mut MovieGen, d: usize) -> f64 {
+    let batch = gen.bag(d);
+    let (_, us) = crate::time_us(|| sys.apply_update("M", &batch).expect("update"));
+    us
+}
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Table {
+    let (ns, ds) = sizes(quick);
+    let mut t = Table::new(
+        "E1",
+        "related (§2.2): shredded IVM O(nd+d²) vs re-evaluation Ω((n+d)²)",
+        &["n", "d", "IVM / update", "re-eval / update", "speed-up"],
+    );
+    let reps = if quick { 1 } else { 2 };
+    let mut first_ratio = None;
+    let mut last_ratio = None;
+    for &n in &ns {
+        for &d in &ds {
+            let (mut ivm, mut gen_i) = setup(n, Strategy::Shredded, 42);
+            let ivm_us = time_avg_us(reps, || {
+                one_update(&mut ivm, &mut gen_i, d);
+            });
+            let (mut re, mut gen_r) = setup(n, Strategy::Reevaluate, 42);
+            let re_us = time_avg_us(reps, || {
+                one_update(&mut re, &mut gen_r, d);
+            });
+            let ratio = re_us / ivm_us.max(1e-9);
+            if d == ds[0] {
+                if first_ratio.is_none() {
+                    first_ratio = Some(ratio);
+                }
+                last_ratio = Some(ratio);
+            }
+            t.row(vec![
+                n.to_string(),
+                d.to_string(),
+                fmt_us(ivm_us),
+                fmt_us(re_us),
+                format!("{ratio:.1}×"),
+            ]);
+        }
+    }
+    if let (Some(f), Some(l)) = (first_ratio, last_ratio) {
+        t.note(format!(
+            "speed-up grows with n (paper: O(nd+d²) vs Ω((n+d)²)): {f:.1}× at n={} → {l:.1}× at n={}",
+            ns[0],
+            ns[ns.len() - 1]
+        ));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ivm_and_reeval_agree_after_updates() {
+        let (mut ivm, mut g1) = setup(50, Strategy::Shredded, 7);
+        let (mut re, mut g2) = setup(50, Strategy::Reevaluate, 7);
+        for _ in 0..3 {
+            one_update(&mut ivm, &mut g1, 3);
+            one_update(&mut re, &mut g2, 3);
+        }
+        assert_eq!(ivm.view("related").unwrap(), re.view("related").unwrap());
+    }
+
+    #[test]
+    fn quick_run_produces_full_grid() {
+        let t = run(true);
+        let (ns, ds) = sizes(true);
+        assert_eq!(t.rows.len(), ns.len() * ds.len());
+    }
+}

@@ -1,0 +1,90 @@
+//! E2 — Example 2/3: `filter_p[R]`'s delta is `filter_p[ΔR]`: first-order
+//! IVM touches only the update (O(d)) while re-evaluation scans the input
+//! (O(n)). Expected shape: IVM latency flat in `n`, re-evaluation linear.
+
+use crate::report::{fmt_us, Table};
+use crate::time_avg_us;
+use nrc_core::builder::{cmp_lit, filter_query};
+use nrc_core::expr::CmpOp;
+use nrc_engine::{IvmSystem, Strategy};
+use nrc_workloads::MovieGen;
+
+/// Sweep sizes.
+pub fn sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![512, 2048, 8192]
+    } else {
+        vec![1024, 4096, 16384, 65536]
+    }
+}
+
+/// Build a system maintaining the genre filter over `n` movies.
+pub fn setup(n: usize, strategy: Strategy, seed: u64) -> (IvmSystem, MovieGen) {
+    let mut gen = MovieGen::new(seed, 8, 16);
+    let db = gen.database(n);
+    let q = filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "genre0"));
+    let mut sys = IvmSystem::new(db);
+    sys.register("drama", q, strategy).expect("register filter");
+    (sys, gen)
+}
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Table {
+    let d = 16;
+    let mut t = Table::new(
+        "E2",
+        "filter (Ex. 3): δ(filter_p) = filter_p[ΔR] — O(d) vs O(n)",
+        &["n", "d", "IVM / update", "re-eval / update", "speed-up"],
+    );
+    let reps = if quick { 2 } else { 3 };
+    let mut ratios = vec![];
+    for n in sizes(quick) {
+        let (mut ivm, mut g1) = setup(n, Strategy::FirstOrder, 1);
+        let ivm_us = time_avg_us(reps, || {
+            let batch = g1.bag(d);
+            ivm.apply_update("M", &batch).expect("update");
+        });
+        let (mut re, mut g2) = setup(n, Strategy::Reevaluate, 1);
+        let re_us = time_avg_us(reps, || {
+            let batch = g2.bag(d);
+            re.apply_update("M", &batch).expect("update");
+        });
+        let ratio = re_us / ivm_us.max(1e-9);
+        ratios.push(ratio);
+        t.row(vec![
+            n.to_string(),
+            d.to_string(),
+            fmt_us(ivm_us),
+            fmt_us(re_us),
+            format!("{ratio:.1}×"),
+        ]);
+    }
+    t.note(format!(
+        "IVM latency should stay ~flat while re-evaluation grows linearly; speed-ups: {}",
+        ratios.iter().map(|r| format!("{r:.0}×")).collect::<Vec<_>>().join(", ")
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_agree() {
+        let (mut ivm, mut g1) = setup(200, Strategy::FirstOrder, 3);
+        let (mut re, mut g2) = setup(200, Strategy::Reevaluate, 3);
+        for _ in 0..3 {
+            let b1 = g1.update(ivm.database().get("M").unwrap(), 5, 2);
+            ivm.apply_update("M", &b1).unwrap();
+            let b2 = g2.update(re.database().get("M").unwrap(), 5, 2);
+            re.apply_update("M", &b2).unwrap();
+        }
+        assert_eq!(ivm.view("drama").unwrap(), re.view("drama").unwrap());
+    }
+
+    #[test]
+    fn quick_run_has_rows() {
+        assert_eq!(run(true).rows.len(), sizes(true).len());
+    }
+}

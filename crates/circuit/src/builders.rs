@@ -1,0 +1,197 @@
+//! Circuit families for IVM refresh and re-evaluation (Theorem 9).
+//!
+//! The refresh circuit realizes `V := V ⊎ ΔV` on the bit representation:
+//! per tuple slot, one mod-2^k adder combining the view's multiplicity with
+//! the delta's. *"The view contains aggregate multiplicities, each of which
+//! only needs to be combined with one multiplicity from the respective
+//! delta view"* — depth and per-output support depend only on `k`, not on
+//! the domain: an NC⁰ family.
+//!
+//! The re-evaluation circuits compute a query's output multiplicities from
+//! scratch. For `flatten` (sum multiplicities of inner-bag slots sharing an
+//! element) and for the self-product (sum over all pairs contributing to an
+//! output tuple), each output needs the sum of `Θ(n)` input multiplicities;
+//! with fan-in-2 gates that forces `Θ(log n)` depth — the family is outside
+//! NC⁰, matching the paper's remark that `flatten`'s multiplicities
+//! *"depend on an unbounded number of input bits"*.
+
+use crate::circuit::{Circuit, CircuitBuilder, NodeId};
+use crate::layout::BagLayout;
+
+/// The IVM refresh circuit for a layout: inputs are `enc(V) ++ enc(ΔV)`,
+/// outputs `enc(V ⊎ ΔV)` (all mod `2^k`).
+pub fn refresh_circuit(layout: &BagLayout) -> Circuit {
+    let k = layout.k;
+    let slots = layout.slots();
+    let mut b = CircuitBuilder::new();
+    let view: Vec<NodeId> = b.inputs(slots * k);
+    let delta: Vec<NodeId> = b.inputs(slots * k);
+    let mut outputs = Vec::with_capacity(slots * k);
+    for s in 0..slots {
+        let a = &view[s * k..(s + 1) * k];
+        let d = &delta[s * k..(s + 1) * k];
+        outputs.extend(b.add_mod(a, d));
+    }
+    b.finish(outputs)
+}
+
+/// Re-evaluation circuit for `flatten(R)` where `R : Bag(Bag(Int))` is
+/// presented as `outer` inner-bag slots, each an encoded bag over the
+/// element layout: the output multiplicity of element `e` is the sum over
+/// all inner bags of their multiplicity of `e` (weights 1 — the outer bag
+/// is a set of slots in this presentation).
+///
+/// Inputs: `outer · slots · k` bits. Outputs: `slots · k` bits.
+pub fn flatten_circuit(elem_layout: &BagLayout, outer: usize) -> Circuit {
+    let k = elem_layout.k;
+    let slots = elem_layout.slots();
+    let mut b = CircuitBuilder::new();
+    let mut inner: Vec<Vec<NodeId>> = Vec::with_capacity(outer);
+    for _ in 0..outer {
+        inner.push(b.inputs(slots * k));
+    }
+    let mut outputs = Vec::with_capacity(slots * k);
+    for s in 0..slots {
+        let operands: Vec<Vec<NodeId>> = inner
+            .iter()
+            .map(|bag| bag[s * k..(s + 1) * k].to_vec())
+            .collect();
+        outputs.extend(b.sum_mod(&operands, k));
+    }
+    b.finish(outputs)
+}
+
+/// Re-evaluation circuit for the self-product `R × R` over a single-column
+/// integer domain of size `n`: output slot `(a, b)` has multiplicity
+/// `m(a) · m(b)` mod `2^k`.
+///
+/// Each output depends on `2k` input bits *here*, but the interesting
+/// measure is the query that follows a product with an aggregation —
+/// combined with [`flatten_circuit`] the depth grows with `n`. The product
+/// alone already shows the quadratic gate blow-up of re-evaluation.
+pub fn product_circuit(layout: &BagLayout) -> Circuit {
+    let k = layout.k;
+    let n = layout.slots();
+    let mut b = CircuitBuilder::new();
+    let r: Vec<NodeId> = b.inputs(n * k);
+    let mut outputs = Vec::with_capacity(n * n * k);
+    for a in 0..n {
+        for c in 0..n {
+            let x = r[a * k..(a + 1) * k].to_vec();
+            let y = r[c * k..(c + 1) * k].to_vec();
+            let prod = b.mul_mod(&x, &y);
+            outputs.extend(prod);
+        }
+    }
+    b.finish(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{from_bits, to_bits};
+    use nrc_data::{Bag, Value};
+
+    #[test]
+    fn refresh_circuit_computes_bag_union() {
+        let layout = BagLayout::int_domain(5, 4);
+        let c = refresh_circuit(&layout);
+        let v = Bag::from_pairs([(Value::int(0), 2), (Value::int(3), 5)]);
+        let d = Bag::from_pairs([(Value::int(0), 1), (Value::int(3), -2), (Value::int(4), 7)]);
+        let mut bits = layout.encode(&v);
+        bits.extend(layout.encode(&d));
+        let out = layout.decode(&c.evaluate(&bits));
+        let expected = v.union(&d);
+        for val in [0i64, 3, 4] {
+            let e = expected.multiplicity(&Value::int(val)).rem_euclid(16);
+            assert_eq!(out.multiplicity(&Value::int(val)).rem_euclid(16), e, "slot {val}");
+        }
+    }
+
+    #[test]
+    fn refresh_depth_is_independent_of_domain_size() {
+        let k = 4;
+        let depths: Vec<usize> = [4usize, 16, 64, 256]
+            .into_iter()
+            .map(|n| refresh_circuit(&BagLayout::int_domain(n, k)).depth())
+            .collect();
+        assert!(depths.windows(2).all(|w| w[0] == w[1]), "depths vary: {depths:?}");
+    }
+
+    #[test]
+    fn refresh_output_support_is_2k() {
+        let k = 3;
+        for n in [2usize, 8, 32] {
+            let c = refresh_circuit(&BagLayout::int_domain(n, k));
+            assert_eq!(c.max_output_support(), 2 * k, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn flatten_circuit_sums_inner_bags() {
+        let layout = BagLayout::int_domain(3, 4);
+        let c = flatten_circuit(&layout, 3);
+        // Three inner bags over {0,1,2}.
+        let b1 = Bag::from_pairs([(Value::int(0), 1), (Value::int(1), 2)]);
+        let b2 = Bag::from_pairs([(Value::int(1), 3)]);
+        let b3 = Bag::from_pairs([(Value::int(2), 4)]);
+        let mut bits = layout.encode(&b1);
+        bits.extend(layout.encode(&b2));
+        bits.extend(layout.encode(&b3));
+        let out = layout.decode(&c.evaluate(&bits));
+        assert_eq!(out.multiplicity(&Value::int(0)), 1);
+        assert_eq!(out.multiplicity(&Value::int(1)), 5);
+        assert_eq!(out.multiplicity(&Value::int(2)), 4);
+    }
+
+    #[test]
+    fn flatten_depth_grows_with_outer_cardinality() {
+        let layout = BagLayout::int_domain(2, 4);
+        let depths: Vec<usize> = [2usize, 4, 8, 16, 32]
+            .into_iter()
+            .map(|outer| flatten_circuit(&layout, outer).depth())
+            .collect();
+        assert!(
+            depths.windows(2).all(|w| w[1] > w[0]),
+            "flatten depth should grow: {depths:?}"
+        );
+    }
+
+    #[test]
+    fn flatten_output_support_grows_with_outer_cardinality() {
+        let layout = BagLayout::int_domain(2, 2);
+        let s8 = flatten_circuit(&layout, 8).max_output_support();
+        let s32 = flatten_circuit(&layout, 32).max_output_support();
+        assert!(s32 > s8, "support should grow: {s8} vs {s32}");
+    }
+
+    #[test]
+    fn product_circuit_multiplies_multiplicities() {
+        let layout = BagLayout::int_domain(2, 4);
+        let c = product_circuit(&layout);
+        let r = Bag::from_pairs([(Value::int(0), 3), (Value::int(1), 5)]);
+        let bits = layout.encode(&r);
+        let out_bits = c.evaluate(&bits);
+        // Slot order: (0,0), (0,1), (1,0), (1,1), each k bits.
+        let k = 4;
+        let m = |slot: usize| from_bits(&out_bits[slot * k..(slot + 1) * k]);
+        assert_eq!(m(0), 9);
+        assert_eq!(m(1), 15);
+        assert_eq!(m(2), 15);
+        assert_eq!(m(3), 25 % 16);
+    }
+
+    #[test]
+    fn product_gate_count_grows_quadratically() {
+        let k = 2;
+        let g4 = product_circuit(&BagLayout::int_domain(4, k)).gate_count();
+        let g8 = product_circuit(&BagLayout::int_domain(8, k)).gate_count();
+        // Doubling the domain should roughly 4× the gates.
+        assert!(g8 > 3 * g4, "expected quadratic growth: {g4} -> {g8}");
+    }
+
+    #[test]
+    fn bit_helpers_in_module_scope() {
+        assert_eq!(from_bits(&to_bits(9, 4)), 9);
+    }
+}

@@ -1,0 +1,36 @@
+//! # nrc-circuit
+//!
+//! A bounded-fan-in boolean circuit substrate that makes the complexity
+//! separation of **Theorem 9** measurable:
+//!
+//! > *Materialized views of NRC⁺ queries with multiplicities modulo 2^k in
+//! > shredded form are incrementally maintainable in NC⁰ wrt. constant size
+//! > updates*, while re-evaluation is TC⁰-hard in general (`flatten` under
+//! > bag semantics needs to sum an unbounded number of multiplicities).
+//!
+//! Following §5.4, shredded views are represented as bit sequences: `k` bits
+//! (a multiplicity modulo `2^k`) for every possible tuple constructible from
+//! the active domain, in canonical order ([`layout::BagLayout`]). Circuits
+//! ([`circuit::Circuit`]) are DAGs of fan-in-≤2 gates with measured depth
+//! and gate count. The builders provide:
+//!
+//! * [`builders::refresh_circuit`] — the IVM refresh `V ⊎ ΔV`: one mod-2^k
+//!   adder per tuple slot. Its **depth is independent of the domain size**
+//!   (it depends only on `k`) and every output depends on at most `2k`
+//!   input bits — the NC⁰ witness.
+//! * [`builders::flatten_circuit`] / [`builders::product_circuit`] —
+//!   re-evaluation circuits whose output multiplicities sum contributions
+//!   from across the whole input; with fan-in 2 their depth grows as
+//!   `Θ(log n)` with the domain (i.e. they are **not** NC⁰ — realizing them
+//!   in constant depth would require the unbounded-fan-in counting gates of
+//!   TC⁰).
+//!
+//! Experiment E6 sweeps the domain size and reports both depth curves.
+
+pub mod builders;
+pub mod circuit;
+pub mod layout;
+
+pub use builders::{flatten_circuit, product_circuit, refresh_circuit};
+pub use circuit::{Circuit, CircuitBuilder, Gate, NodeId};
+pub use layout::BagLayout;

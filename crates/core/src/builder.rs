@@ -1,0 +1,196 @@
+//! Ergonomic constructors for building NRC⁺ expressions in Rust.
+//!
+//! These make embedded queries read close to the paper's notation:
+//!
+//! ```
+//! use nrc_core::builder::*;
+//! // filter_p[R] = for x in R where p(x) union sng(x)   (Example 2)
+//! let q = for_where("x", rel("R"), cmp_lit("x", vec![0], nrc_core::expr::CmpOp::Eq, 1),
+//!                   elem_sng("x"));
+//! assert_eq!(q.to_string(),
+//!     "for x in R union for __w in p[x.1 == 1] union sng(x)");
+//! ```
+
+use crate::expr::{BoolExpr, CmpOp, Expr, Operand, ScalarRef};
+use nrc_data::{BaseValue, Type};
+
+/// A database relation `R`.
+pub fn rel(name: impl Into<String>) -> Expr {
+    Expr::Rel(name.into())
+}
+
+/// The first-order update relation `ΔR`.
+pub fn delta_rel(name: impl Into<String>) -> Expr {
+    Expr::DeltaRel(name.into(), 1)
+}
+
+/// A `let`-bound variable `X`.
+pub fn var(name: impl Into<String>) -> Expr {
+    Expr::Var(name.into())
+}
+
+/// `let name := value in body`.
+pub fn let_(name: impl Into<String>, value: Expr, body: Expr) -> Expr {
+    Expr::Let { name: name.into(), value: Box::new(value), body: Box::new(body) }
+}
+
+/// `sng(x)`.
+pub fn elem_sng(var: impl Into<String>) -> Expr {
+    Expr::ElemSng(var.into())
+}
+
+/// `sng(π_path(x))` with a 0-based component path.
+pub fn proj_sng(var: impl Into<String>, path: Vec<usize>) -> Expr {
+    Expr::ProjSng { var: var.into(), path }
+}
+
+/// `sng(⟨⟩)`.
+pub fn unit_sng() -> Expr {
+    Expr::UnitSng
+}
+
+/// The nested singleton `sngι(e)`.
+pub fn sng(index: u32, body: Expr) -> Expr {
+    Expr::Sng { index, body: Box::new(body) }
+}
+
+/// `∅ : Bag(elem_ty)`.
+pub fn empty(elem_ty: Type) -> Expr {
+    Expr::Empty { elem_ty }
+}
+
+/// `a ⊎ b`.
+pub fn union(a: Expr, b: Expr) -> Expr {
+    Expr::Union(Box::new(a), Box::new(b))
+}
+
+/// `⊖(e)`.
+pub fn negate(e: Expr) -> Expr {
+    Expr::Negate(Box::new(e))
+}
+
+/// n-ary product `e₁ × … × eₙ`.
+pub fn product(es: Vec<Expr>) -> Expr {
+    Expr::Product(es)
+}
+
+/// Binary product `a × b`.
+pub fn pair(a: Expr, b: Expr) -> Expr {
+    Expr::Product(vec![a, b])
+}
+
+/// `for var in source union body`.
+pub fn for_(var: impl Into<String>, source: Expr, body: Expr) -> Expr {
+    Expr::For { var: var.into(), source: Box::new(source), body: Box::new(body) }
+}
+
+/// `for var in source where pred union body` — the Example 2 sugar
+/// `for x in e₁ union (for _ in p(x) union e₂)`.
+pub fn for_where(var: impl Into<String>, source: Expr, pred: BoolExpr, body: Expr) -> Expr {
+    let inner = Expr::For {
+        var: "__w".into(),
+        source: Box::new(Expr::Pred(pred)),
+        body: Box::new(body),
+    };
+    Expr::For { var: var.into(), source: Box::new(source), body: Box::new(inner) }
+}
+
+/// `flatten(e)`.
+pub fn flatten(e: Expr) -> Expr {
+    Expr::Flatten(Box::new(e))
+}
+
+/// A bare predicate expression `p(x̄) : Bag(1)`.
+pub fn pred(p: BoolExpr) -> Expr {
+    Expr::Pred(p)
+}
+
+/// Comparison of two variable components.
+pub fn cmp(
+    var_a: impl Into<String>,
+    path_a: Vec<usize>,
+    op: CmpOp,
+    var_b: impl Into<String>,
+    path_b: Vec<usize>,
+) -> BoolExpr {
+    BoolExpr::Cmp(
+        Operand::Ref(ScalarRef::path(var_a, path_a)),
+        op,
+        Operand::Ref(ScalarRef::path(var_b, path_b)),
+    )
+}
+
+/// Comparison of a variable component against a literal.
+pub fn cmp_lit(
+    var: impl Into<String>,
+    path: Vec<usize>,
+    op: CmpOp,
+    lit: impl Into<BaseValue>,
+) -> BoolExpr {
+    BoolExpr::Cmp(Operand::Ref(ScalarRef::path(var, path)), op, Operand::Lit(lit.into()))
+}
+
+/// The `related` query of the paper's motivating example (§2.1):
+///
+/// ```text
+/// related ≡ for m in M union sng(⟨m.name, relB(m)⟩)
+/// relB(m) ≡ for m2 in M where isRelated(m, m2) union sng(m2.name)
+/// ```
+///
+/// Fields of `M(name, gen, dir)` are components 0, 1, 2. The nested
+/// singleton carries index `ι = 1`.
+pub fn related_query() -> Expr {
+    for_(
+        "m",
+        rel("M"),
+        pair(proj_sng("m", vec![0]), sng(1, rel_b("m"))),
+    )
+}
+
+/// The inner `relB(m)` subquery of [`related_query`].
+pub fn rel_b(m: &str) -> Expr {
+    for_where("m2", rel("M"), is_related(m, "m2"), proj_sng("m2", vec![0]))
+}
+
+/// `isRelated(m, m2) = m.name != m2.name && (m.gen == m2.gen || m.dir == m2.dir)`.
+pub fn is_related(m: &str, m2: &str) -> BoolExpr {
+    cmp(m, vec![0], CmpOp::Ne, m2, vec![0]).and(
+        cmp(m, vec![1], CmpOp::Eq, m2, vec![1]).or(cmp(m, vec![2], CmpOp::Eq, m2, vec![2])),
+    )
+}
+
+/// `filter_p[R]` of Example 2: `for x in R where p(x) union sng(x)`.
+pub fn filter_query(relname: &str, p: BoolExpr) -> Expr {
+    for_where("x", rel(relname), p, elem_sng("x"))
+}
+
+/// Example 4's query `h[R] = flatten(R) × flatten(R)` over `R : Bag(Bag(A))`.
+pub fn self_product_of_flatten(relname: &str) -> Expr {
+    pair(flatten(rel(relname)), flatten(rel(relname)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn related_query_shape() {
+        let q = related_query();
+        assert!(q.to_string().contains("sng_1(for m2 in M union"));
+        assert!(!q.is_inc_nrc()); // footnote 5: related ∉ IncNRC+
+        assert_eq!(q.free_relations().len(), 1);
+    }
+
+    #[test]
+    fn filter_query_is_inc_nrc() {
+        let q = filter_query("R", cmp_lit("x", vec![], CmpOp::Gt, 5));
+        assert!(q.is_inc_nrc());
+    }
+
+    #[test]
+    fn self_product_shape() {
+        let q = self_product_of_flatten("R");
+        assert_eq!(q.to_string(), "(flatten(R) × flatten(R))");
+        assert!(q.is_inc_nrc());
+    }
+}

@@ -1,0 +1,537 @@
+//! Cost domains, the cost transformation and `tcost` (§4.2, Fig. 5).
+//!
+//! To every type `A` the paper attaches a cost domain `A°`:
+//!
+//! ```text
+//! Base° = 1°     (A₁×A₂)° = A₁° × A₂°     Bag(A)° = ℕ⁺{A°}
+//! ```
+//!
+//! A bag cost pairs a cardinality upper bound with the least-upper-bound
+//! cost of its *elements* — one cardinality per nesting level. This is what
+//! lets the model notice that data may be distributed unevenly across
+//! nesting levels while a query touches only one of them.
+//!
+//! [`size_of`] maps values into their cost (`size(R)` in the paper, Ex. 5),
+//! [`cost`] is the transformation `C[[·]]` of Fig. 5, [`tcost`] the running
+//! time bound of Lemma 3, and the partial orders [`le`]/[`lt`] are `⪯`/`≺`.
+//! Thm. 4 — `tcost(C[[δ(h)]]) < tcost(C[[h]])` for incremental updates — is
+//! exercised in this module's tests and property-tested from the generator.
+
+use crate::expr::Expr;
+use nrc_data::{Bag, Database, Type, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A cost value, element of some cost domain `A°`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cost {
+    /// `1°` — the cost of a base value or label.
+    One,
+    /// Componentwise cost of a tuple (the unit cost is `Tuple(vec![])`).
+    Tuple(Vec<Cost>),
+    /// `ℕ⁺{A°}` — cardinality bound paired with element cost bound.
+    Bag {
+        /// Upper bound on the cardinality (counting repetitions).
+        card: u64,
+        /// Upper bound on the cost of each element.
+        elem: Box<Cost>,
+    },
+}
+
+impl Cost {
+    /// `n{c}` constructor.
+    pub fn bag(card: u64, elem: Cost) -> Cost {
+        Cost::Bag { card, elem: Box::new(elem) }
+    }
+
+    /// The bottom element `1_A` of a cost domain (minimum cardinalities are
+    /// 1 — the domain is ℕ⁺).
+    pub fn bottom(ty: &Type) -> Cost {
+        match ty {
+            Type::Base(_) | Type::Label => Cost::One,
+            Type::Tuple(ts) => Cost::Tuple(ts.iter().map(Cost::bottom).collect()),
+            Type::Bag(t) | Type::Dict(t) => Cost::bag(1, Cost::bottom(t)),
+        }
+    }
+
+    /// The outer cardinality `Co` of a bag cost.
+    pub fn card(&self) -> Option<u64> {
+        match self {
+            Cost::Bag { card, .. } => Some(*card),
+            _ => None,
+        }
+    }
+
+    /// The element cost `Ci` of a bag cost.
+    pub fn elem(&self) -> Option<&Cost> {
+        match self {
+            Cost::Bag { elem, .. } => Some(elem),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cost::One => write!(f, "1"),
+            Cost::Tuple(cs) => {
+                write!(f, "⟨")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "⟩")
+            }
+            Cost::Bag { card, elem } => write!(f, "{card}{{{elem}}}"),
+        }
+    }
+}
+
+/// The non-strict order `x ⪯_A y` (shape mismatches compare as `false`).
+pub fn le(a: &Cost, b: &Cost) -> bool {
+    match (a, b) {
+        (Cost::One, Cost::One) => true,
+        (Cost::Tuple(xs), Cost::Tuple(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| le(x, y))
+        }
+        (Cost::Bag { card: n, elem: x }, Cost::Bag { card: m, elem: y }) => n <= m && le(x, y),
+        _ => false,
+    }
+}
+
+/// The strict order `x ≺_A y`: `false` on `Base`, componentwise strict on
+/// tuples, and `n < m ∧ x ⪯ y` on bags (§4.2).
+pub fn lt(a: &Cost, b: &Cost) -> bool {
+    match (a, b) {
+        (Cost::One, Cost::One) => false,
+        (Cost::Tuple(xs), Cost::Tuple(ys)) => {
+            xs.len() == ys.len() && !xs.is_empty() && xs.iter().zip(ys).all(|(x, y)| lt(x, y))
+        }
+        (Cost::Bag { card: n, elem: x }, Cost::Bag { card: m, elem: y }) => n < m && le(x, y),
+        _ => false,
+    }
+}
+
+/// Least upper bound (assumes both sides come from the same cost domain).
+pub fn sup(a: &Cost, b: &Cost) -> Cost {
+    match (a, b) {
+        (Cost::One, Cost::One) => Cost::One,
+        (Cost::Tuple(xs), Cost::Tuple(ys)) if xs.len() == ys.len() => {
+            Cost::Tuple(xs.iter().zip(ys).map(|(x, y)| sup(x, y)).collect())
+        }
+        (Cost::Bag { card: n, elem: x }, Cost::Bag { card: m, elem: y }) => {
+            Cost::bag((*n).max(*m), sup(x, y))
+        }
+        // Mismatched shapes should not occur on well-typed input; fall back
+        // to the maximum by the derived total order to stay total.
+        _ => {
+            if a >= b {
+                a.clone()
+            } else {
+                b.clone()
+            }
+        }
+    }
+}
+
+/// `size_A : A → A°` (§4.2): the cost proportional to a value's size.
+/// Cardinalities count repetitions (absolute multiplicities, so deletions
+/// weigh like insertions); the element cost is the supremum over elements,
+/// or the domain bottom for empty bags.
+pub fn size_of(v: &Value, ty: &Type) -> Cost {
+    match (v, ty) {
+        (Value::Base(_), _) | (Value::Label(_), _) => Cost::One,
+        (Value::Tuple(vs), Type::Tuple(ts)) if vs.len() == ts.len() => {
+            Cost::Tuple(vs.iter().zip(ts).map(|(v, t)| size_of(v, t)).collect())
+        }
+        (Value::Bag(b), Type::Bag(elem_ty)) => size_of_bag(b, elem_ty),
+        (Value::Dict(d), Type::Dict(elem_ty)) => {
+            // Cost of a dictionary: the supremum cost of its definitions
+            // (what one application may return).
+            let mut acc = Cost::bag(1, Cost::bottom(elem_ty));
+            for (_, bag) in d.iter() {
+                acc = sup(&acc, &size_of_bag(bag, elem_ty));
+            }
+            acc
+        }
+        // Shape mismatch (ill-typed value): be conservative.
+        _ => Cost::bottom(ty),
+    }
+}
+
+/// `size` of a bag against its element type.
+pub fn size_of_bag(b: &Bag, elem_ty: &Type) -> Cost {
+    let card = b.cardinality().max(1);
+    let mut elem = Cost::bottom(elem_ty);
+    for (v, _) in b.iter() {
+        elem = sup(&elem, &size_of(v, elem_ty));
+    }
+    Cost::bag(card, elem)
+}
+
+/// `tcost_A : A° → ℕ` (Lemma 3): the running-time bound derived from a cost.
+pub fn tcost(c: &Cost) -> u64 {
+    match c {
+        Cost::One => 1,
+        Cost::Tuple(cs) => cs.iter().map(tcost).sum::<u64>().max(1),
+        Cost::Bag { card, elem } => card.saturating_mul(tcost(elem)),
+    }
+}
+
+/// Errors raised by the cost transformation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CostError {
+    /// No size registered for a relation.
+    UnknownRelation(String),
+    /// No size registered for an update relation.
+    UnknownDelta(String, u32),
+    /// Unbound variable.
+    UnknownVar(String),
+    /// The expression had an unexpected cost shape (ill-typed input).
+    Shape(String),
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::UnknownRelation(r) => write!(f, "no size for relation {r}"),
+            CostError::UnknownDelta(r, k) => write!(f, "no size for Δ^{k}{r}"),
+            CostError::UnknownVar(x) => write!(f, "no cost binding for {x}"),
+            CostError::Shape(s) => write!(f, "cost shape error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+/// The cost-assignment environment `γ°; ε°` plus relation/update sizes.
+#[derive(Clone, Debug, Default)]
+pub struct CostEnv {
+    /// `size(R)` for every relation.
+    pub rel_sizes: BTreeMap<String, Cost>,
+    /// Assumed sizes for update relations `Δ^k R`.
+    pub delta_sizes: BTreeMap<(String, u32), Cost>,
+    /// `γ°` — `let`-bound variable costs.
+    pub lets: Vec<(String, Cost)>,
+    /// `ε°` — element-variable costs.
+    pub elems: Vec<(String, Cost)>,
+}
+
+impl CostEnv {
+    /// Build from a database (relation sizes via [`size_of_bag`]).
+    pub fn from_database(db: &Database) -> CostEnv {
+        let mut rel_sizes = BTreeMap::new();
+        for (name, bag) in db.iter() {
+            if let Some(ty) = db.schema(name) {
+                rel_sizes.insert(name.clone(), size_of_bag(bag, ty));
+            }
+        }
+        CostEnv { rel_sizes, ..CostEnv::default() }
+    }
+
+    /// Register an assumed update size for `Δ^k R`.
+    pub fn set_delta_size(&mut self, rel: impl Into<String>, order: u32, c: Cost) {
+        self.delta_sizes.insert((rel.into(), order), c);
+    }
+
+    /// Register an assumed update size for `ΔR` with cardinality `d` and
+    /// element cost copied from the relation's own elements (the common
+    /// "update of d tuples shaped like R's tuples" assumption of §2.2).
+    pub fn set_delta_card(&mut self, rel: &str, d: u64) {
+        let elem = self
+            .rel_sizes
+            .get(rel)
+            .and_then(|c| c.elem().cloned())
+            .unwrap_or(Cost::One);
+        for order in 1..=4 {
+            self.delta_sizes.insert((rel.to_owned(), order), Cost::bag(d, elem.clone()));
+        }
+    }
+
+    fn lookup_let(&self, name: &str) -> Option<&Cost> {
+        self.lets.iter().rev().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    fn lookup_elem(&self, name: &str) -> Option<&Cost> {
+        self.elems.iter().rev().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+}
+
+fn project_cost(c: &Cost, path: &[usize]) -> Result<Cost, CostError> {
+    let mut cur = c;
+    for &i in path {
+        match cur {
+            Cost::Tuple(cs) => {
+                cur = cs.get(i).ok_or_else(|| {
+                    CostError::Shape(format!("projection {i} out of cost tuple range"))
+                })?;
+            }
+            _ => return Err(CostError::Shape("projection on non-tuple cost".into())),
+        }
+    }
+    Ok(cur.clone())
+}
+
+fn as_bag_cost(c: Cost, at: &str) -> Result<(u64, Cost), CostError> {
+    match c {
+        Cost::Bag { card, elem } => Ok((card, *elem)),
+        other => Err(CostError::Shape(format!("expected bag cost at {at}, got {other}"))),
+    }
+}
+
+/// The cost transformation `C[[e]]` of Fig. 5 (extended to the label
+/// constructs per §5.2: `C[[[l ↦ e](l′)]] = C[[e]]`, `C[[inL(a)]] = {1}`,
+/// `C[[(e₁∪e₂)(l)]] = sup`).
+pub fn cost(e: &Expr, env: &mut CostEnv) -> Result<Cost, CostError> {
+    match e {
+        Expr::Rel(r) => env
+            .rel_sizes
+            .get(r)
+            .cloned()
+            .ok_or_else(|| CostError::UnknownRelation(r.clone())),
+        Expr::DeltaRel(r, k) => env
+            .delta_sizes
+            .get(&(r.clone(), *k))
+            .cloned()
+            .ok_or_else(|| CostError::UnknownDelta(r.clone(), *k)),
+        Expr::Var(x) => env
+            .lookup_let(x)
+            .cloned()
+            .ok_or_else(|| CostError::UnknownVar(x.clone())),
+        Expr::Let { name, value, body } => {
+            let cv = cost(value, env)?;
+            env.lets.push((name.clone(), cv));
+            let r = cost(body, env);
+            env.lets.pop();
+            r
+        }
+        Expr::ElemSng(x) => {
+            let c = env
+                .lookup_elem(x)
+                .cloned()
+                .ok_or_else(|| CostError::UnknownVar(x.clone()))?;
+            Ok(Cost::bag(1, c))
+        }
+        Expr::ProjSng { var, path } => {
+            let c = env
+                .lookup_elem(var)
+                .ok_or_else(|| CostError::UnknownVar(var.clone()))?
+                .clone();
+            Ok(Cost::bag(1, project_cost(&c, path)?))
+        }
+        Expr::UnitSng | Expr::Pred(_) => Ok(Cost::bag(1, Cost::Tuple(vec![]))),
+        Expr::Sng { body, .. } => Ok(Cost::bag(1, cost(body, env)?)),
+        Expr::Empty { elem_ty } => Ok(Cost::bag(1, Cost::bottom(elem_ty))),
+        Expr::Union(a, b) => Ok(sup(&cost(a, env)?, &cost(b, env)?)),
+        Expr::Negate(inner) => cost(inner, env),
+        Expr::Product(es) => {
+            let mut card = 1u64;
+            let mut elems = Vec::with_capacity(es.len());
+            for f in es {
+                let (n, c) = as_bag_cost(cost(f, env)?, "×")?;
+                card = card.saturating_mul(n);
+                elems.push(c);
+            }
+            Ok(Cost::bag(card, Cost::Tuple(elems)))
+        }
+        Expr::For { var, source, body } => {
+            let (n1, c1) = as_bag_cost(cost(source, env)?, "for source")?;
+            env.elems.push((var.clone(), c1));
+            let r = cost(body, env);
+            env.elems.pop();
+            let (n2, c2) = as_bag_cost(r?, "for body")?;
+            Ok(Cost::bag(n1.saturating_mul(n2), c2))
+        }
+        Expr::Flatten(inner) => {
+            let (n, c) = as_bag_cost(cost(inner, env)?, "flatten")?;
+            let (m, ci) = as_bag_cost(c, "flatten element")?;
+            Ok(Cost::bag(n.saturating_mul(m), ci))
+        }
+        Expr::InLabel { .. } => Ok(Cost::bag(1, Cost::One)),
+        Expr::DictSng { params, body, .. } => {
+            // The definitions' cost, with parameters bound at the bottom of
+            // their (flat) types: labels carry flat values of unit cost.
+            for (p, t) in params {
+                env.elems.push((p.clone(), Cost::bottom(t)));
+            }
+            let r = cost(body, env);
+            for _ in params {
+                env.elems.pop();
+            }
+            r
+        }
+        Expr::DictGet { dict, .. } => cost(dict, env),
+        Expr::CtxTuple(es) => Ok(Cost::Tuple(
+            es.iter().map(|c| cost(c, env)).collect::<Result<_, _>>()?,
+        )),
+        Expr::CtxProj { ctx, index } => {
+            let c = cost(ctx, env)?;
+            project_cost(&c, &[*index])
+        }
+        Expr::LabelUnion(a, b) | Expr::CtxAdd(a, b) => Ok(sup(&cost(a, env)?, &cost(b, env)?)),
+        Expr::EmptyCtx(t) => Ok(Cost::bottom(t)),
+    }
+}
+
+/// Convenience: cost a query against a database with update cardinality `d`
+/// assumed for every relation.
+pub fn cost_against(e: &Expr, db: &Database, update_card: u64) -> Result<Cost, CostError> {
+    let mut env = CostEnv::from_database(db);
+    let rels: Vec<String> = env.rel_sizes.keys().cloned().collect();
+    for r in rels {
+        env.set_delta_card(&r, update_card);
+    }
+    cost(e, &mut env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::delta::delta_wrt_rel;
+    use crate::expr::CmpOp;
+    use crate::optimize::simplify;
+    use crate::typecheck::TypeEnv;
+    use nrc_data::database::example_movies;
+    use nrc_data::{BaseType, Type};
+
+    #[test]
+    fn example_5_size_of_nested_bag() {
+        // R = {⟨Comedy,{Carnage}⟩, ⟨Animation,{Up,Shrek,Cars}⟩}
+        // size(R) = 2{⟨1, 3{1}⟩}
+        let ty = Type::pair(Type::Base(BaseType::Str), Type::bag(Type::Base(BaseType::Str)));
+        let r = Bag::from_values([
+            Value::pair(Value::str("Comedy"), Value::Bag(Bag::from_values([Value::str("Carnage")]))),
+            Value::pair(
+                Value::str("Animation"),
+                Value::Bag(Bag::from_values([
+                    Value::str("Up"),
+                    Value::str("Shrek"),
+                    Value::str("Cars"),
+                ])),
+            ),
+        ]);
+        let c = size_of_bag(&r, &ty);
+        assert_eq!(c, Cost::bag(2, Cost::Tuple(vec![Cost::One, Cost::bag(3, Cost::One)])));
+        assert_eq!(c.to_string(), "2{⟨1, 3{1}⟩}");
+    }
+
+    #[test]
+    fn example_6_cost_of_related() {
+        // C[[related[M]]] = |M|{⟨1, |M|{1}⟩}; tcost = |M|(1 + |M|).
+        let db = example_movies();
+        let c = cost_against(&related_query(), &db, 1).unwrap();
+        assert_eq!(c, Cost::bag(3, Cost::Tuple(vec![Cost::One, Cost::bag(3, Cost::One)])));
+        assert_eq!(tcost(&c), 3 * (1 + 3));
+    }
+
+    #[test]
+    fn orders_behave_like_the_paper() {
+        // Base: x ⪯ y always, x ≺ y never.
+        assert!(le(&Cost::One, &Cost::One));
+        assert!(!lt(&Cost::One, &Cost::One));
+        // Bags: strict needs strict cardinality.
+        let small = Cost::bag(2, Cost::One);
+        let big = Cost::bag(5, Cost::One);
+        assert!(lt(&small, &big));
+        assert!(!lt(&big, &small));
+        assert!(le(&small, &small));
+        assert!(!lt(&small, &small));
+        // Nested: inner compare is non-strict.
+        let a = Cost::bag(2, Cost::bag(7, Cost::One));
+        let b = Cost::bag(3, Cost::bag(7, Cost::One));
+        assert!(lt(&a, &b));
+        let c = Cost::bag(3, Cost::bag(8, Cost::One));
+        assert!(le(&b, &c));
+        assert!(!lt(&b, &c)); // cards equal at top
+    }
+
+    #[test]
+    fn sup_is_pointwise_max() {
+        let a = Cost::bag(2, Cost::bag(9, Cost::One));
+        let b = Cost::bag(5, Cost::bag(3, Cost::One));
+        assert_eq!(sup(&a, &b), Cost::bag(5, Cost::bag(9, Cost::One)));
+    }
+
+    #[test]
+    fn tcost_multiplies_through_nesting() {
+        let c = Cost::bag(4, Cost::Tuple(vec![Cost::One, Cost::bag(3, Cost::One)]));
+        assert_eq!(tcost(&c), 4 * (1 + 3));
+        assert_eq!(tcost(&Cost::Tuple(vec![])), 1);
+    }
+
+    #[test]
+    fn theorem_4_filter_delta_is_cheaper() {
+        // C[[δ(filter_p)]] ≺ C[[filter_p]] when size(ΔR) ≺ size(R).
+        let db = example_movies();
+        let q = filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "Drama"));
+        let tenv = TypeEnv::from_database(&db);
+        let d = simplify(&delta_wrt_rel(&q, "M", &tenv).unwrap(), &tenv).unwrap();
+        let cq = cost_against(&q, &db, 1).unwrap();
+        let cd = cost_against(&d, &db, 1).unwrap();
+        assert!(lt(&cd, &cq), "expected {cd} ≺ {cq}");
+        assert!(tcost(&cd) < tcost(&cq));
+    }
+
+    #[test]
+    fn theorem_4_product_delta_is_cheaper() {
+        let db = example_movies();
+        let q = pair(rel("M"), rel("M"));
+        let tenv = TypeEnv::from_database(&db);
+        let d = simplify(&delta_wrt_rel(&q, "M", &tenv).unwrap(), &tenv).unwrap();
+        let cq = cost_against(&q, &db, 1).unwrap();
+        let cd = cost_against(&d, &db, 1).unwrap();
+        assert!(lt(&cd, &cq), "expected {cd} ≺ {cq}");
+    }
+
+    #[test]
+    fn empty_bag_sizes_use_bottoms() {
+        let ty = Type::bag(Type::Base(BaseType::Int));
+        let c = size_of_bag(&Bag::empty(), &Type::Base(BaseType::Int));
+        assert_eq!(c, Cost::bag(1, Cost::One));
+        let v = Value::Bag(Bag::empty());
+        assert_eq!(size_of(&v, &ty), Cost::bag(1, Cost::One));
+    }
+
+    #[test]
+    fn bottom_matches_type_shape() {
+        let t = Type::pair(Type::Base(BaseType::Str), Type::bag(Type::Base(BaseType::Int)));
+        assert_eq!(
+            Cost::bottom(&t),
+            Cost::Tuple(vec![Cost::One, Cost::bag(1, Cost::One)])
+        );
+    }
+
+    #[test]
+    fn missing_sizes_error() {
+        let mut env = CostEnv::default();
+        assert_eq!(
+            cost(&rel("R"), &mut env),
+            Err(CostError::UnknownRelation("R".into()))
+        );
+        assert_eq!(
+            cost(&delta_rel("R"), &mut env),
+            Err(CostError::UnknownDelta("R".into(), 1))
+        );
+    }
+
+    #[test]
+    fn flatten_cost_multiplies_levels() {
+        let mut db = nrc_data::Database::new();
+        let inner = Type::Base(BaseType::Int);
+        db.insert_relation(
+            "R",
+            Type::bag(inner),
+            Bag::from_values([
+                Value::Bag(Bag::from_values([Value::int(1), Value::int(2), Value::int(3)])),
+                Value::Bag(Bag::from_values([Value::int(4)])),
+            ]),
+        );
+        let c = cost_against(&flatten(rel("R")), &db, 1).unwrap();
+        // 2 outer × 3 inner (sup) = 6 upper bound.
+        assert_eq!(c, Cost::bag(6, Cost::One));
+    }
+}

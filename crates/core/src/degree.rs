@@ -1,0 +1,230 @@
+//! The degree interpretation of §4.1.
+//!
+//! `deg(h)` is the number of delta derivations needed before the result no
+//! longer depends on the database: Thm. 2 states
+//! `deg(δ(h)) = deg(h) − 1` for input-dependent `h`, so `deg(h)` is the
+//! minimum `k` with `δᵏ(h)` input-independent. Recursive IVM materializes
+//! exactly the input-dependent prefix `h, δ(h), …, δ^{deg(h)−1}(h)`.
+//!
+//! Expressions of degree 0 are exactly the input-independent ones.
+
+use crate::expr::Expr;
+use std::collections::BTreeMap;
+
+/// The variable-degree assignment `φ` (for `let`-bound variables).
+#[derive(Clone, Debug, Default)]
+pub struct DegreeEnv {
+    vars: Vec<(String, u32)>,
+    /// Degrees of free (engine-bound) variables, looked up when no `let`
+    /// binding is in scope. Defaults to 0 for unknown names.
+    pub free_vars: BTreeMap<String, u32>,
+}
+
+impl DegreeEnv {
+    /// An environment where every free variable has degree 0.
+    pub fn new() -> DegreeEnv {
+        DegreeEnv::default()
+    }
+
+    /// Declare a free variable's degree (engine-bound inputs have degree 1).
+    pub fn with_free(mut self, name: impl Into<String>, deg: u32) -> DegreeEnv {
+        self.free_vars.insert(name.into(), deg);
+        self
+    }
+
+    fn lookup(&self, name: &str) -> u32 {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .or_else(|| self.free_vars.get(name).copied())
+            .unwrap_or(0)
+    }
+}
+
+/// Compute `deg_φ(h)` per the table in §4.1 (extended to the label
+/// constructs per §5.2: `deg([l ↦ e]) = deg(e)`, `deg(inL) = 0`,
+/// `deg(e₁ ∪ e₂) = max`).
+pub fn degree(e: &Expr, env: &mut DegreeEnv) -> u32 {
+    match e {
+        Expr::Rel(_) => 1,
+        Expr::DeltaRel(_, _) => 0,
+        Expr::Var(x) => env.lookup(x),
+        Expr::Let { name, value, body } => {
+            let dv = degree(value, env);
+            env.vars.push((name.clone(), dv));
+            let d = degree(body, env);
+            env.vars.pop();
+            d
+        }
+        Expr::ElemSng(_)
+        | Expr::ProjSng { .. }
+        | Expr::UnitSng
+        | Expr::Empty { .. }
+        | Expr::Pred(_)
+        | Expr::InLabel { .. }
+        | Expr::EmptyCtx(_) => 0,
+        // sng*(e) has degree 0 in IncNRC+ (its body is input-independent);
+        // for full NRC+ we report the body's degree, which coincides with 0
+        // on the IncNRC+ fragment.
+        Expr::Sng { body, .. } => degree(body, env),
+        Expr::Union(a, b) | Expr::LabelUnion(a, b) | Expr::CtxAdd(a, b) => {
+            degree(a, env).max(degree(b, env))
+        }
+        Expr::Negate(inner) | Expr::Flatten(inner) => degree(inner, env),
+        Expr::Product(es) => es.iter().map(|f| degree(f, env)).sum(),
+        Expr::For { source, body, .. } => degree(source, env) + degree(body, env),
+        Expr::DictSng { body, .. } => degree(body, env),
+        Expr::DictGet { dict, .. } => degree(dict, env),
+        Expr::CtxTuple(es) => es.iter().map(|f| degree(f, env)).max().unwrap_or(0),
+        Expr::CtxProj { ctx, .. } => degree(ctx, env),
+    }
+}
+
+/// Degree of a closed query (all free variables assumed degree 0).
+pub fn degree_of(e: &Expr) -> u32 {
+    degree(e, &mut DegreeEnv::new())
+}
+
+/// Degree *with respect to one relation*: only `Rel(rel)` leaves count as
+/// input. This is the quantity Thm. 2 speaks about when a multi-relation
+/// database is updated one relation at a time — the delta tower wrt `rel`
+/// has exactly `degree_wrt(h, rel)` input-dependent levels.
+pub fn degree_wrt(e: &Expr, rel: &str, env: &mut DegreeEnv) -> u32 {
+    match e {
+        Expr::Rel(r) => u32::from(r == rel),
+        Expr::Var(x) => env.lookup(x),
+        Expr::Let { name, value, body } => {
+            let dv = degree_wrt(value, rel, env);
+            env.vars.push((name.clone(), dv));
+            let d = degree_wrt(body, rel, env);
+            env.vars.pop();
+            d
+        }
+        Expr::DeltaRel(_, _)
+        | Expr::ElemSng(_)
+        | Expr::ProjSng { .. }
+        | Expr::UnitSng
+        | Expr::Empty { .. }
+        | Expr::Pred(_)
+        | Expr::InLabel { .. }
+        | Expr::EmptyCtx(_) => 0,
+        Expr::Sng { body, .. } => degree_wrt(body, rel, env),
+        Expr::Union(a, b) | Expr::LabelUnion(a, b) | Expr::CtxAdd(a, b) => {
+            degree_wrt(a, rel, env).max(degree_wrt(b, rel, env))
+        }
+        Expr::Negate(inner) | Expr::Flatten(inner) => degree_wrt(inner, rel, env),
+        Expr::Product(es) => es.iter().map(|f| degree_wrt(f, rel, env)).sum(),
+        Expr::For { source, body, .. } => {
+            degree_wrt(source, rel, env) + degree_wrt(body, rel, env)
+        }
+        Expr::DictSng { body, .. } => degree_wrt(body, rel, env),
+        Expr::DictGet { dict, .. } => degree_wrt(dict, rel, env),
+        Expr::CtxTuple(es) => es.iter().map(|f| degree_wrt(f, rel, env)).max().unwrap_or(0),
+        Expr::CtxProj { ctx, .. } => degree_wrt(ctx, rel, env),
+    }
+}
+
+/// [`degree_wrt`] for closed queries.
+pub fn degree_of_wrt(e: &Expr, rel: &str) -> u32 {
+    degree_wrt(e, rel, &mut DegreeEnv::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::delta::{delta_wrt_rel, delta_wrt_rel_order, next_delta_order};
+    use crate::typecheck::TypeEnv;
+    use nrc_data::database::example_movies;
+    use nrc_data::{BaseType, Type};
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(degree_of(&rel("R")), 1);
+        assert_eq!(degree_of(&delta_rel("R")), 0);
+        assert_eq!(degree_of(&unit_sng()), 0);
+        assert_eq!(degree_of(&empty(Type::Base(BaseType::Int))), 0);
+    }
+
+    #[test]
+    fn products_and_fors_add_degrees() {
+        assert_eq!(degree_of(&pair(rel("R"), rel("R"))), 2);
+        assert_eq!(degree_of(&product(vec![rel("R"), rel("S"), rel("T")])), 3);
+        assert_eq!(degree_of(&for_("x", rel("R"), pair(rel("S"), elem_sng("x")))), 2);
+        assert_eq!(degree_of(&self_product_of_flatten("R")), 2);
+    }
+
+    #[test]
+    fn union_takes_max() {
+        assert_eq!(degree_of(&union(rel("R"), pair(rel("R"), rel("R")))), 2);
+        assert_eq!(degree_of(&union(delta_rel("R"), rel("R"))), 1);
+    }
+
+    #[test]
+    fn let_propagates_binding_degree() {
+        // deg(let X := R in X×X) = 2
+        let q = let_("X", rel("R"), pair(var("X"), var("X")));
+        assert_eq!(degree_of(&q), 2);
+        // deg(let X := ΔR in X) = 0
+        let q0 = let_("X", delta_rel("R"), var("X"));
+        assert_eq!(degree_of(&q0), 0);
+    }
+
+    #[test]
+    fn theorem_2_on_concrete_queries() {
+        // deg(δ(h)) = deg(h) − 1 for input-dependent h. Deltas are
+        // normalized between derivations (the paper's App. B.2 proof reads
+        // deltas modulo the NRC equivalence laws; without normalization,
+        // `let`-introduced ∅ bindings can inflate the syntactic degree).
+        let db = example_movies();
+        let env = TypeEnv::from_database(&db);
+        let queries = vec![
+            filter_query("M", cmp_lit("x", vec![1], crate::expr::CmpOp::Eq, "Drama")),
+            pair(rel("M"), rel("M")),
+            product(vec![rel("M"), rel("M"), rel("M")]),
+            let_("X", rel("M"), pair(var("X"), var("X"))),
+        ];
+        for q in queries {
+            let mut cur = q.clone();
+            let mut expected = degree_of(&q);
+            assert!(expected >= 1);
+            while expected > 0 {
+                let order = next_delta_order(&cur, "M");
+                let d = delta_wrt_rel_order(&cur, "M", order, &env).unwrap();
+                let d = crate::optimize::simplify(&d, &env).unwrap();
+                assert_eq!(
+                    degree_of(&d),
+                    expected - 1,
+                    "Theorem 2 failed going from {cur} to {d}"
+                );
+                cur = d;
+                expected -= 1;
+            }
+            assert!(!cur.depends_on_rel("M"));
+        }
+    }
+
+    #[test]
+    fn degree_counts_only_the_differentiated_relation_family() {
+        // A query over two relations: degree counts all Rel leaves (the paper
+        // considers a single updated relation; multi-relation updates sum).
+        let q = pair(rel("R"), rel("S"));
+        assert_eq!(degree_of(&q), 2);
+        // After δ wrt R, the S factor persists.
+        let mut db = nrc_data::Database::new();
+        db.declare("R", Type::Base(BaseType::Int));
+        db.declare("S", Type::Base(BaseType::Int));
+        let env = TypeEnv::from_database(&db);
+        let d = delta_wrt_rel(&q, "R", &env).unwrap();
+        assert_eq!(degree_of(&d), 1);
+    }
+
+    #[test]
+    fn free_var_degrees_are_configurable() {
+        let mut env = DegreeEnv::new().with_free("RF", 1);
+        assert_eq!(degree(&pair(var("RF"), var("RF")), &mut env), 2);
+        assert_eq!(degree(&var("unknown"), &mut DegreeEnv::new()), 0);
+    }
+}

@@ -1,0 +1,545 @@
+//! Seeded random generation of well-typed NRC⁺ queries, database instances
+//! and updates.
+//!
+//! The paper's central claims are equalities/inequalities quantified over
+//! *all* queries and updates:
+//!
+//! * Prop. 4.1 — `h[R ⊎ ΔR] = h[R] ⊎ δ(h)[R, ΔR]`,
+//! * Thm. 2 — `deg(δ(h)) = deg(h) − 1`,
+//! * Thm. 4 — `C[[δ(h)]] ≺ C[[h]]` for incremental updates,
+//! * Thm. 8 — shredded execution + nesting ≡ direct evaluation.
+//!
+//! This module provides the generator the test-suite uses to check them on
+//! thousands of random (query, database, update) triples. Generation is
+//! type-directed — every produced expression type-checks by construction —
+//! and deterministic per seed.
+
+use crate::expr::{BoolExpr, CmpOp, Expr, Operand, ScalarRef};
+use nrc_data::{Bag, BaseType, BaseValue, Database, Type, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation limits and dialect.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Maximum expression depth.
+    pub max_depth: usize,
+    /// Allow input-dependent nested singletons (full NRC⁺). When `false`,
+    /// generated queries are in IncNRC⁺ (singleton bodies are generated
+    /// input-independently).
+    pub allow_dependent_sng: bool,
+    /// Maximum nesting depth of generated types.
+    pub max_type_depth: usize,
+    /// Target relation cardinality.
+    pub rel_card: usize,
+    /// Target update cardinality.
+    pub update_card: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_depth: 5,
+            allow_dependent_sng: true,
+            max_type_depth: 2,
+            rel_card: 6,
+            update_card: 2,
+        }
+    }
+}
+
+/// The generator state.
+pub struct QueryGen {
+    rng: StdRng,
+    cfg: GenConfig,
+    next_var: usize,
+    next_sng: u32,
+}
+
+impl QueryGen {
+    /// A deterministic generator for the given seed.
+    pub fn new(seed: u64, cfg: GenConfig) -> QueryGen {
+        QueryGen { rng: StdRng::seed_from_u64(seed), cfg, next_var: 0, next_sng: 1 }
+    }
+
+    fn fresh_var(&mut self) -> String {
+        let v = format!("v{}", self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    fn fresh_sng(&mut self) -> u32 {
+        let i = self.next_sng;
+        self.next_sng += 1;
+        i
+    }
+
+    /// A random base type.
+    pub fn gen_base_type(&mut self) -> BaseType {
+        match self.rng.gen_range(0..3) {
+            0 => BaseType::Bool,
+            1 => BaseType::Int,
+            _ => BaseType::Str,
+        }
+    }
+
+    /// A random (possibly nested) element type with bounded nesting.
+    pub fn gen_type(&mut self, depth: usize) -> Type {
+        let roll = self.rng.gen_range(0..10);
+        match roll {
+            0..=4 => Type::Base(self.gen_base_type()),
+            5..=7 => {
+                let n = self.rng.gen_range(2..=3);
+                Type::Tuple((0..n).map(|_| self.gen_type(depth.saturating_sub(1))).collect())
+            }
+            _ if depth > 0 => Type::bag(self.gen_type(depth - 1)),
+            _ => Type::Base(self.gen_base_type()),
+        }
+    }
+
+    /// A random value of the given type, drawn from a small collision-prone
+    /// domain (so joins and predicates fire).
+    pub fn gen_value(&mut self, ty: &Type) -> Value {
+        match ty {
+            Type::Base(BaseType::Bool) => Value::bool(self.rng.gen()),
+            Type::Base(BaseType::Int) => Value::int(self.rng.gen_range(0..5)),
+            Type::Base(BaseType::Str) => {
+                let pool = ["a", "b", "c", "d"];
+                Value::str(pool[self.rng.gen_range(0..pool.len())])
+            }
+            Type::Tuple(ts) => Value::Tuple(ts.iter().map(|t| self.gen_value(t)).collect()),
+            Type::Bag(elem) => {
+                let card = self.rng.gen_range(0..=3);
+                Value::Bag(self.gen_bag(elem, card))
+            }
+            Type::Label | Type::Dict(_) => {
+                unreachable!("generator never produces label/dict types")
+            }
+        }
+    }
+
+    /// A random proper bag of `card` draws.
+    pub fn gen_bag(&mut self, elem_ty: &Type, card: usize) -> Bag {
+        let mut b = Bag::empty();
+        for _ in 0..card {
+            let v = self.gen_value(elem_ty);
+            let m = self.rng.gen_range(1..=2);
+            b.insert(v, m);
+        }
+        b
+    }
+
+    /// A random database with one or two relations of random element types.
+    pub fn gen_database(&mut self) -> Database {
+        let mut db = Database::new();
+        let n_rels = self.rng.gen_range(1..=2);
+        for i in 0..n_rels {
+            let ty = self.gen_type(self.cfg.max_type_depth);
+            let card = self.rng.gen_range(1..=self.cfg.rel_card);
+            let bag = self.gen_bag(&ty, card);
+            db.insert_relation(format!("R{i}"), ty, bag);
+        }
+        db
+    }
+
+    /// A random signed update for relation `rel`: a mix of deletions of
+    /// existing tuples and fresh insertions.
+    pub fn gen_update(&mut self, db: &Database, rel: &str) -> Bag {
+        let ty = db.schema(rel).expect("relation exists").clone();
+        let existing: Vec<Value> = db
+            .get(rel)
+            .expect("relation exists")
+            .iter()
+            .map(|(v, _)| v.clone())
+            .collect();
+        let mut delta = Bag::empty();
+        for _ in 0..self.cfg.update_card {
+            if !existing.is_empty() && self.rng.gen_bool(0.4) {
+                // Delete one occurrence of an existing tuple.
+                let v = existing[self.rng.gen_range(0..existing.len())].clone();
+                delta.insert(v, -1);
+            } else {
+                delta.insert(self.gen_value(&ty), 1);
+            }
+        }
+        delta
+    }
+
+    /// A random closed query over `db`, of some random bag type.
+    pub fn gen_query(&mut self, db: &Database) -> Expr {
+        // Bias the output element type toward relation element types so the
+        // generator exercises Rel leaves.
+        let target = if self.rng.gen_bool(0.7) {
+            let names: Vec<&String> = db.relation_names().collect();
+            let r = names[self.rng.gen_range(0..names.len())];
+            db.schema(r).expect("schema").clone()
+        } else {
+            self.gen_type(self.cfg.max_type_depth)
+        };
+        let mut scope = Scope::default();
+        self.gen_bag_expr(&target, db, &mut scope, self.cfg.max_depth, true)
+    }
+
+    /// A random query guaranteed to be in IncNRC⁺ regardless of config.
+    pub fn gen_inc_query(&mut self, db: &Database) -> Expr {
+        let saved = self.cfg.allow_dependent_sng;
+        self.cfg.allow_dependent_sng = false;
+        let q = self.gen_query(db);
+        self.cfg.allow_dependent_sng = saved;
+        q
+    }
+
+    /// Generate an expression of type `Bag(elem)`. `allow_input` gates
+    /// access to database relations (turned off inside IncNRC⁺ singleton
+    /// bodies).
+    fn gen_bag_expr(
+        &mut self,
+        elem: &Type,
+        db: &Database,
+        scope: &mut Scope,
+        depth: usize,
+        allow_input: bool,
+    ) -> Expr {
+        // Collect the feasible constructions and pick among them.
+        let mut options: Vec<u8> = vec![];
+        let rels_matching: Vec<String> = if allow_input {
+            db.relation_names()
+                .filter(|r| db.schema(r) == Some(elem))
+                .cloned()
+                .collect()
+        } else {
+            vec![]
+        };
+        let elem_vars_matching: Vec<String> = scope
+            .elems
+            .iter()
+            .filter(|(_, t)| t == elem)
+            .map(|(n, _)| n.clone())
+            .collect();
+        let proj_candidates = scope.paths_of_type(elem);
+        let let_vars_matching: Vec<String> = scope
+            .lets
+            .iter()
+            .filter(|(_, t, indep)| {
+                *t == Type::bag(elem.clone()) && (allow_input || *indep)
+            })
+            .map(|(n, _, _)| n.clone())
+            .collect();
+
+        options.push(0); // Empty — always feasible.
+        if !rels_matching.is_empty() {
+            options.extend([1, 1, 1]); // weight relations heavily
+        }
+        if !elem_vars_matching.is_empty() {
+            options.extend([2, 2]);
+        }
+        if !proj_candidates.is_empty() {
+            options.extend([3, 3]);
+        }
+        if elem.is_unit() {
+            options.extend([4, 4]); // sng(⟨⟩) / predicates
+        }
+        if !let_vars_matching.is_empty() {
+            options.push(5);
+        }
+        if depth > 0 {
+            options.extend([6, 6]); // union
+            options.push(7); // negate
+            if matches!(elem, Type::Tuple(ts) if ts.len() >= 2) {
+                options.extend([8, 8, 8]);
+            }
+            options.extend([9, 9, 9]); // for
+            options.push(10); // flatten
+            if matches!(elem, Type::Bag(_)) {
+                options.extend([11, 11, 11]); // nested singleton
+            }
+            if self.rng.gen_bool(0.2) {
+                options.push(12); // let
+            }
+        }
+
+        let choice = options[self.rng.gen_range(0..options.len())];
+        match choice {
+            0 => Expr::Empty { elem_ty: elem.clone() },
+            1 => Expr::Rel(rels_matching[self.rng.gen_range(0..rels_matching.len())].clone()),
+            2 => Expr::ElemSng(
+                elem_vars_matching[self.rng.gen_range(0..elem_vars_matching.len())].clone(),
+            ),
+            3 => {
+                let (var, path) =
+                    proj_candidates[self.rng.gen_range(0..proj_candidates.len())].clone();
+                if path.is_empty() {
+                    Expr::ElemSng(var)
+                } else {
+                    Expr::ProjSng { var, path }
+                }
+            }
+            4 => {
+                if self.rng.gen_bool(0.5) {
+                    Expr::UnitSng
+                } else {
+                    Expr::Pred(self.gen_pred(scope))
+                }
+            }
+            5 => Expr::Var(
+                let_vars_matching[self.rng.gen_range(0..let_vars_matching.len())].clone(),
+            ),
+            6 => {
+                let a = self.gen_bag_expr(elem, db, scope, depth - 1, allow_input);
+                let b = self.gen_bag_expr(elem, db, scope, depth - 1, allow_input);
+                Expr::Union(Box::new(a), Box::new(b))
+            }
+            7 => Expr::Negate(Box::new(self.gen_bag_expr(elem, db, scope, depth - 1, allow_input))),
+            8 => {
+                let ts = match elem {
+                    Type::Tuple(ts) => ts.clone(),
+                    _ => unreachable!("guarded above"),
+                };
+                Expr::Product(
+                    ts.iter()
+                        .map(|t| self.gen_bag_expr(t, db, scope, depth - 1, allow_input))
+                        .collect(),
+                )
+            }
+            9 => {
+                // Choose a source element type we can actually produce.
+                let src_elem = self.pick_source_type(db, scope, allow_input);
+                let source = self.gen_bag_expr(&src_elem, db, scope, depth - 1, allow_input);
+                let var = self.fresh_var();
+                scope.elems.push((var.clone(), src_elem));
+                let body = self.gen_bag_expr(elem, db, scope, depth - 1, allow_input);
+                scope.elems.pop();
+                Expr::For { var, source: Box::new(source), body: Box::new(body) }
+            }
+            10 => {
+                let inner = self.gen_bag_expr(
+                    &Type::bag(elem.clone()),
+                    db,
+                    scope,
+                    depth - 1,
+                    allow_input,
+                );
+                Expr::Flatten(Box::new(inner))
+            }
+            11 => {
+                let inner_elem = match elem {
+                    Type::Bag(t) => (**t).clone(),
+                    _ => unreachable!("guarded above"),
+                };
+                let body_allows_input = allow_input && self.cfg.allow_dependent_sng;
+                let body = if body_allows_input {
+                    self.gen_bag_expr(&inner_elem, db, scope, depth - 1, true)
+                } else {
+                    // IncNRC⁺: input-independent body. Element variables are
+                    // still fine (sng* only restricts database access).
+                    self.gen_bag_expr(&inner_elem, db, scope, depth - 1, false)
+                };
+                Expr::Sng { index: self.fresh_sng(), body: Box::new(body) }
+            }
+            12 => {
+                let bound_elem = self.pick_source_type(db, scope, allow_input);
+                let value = self.gen_bag_expr(&bound_elem, db, scope, depth - 1, allow_input);
+                let name = format!("X{}", self.next_var);
+                self.next_var += 1;
+                // Track whether the binding is input-independent so IncNRC⁺
+                // singleton bodies never reach input data through it.
+                let indep = value.free_relations().is_empty()
+                    && value.free_let_vars().iter().all(|v| {
+                        scope
+                            .lets
+                            .iter()
+                            .rev()
+                            .find(|(n, _, _)| n == v)
+                            .map(|(_, _, i)| *i)
+                            .unwrap_or(false)
+                    });
+                scope.lets.push((name.clone(), Type::bag(bound_elem), indep));
+                let body = self.gen_bag_expr(elem, db, scope, depth - 1, allow_input);
+                scope.lets.pop();
+                Expr::Let { name, value: Box::new(value), body: Box::new(body) }
+            }
+            _ => unreachable!("exhaustive choice list"),
+        }
+    }
+
+    fn pick_source_type(&mut self, db: &Database, scope: &Scope, allow_input: bool) -> Type {
+        let mut pool: Vec<Type> = vec![];
+        if allow_input {
+            for r in db.relation_names() {
+                if let Some(t) = db.schema(r) {
+                    pool.push(t.clone());
+                }
+            }
+        }
+        for (_, t) in &scope.elems {
+            if let Type::Bag(inner) = t {
+                pool.push((**inner).clone());
+            }
+        }
+        pool.push(Type::unit());
+        pool[self.rng.gen_range(0..pool.len())].clone()
+    }
+
+    fn gen_pred(&mut self, scope: &Scope) -> BoolExpr {
+        let candidates = scope.base_paths();
+        if candidates.is_empty() {
+            return BoolExpr::Const(self.rng.gen());
+        }
+        let (var, path, bt) = candidates[self.rng.gen_range(0..candidates.len())].clone();
+        let lhs = Operand::Ref(ScalarRef::path(var, path));
+        let rhs = if self.rng.gen_bool(0.5) {
+            // Compare to another path of the same base type, if any.
+            let same: Vec<_> = candidates.iter().filter(|(_, _, t)| *t == bt).collect();
+            let (v2, p2, _) = same[self.rng.gen_range(0..same.len())].clone();
+            Operand::Ref(ScalarRef::path(v2, p2))
+        } else {
+            Operand::Lit(match bt {
+                BaseType::Bool => BaseValue::Bool(self.rng.gen()),
+                BaseType::Int => BaseValue::Int(self.rng.gen_range(0..5)),
+                BaseType::Str => {
+                    let pool = ["a", "b", "c", "d"];
+                    BaseValue::str(pool[self.rng.gen_range(0..pool.len())])
+                }
+            })
+        };
+        let op = match self.rng.gen_range(0..4) {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Le,
+            _ => CmpOp::Gt,
+        };
+        let cmp = BoolExpr::Cmp(lhs, op, rhs);
+        if self.rng.gen_bool(0.25) {
+            BoolExpr::Not(Box::new(cmp))
+        } else {
+            cmp
+        }
+    }
+}
+
+/// Variable scope during generation.
+#[derive(Clone, Debug, Default)]
+struct Scope {
+    elems: Vec<(String, Type)>,
+    /// `(name, type, input-independent?)`.
+    lets: Vec<(String, Type, bool)>,
+}
+
+impl Scope {
+    /// All `(var, path)` pairs whose component type equals `ty`.
+    fn paths_of_type(&self, ty: &Type) -> Vec<(String, Vec<usize>)> {
+        let mut out = vec![];
+        for (v, t) in &self.elems {
+            collect_paths(t, ty, &mut vec![], &mut |p| out.push((v.clone(), p)));
+        }
+        out
+    }
+
+    /// All base-typed `(var, path, base_type)` triples in scope.
+    fn base_paths(&self) -> Vec<(String, Vec<usize>, BaseType)> {
+        let mut out = vec![];
+        for (v, t) in &self.elems {
+            collect_base_paths(t, &mut vec![], &mut |p, bt| out.push((v.clone(), p, bt)));
+        }
+        out
+    }
+}
+
+fn collect_paths(t: &Type, want: &Type, prefix: &mut Vec<usize>, f: &mut impl FnMut(Vec<usize>)) {
+    if t == want {
+        f(prefix.clone());
+    }
+    if let Type::Tuple(ts) = t {
+        for (i, c) in ts.iter().enumerate() {
+            prefix.push(i);
+            collect_paths(c, want, prefix, f);
+            prefix.pop();
+        }
+    }
+}
+
+fn collect_base_paths(
+    t: &Type,
+    prefix: &mut Vec<usize>,
+    f: &mut impl FnMut(Vec<usize>, BaseType),
+) {
+    match t {
+        Type::Base(b) => f(prefix.clone(), *b),
+        Type::Tuple(ts) => {
+            for (i, c) in ts.iter().enumerate() {
+                prefix.push(i);
+                collect_base_paths(c, prefix, f);
+                prefix.pop();
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typecheck::typecheck;
+
+    #[test]
+    fn generated_queries_typecheck() {
+        for seed in 0..150 {
+            let mut g = QueryGen::new(seed, GenConfig::default());
+            let db = g.gen_database();
+            let q = g.gen_query(&db);
+            typecheck(&q, &db).unwrap_or_else(|e| {
+                panic!("seed {seed}: generated ill-typed query {q}: {e}")
+            });
+        }
+    }
+
+    #[test]
+    fn generated_queries_evaluate() {
+        use crate::eval::{eval_query, Env};
+        for seed in 0..150 {
+            let mut g = QueryGen::new(seed, GenConfig::default());
+            let db = g.gen_database();
+            let q = g.gen_query(&db);
+            let mut env = Env::new(&db);
+            eval_query(&q, &mut env)
+                .unwrap_or_else(|e| panic!("seed {seed}: evaluation failed for {q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn inc_mode_queries_are_in_inc_nrc() {
+        for seed in 0..150 {
+            let mut g = QueryGen::new(seed, GenConfig::default());
+            let db = g.gen_database();
+            let q = g.gen_inc_query(&db);
+            assert!(q.is_inc_nrc(), "seed {seed}: {q} escaped IncNRC+");
+        }
+    }
+
+    #[test]
+    fn updates_target_schema() {
+        for seed in 0..50 {
+            let mut g = QueryGen::new(seed, GenConfig::default());
+            let db = g.gen_database();
+            let delta = g.gen_update(&db, "R0");
+            let ty = db.schema("R0").unwrap();
+            for (v, _) in delta.iter() {
+                assert!(v.conforms_to(ty), "seed {seed}: {v} does not conform to {ty}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mk = || {
+            let mut g = QueryGen::new(42, GenConfig::default());
+            let db = g.gen_database();
+            let q = g.gen_query(&db);
+            (db, q)
+        };
+        let (db1, q1) = mk();
+        let (db2, q2) = mk();
+        assert_eq!(db1, db2);
+        assert_eq!(q1, q2);
+    }
+}

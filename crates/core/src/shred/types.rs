@@ -1,0 +1,112 @@
+//! Type shredding (§5.1):
+//!
+//! ```text
+//! Base^F = Base                Base^Γ = 1
+//! (A₁×A₂)^F = A₁^F × A₂^F     (A₁×A₂)^Γ = A₁^Γ × A₂^Γ
+//! Bag(C)^F = L                 Bag(C)^Γ = (L ↦ Bag(C^F)) × C^Γ
+//! ```
+//!
+//! Note the asymmetry used throughout §5: for an *expression* `h : Bag(B)`,
+//! the flat part has type `Bag(B^F)` (the top-level bag is kept as a bag —
+//! only *inner* bags become labels) and the context has type `B^Γ`.
+
+use super::ShredError;
+use nrc_data::Type;
+
+/// `A^F` — the flat (label-based) representation of `A`.
+pub fn shred_type_flat(t: &Type) -> Result<Type, ShredError> {
+    match t {
+        Type::Base(b) => Ok(Type::Base(*b)),
+        Type::Tuple(ts) => Ok(Type::Tuple(
+            ts.iter().map(shred_type_flat).collect::<Result<_, _>>()?,
+        )),
+        Type::Bag(_) => Ok(Type::Label),
+        Type::Label | Type::Dict(_) => Err(ShredError::Unsupported(format!(
+            "type {t} already contains shredded constructs"
+        ))),
+    }
+}
+
+/// `A^Γ` — the context (label-dictionary) component of `A`.
+pub fn shred_type_ctx(t: &Type) -> Result<Type, ShredError> {
+    match t {
+        Type::Base(_) => Ok(Type::unit()),
+        Type::Tuple(ts) => Ok(Type::Tuple(
+            ts.iter().map(shred_type_ctx).collect::<Result<_, _>>()?,
+        )),
+        Type::Bag(c) => Ok(Type::Tuple(vec![
+            Type::dict(shred_type_flat(c)?),
+            shred_type_ctx(c)?,
+        ])),
+        Type::Label | Type::Dict(_) => Err(ShredError::Unsupported(format!(
+            "type {t} already contains shredded constructs"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typecheck::{is_ctx_type, is_flat_type};
+    use nrc_data::BaseType;
+
+    fn str_ty() -> Type {
+        Type::Base(BaseType::Str)
+    }
+
+    #[test]
+    fn base_and_tuple_shred_pointwise() {
+        assert_eq!(shred_type_flat(&str_ty()).unwrap(), str_ty());
+        assert_eq!(shred_type_ctx(&str_ty()).unwrap(), Type::unit());
+        let t = Type::pair(str_ty(), str_ty());
+        assert_eq!(shred_type_flat(&t).unwrap(), t);
+        assert_eq!(
+            shred_type_ctx(&t).unwrap(),
+            Type::Tuple(vec![Type::unit(), Type::unit()])
+        );
+    }
+
+    #[test]
+    fn inner_bags_become_labels_with_dictionaries() {
+        // related's element type: Str × Bag(Str)
+        let t = Type::pair(str_ty(), Type::bag(str_ty()));
+        assert_eq!(shred_type_flat(&t).unwrap(), Type::pair(str_ty(), Type::Label));
+        let ctx = shred_type_ctx(&t).unwrap();
+        assert_eq!(
+            ctx,
+            Type::Tuple(vec![
+                Type::unit(),
+                Type::Tuple(vec![Type::dict(str_ty()), Type::unit()]),
+            ])
+        );
+        assert!(is_ctx_type(&ctx));
+    }
+
+    #[test]
+    fn double_nesting_stacks_dictionaries() {
+        let t = Type::bag(Type::bag(str_ty()));
+        // Bag(Bag(Str))^F = L; ^Γ = (L ↦ Bag(L)) × ((L ↦ Bag(Str)) × 1)
+        assert_eq!(shred_type_flat(&t).unwrap(), Type::Label);
+        let ctx = shred_type_ctx(&t).unwrap();
+        assert_eq!(
+            ctx,
+            Type::Tuple(vec![
+                Type::dict(Type::Label),
+                Type::Tuple(vec![Type::dict(str_ty()), Type::unit()]),
+            ])
+        );
+    }
+
+    #[test]
+    fn flat_types_are_flat() {
+        let t = Type::pair(str_ty(), Type::bag(Type::pair(str_ty(), Type::bag(str_ty()))));
+        assert!(is_flat_type(&shred_type_flat(&t).unwrap()));
+        assert!(is_ctx_type(&shred_type_ctx(&t).unwrap()));
+    }
+
+    #[test]
+    fn already_shredded_types_are_rejected() {
+        assert!(shred_type_flat(&Type::Label).is_err());
+        assert!(shred_type_ctx(&Type::dict(str_ty())).is_err());
+    }
+}

@@ -1,0 +1,372 @@
+//! Value shredding `s^F / s^Γ` and the nesting function `u` (Fig. 9).
+//!
+//! Shredding a value replaces every inner bag by a fresh label (the paper's
+//! `D_C` association) and collects, per `Bag` position of the type, a
+//! dictionary mapping those labels to the flat versions of the bags'
+//! contents. Nesting (`u`) inverts this: Lemma 6 states `u ∘ s = id`, which
+//! is property-tested in this module and from the generator.
+//!
+//! Input labels are allocated from a dedicated index space starting at
+//! [`INPUT_LABEL_BASE`] so they can never collide with the static indices
+//! `ι` that the expression shredder assigns to `sng` occurrences.
+
+use super::ShredError;
+use nrc_data::{Bag, Dictionary, Label, Type, Value};
+
+/// First label index used for input inner bags. Query `sng` occurrences use
+/// small indices allocated by the [`super::Shredder`]; keeping the spaces
+/// disjoint means a dictionary literal `[(ι,Π) ↦ e]` can never accidentally
+/// capture an input label.
+pub const INPUT_LABEL_BASE: u32 = 1_000_000;
+
+/// Fresh-label supply for input inner bags.
+#[derive(Clone, Debug)]
+pub struct LabelGen {
+    next: u32,
+}
+
+impl LabelGen {
+    /// A generator starting at [`INPUT_LABEL_BASE`].
+    pub fn new() -> LabelGen {
+        LabelGen { next: INPUT_LABEL_BASE }
+    }
+
+    /// Allocate a fresh argument-less label (the paper's `⟨ι_v, ⟨⟩⟩`).
+    pub fn fresh(&mut self) -> Label {
+        let l = Label::atomic(self.next);
+        self.next += 1;
+        l
+    }
+
+    /// The next index that would be allocated (for persistence).
+    pub fn next_index(&self) -> u32 {
+        self.next
+    }
+}
+
+impl Default for LabelGen {
+    fn default() -> Self {
+        LabelGen::new()
+    }
+}
+
+/// The empty context value of context type `A^Γ` (empty dictionaries
+/// everywhere).
+pub fn empty_ctx_value(ty: &Type) -> Result<Value, ShredError> {
+    match ty {
+        Type::Base(_) => Ok(Value::unit()),
+        Type::Tuple(ts) => Ok(Value::Tuple(
+            ts.iter().map(empty_ctx_value).collect::<Result<_, _>>()?,
+        )),
+        Type::Bag(c) => Ok(Value::Tuple(vec![
+            Value::Dict(Dictionary::empty()),
+            empty_ctx_value(c)?,
+        ])),
+        _ => Err(ShredError::Shape(format!("{ty} is not a shreddable type"))),
+    }
+}
+
+/// Merge two context values of the same shape with **label union** `∪`
+/// (definitions of shared labels must agree).
+pub fn union_ctx_value(a: &Value, b: &Value) -> Result<Value, ShredError> {
+    match (a, b) {
+        (Value::Tuple(xs), Value::Tuple(ys)) if xs.len() == ys.len() => Ok(Value::Tuple(
+            xs.iter()
+                .zip(ys)
+                .map(|(x, y)| union_ctx_value(x, y))
+                .collect::<Result<_, _>>()?,
+        )),
+        (Value::Dict(x), Value::Dict(y)) => Ok(Value::Dict(x.label_union(y)?)),
+        _ => Err(ShredError::Shape(format!(
+            "context shape mismatch in ∪: {a} vs {b}"
+        ))),
+    }
+}
+
+/// Merge two context values of the same shape with **addition** `⊎`
+/// (pointwise bag addition on definitions) — how context *updates* are
+/// applied.
+pub fn add_ctx_value(a: &Value, b: &Value) -> Result<Value, ShredError> {
+    match (a, b) {
+        (Value::Tuple(xs), Value::Tuple(ys)) if xs.len() == ys.len() => Ok(Value::Tuple(
+            xs.iter()
+                .zip(ys)
+                .map(|(x, y)| add_ctx_value(x, y))
+                .collect::<Result<_, _>>()?,
+        )),
+        (Value::Dict(x), Value::Dict(y)) => Ok(Value::Dict(x.add(y))),
+        _ => Err(ShredError::Shape(format!(
+            "context shape mismatch in ⊎: {a} vs {b}"
+        ))),
+    }
+}
+
+/// In-place context addition `a ⊎= b` (pointwise dictionary addition).
+/// With copy-on-write dictionaries this costs O(|b| · log |a|), which is
+/// what makes deep updates cost proportional to the change, not the store.
+pub fn add_ctx_value_in_place(a: &mut Value, b: &Value) -> Result<(), ShredError> {
+    match (a, b) {
+        (Value::Tuple(xs), Value::Tuple(ys)) if xs.len() == ys.len() => {
+            for (x, y) in xs.iter_mut().zip(ys) {
+                add_ctx_value_in_place(x, y)?;
+            }
+            Ok(())
+        }
+        (Value::Dict(x), Value::Dict(y)) => {
+            x.add_assign(y);
+            Ok(())
+        }
+        (a, b) => Err(ShredError::Shape(format!(
+            "context shape mismatch in ⊎: {a} vs {b}"
+        ))),
+    }
+}
+
+/// Shred a single value of type `ty`: returns its flat representation and
+/// the context (dictionaries for every inner bag).
+pub fn shred_value(
+    v: &Value,
+    ty: &Type,
+    gen: &mut LabelGen,
+) -> Result<(Value, Value), ShredError> {
+    match (v, ty) {
+        (Value::Base(_), Type::Base(_)) => Ok((v.clone(), Value::unit())),
+        (Value::Tuple(vs), Type::Tuple(ts)) if vs.len() == ts.len() => {
+            let mut flats = Vec::with_capacity(vs.len());
+            let mut ctxs = Vec::with_capacity(vs.len());
+            for (cv, ct) in vs.iter().zip(ts) {
+                let (f, c) = shred_value(cv, ct, gen)?;
+                flats.push(f);
+                ctxs.push(c);
+            }
+            Ok((Value::Tuple(flats), Value::Tuple(ctxs)))
+        }
+        (Value::Bag(b), Type::Bag(elem_ty)) => {
+            // Fresh label for this inner bag; its flat contents go into the
+            // dictionary, its elements' own inner bags recurse.
+            let label = gen.fresh();
+            let (flat_bag, child_ctx) = shred_bag(b, elem_ty, gen)?;
+            let dict = Dictionary::singleton(label.clone(), flat_bag);
+            Ok((
+                Value::Label(label),
+                Value::Tuple(vec![Value::Dict(dict), child_ctx]),
+            ))
+        }
+        _ => Err(ShredError::Shape(format!("value {v} does not conform to type {ty}"))),
+    }
+}
+
+/// Shred a bag of `elem_ty` values: the flat bag keeps the top level as a
+/// bag (only *inner* bags become labels) and the context merges all element
+/// contexts via `∪` (fresh labels never collide).
+pub fn shred_bag(
+    b: &Bag,
+    elem_ty: &Type,
+    gen: &mut LabelGen,
+) -> Result<(Bag, Value), ShredError> {
+    let mut flat = Bag::empty();
+    let mut ctx = empty_ctx_value(elem_ty)?;
+    for (v, m) in b.iter() {
+        let (f, c) = shred_value(v, elem_ty, gen)?;
+        flat.insert(f, m);
+        ctx = union_ctx_value(&ctx, &c)?;
+    }
+    Ok((flat, ctx))
+}
+
+/// The nesting function `u` (Fig. 9): rebuild a nested value from its flat
+/// representation and context.
+pub fn nest_value(flat: &Value, ty: &Type, ctx: &Value) -> Result<Value, ShredError> {
+    match (flat, ty) {
+        (Value::Base(_), Type::Base(_)) => Ok(flat.clone()),
+        (Value::Tuple(vs), Type::Tuple(ts)) if vs.len() == ts.len() => {
+            let cs = match ctx {
+                Value::Tuple(cs) if cs.len() == ts.len() => cs,
+                other => {
+                    return Err(ShredError::Shape(format!(
+                        "context {other} does not match tuple type {ty}"
+                    )))
+                }
+            };
+            let mut out = Vec::with_capacity(vs.len());
+            for ((fv, ft), fc) in vs.iter().zip(ts).zip(cs) {
+                out.push(nest_value(fv, ft, fc)?);
+            }
+            Ok(Value::Tuple(out))
+        }
+        (Value::Label(l), Type::Bag(elem_ty)) => {
+            let (dict, child) = match ctx {
+                Value::Tuple(cs) if cs.len() == 2 => (cs[0].as_dict()?, &cs[1]),
+                other => {
+                    return Err(ShredError::Shape(format!(
+                        "context {other} does not match bag type {ty}"
+                    )))
+                }
+            };
+            let defs = dict.lookup(l)?;
+            let nested = nest_bag(defs, elem_ty, child)?;
+            Ok(Value::Bag(nested))
+        }
+        _ => Err(ShredError::Shape(format!(
+            "flat value {flat} does not conform to flat form of {ty}"
+        ))),
+    }
+}
+
+/// Nest every element of a flat bag.
+pub fn nest_bag(flat: &Bag, elem_ty: &Type, ctx: &Value) -> Result<Bag, ShredError> {
+    let mut out = Bag::empty();
+    for (v, m) in flat.iter() {
+        out.insert(nest_value(v, elem_ty, ctx)?, m);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrc_data::BaseType;
+
+    fn str_ty() -> Type {
+        Type::Base(BaseType::Str)
+    }
+
+    fn nested_example() -> (Bag, Type) {
+        // {⟨a,{x1,x2}⟩, ⟨b,{x3}⟩} : Bag(Str × Bag(Str)) — the §2 example X.
+        let ty = Type::pair(str_ty(), Type::bag(str_ty()));
+        let bag = Bag::from_values([
+            Value::pair(
+                Value::str("a"),
+                Value::Bag(Bag::from_values([Value::str("x1"), Value::str("x2")])),
+            ),
+            Value::pair(Value::str("b"), Value::Bag(Bag::from_values([Value::str("x3")]))),
+        ]);
+        (bag, ty)
+    }
+
+    #[test]
+    fn shredding_replaces_inner_bags_with_labels() {
+        let (bag, ty) = nested_example();
+        let mut gen = LabelGen::new();
+        let (flat, ctx) = shred_bag(&bag, &ty, &mut gen).unwrap();
+        assert_eq!(flat.distinct_count(), 2);
+        // Every element is ⟨Str, Label⟩.
+        for (v, _) in flat.iter() {
+            assert!(matches!(v.project(1).unwrap(), Value::Label(_)));
+        }
+        // The context holds one dictionary with two labels.
+        match &ctx {
+            Value::Tuple(cs) => match &cs[1] {
+                Value::Tuple(inner) => {
+                    let d = inner[0].as_dict().unwrap();
+                    assert_eq!(d.support_size(), 2);
+                }
+                other => panic!("unexpected ctx {other}"),
+            },
+            other => panic!("unexpected ctx {other}"),
+        }
+    }
+
+    #[test]
+    fn lemma_6_nest_inverts_shred() {
+        let (bag, ty) = nested_example();
+        let mut gen = LabelGen::new();
+        let (flat, ctx) = shred_bag(&bag, &ty, &mut gen).unwrap();
+        let back = nest_bag(&flat, &ty, &ctx).unwrap();
+        assert_eq!(back, bag);
+    }
+
+    #[test]
+    fn lemma_6_on_deep_nesting() {
+        // Bag(Bag(Bag(Str))) with mixed empties.
+        let ty = Type::bag(Type::bag(str_ty()));
+        let v = Bag::from_values([
+            Value::Bag(Bag::from_values([
+                Value::Bag(Bag::from_values([Value::str("deep")])),
+                Value::Bag(Bag::empty()),
+            ])),
+            Value::Bag(Bag::empty()),
+        ]);
+        let mut gen = LabelGen::new();
+        let (flat, ctx) = shred_bag(&v, &ty, &mut gen).unwrap();
+        let back = nest_bag(&flat, &ty, &ctx).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn shredding_preserves_multiplicities() {
+        let ty = Type::bag(str_ty());
+        let inner = Value::Bag(Bag::from_values([Value::str("x")]));
+        let bag = Bag::from_pairs([(inner, -3)]);
+        let mut gen = LabelGen::new();
+        let (flat, ctx) = shred_bag(&bag, &ty, &mut gen).unwrap();
+        assert_eq!(flat.iter().next().unwrap().1, -3);
+        let back = nest_bag(&flat, &ty, &ctx).unwrap();
+        assert_eq!(back, bag);
+    }
+
+    #[test]
+    fn distinct_inner_bags_get_distinct_labels() {
+        let ty = Type::bag(str_ty());
+        let bag = Bag::from_values([
+            Value::Bag(Bag::from_values([Value::str("x")])),
+            Value::Bag(Bag::from_values([Value::str("y")])),
+        ]);
+        let mut gen = LabelGen::new();
+        let (flat, _) = shred_bag(&bag, &ty, &mut gen).unwrap();
+        let labels: Vec<_> = flat.iter().map(|(v, _)| v.as_label().unwrap().clone()).collect();
+        assert_eq!(labels.len(), 2);
+        assert_ne!(labels[0], labels[1]);
+        assert!(labels.iter().all(|l| l.index >= INPUT_LABEL_BASE));
+    }
+
+    #[test]
+    fn nesting_with_missing_definition_errors() {
+        let ty = Type::bag(str_ty());
+        let flat = Bag::from_values([Value::Label(Label::atomic(INPUT_LABEL_BASE))]);
+        let ctx = empty_ctx_value(&str_ty()).unwrap();
+        let full_ctx = Value::Tuple(vec![Value::Dict(Dictionary::empty()), ctx]);
+        // nest at the bag element type: element type is Bag(Str)?? —
+        // flat elements are labels of inner bags, so element type is Bag(Str)
+        let elem_ty = ty; // Bag(Str): elements of a Bag(Bag(Str))
+        let err = nest_bag(&flat, &elem_ty, &full_ctx).unwrap_err();
+        assert!(matches!(err, ShredError::Data(_)));
+    }
+
+    #[test]
+    fn add_and_union_ctx_values() {
+        let (bag, ty) = nested_example();
+        let mut gen = LabelGen::new();
+        let (_, ctx) = shred_bag(&bag, &ty, &mut gen).unwrap();
+        // ∪ with itself is identity (definitions agree).
+        assert_eq!(union_ctx_value(&ctx, &ctx).unwrap(), ctx);
+        // ⊎ with itself doubles multiplicities inside the dictionary.
+        let doubled = add_ctx_value(&ctx, &ctx).unwrap();
+        match (&doubled, &ctx) {
+            (Value::Tuple(d), Value::Tuple(c)) => match (&d[1], &c[1]) {
+                (Value::Tuple(di), Value::Tuple(ci)) => {
+                    let dd = di[0].as_dict().unwrap();
+                    let cd = ci[0].as_dict().unwrap();
+                    for (l, bag) in cd.iter() {
+                        assert_eq!(dd.get(l).unwrap(), &bag.scale(2));
+                    }
+                }
+                _ => panic!("shape"),
+            },
+            _ => panic!("shape"),
+        }
+    }
+
+    #[test]
+    fn empty_ctx_value_matches_type_shape() {
+        let ty = Type::pair(str_ty(), Type::bag(str_ty()));
+        let c = empty_ctx_value(&ty).unwrap();
+        assert_eq!(
+            c,
+            Value::Tuple(vec![
+                Value::unit(),
+                Value::Tuple(vec![Value::Dict(Dictionary::empty()), Value::unit()]),
+            ])
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! Generalized bags with integer multiplicities.
+//!
+//! §3 of the paper: *"we use a generalized notion of bag where elements have
+//! (possibly negative) integer multiplicities and bag addition ⊎ sums
+//! multiplicities as integers"*. Bags with `∅`, `⊎` and `⊖` form a
+//! commutative group; this is the algebraic structure in which deltas live —
+//! for any `old`, `new` there is `Δ` with `new = old ⊎ Δ`.
+//!
+//! The invariant maintained throughout is that **no element is stored with
+//! multiplicity zero**, so structural equality coincides with semantic bag
+//! equality.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A generalized bag of [`Value`]s.
+///
+/// Internally a sorted map from element to non-zero multiplicity, giving
+/// canonical representation, deterministic iteration, `O(log n)` lookup and
+/// `O(min(n, m))`-ish union.
+/// Internally the map is reference-counted with copy-on-write semantics:
+/// cloning a bag (e.g. binding relations into evaluation environments, or
+/// snapshotting the database before an update) is O(1); the map is copied
+/// only when a shared bag is mutated.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Bag {
+    elems: Arc<BTreeMap<Value, i64>>,
+}
+
+impl Bag {
+    /// The empty bag `∅`.
+    pub fn empty() -> Bag {
+        Bag::default()
+    }
+
+    /// The singleton bag `{v}` (multiplicity 1).
+    pub fn singleton(v: Value) -> Bag {
+        let mut b = Bag::empty();
+        b.insert(v, 1);
+        b
+    }
+
+    /// Build a bag from values, each with multiplicity 1 (duplicates sum).
+    pub fn from_values<I: IntoIterator<Item = Value>>(values: I) -> Bag {
+        let mut b = Bag::empty();
+        for v in values {
+            b.insert(v, 1);
+        }
+        b
+    }
+
+    /// Build a bag from `(value, multiplicity)` pairs (duplicates sum, zeros
+    /// dropped).
+    pub fn from_pairs<I: IntoIterator<Item = (Value, i64)>>(pairs: I) -> Bag {
+        let mut b = Bag::empty();
+        for (v, m) in pairs {
+            b.insert(v, m);
+        }
+        b
+    }
+
+    /// Add `mult` copies of `v` (negative removes). Zero-multiplicity
+    /// entries are dropped to preserve the canonical-form invariant.
+    pub fn insert(&mut self, v: Value, mult: i64) {
+        if mult == 0 {
+            return;
+        }
+        let entry = Arc::make_mut(&mut self.elems).entry(v);
+        match entry {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(mult);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let new = *e.get() + mult;
+                if new == 0 {
+                    e.remove();
+                } else {
+                    *e.get_mut() = new;
+                }
+            }
+        }
+    }
+
+    /// The multiplicity of `v` (0 when absent).
+    pub fn multiplicity(&self, v: &Value) -> i64 {
+        self.elems.get(v).copied().unwrap_or(0)
+    }
+
+    /// Is this the empty bag?
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Number of *distinct* elements.
+    pub fn distinct_count(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Cardinality "including repetitions" (§2.2, Ex. 5): the sum of the
+    /// absolute multiplicities. Deletions weigh as much as insertions — a
+    /// delta of 5 deletions has cardinality 5.
+    pub fn cardinality(&self) -> u64 {
+        self.elems.values().map(|m| m.unsigned_abs()).sum()
+    }
+
+    /// Sum of signed multiplicities (the "net" size; can be negative for
+    /// delta bags).
+    pub fn net_cardinality(&self) -> i64 {
+        self.elems.values().sum()
+    }
+
+    /// Are all multiplicities non-negative (i.e. is this a *proper* bag
+    /// rather than a signed delta)?
+    pub fn is_proper(&self) -> bool {
+        self.elems.values().all(|&m| m >= 0)
+    }
+
+    /// Iterate over `(element, multiplicity)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, i64)> {
+        self.elems.iter().map(|(v, &m)| (v, m))
+    }
+
+    /// Iterate over elements, repeated `multiplicity` times. Panics in debug
+    /// builds if any multiplicity is negative; intended for proper bags.
+    pub fn iter_expanded(&self) -> impl Iterator<Item = &Value> {
+        self.elems.iter().flat_map(|(v, &m)| {
+            debug_assert!(m >= 0, "iter_expanded over a signed delta bag");
+            std::iter::repeat_n(v, m.max(0) as usize)
+        })
+    }
+
+    /// Bag addition `⊎`: sums multiplicities, dropping zeros.
+    pub fn union(&self, other: &Bag) -> Bag {
+        // Merge the smaller into a clone of the larger (union of two
+        // materialized bags costs time proportional to the smaller one, the
+        // assumption made in the §2.2 cost analysis).
+        let (mut big, small) = if self.elems.len() >= other.elems.len() {
+            (self.clone(), other)
+        } else {
+            (other.clone(), self)
+        };
+        for (v, m) in small.iter() {
+            big.insert(v.clone(), m);
+        }
+        big
+    }
+
+    /// In-place bag addition `self ⊎= other`.
+    pub fn union_assign(&mut self, other: &Bag) {
+        for (v, m) in other.iter() {
+            self.insert(v.clone(), m);
+        }
+    }
+
+    /// Bag negation `⊖`: negates every multiplicity.
+    pub fn negate(&self) -> Bag {
+        Bag {
+            elems: Arc::new(self.elems.iter().map(|(v, &m)| (v.clone(), -m)).collect()),
+        }
+    }
+
+    /// Group difference `self ⊎ ⊖(other)` — *not* the truncating bag minus
+    /// (which is non-incrementalizable, Appendix A.2); multiplicities may go
+    /// negative.
+    pub fn difference(&self, other: &Bag) -> Bag {
+        self.union(&other.negate())
+    }
+
+    /// Multiply every multiplicity by `k` (`k = 0` yields `∅`).
+    pub fn scale(&self, k: i64) -> Bag {
+        if k == 0 {
+            return Bag::empty();
+        }
+        Bag {
+            elems: Arc::new(self.elems.iter().map(|(v, &m)| (v.clone(), m * k)).collect()),
+        }
+    }
+
+    /// Map every element through `f`, summing multiplicities of collisions.
+    pub fn map<F: FnMut(&Value) -> Value>(&self, mut f: F) -> Bag {
+        let mut out = Bag::empty();
+        for (v, m) in self.iter() {
+            out.insert(f(v), m);
+        }
+        out
+    }
+
+    /// The delta taking `self` to `target`: `target ⊎ ⊖(self)`.
+    ///
+    /// This realizes the group property quoted in §3: such a delta always
+    /// exists.
+    pub fn delta_to(&self, target: &Bag) -> Bag {
+        target.difference(self)
+    }
+
+    /// Cartesian product: `{⟨v, w⟩ ↦ m·n | v ↦ m ∈ self, w ↦ n ∈ other}`.
+    pub fn product(&self, other: &Bag) -> Bag {
+        let mut out = Bag::empty();
+        for (v, m) in self.iter() {
+            for (w, n) in other.iter() {
+                out.insert(Value::pair(v.clone(), w.clone()), m * n);
+            }
+        }
+        out
+    }
+
+    /// Flatten a bag of bags: `⊎_{v ∈ self} v`, weighting each inner bag by
+    /// the multiplicity of its occurrence (linear in the input, matching the
+    /// `flatten` cost rule of Fig. 5).
+    pub fn flatten(&self) -> Result<Bag, crate::error::DataError> {
+        let mut out = Bag::empty();
+        for (v, m) in self.iter() {
+            let inner = v.as_bag()?;
+            for (w, n) in inner.iter() {
+                out.insert(w.clone(), n * m);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl FromIterator<Value> for Bag {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Bag::from_values(iter)
+    }
+}
+
+impl fmt::Display for Bag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, m)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if m == 1 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{v}^{m}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(items: &[(i64, i64)]) -> Bag {
+        Bag::from_pairs(items.iter().map(|&(v, m)| (Value::int(v), m)))
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(Bag::empty().is_empty());
+        let s = Bag::singleton(Value::int(7));
+        assert_eq!(s.multiplicity(&Value::int(7)), 1);
+        assert_eq!(s.cardinality(), 1);
+    }
+
+    #[test]
+    fn insert_cancels_to_zero() {
+        let mut bag = Bag::empty();
+        bag.insert(Value::int(1), 3);
+        bag.insert(Value::int(1), -3);
+        assert!(bag.is_empty());
+        assert_eq!(bag, Bag::empty()); // canonical form ⇒ structural equality
+    }
+
+    #[test]
+    fn union_sums_multiplicities() {
+        let x = b(&[(1, 2), (2, 1)]);
+        let y = b(&[(1, -2), (3, 4)]);
+        let u = x.union(&y);
+        assert_eq!(u, b(&[(2, 1), (3, 4)]));
+        // ⊎ is commutative.
+        assert_eq!(u, y.union(&x));
+    }
+
+    #[test]
+    fn group_laws_hold() {
+        let x = b(&[(1, 2), (2, -5)]);
+        let y = b(&[(2, 5), (9, 1)]);
+        let z = b(&[(1, 1)]);
+        // associativity, identity, inverse
+        assert_eq!(x.union(&y).union(&z), x.union(&y.union(&z)));
+        assert_eq!(x.union(&Bag::empty()), x);
+        assert_eq!(x.union(&x.negate()), Bag::empty());
+    }
+
+    #[test]
+    fn delta_to_recovers_target() {
+        let old = b(&[(1, 3), (2, 1)]);
+        let new = b(&[(1, 1), (5, 2)]);
+        let delta = old.delta_to(&new);
+        assert_eq!(old.union(&delta), new);
+    }
+
+    #[test]
+    fn cardinality_counts_absolute_multiplicities() {
+        let d = b(&[(1, 3), (2, -2)]);
+        assert_eq!(d.cardinality(), 5);
+        assert_eq!(d.net_cardinality(), 1);
+        assert!(!d.is_proper());
+        assert!(b(&[(1, 1)]).is_proper());
+    }
+
+    #[test]
+    fn product_multiplies_multiplicities() {
+        let x = b(&[(1, 2)]);
+        let y = b(&[(10, 3)]);
+        let p = x.product(&y);
+        assert_eq!(p.multiplicity(&Value::pair(Value::int(1), Value::int(10))), 6);
+        assert_eq!(p.distinct_count(), 1);
+    }
+
+    #[test]
+    fn product_distributes_over_union() {
+        let x = b(&[(1, 2), (2, 1)]);
+        let y = b(&[(3, 1)]);
+        let z = b(&[(3, 2), (4, -1)]);
+        assert_eq!(x.product(&y.union(&z)), x.product(&y).union(&x.product(&z)));
+    }
+
+    #[test]
+    fn flatten_unions_inner_bags_weighted() {
+        let inner1 = b(&[(1, 1), (2, 1)]);
+        let inner2 = b(&[(2, 3)]);
+        let mut outer = Bag::empty();
+        outer.insert(Value::Bag(inner1), 2); // two copies of {1,2}
+        outer.insert(Value::Bag(inner2), 1);
+        let flat = outer.flatten().unwrap();
+        assert_eq!(flat, b(&[(1, 2), (2, 5)]));
+    }
+
+    #[test]
+    fn flatten_of_non_bag_errors() {
+        let outer = Bag::from_values([Value::int(3)]);
+        assert!(outer.flatten().is_err());
+    }
+
+    #[test]
+    fn scale_and_negate() {
+        let x = b(&[(1, 2), (2, -1)]);
+        assert_eq!(x.scale(3), b(&[(1, 6), (2, -3)]));
+        assert_eq!(x.scale(0), Bag::empty());
+        assert_eq!(x.negate().negate(), x);
+    }
+
+    #[test]
+    fn iter_expanded_repeats() {
+        let x = b(&[(4, 2), (7, 1)]);
+        let vs: Vec<i64> = x
+            .iter_expanded()
+            .map(|v| match v {
+                Value::Base(crate::base::BaseValue::Int(i)) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(vs, vec![4, 4, 7]);
+    }
+
+    #[test]
+    fn map_merges_collisions() {
+        let x = b(&[(1, 2), (-1, 3)]);
+        let squared = x.map(|v| match v {
+            Value::Base(crate::base::BaseValue::Int(i)) => Value::int(i * i),
+            _ => unreachable!(),
+        });
+        assert_eq!(squared, b(&[(1, 5)]));
+    }
+
+    #[test]
+    fn display_shows_multiplicities() {
+        let x = b(&[(1, 1), (2, 3)]);
+        assert_eq!(x.to_string(), "{1, 2^3}");
+    }
+
+    #[test]
+    fn bags_nest_and_order() {
+        let inner_a = Value::Bag(b(&[(1, 1)]));
+        let inner_b = Value::Bag(b(&[(2, 1)]));
+        let outer = Bag::from_values([inner_a.clone(), inner_b.clone()]);
+        assert_eq!(outer.multiplicity(&inner_a), 1);
+        assert!(inner_a < inner_b);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for the data layer.
+
+use crate::dict::Label;
+use std::fmt;
+
+/// Errors raised by data-layer operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataError {
+    /// Label union `∪` of two dictionaries found a label defined on both
+    /// sides with *different* definitions (§5.2: `(d₁ ∪ d₂)(l) = error` when
+    /// `l ∈ supp(d₁) ∩ supp(d₂)` and `d₁(l) ≠ d₂(l)`).
+    DictUnionConflict {
+        /// The conflicting label.
+        label: Label,
+    },
+    /// A label was looked up in a dictionary that does not define it —
+    /// a consistency violation in the sense of Appendix C.3.
+    UndefinedLabel {
+        /// The undefined label.
+        label: Label,
+    },
+    /// A value did not have the shape an operation required (e.g. projecting
+    /// a component from a non-tuple).
+    Shape {
+        /// Human-readable description of the mismatch.
+        expected: String,
+        /// Display rendering of the offending value.
+        got: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DictUnionConflict { label } => {
+                write!(f, "label union conflict: label {label} has differing definitions")
+            }
+            DataError::UndefinedLabel { label } => {
+                write!(f, "undefined label {label}")
+            }
+            DataError::Shape { expected, got } => {
+                write!(f, "value shape mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

@@ -1,0 +1,40 @@
+//! # nrc-data
+//!
+//! Data substrate for the NRC⁺ incremental view maintenance system of
+//! Koch, Lupei and Tannen, *Incremental View Maintenance for Collection
+//! Programming* (PODS 2016).
+//!
+//! This crate provides the value universe the calculus computes over:
+//!
+//! * [`BaseValue`]/[`BaseType`] — primitive database domain values,
+//! * [`Value`]/[`Type`] — nested tuple/bag values and their types,
+//! * [`Bag`] — *generalized bags* whose elements carry (possibly negative)
+//!   integer multiplicities, with bag addition `⊎` summing multiplicities.
+//!   Semantically bags form a commutative group (§3 of the paper), which is
+//!   exactly the structure delta processing requires: for any two bag values
+//!   `old` and `new` there is a `Δ` with `new = old ⊎ Δ`,
+//! * [`Label`]/[`Dictionary`] — the label and label-dictionary machinery of
+//!   the shredding transformation (§5), including the crucial distinction
+//!   between dictionary *addition* `⊎` (pointwise, can modify definitions)
+//!   and *label union* `∪` (support union, definitions must agree —
+//!   Appendix C.2),
+//! * [`Database`] — a named collection of top-level bags with schemas.
+//!
+//! Everything is totally ordered ([`Ord`]) so bags of bags, dictionary keys,
+//! and deterministic pretty-printing work without hashing nested structures.
+
+pub mod base;
+pub mod bag;
+pub mod database;
+pub mod dict;
+pub mod error;
+pub mod types;
+pub mod value;
+
+pub use bag::Bag;
+pub use base::{BaseType, BaseValue};
+pub use database::Database;
+pub use dict::{Dictionary, Label};
+pub use error::DataError;
+pub use types::Type;
+pub use value::Value;

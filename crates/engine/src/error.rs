@@ -1,0 +1,85 @@
+//! Engine error type.
+
+use nrc_core::delta::DeltaError;
+use nrc_core::eval::EvalError;
+use nrc_core::shred::ShredError;
+use nrc_core::typecheck::TypeError;
+use nrc_data::DataError;
+use std::fmt;
+
+/// Errors raised by the IVM engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A typing error while registering a view.
+    Type(TypeError),
+    /// A delta-derivation error (e.g. registering a non-IncNRC⁺ query under
+    /// a first-order/recursive strategy — use `Strategy::Shredded`).
+    Delta(DeltaError),
+    /// An evaluation error.
+    Eval(EvalError),
+    /// A shredding error.
+    Shred(ShredError),
+    /// A data-layer error.
+    Data(DataError),
+    /// A view name was registered twice.
+    DuplicateView(String),
+    /// Reference to an unregistered view.
+    UnknownView(String),
+    /// Reference to an unknown relation.
+    UnknownRelation(String),
+    /// The operation is only valid for a different strategy (e.g. deep
+    /// updates require shredded inputs).
+    WrongStrategy(String),
+    /// A deletion could not be matched against an existing tuple in the
+    /// shredded store (labels of deleted inner bags must be resolved).
+    UnmatchedDeletion(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Type(e) => write!(f, "{e}"),
+            EngineError::Delta(e) => write!(f, "{e}"),
+            EngineError::Eval(e) => write!(f, "{e}"),
+            EngineError::Shred(e) => write!(f, "{e}"),
+            EngineError::Data(e) => write!(f, "{e}"),
+            EngineError::DuplicateView(n) => write!(f, "view {n} already registered"),
+            EngineError::UnknownView(n) => write!(f, "unknown view {n}"),
+            EngineError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            EngineError::WrongStrategy(s) => write!(f, "{s}"),
+            EngineError::UnmatchedDeletion(s) => write!(f, "unmatched deletion: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<TypeError> for EngineError {
+    fn from(e: TypeError) -> Self {
+        EngineError::Type(e)
+    }
+}
+
+impl From<DeltaError> for EngineError {
+    fn from(e: DeltaError) -> Self {
+        EngineError::Delta(e)
+    }
+}
+
+impl From<EvalError> for EngineError {
+    fn from(e: EvalError) -> Self {
+        EngineError::Eval(e)
+    }
+}
+
+impl From<ShredError> for EngineError {
+    fn from(e: ShredError) -> Self {
+        EngineError::Shred(e)
+    }
+}
+
+impl From<DataError> for EngineError {
+    fn from(e: DataError) -> Self {
+        EngineError::Data(e)
+    }
+}

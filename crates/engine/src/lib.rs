@@ -1,0 +1,32 @@
+//! # nrc-engine
+//!
+//! The incremental view maintenance runtime built on the delta and shredding
+//! transformations of `nrc-core`. It owns a [`nrc_data::Database`] plus the
+//! shredded representations of its relations, and maintains registered views
+//! under one of four strategies:
+//!
+//! * [`Strategy::Reevaluate`] — the baseline: recompute on every update,
+//! * [`Strategy::FirstOrder`] — classical IVM: materialize `h[R]`, refresh
+//!   with `δ(h)[R, ΔR]` (Prop. 4.1),
+//! * [`Strategy::Recursive`] — recursive IVM (§4.1): additionally
+//!   materialize the input-dependent, update-independent subexpressions of
+//!   each delta (the paper's partial evaluation, e.g. `flatten(R)` in
+//!   Ex. 4), each maintained by its own delta; termination by Thm. 2,
+//! * [`Strategy::Shredded`] — full-NRC⁺ maintenance via shredding (§5):
+//!   maintain the flat view and the label dictionaries, with the
+//!   domain-maintenance step of §2.2 (initialize definitions for labels the
+//!   flat delta introduces), and support *deep updates* to inner bags.
+//!
+//! Entry point: [`IvmSystem`].
+
+pub mod error;
+pub mod recursive;
+pub mod shredded;
+pub mod stats;
+pub mod system;
+pub mod view;
+
+pub use error::EngineError;
+pub use shredded::ShreddedUpdate;
+pub use stats::ViewStats;
+pub use system::{IvmSystem, Strategy};

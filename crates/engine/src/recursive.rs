@@ -1,0 +1,326 @@
+//! Recursive IVM (§4.1 of the paper).
+//!
+//! First-order IVM still evaluates input-dependent subexpressions of the
+//! delta on every update — e.g. for `h[R] = flatten(R) × flatten(R)`
+//! (Ex. 4), `δ(h)` contains `flatten(R)`, which traditional IVM recomputes
+//! per update. Recursive IVM instead *partially evaluates* the delta:
+//! every maximal input-dependent but update-independent subexpression is
+//! materialized as an auxiliary view, itself incrementally maintained by
+//! its own delta. By Thm. 2 each auxiliary query has strictly smaller
+//! degree, so the recursion bottoms out — after at most `deg(h)` levels all
+//! remaining deltas are pure functions of the updates.
+
+use crate::error::EngineError;
+use crate::stats::ViewStats;
+use nrc_core::delta::delta_wrt_rel;
+use nrc_core::eval::{eval_query, Env};
+use nrc_core::optimize::simplify;
+use nrc_core::typecheck::{typecheck, TypeEnv};
+use nrc_core::Expr;
+use nrc_data::{Bag, Database, Type, Value};
+use std::collections::BTreeMap;
+
+/// A recursively maintained view: the query's materialization plus, per
+/// relation, a delta whose input-dependent subexpressions have been hoisted
+/// into auxiliary [`RecursiveView`]s of strictly smaller degree.
+#[derive(Clone, Debug)]
+pub struct RecursiveView {
+    /// The maintained query.
+    pub query: Expr,
+    /// The current result.
+    pub result: Bag,
+    /// Per-relation deltas, referencing auxiliary views by name.
+    pub deltas: BTreeMap<String, Expr>,
+    /// The auxiliary views (materialized subexpressions of the deltas).
+    pub auxes: Vec<Aux>,
+    /// Maintenance counters.
+    pub stats: ViewStats,
+    /// Element type of the result bag.
+    pub elem_ty: Type,
+}
+
+/// A named auxiliary materialization.
+#[derive(Clone, Debug)]
+pub struct Aux {
+    /// The engine-internal name the parent delta references.
+    pub name: String,
+    /// The auxiliary view (maintained recursively).
+    pub view: RecursiveView,
+}
+
+impl RecursiveView {
+    /// Build the view, derive and partially evaluate its deltas, and
+    /// materialize all auxiliary views.
+    pub fn new(query: Expr, db: &Database) -> Result<RecursiveView, EngineError> {
+        Self::build(query, db, &mut 0)
+    }
+
+    fn build(query: Expr, db: &Database, counter: &mut u32) -> Result<RecursiveView, EngineError> {
+        let ty = typecheck(&query, db)?;
+        let elem_ty = match ty {
+            Type::Bag(t) => *t,
+            other => {
+                return Err(EngineError::Type(nrc_core::TypeError::NotABag {
+                    at: "view query".into(),
+                    got: other.to_string(),
+                }))
+            }
+        };
+        let tenv = TypeEnv::from_database(db);
+        let mut deltas = BTreeMap::new();
+        let mut aux_exprs: BTreeMap<Expr, String> = BTreeMap::new();
+        for rel in query.free_relations() {
+            let d = simplify(&delta_wrt_rel(&query, &rel, &tenv)?, &tenv)?;
+            let hoisted = hoist(&d, &rel, &mut aux_exprs, counter);
+            deltas.insert(rel, hoisted);
+        }
+        // Materialize the hoisted subexpressions, each as its own
+        // recursively maintained view (their degrees are strictly smaller —
+        // Thm. 2 — so this terminates).
+        let mut auxes = Vec::with_capacity(aux_exprs.len());
+        for (expr, name) in aux_exprs {
+            let view = RecursiveView::build(expr, db, counter)?;
+            auxes.push(Aux { name, view });
+        }
+        let mut env = Env::new(db);
+        let result = eval_query(&query, &mut env)?;
+        let stats = ViewStats {
+            reevaluations: 1,
+            eval_steps: env.steps,
+            materialized_aux: auxes.len() as u64,
+            ..ViewStats::default()
+        };
+        Ok(RecursiveView { query, result, deltas, auxes, stats, elem_ty })
+    }
+
+    /// Apply an update `ΔR` to relation `rel` against the pre-update
+    /// database: refresh this view using the *old* auxiliary
+    /// materializations, then refresh the auxiliaries themselves.
+    pub fn apply(
+        &mut self,
+        db_before: &Database,
+        rel: &str,
+        delta: &Bag,
+    ) -> Result<(), EngineError> {
+        if let Some(d) = self.deltas.get(rel) {
+            let mut env = Env::new(db_before).with_delta(rel, delta.clone());
+            for aux in &self.auxes {
+                env.bind_let(aux.name.clone(), Value::Bag(aux.view.result.clone()));
+            }
+            let change = eval_query(d, &mut env)?;
+            self.stats.refresh_steps += env.steps;
+            self.stats.last_delta_card = change.cardinality();
+            self.result.union_assign(&change);
+        }
+        for aux in &mut self.auxes {
+            aux.view.apply(db_before, rel, delta)?;
+        }
+        self.stats.updates_applied += 1;
+        Ok(())
+    }
+
+    /// Total number of materialized views in this hierarchy (the view
+    /// itself plus all transitive auxiliaries).
+    pub fn materialization_count(&self) -> usize {
+        1 + self.auxes.iter().map(|a| a.view.materialization_count()).sum::<usize>()
+    }
+
+    /// Total refresh steps across the hierarchy (for strategy comparisons).
+    pub fn total_refresh_steps(&self) -> u64 {
+        self.stats.refresh_steps
+            + self.auxes.iter().map(|a| a.view.total_refresh_steps()).sum::<u64>()
+    }
+}
+
+/// Should this subexpression be hoisted into an auxiliary view? It must
+/// depend on `rel`, be free of update relations (so it is re-usable across
+/// updates), be closed (no free element or `let` variables), and be bigger
+/// than a bare relation leaf (materializing `R` itself buys nothing — the
+/// relation is already stored).
+fn qualifies(e: &Expr, rel: &str) -> bool {
+    e.depends_on_rel(rel)
+        && e.delta_relations().is_empty()
+        && e.free_elem_vars().is_empty()
+        && e.free_let_vars().is_empty()
+        && !matches!(e, Expr::Rel(_))
+}
+
+/// Replace maximal qualifying subexpressions by auxiliary-view variables.
+fn hoist(
+    e: &Expr,
+    rel: &str,
+    registry: &mut BTreeMap<Expr, String>,
+    counter: &mut u32,
+) -> Expr {
+    if qualifies(e, rel) {
+        if let Some(name) = registry.get(e) {
+            return Expr::Var(name.clone());
+        }
+        let name = format!("__aux{}", *counter);
+        *counter += 1;
+        registry.insert(e.clone(), name.clone());
+        return Expr::Var(name);
+    }
+    map_children(e, &mut |c| hoist(c, rel, registry, counter))
+}
+
+/// Rebuild an expression with every direct child transformed.
+fn map_children(e: &Expr, f: &mut impl FnMut(&Expr) -> Expr) -> Expr {
+    match e {
+        Expr::Rel(_)
+        | Expr::DeltaRel(_, _)
+        | Expr::Var(_)
+        | Expr::ElemSng(_)
+        | Expr::ProjSng { .. }
+        | Expr::UnitSng
+        | Expr::Empty { .. }
+        | Expr::Pred(_)
+        | Expr::InLabel { .. }
+        | Expr::EmptyCtx(_) => e.clone(),
+        Expr::Let { name, value, body } => Expr::Let {
+            name: name.clone(),
+            value: Box::new(f(value)),
+            body: Box::new(f(body)),
+        },
+        Expr::Sng { index, body } => Expr::Sng { index: *index, body: Box::new(f(body)) },
+        Expr::Union(a, b) => Expr::Union(Box::new(f(a)), Box::new(f(b))),
+        Expr::LabelUnion(a, b) => Expr::LabelUnion(Box::new(f(a)), Box::new(f(b))),
+        Expr::CtxAdd(a, b) => Expr::CtxAdd(Box::new(f(a)), Box::new(f(b))),
+        Expr::Negate(x) => Expr::Negate(Box::new(f(x))),
+        Expr::Flatten(x) => Expr::Flatten(Box::new(f(x))),
+        Expr::Product(es) => Expr::Product(es.iter().map(&mut *f).collect()),
+        Expr::CtxTuple(es) => Expr::CtxTuple(es.iter().map(&mut *f).collect()),
+        Expr::CtxProj { ctx, index } => {
+            Expr::CtxProj { ctx: Box::new(f(ctx)), index: *index }
+        }
+        Expr::For { var, source, body } => Expr::For {
+            var: var.clone(),
+            source: Box::new(f(source)),
+            body: Box::new(f(body)),
+        },
+        Expr::DictSng { index, params, body } => Expr::DictSng {
+            index: *index,
+            params: params.clone(),
+            body: Box::new(f(body)),
+        },
+        Expr::DictGet { dict, label } => {
+            Expr::DictGet { dict: Box::new(f(dict)), label: label.clone() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ReevalView;
+    use nrc_core::builder::*;
+    use nrc_data::BaseType;
+
+    fn nested_db() -> Database {
+        let mut db = Database::new();
+        let int = Type::Base(BaseType::Int);
+        db.insert_relation(
+            "R",
+            Type::bag(int),
+            Bag::from_values([
+                Value::Bag(Bag::from_values([Value::int(1), Value::int(2)])),
+                Value::Bag(Bag::from_values([Value::int(3)])),
+            ]),
+        );
+        db
+    }
+
+    fn nested_update() -> Bag {
+        Bag::from_pairs([
+            (Value::Bag(Bag::from_values([Value::int(9), Value::int(1)])), 1),
+            (Value::Bag(Bag::from_values([Value::int(3)])), -1),
+        ])
+    }
+
+    #[test]
+    fn example_4_materializes_flatten() {
+        // h[R] = flatten(R) × flatten(R): recursive IVM materializes
+        // flatten(R) so δ(h) evaluation never re-flattens R.
+        let db = nested_db();
+        let v = RecursiveView::new(self_product_of_flatten("R"), &db).unwrap();
+        assert_eq!(v.auxes.len(), 1);
+        assert_eq!(v.auxes[0].view.query, flatten(rel("R")));
+        // The hoisted delta references the auxiliary instead of R.
+        let d = v.deltas.get("R").unwrap();
+        assert!(!d.depends_on_rel("R"), "hoisted delta still scans R: {d}");
+        // flatten(R)'s own delta is flatten(ΔR) — input-independent, so no
+        // deeper auxiliaries.
+        assert!(v.auxes[0].view.auxes.is_empty());
+        assert_eq!(v.materialization_count(), 2);
+    }
+
+    #[test]
+    fn recursive_matches_reevaluation_over_update_sequence() {
+        let db0 = nested_db();
+        let q = self_product_of_flatten("R");
+        let mut v = RecursiveView::new(q.clone(), &db0).unwrap();
+        let mut db = db0;
+        for step in 0..4 {
+            let delta = if step % 2 == 0 { nested_update() } else { nested_update().negate() };
+            v.apply(&db, "R", &delta).unwrap();
+            db.apply_update("R", &delta).unwrap();
+            let expected = ReevalView::new(q.clone(), &db).unwrap();
+            assert_eq!(v.result, expected.result, "diverged at step {step}");
+            // Auxiliary stays in sync too.
+            let expected_flat = ReevalView::new(flatten(rel("R")), &db).unwrap();
+            assert_eq!(v.auxes[0].view.result, expected_flat.result);
+        }
+    }
+
+    #[test]
+    fn flat_queries_need_no_auxiliaries() {
+        let db = nrc_data::database::example_movies();
+        let q = filter_query(
+            "M",
+            cmp_lit("x", vec![1], nrc_core::expr::CmpOp::Eq, "Drama"),
+        );
+        let v = RecursiveView::new(q, &db).unwrap();
+        assert!(v.auxes.is_empty());
+    }
+
+    #[test]
+    fn shared_subexpressions_are_deduplicated() {
+        // flatten(R) appears in several delta terms but is materialized once.
+        let db = nested_db();
+        let q = pair(flatten(rel("R")), flatten(rel("R")));
+        let v = RecursiveView::new(q, &db).unwrap();
+        assert_eq!(v.auxes.len(), 1);
+    }
+
+    #[test]
+    fn degree_three_builds_a_deeper_hierarchy() {
+        let db = nested_db();
+        let q = product(vec![flatten(rel("R")), flatten(rel("R")), flatten(rel("R"))]);
+        let mut v = RecursiveView::new(q.clone(), &db).unwrap();
+        assert!(v.materialization_count() >= 2);
+        let mut db2 = db.clone();
+        let delta = nested_update();
+        v.apply(&db2, "R", &delta).unwrap();
+        db2.apply_update("R", &delta).unwrap();
+        let expected = ReevalView::new(q, &db2).unwrap();
+        assert_eq!(v.result, expected.result);
+    }
+
+    #[test]
+    fn multi_relation_updates() {
+        let mut db = nested_db();
+        db.insert_relation(
+            "S",
+            Type::Base(BaseType::Int),
+            Bag::from_values([Value::int(7)]),
+        );
+        let q = pair(flatten(rel("R")), rel("S"));
+        let mut v = RecursiveView::new(q.clone(), &db).unwrap();
+        // Update S only.
+        let ds = Bag::from_values([Value::int(8)]);
+        v.apply(&db, "S", &ds).unwrap();
+        db.apply_update("S", &ds).unwrap();
+        let expected = ReevalView::new(q, &db).unwrap();
+        assert_eq!(v.result, expected.result);
+    }
+}

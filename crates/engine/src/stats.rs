@@ -1,0 +1,24 @@
+//! Per-view maintenance statistics.
+
+use serde::Serialize;
+
+/// Counters describing how a view has been maintained.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ViewStats {
+    /// Updates applied to the view.
+    pub updates_applied: u64,
+    /// Full re-evaluations performed (1 at registration; more only for the
+    /// re-evaluation baseline).
+    pub reevaluations: u64,
+    /// Abstract evaluator steps spent refreshing (the unit compared against
+    /// `tcost` in experiment E4).
+    pub refresh_steps: u64,
+    /// Abstract evaluator steps spent on initial materialization and
+    /// re-evaluations.
+    pub eval_steps: u64,
+    /// Cardinality of the last delta applied.
+    pub last_delta_card: u64,
+    /// Number of auxiliary materializations (recursive IVM) or dictionary
+    /// entries (shredded IVM) owned by this view.
+    pub materialized_aux: u64,
+}

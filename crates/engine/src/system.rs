@@ -1,0 +1,508 @@
+//! [`IvmSystem`] — the user-facing maintenance runtime.
+//!
+//! Owns the database (and, lazily, its shredded representation), registers
+//! views under a chosen [`Strategy`], and routes updates: every registered
+//! view is refreshed against the pre-update state (deltas reference the old
+//! database, Prop. 4.1), then the base data is updated.
+
+use crate::error::EngineError;
+use crate::recursive::RecursiveView;
+use crate::shredded::{ShreddedStore, ShreddedUpdate, ShreddedView};
+use crate::stats::ViewStats;
+use crate::view::{FirstOrderView, ReevalView};
+use nrc_core::shred::nest_value;
+use nrc_core::Expr;
+use nrc_data::{Bag, Database, Label, Value};
+use std::collections::BTreeMap;
+
+/// How a view is maintained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Recompute from scratch on every update (baseline).
+    Reevaluate,
+    /// Classical first-order IVM (Prop. 4.1). IncNRC⁺ only.
+    FirstOrder,
+    /// Recursive IVM (§4.1): materialize the input-dependent parts of each
+    /// delta. IncNRC⁺ only.
+    Recursive,
+    /// Shredded IVM (§5): full NRC⁺, deep updates supported.
+    Shredded,
+}
+
+enum ViewKind {
+    Reeval(Box<ReevalView>),
+    FirstOrder(Box<FirstOrderView>),
+    Recursive(Box<RecursiveView>),
+    Shredded(Box<ShreddedView>),
+}
+
+/// The maintenance runtime.
+pub struct IvmSystem {
+    db: Database,
+    store: Option<ShreddedStore>,
+    views: BTreeMap<String, ViewKind>,
+    /// Relations whose nested mirror in `db` is stale (shredded updates are
+    /// applied to the store; the nested form is reconstructed lazily).
+    stale: std::collections::BTreeSet<String>,
+}
+
+impl IvmSystem {
+    /// Create a system over an initial database.
+    pub fn new(db: Database) -> IvmSystem {
+        IvmSystem { db, store: None, views: BTreeMap::new(), stale: Default::default() }
+    }
+
+    /// The current database.
+    ///
+    /// Relations updated through [`IvmSystem::apply_shredded_update`] are
+    /// mirrored lazily — call [`IvmSystem::sync_database`] first if you need
+    /// their nested contents here.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Reconstruct the nested mirror of every shredded-updated relation
+    /// (O(size) per stale relation; updates themselves stay incremental).
+    pub fn sync_database(&mut self) -> Result<(), EngineError> {
+        let stale: Vec<String> = self.stale.iter().cloned().collect();
+        for rel in stale {
+            let store = self.store.as_ref().expect("stale implies store");
+            let nested = store.nested(&rel)?;
+            let current = self.db.get(&rel).expect("relation exists").clone();
+            let delta = current.delta_to(&nested);
+            self.db.apply_update(&rel, &delta)?;
+        }
+        self.stale.clear();
+        Ok(())
+    }
+
+    /// The shredded store (present once a shredded view is registered or a
+    /// shredded update has been applied).
+    pub fn store(&self) -> Option<&ShreddedStore> {
+        self.store.as_ref()
+    }
+
+    fn ensure_store(&mut self) -> Result<&mut ShreddedStore, EngineError> {
+        if self.store.is_none() {
+            self.store = Some(ShreddedStore::from_database(&self.db)?);
+        }
+        Ok(self.store.as_mut().expect("just initialized"))
+    }
+
+    /// Register a view under a maintenance strategy.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        query: Expr,
+        strategy: Strategy,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        if self.views.contains_key(&name) {
+            return Err(EngineError::DuplicateView(name));
+        }
+        let kind = match strategy {
+            Strategy::Reevaluate => ViewKind::Reeval(Box::new(ReevalView::new(query, &self.db)?)),
+            Strategy::FirstOrder => ViewKind::FirstOrder(Box::new(FirstOrderView::new(query, &self.db)?)),
+            Strategy::Recursive => ViewKind::Recursive(Box::new(RecursiveView::new(query, &self.db)?)),
+            Strategy::Shredded => {
+                self.ensure_store()?;
+                let store = self.store.as_ref().expect("ensured");
+                ViewKind::Shredded(Box::new(ShreddedView::new(query, &self.db, store)?))
+            }
+        };
+        self.views.insert(name, kind);
+        Ok(())
+    }
+
+    /// Apply a (nested) update `ΔR` to relation `rel`: refresh every view,
+    /// then the base data.
+    ///
+    /// For shredded state, insertions shred with fresh labels; deletions are
+    /// resolved against existing flat tuples (labels must match for
+    /// cancellation) — see [`EngineError::UnmatchedDeletion`].
+    pub fn apply_update(&mut self, rel: &str, delta: &Bag) -> Result<(), EngineError> {
+        if self.db.get(rel).is_none() {
+            return Err(EngineError::UnknownRelation(rel.to_owned()));
+        }
+        if self.stale.contains(rel) {
+            self.sync_database()?;
+        }
+        // Build the shredded form of the update first (if shredded state
+        // exists), since it needs the *old* store.
+        let shredded_update = match &mut self.store {
+            Some(_) => Some(self.shred_update(rel, delta)?),
+            None => None,
+        };
+        // Incremental views refresh against the *old* state (Prop. 4.1), so
+        // run them before mutating anything. Avoiding database snapshots
+        // here keeps the subsequent in-place `⊎` at O(|Δ| log n) thanks to
+        // the copy-on-write data structures.
+        for kind in self.views.values_mut() {
+            match kind {
+                ViewKind::Reeval(_) => {}
+                ViewKind::FirstOrder(v) => v.apply(&self.db, rel, delta)?,
+                ViewKind::Recursive(v) => v.apply(&self.db, rel, delta)?,
+                ViewKind::Shredded(v) => {
+                    let upd = shredded_update.as_ref().expect("store exists");
+                    let store = self.store.as_ref().expect("store exists");
+                    v.apply(&self.db, store, rel, upd)?;
+                }
+            }
+        }
+        if let (Some(store), Some(upd)) = (&mut self.store, &shredded_update) {
+            store.apply(rel, upd)?;
+        }
+        self.db.apply_update(rel, delta)?;
+        // Re-evaluation baselines read the *new* state.
+        for kind in self.views.values_mut() {
+            if let ViewKind::Reeval(v) = kind {
+                v.refresh(&self.db)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply an already-shredded update (insertions, deletions by label,
+    /// deep updates). Only affects shredded views and the shredded store;
+    /// flat-world views of the same relation are refreshed from the nested
+    /// equivalent when it is expressible — deep updates have no flat-world
+    /// equivalent and require all views on `rel` to be shredded.
+    pub fn apply_shredded_update(
+        &mut self,
+        rel: &str,
+        upd: &ShreddedUpdate,
+    ) -> Result<(), EngineError> {
+        if self.store.is_none() {
+            return Err(EngineError::WrongStrategy(
+                "no shredded store: register a shredded view first".into(),
+            ));
+        }
+        // Guard: non-shredded views over this relation would silently
+        // diverge.
+        for (name, kind) in &self.views {
+            let depends = match kind {
+                ViewKind::Reeval(v) => v.query.depends_on_rel(rel),
+                ViewKind::FirstOrder(v) => v.query.depends_on_rel(rel),
+                ViewKind::Recursive(v) => v.query.depends_on_rel(rel),
+                ViewKind::Shredded(_) => false,
+            };
+            if depends {
+                return Err(EngineError::WrongStrategy(format!(
+                    "view {name} maintains {rel} un-shredded; shredded updates would diverge"
+                )));
+            }
+        }
+        // Disjoint field borrows: views are refreshed against the (shared)
+        // pre-update store; copy-on-write data makes any internal snapshots
+        // cheap.
+        let store_ref = self.store.as_ref().expect("checked above");
+        for kind in self.views.values_mut() {
+            if let ViewKind::Shredded(v) = kind {
+                v.apply(&self.db, store_ref, rel, upd)?;
+            }
+        }
+        let store = self.store.as_mut().expect("checked above");
+        store.apply(rel, upd)?;
+        // The nested mirror is reconstructed lazily (sync_database); eager
+        // re-nesting would make deep updates O(relation) instead of
+        // O(update).
+        self.stale.insert(rel.to_owned());
+        Ok(())
+    }
+
+    /// Shred a nested update against the existing store: positive parts get
+    /// fresh labels; negative parts are matched against existing flat
+    /// tuples so their labels cancel.
+    fn shred_update(&mut self, rel: &str, delta: &Bag) -> Result<ShreddedUpdate, EngineError> {
+        let store = self.ensure_store()?;
+        let elem_ty = store.schemas[rel].clone();
+        let mut insertions = Bag::empty();
+        let mut flat_deletions = Bag::empty();
+        for (v, m) in delta.iter() {
+            if m > 0 {
+                insertions.insert(v.clone(), m);
+            } else {
+                // Locate an existing flat tuple whose nesting equals v.
+                let (flat, ctx) = &store.inputs[rel];
+                let found = flat.iter().find_map(|(fv, fm)| {
+                    if fm <= 0 {
+                        return None;
+                    }
+                    match nest_value(fv, &elem_ty, ctx) {
+                        Ok(nested) if &nested == v => Some(fv.clone()),
+                        _ => None,
+                    }
+                });
+                match found {
+                    Some(fv) => flat_deletions.insert(fv, m),
+                    None => {
+                        return Err(EngineError::UnmatchedDeletion(format!(
+                            "{v} (×{m}) not present in {rel}"
+                        )))
+                    }
+                }
+            }
+        }
+        let mut upd = ShreddedUpdate::insertion(&insertions, &elem_ty, &mut store.gen)?;
+        upd.flat.union_assign(&flat_deletions);
+        Ok(upd)
+    }
+
+    /// The current contents of a view, as a (nested) bag.
+    pub fn view(&self, name: &str) -> Result<Bag, EngineError> {
+        match self.views.get(name) {
+            None => Err(EngineError::UnknownView(name.to_owned())),
+            Some(ViewKind::Reeval(v)) => Ok(v.result.clone()),
+            Some(ViewKind::FirstOrder(v)) => Ok(v.result.clone()),
+            Some(ViewKind::Recursive(v)) => Ok(v.result.clone()),
+            Some(ViewKind::Shredded(v)) => v.nested(),
+        }
+    }
+
+    /// Maintenance statistics for a view.
+    pub fn stats(&self, name: &str) -> Result<&ViewStats, EngineError> {
+        match self.views.get(name) {
+            None => Err(EngineError::UnknownView(name.to_owned())),
+            Some(ViewKind::Reeval(v)) => Ok(&v.stats),
+            Some(ViewKind::FirstOrder(v)) => Ok(&v.stats),
+            Some(ViewKind::Recursive(v)) => Ok(&v.stats),
+            Some(ViewKind::Shredded(v)) => Ok(&v.stats),
+        }
+    }
+
+    /// Find the label of an inner bag inside relation `rel`: the first flat
+    /// tuple matching `pred` is inspected at tuple-component `path`
+    /// (which must hold a label). Convenience for addressing deep updates.
+    pub fn find_label(
+        &self,
+        rel: &str,
+        path: &[usize],
+        pred: impl Fn(&Value) -> bool,
+    ) -> Result<Option<Label>, EngineError> {
+        let Some(store) = self.store.as_ref() else {
+            return Err(EngineError::WrongStrategy(
+                "no shredded store: register a shredded view first".into(),
+            ));
+        };
+        let (flat, _) = store
+            .inputs
+            .get(rel)
+            .ok_or_else(|| EngineError::UnknownRelation(rel.to_owned()))?;
+        for (v, _) in flat.iter() {
+            if pred(v) {
+                let l = v.project_path(path)?.as_label()?.clone();
+                return Ok(Some(l));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Registered view names.
+    pub fn view_names(&self) -> impl Iterator<Item = &String> {
+        self.views.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shredded::DeepPath;
+    use nrc_core::builder::*;
+    use nrc_core::expr::CmpOp;
+    use nrc_data::database::{example_movies, example_movies_update};
+    use nrc_data::{BaseType, Type};
+
+    #[test]
+    fn strategies_agree_on_flat_queries() {
+        let db = example_movies();
+        let q = filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "Action"));
+        let mut sys = IvmSystem::new(db);
+        sys.register("re", q.clone(), Strategy::Reevaluate).unwrap();
+        sys.register("fo", q.clone(), Strategy::FirstOrder).unwrap();
+        sys.register("rc", q.clone(), Strategy::Recursive).unwrap();
+        sys.register("sh", q, Strategy::Shredded).unwrap();
+        for step in 0..3 {
+            let delta = if step == 1 {
+                example_movies_update().negate()
+            } else {
+                example_movies_update()
+            };
+            sys.apply_update("M", &delta).unwrap();
+            let expected = sys.view("re").unwrap();
+            assert_eq!(sys.view("fo").unwrap(), expected, "first-order diverged");
+            assert_eq!(sys.view("rc").unwrap(), expected, "recursive diverged");
+            assert_eq!(sys.view("sh").unwrap(), expected, "shredded diverged");
+        }
+    }
+
+    #[test]
+    fn related_maintained_shredded_in_system() {
+        let db = example_movies();
+        let mut sys = IvmSystem::new(db);
+        sys.register("rel", related_query(), Strategy::Reevaluate).unwrap();
+        sys.register("rel_sh", related_query(), Strategy::Shredded).unwrap();
+        sys.apply_update("M", &example_movies_update()).unwrap();
+        assert_eq!(sys.view("rel_sh").unwrap(), sys.view("rel").unwrap());
+        // Deletions resolve labels against the store.
+        sys.apply_update("M", &example_movies_update().negate()).unwrap();
+        assert_eq!(sys.view("rel_sh").unwrap(), sys.view("rel").unwrap());
+    }
+
+    #[test]
+    fn first_order_rejects_related() {
+        let mut sys = IvmSystem::new(example_movies());
+        assert!(matches!(
+            sys.register("v", related_query(), Strategy::FirstOrder),
+            Err(EngineError::Delta(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_views() {
+        let mut sys = IvmSystem::new(example_movies());
+        sys.register("v", rel("M"), Strategy::FirstOrder).unwrap();
+        assert!(matches!(
+            sys.register("v", rel("M"), Strategy::FirstOrder),
+            Err(EngineError::DuplicateView(_))
+        ));
+        assert!(matches!(sys.view("w"), Err(EngineError::UnknownView(_))));
+        assert!(matches!(sys.stats("w"), Err(EngineError::UnknownView(_))));
+    }
+
+    #[test]
+    fn unmatched_deletion_is_reported() {
+        let mut db = Database::new();
+        let elem = Type::pair(Type::Base(BaseType::Int), Type::bag(Type::Base(BaseType::Int)));
+        db.insert_relation(
+            "R",
+            elem,
+            Bag::from_values([Value::pair(Value::int(1), Value::Bag(Bag::empty()))]),
+        );
+        let mut sys = IvmSystem::new(db);
+        sys.register("v", for_("x", rel("R"), elem_sng("x")), Strategy::Shredded).unwrap();
+        let bogus = Bag::from_pairs([(
+            Value::pair(Value::int(9), Value::Bag(Bag::empty())),
+            -1,
+        )]);
+        assert!(matches!(
+            sys.apply_update("R", &bogus),
+            Err(EngineError::UnmatchedDeletion(_))
+        ));
+    }
+
+    #[test]
+    fn deep_updates_flow_through_the_system() {
+        let mut db = Database::new();
+        let elem = Type::pair(Type::Base(BaseType::Int), Type::bag(Type::Base(BaseType::Int)));
+        db.insert_relation(
+            "R",
+            elem.clone(),
+            Bag::from_values([Value::pair(
+                Value::int(1),
+                Value::Bag(Bag::from_values([Value::int(10)])),
+            )]),
+        );
+        let mut sys = IvmSystem::new(db);
+        sys.register("v", for_("x", rel("R"), elem_sng("x")), Strategy::Shredded).unwrap();
+        let label = sys
+            .find_label("R", &[1], |v| v.project(0).unwrap() == &Value::int(1))
+            .unwrap()
+            .unwrap();
+        let upd = ShreddedUpdate::deep(
+            &elem,
+            &DeepPath::root().field(1),
+            label,
+            Bag::from_values([Value::int(11)]),
+        )
+        .unwrap();
+        sys.apply_shredded_update("R", &upd).unwrap();
+        let nested = sys.view("v").unwrap();
+        let items = nested
+            .iter()
+            .next()
+            .map(|(v, _)| v.project(1).unwrap().as_bag().unwrap().clone())
+            .unwrap();
+        assert_eq!(items.cardinality(), 2);
+        // The base database syncs lazily with the shredded store.
+        sys.sync_database().unwrap();
+        assert_eq!(sys.database().get("R").unwrap(), &nested);
+    }
+
+    #[test]
+    fn shredded_updates_blocked_when_flat_views_exist() {
+        let mut db = Database::new();
+        let elem = Type::pair(Type::Base(BaseType::Int), Type::bag(Type::Base(BaseType::Int)));
+        db.insert_relation(
+            "R",
+            elem.clone(),
+            Bag::from_values([Value::pair(Value::int(1), Value::Bag(Bag::empty()))]),
+        );
+        let mut sys = IvmSystem::new(db);
+        sys.register("sh", for_("x", rel("R"), elem_sng("x")), Strategy::Shredded).unwrap();
+        sys.register("re", for_("x", rel("R"), elem_sng("x")), Strategy::Reevaluate).unwrap();
+        let upd = ShreddedUpdate::flat_only(Bag::empty(), &elem).unwrap();
+        assert!(matches!(
+            sys.apply_shredded_update("R", &upd),
+            Err(EngineError::WrongStrategy(_))
+        ));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let db = example_movies();
+        let q = filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "Drama"));
+        let mut sys = IvmSystem::new(db);
+        sys.register("v", q, Strategy::FirstOrder).unwrap();
+        sys.apply_update("M", &example_movies_update()).unwrap();
+        sys.apply_update("M", &example_movies_update()).unwrap();
+        let s = sys.stats("v").unwrap();
+        assert_eq!(s.updates_applied, 2);
+        assert_eq!(s.reevaluations, 1);
+    }
+}
+
+#[cfg(test)]
+mod api_tests {
+    use super::*;
+    use nrc_core::builder::*;
+    use nrc_data::database::example_movies;
+
+    #[test]
+    fn view_names_lists_registrations() {
+        let mut sys = IvmSystem::new(example_movies());
+        sys.register("a", rel("M"), Strategy::FirstOrder).unwrap();
+        sys.register("b", rel("M"), Strategy::Reevaluate).unwrap();
+        let names: Vec<&String> = sys.view_names().collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn find_label_requires_store_and_handles_misses() {
+        let mut sys = IvmSystem::new(example_movies());
+        // No shredded store yet.
+        assert!(matches!(
+            sys.find_label("M", &[0], |_| true),
+            Err(EngineError::WrongStrategy(_))
+        ));
+        sys.register("sh", related_query(), Strategy::Shredded).unwrap();
+        // Movie rows are flat — there is no label at position 0.
+        assert!(sys.find_label("M", &[0], |_| true).is_err());
+        // Predicate matching nothing yields None.
+        let none = sys.find_label("M", &[0], |_| false).unwrap();
+        assert!(none.is_none());
+        // Unknown relation errors.
+        assert!(matches!(
+            sys.find_label("Zzz", &[0], |_| true),
+            Err(EngineError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn sync_database_is_idempotent_without_staleness() {
+        let mut sys = IvmSystem::new(example_movies());
+        sys.sync_database().unwrap();
+        sys.register("sh", related_query(), Strategy::Shredded).unwrap();
+        sys.sync_database().unwrap();
+        assert_eq!(sys.database().get("M").unwrap().cardinality(), 3);
+    }
+}

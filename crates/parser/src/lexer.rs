@@ -1,0 +1,395 @@
+//! Tokenizer for the NRC⁺ surface syntax.
+
+use std::fmt;
+
+/// The kind of a token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (contents, unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<` (tuple open in expression position, comparison in predicates)
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `++`
+    PlusPlus,
+    /// `*`
+    Star,
+    /// `-`
+    Minus,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Assign => write!(f, ":="),
+            TokenKind::PlusPlus => write!(f, "++"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::AndAnd => write!(f, "&&"),
+            TokenKind::OrOr => write!(f, "||"),
+            TokenKind::Bang => write!(f, "!"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position (byte offset and 1-based line).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset in the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// A lexing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `input`. `--` starts a line comment.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, offset: start, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, offset: start, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, offset: start, line });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokenKind::Dot, offset: start, line });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { kind: TokenKind::Semi, offset: start, line });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, offset: start, line });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { kind: TokenKind::Minus, offset: start, line });
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Assign, offset: start, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Colon, offset: start, line });
+                    i += 1;
+                }
+            }
+            '+' => {
+                if bytes.get(i + 1) == Some(&b'+') {
+                    out.push(Token { kind: TokenKind::PlusPlus, offset: start, line });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected ++".into(), line });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Le, offset: start, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, offset: start, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ge, offset: start, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, offset: start, line });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::EqEq, offset: start, line });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected == (assignment is :=)".into(), line });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ne, offset: start, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Bang, offset: start, line });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Token { kind: TokenKind::AndAnd, offset: start, line });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected &&".into(), line });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token { kind: TokenKind::OrOr, offset: start, line });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected ||".into(), line });
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                line,
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                other => {
+                                    return Err(LexError {
+                                        message: format!("bad escape {other:?}"),
+                                        line,
+                                    })
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), offset: start, line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal {text} out of range"),
+                    line,
+                })?;
+                out.push(Token { kind: TokenKind::Int(v), offset: start, line });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Token { kind: TokenKind::Ident(input[i..j].to_owned()), offset: start, line });
+                i = j;
+            }
+            other => {
+                return Err(LexError { message: format!("unexpected character {other:?}"), line })
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, offset: input.len(), line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_symbols_and_idents() {
+        assert_eq!(
+            kinds("for m in M union sng(m.name)"),
+            vec![
+                TokenKind::Ident("for".into()),
+                TokenKind::Ident("m".into()),
+                TokenKind::Ident("in".into()),
+                TokenKind::Ident("M".into()),
+                TokenKind::Ident("union".into()),
+                TokenKind::Ident("sng".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("m".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("name".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("a ++ b * -c != d == e <= f >= g && h || !i"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::PlusPlus,
+                TokenKind::Ident("b".into()),
+                TokenKind::Star,
+                TokenKind::Minus,
+                TokenKind::Ident("c".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("d".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("e".into()),
+                TokenKind::Le,
+                TokenKind::Ident("f".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("g".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("h".into()),
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Ident("i".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hello \"world\"\n""#),
+            vec![TokenKind::Str("hello \"world\"\n".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("a -- comment\nb").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert!(matches!(&toks[1].kind, TokenKind::Ident(s) if s == "b"));
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a = b").is_err());
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn assign_vs_colon() {
+        assert_eq!(
+            kinds("x := y : z"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("y".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("z".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # nrc-parser
+//!
+//! A surface syntax for NRC⁺ so queries read like §2 of the paper instead
+//! of Rust constructor trees. Example (the motivating `related` query):
+//!
+//! ```text
+//! relation M(name: Str, gen: Str, dir: Str);
+//!
+//! query related :=
+//!   for m in M union
+//!     <m.name,
+//!      for m2 in M
+//!        where m.name != m2.name && (m.gen == m2.gen || m.dir == m2.dir)
+//!        union sng(m2.name)>;
+//! ```
+//!
+//! Desugarings (all definable in the calculus, §2.1/Ex. 2):
+//!
+//! * `for x in e where p union e'` → `for x in e union for _ in p(x) union e'`,
+//! * tuple literals `<a, b>` → products of singletons (`sng(π)(…) × sngι(…)`),
+//! * field names → positional projections (declared in `relation`),
+//! * a bag-typed path `c.orders` in expression position →
+//!   `flatten(sng(c.orders))` (which the simplifier recognizes as the inner
+//!   bag itself),
+//! * `empty(T)` → `∅ : Bag(T)`; `e1 ++ e2` → `⊎`; `e1 * e2` → `×`;
+//!   prefix `-` → `⊖`.
+//!
+//! Entry points: [`parse_expr`] for a single expression against declared
+//! relations, [`parse_program`] for `relation`/`query` declaration files.
+
+pub mod lexer;
+pub mod names;
+pub mod parser;
+pub mod pretty;
+
+pub use lexer::{lex, LexError, Token, TokenKind};
+pub use names::NameTree;
+pub use parser::{parse_expr, parse_program, ParseError, Program, RelationDecl};
+pub use pretty::{to_surface, PrettyError};

@@ -1,0 +1,114 @@
+//! Field-name trees: the mapping from declared column names to positional
+//! projections.
+//!
+//! The calculus is positional (`sng(πᵢ(x))`); the surface syntax lets
+//! schemas name their components, including nested ones:
+//!
+//! ```text
+//! relation Customers(id: Int, name: Str, orders: Bag((oid: Int, items: Bag(Int))));
+//! ```
+//!
+//! A [`NameTree`] mirrors the type structure and resolves dotted paths like
+//! `c.orders` or `o.items` to index paths. Numeric components (`x.1`,
+//! 1-based) are always available.
+
+use nrc_data::Type;
+
+/// Field names for (part of) a type.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum NameTree {
+    /// No names known (positional access only).
+    #[default]
+    None,
+    /// A named tuple: one `(name, subtree)` per component.
+    Fields(Vec<(String, NameTree)>),
+    /// A bag: names for the element type (entered via `for` binding).
+    Bag(Box<NameTree>),
+}
+
+impl NameTree {
+    /// The subtree for a named or numeric component; also returns the
+    /// resolved index. Numeric components are 1-based in the surface syntax.
+    pub fn resolve(&self, field: &str, ty: &Type) -> Option<(usize, NameTree)> {
+        // Numeric access works regardless of names.
+        if let Ok(n) = field.parse::<usize>() {
+            if n == 0 {
+                return None;
+            }
+            let idx = n - 1;
+            let sub = match self {
+                NameTree::Fields(fs) => fs.get(idx).map(|(_, t)| t.clone()).unwrap_or_default(),
+                _ => NameTree::None,
+            };
+            // Bounds-check against the type.
+            if let Type::Tuple(ts) = ty {
+                if idx < ts.len() {
+                    return Some((idx, sub));
+                }
+            }
+            return None;
+        }
+        match self {
+            NameTree::Fields(fs) => fs
+                .iter()
+                .position(|(n, _)| n == field)
+                .map(|i| (i, fs[i].1.clone())),
+            _ => None,
+        }
+    }
+
+    /// Enter a bag: the names of the element type.
+    pub fn elem(&self) -> NameTree {
+        match self {
+            NameTree::Bag(inner) => (**inner).clone(),
+            _ => NameTree::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrc_data::BaseType;
+
+    fn movie_names() -> NameTree {
+        NameTree::Fields(vec![
+            ("name".into(), NameTree::None),
+            ("gen".into(), NameTree::None),
+            ("dir".into(), NameTree::None),
+        ])
+    }
+
+    fn movie_ty() -> Type {
+        Type::Tuple(vec![
+            Type::Base(BaseType::Str),
+            Type::Base(BaseType::Str),
+            Type::Base(BaseType::Str),
+        ])
+    }
+
+    #[test]
+    fn resolves_named_fields() {
+        let t = movie_names();
+        assert_eq!(t.resolve("gen", &movie_ty()).unwrap().0, 1);
+        assert!(t.resolve("missing", &movie_ty()).is_none());
+    }
+
+    #[test]
+    fn numeric_access_is_one_based_and_bounds_checked() {
+        let t = movie_names();
+        assert_eq!(t.resolve("1", &movie_ty()).unwrap().0, 0);
+        assert_eq!(t.resolve("3", &movie_ty()).unwrap().0, 2);
+        assert!(t.resolve("0", &movie_ty()).is_none());
+        assert!(t.resolve("4", &movie_ty()).is_none());
+        // Numeric access works without names too.
+        assert_eq!(NameTree::None.resolve("2", &movie_ty()).unwrap().0, 1);
+    }
+
+    #[test]
+    fn bag_elem_unwraps() {
+        let t = NameTree::Bag(Box::new(movie_names()));
+        assert_eq!(t.elem(), movie_names());
+        assert_eq!(NameTree::None.elem(), NameTree::None);
+    }
+}

@@ -1,0 +1,342 @@
+//! Pretty-printing core expressions back into the surface syntax.
+//!
+//! [`to_surface`] renders any plain NRC⁺ expression (no label/context
+//! constructs — those are internal to shredding) as parseable source text,
+//! using 1-based numeric field access. Round-tripping through
+//! [`crate::parse_expr`] preserves semantics; it may renumber nested
+//! singleton indices (`ι` is an artifact of occurrence counting), which is
+//! irrelevant to evaluation and re-assigned by shredding anyway.
+
+use nrc_core::expr::{BoolExpr, CmpOp, Expr, Operand};
+use nrc_data::{BaseType, BaseValue, Type};
+use std::fmt::Write;
+
+/// A printing failure (construct without surface syntax).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrettyError(pub String);
+
+impl std::fmt::Display for PrettyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot render in surface syntax: {}", self.0)
+    }
+}
+
+impl std::error::Error for PrettyError {}
+
+/// Render `e` as parseable surface syntax.
+pub fn to_surface(e: &Expr) -> Result<String, PrettyError> {
+    let mut out = String::new();
+    emit(e, &mut out)?;
+    Ok(out)
+}
+
+fn emit(e: &Expr, out: &mut String) -> Result<(), PrettyError> {
+    match e {
+        Expr::Rel(r) | Expr::Var(r) => {
+            out.push_str(r);
+            Ok(())
+        }
+        Expr::DeltaRel(r, k) => Err(PrettyError(format!("update relation Δ^{k}{r}"))),
+        Expr::Let { name, value, body } => {
+            out.push_str("let ");
+            out.push_str(name);
+            out.push_str(" := ");
+            emit(value, out)?;
+            out.push_str(" in ");
+            emit(body, out)
+        }
+        Expr::ElemSng(x) => {
+            write!(out, "sng({x})").expect("write to string");
+            Ok(())
+        }
+        Expr::ProjSng { var, path } => {
+            out.push_str("sng(");
+            out.push_str(var);
+            for i in path {
+                write!(out, ".{}", i + 1).expect("write to string");
+            }
+            out.push(')');
+            Ok(())
+        }
+        Expr::UnitSng => {
+            out.push_str("sng(())");
+            Ok(())
+        }
+        Expr::Sng { body, .. } => {
+            out.push_str("sng(");
+            emit(body, out)?;
+            out.push(')');
+            Ok(())
+        }
+        Expr::Empty { elem_ty } => {
+            out.push_str("empty(");
+            emit_type(elem_ty, out)?;
+            out.push(')');
+            Ok(())
+        }
+        Expr::Union(a, b) => {
+            out.push('(');
+            emit_operand_expr(a, out)?;
+            out.push_str(" ++ ");
+            emit_operand_expr(b, out)?;
+            out.push(')');
+            Ok(())
+        }
+        Expr::Negate(inner) => {
+            out.push_str("(-");
+            emit(inner, out)?;
+            out.push(')');
+            Ok(())
+        }
+        Expr::Product(es) => {
+            out.push('(');
+            for (i, f) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" * ");
+                }
+                emit_operand_expr(f, out)?;
+            }
+            out.push(')');
+            Ok(())
+        }
+        Expr::For { var, source, body } => {
+            // Recover the `where` sugar when the body is the canonical
+            // predicate comprehension.
+            out.push_str("for ");
+            out.push_str(var);
+            out.push_str(" in ");
+            emit(source, out)?;
+            if let Expr::For { var: w, source: p, body: inner } = &**body {
+                if w.starts_with("__w") {
+                    if let Expr::Pred(pred) = &**p {
+                        out.push_str(" where ");
+                        emit_pred(pred, out)?;
+                        out.push_str(" union ");
+                        return emit(inner, out);
+                    }
+                }
+            }
+            out.push_str(" union ");
+            emit(body, out)
+        }
+        Expr::Flatten(inner) => {
+            out.push_str("flatten(");
+            emit(inner, out)?;
+            out.push(')');
+            Ok(())
+        }
+        // A bare predicate has no direct surface form; `p` is equivalent to
+        // `for _ in sng(⟨⟩) where p union sng(⟨⟩)`.
+        Expr::Pred(p) => {
+            out.push_str("for __p in sng(()) where ");
+            emit_pred(p, out)?;
+            out.push_str(" union sng(())");
+            Ok(())
+        }
+        Expr::InLabel { .. }
+        | Expr::DictSng { .. }
+        | Expr::DictGet { .. }
+        | Expr::CtxTuple(_)
+        | Expr::CtxProj { .. }
+        | Expr::LabelUnion(_, _)
+        | Expr::CtxAdd(_, _)
+        | Expr::EmptyCtx(_) => Err(PrettyError(format!("shredding-internal construct {e}"))),
+    }
+}
+
+/// Emit an operand of `++` / `*`: `for` and `let` parse greedily (their
+/// bodies extend as far right as possible), so they must be parenthesized
+/// in operand position.
+fn emit_operand_expr(e: &Expr, out: &mut String) -> Result<(), PrettyError> {
+    if matches!(e, Expr::For { .. } | Expr::Let { .. } | Expr::Negate(_)) {
+        out.push('(');
+        emit(e, out)?;
+        out.push(')');
+        Ok(())
+    } else {
+        emit(e, out)
+    }
+}
+
+fn emit_type(t: &Type, out: &mut String) -> Result<(), PrettyError> {
+    match t {
+        Type::Base(BaseType::Bool) => out.push_str("Bool"),
+        Type::Base(BaseType::Int) => out.push_str("Int"),
+        Type::Base(BaseType::Str) => out.push_str("Str"),
+        Type::Tuple(ts) => {
+            out.push('(');
+            for (i, c) in ts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                emit_type(c, out)?;
+            }
+            out.push(')');
+        }
+        Type::Bag(c) => {
+            out.push_str("Bag(");
+            emit_type(c, out)?;
+            out.push(')');
+        }
+        Type::Label | Type::Dict(_) => {
+            return Err(PrettyError(format!("shredding-internal type {t}")))
+        }
+    }
+    Ok(())
+}
+
+fn emit_pred(p: &BoolExpr, out: &mut String) -> Result<(), PrettyError> {
+    match p {
+        BoolExpr::Const(b) => {
+            out.push_str(if *b { "true" } else { "false" });
+            Ok(())
+        }
+        BoolExpr::Not(a) => {
+            out.push_str("!(");
+            emit_pred(a, out)?;
+            out.push(')');
+            Ok(())
+        }
+        BoolExpr::And(a, b) => {
+            out.push('(');
+            emit_pred(a, out)?;
+            out.push_str(" && ");
+            emit_pred(b, out)?;
+            out.push(')');
+            Ok(())
+        }
+        BoolExpr::Or(a, b) => {
+            out.push('(');
+            emit_pred(a, out)?;
+            out.push_str(" || ");
+            emit_pred(b, out)?;
+            out.push(')');
+            Ok(())
+        }
+        BoolExpr::Cmp(l, op, r) => {
+            emit_operand(l, out)?;
+            let sym = match op {
+                CmpOp::Eq => " == ",
+                CmpOp::Ne => " != ",
+                CmpOp::Lt => " < ",
+                CmpOp::Le => " <= ",
+                CmpOp::Gt => " > ",
+                CmpOp::Ge => " >= ",
+            };
+            out.push_str(sym);
+            emit_operand(r, out)
+        }
+    }
+}
+
+fn emit_operand(o: &Operand, out: &mut String) -> Result<(), PrettyError> {
+    match o {
+        Operand::Ref(r) => {
+            out.push_str(&r.var);
+            for i in &r.path {
+                write!(out, ".{}", i + 1).expect("write to string");
+            }
+            Ok(())
+        }
+        Operand::Lit(BaseValue::Int(i)) if *i < 0 => {
+            Err(PrettyError(format!("negative integer literal {i} (no unary minus in predicates)")))
+        }
+        Operand::Lit(BaseValue::Int(i)) => {
+            write!(out, "{i}").expect("write to string");
+            Ok(())
+        }
+        Operand::Lit(BaseValue::Bool(b)) => {
+            out.push_str(if *b { "true" } else { "false" });
+            Ok(())
+        }
+        Operand::Lit(BaseValue::Str(s)) => {
+            write!(out, "{s:?}").expect("write to string");
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, RelationDecl};
+    use crate::NameTree;
+    use nrc_core::builder;
+    use nrc_core::eval::{eval_query, Env};
+    use nrc_core::generator::{GenConfig, QueryGen};
+    use nrc_data::database::example_movies;
+    use nrc_data::Database;
+
+    fn decls_for(db: &Database) -> Vec<RelationDecl> {
+        db.relation_names()
+            .map(|r| RelationDecl {
+                name: r.clone(),
+                elem_ty: db.schema(r).expect("schema").clone(),
+                names: NameTree::None,
+            })
+            .collect()
+    }
+
+    fn check_roundtrip(e: &nrc_core::Expr, db: &Database) {
+        let src = match to_surface(e) {
+            Ok(s) => s,
+            Err(err) => panic!("printing {e} failed: {err}"),
+        };
+        let parsed = parse_expr(&src, &decls_for(db))
+            .unwrap_or_else(|err| panic!("re-parsing `{src}` failed: {err}"));
+        let mut env1 = Env::new(db);
+        let mut env2 = Env::new(db);
+        let v1 = eval_query(e, &mut env1).expect("eval original");
+        let v2 = eval_query(&parsed, &mut env2).expect("eval reparsed");
+        assert_eq!(v1, v2, "round-trip changed semantics:\n  {e}\n  {src}\n  {parsed}");
+    }
+
+    #[test]
+    fn roundtrips_the_paper_queries() {
+        let db = example_movies();
+        check_roundtrip(&builder::related_query(), &db);
+        check_roundtrip(
+            &builder::filter_query(
+                "M",
+                builder::cmp_lit("x", vec![1], CmpOp::Eq, "Drama"),
+            ),
+            &db,
+        );
+        check_roundtrip(&builder::pair(builder::rel("M"), builder::rel("M")), &db);
+    }
+
+    #[test]
+    fn roundtrips_random_queries() {
+        for seed in 0..150u64 {
+            let mut g = QueryGen::new(seed, GenConfig::default());
+            let db = g.gen_database();
+            let q = g.gen_query(&db);
+            check_roundtrip(&q, &db);
+        }
+    }
+
+    #[test]
+    fn where_sugar_is_recovered() {
+        let q = builder::filter_query(
+            "M",
+            builder::cmp_lit("x", vec![0], CmpOp::Ne, "Drive"),
+        );
+        let s = to_surface(&q).unwrap();
+        assert!(s.contains("where x.1 != \"Drive\""), "got {s}");
+        assert!(!s.contains("__w in"), "sugar not recovered: {s}");
+    }
+
+    #[test]
+    fn internal_constructs_are_rejected() {
+        assert!(to_surface(&nrc_core::Expr::DeltaRel("R".into(), 1)).is_err());
+        assert!(to_surface(&nrc_core::Expr::EmptyCtx(Type::dict(Type::unit()))).is_err());
+    }
+
+    #[test]
+    fn types_render_parseably() {
+        let e = nrc_core::Expr::Empty {
+            elem_ty: Type::pair(Type::Base(BaseType::Str), Type::bag(Type::Base(BaseType::Int))),
+        };
+        assert_eq!(to_surface(&e).unwrap(), "empty((Str, Bag(Int)))");
+    }
+}

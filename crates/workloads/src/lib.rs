@@ -1,0 +1,22 @@
+//! # nrc-workloads
+//!
+//! Seeded, deterministic workload generators for the experiments
+//! (DESIGN.md §3). The paper is a theory paper without a released testbed,
+//! so these generators produce synthetic instances shaped to make its
+//! asymptotic claims visible:
+//!
+//! * [`movies`] — the §2 motivating schema `M(name, gen, dir)` at scale,
+//!   with bounded genre/director domains so `related` has non-trivial inner
+//!   bags, plus insert/delete update streams;
+//! * [`orders`] — a nested customer→orders→items schema for the deep-update
+//!   experiments (E5);
+//! * [`skew`] — nested bags with *per-level cardinality control*, exercising
+//!   the level-indexed cost domains of §4.2 (E4).
+
+pub mod movies;
+pub mod orders;
+pub mod skew;
+
+pub use movies::MovieGen;
+pub use orders::OrdersGen;
+pub use skew::SkewGen;

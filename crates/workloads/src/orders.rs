@@ -1,0 +1,152 @@
+//! Nested orders workload (experiment E5, deep updates).
+//!
+//! `Customers : Bag(⟨cust_id, name, Bag(⟨order_id, Bag(item)⟩)⟩)` — a
+//! two-deep nesting where realistic updates are *deep*: adding an item to
+//! one order, or an order to one customer, without rewriting the customer
+//! tuple. This is exactly the update shape §2's discussion motivates and
+//! shredded IVM supports natively.
+
+use nrc_data::{Bag, BaseType, Database, Type, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for the nested customers/orders/items relation.
+pub struct OrdersGen {
+    rng: StdRng,
+    /// Item identifier domain size.
+    pub item_domain: usize,
+    next_customer: i64,
+    next_order: i64,
+}
+
+impl OrdersGen {
+    /// A deterministic generator.
+    pub fn new(seed: u64, item_domain: usize) -> OrdersGen {
+        OrdersGen { rng: StdRng::seed_from_u64(seed), item_domain, next_customer: 0, next_order: 0 }
+    }
+
+    /// The element type of `Customers`.
+    pub fn customer_type() -> Type {
+        Type::Tuple(vec![
+            Type::Base(BaseType::Int), // cust_id
+            Type::Base(BaseType::Str), // name
+            Type::bag(Self::order_type()),
+        ])
+    }
+
+    /// The element type of the orders inner bag.
+    pub fn order_type() -> Type {
+        Type::Tuple(vec![
+            Type::Base(BaseType::Int), // order_id
+            Type::bag(Type::Base(BaseType::Int)), // items
+        ])
+    }
+
+    /// One item value.
+    pub fn item(&mut self) -> Value {
+        Value::int(self.rng.gen_range(0..self.item_domain as i64))
+    }
+
+    /// One order with `items` items.
+    pub fn order(&mut self, items: usize) -> Value {
+        let id = self.next_order;
+        self.next_order += 1;
+        Value::Tuple(vec![
+            Value::int(id),
+            Value::Bag(Bag::from_values((0..items).map(|_| self.item()))),
+        ])
+    }
+
+    /// One customer with `orders` orders of up to `max_items` items each.
+    pub fn customer(&mut self, orders: usize, max_items: usize) -> Value {
+        let id = self.next_customer;
+        self.next_customer += 1;
+        let os: Vec<Value> = (0..orders)
+            .map(|_| {
+                let items = self.rng.gen_range(1..=max_items.max(1));
+                self.order(items)
+            })
+            .collect();
+        Value::Tuple(vec![
+            Value::int(id),
+            Value::str(format!("cust{id:05}")),
+            Value::Bag(Bag::from_values(os)),
+        ])
+    }
+
+    /// A database with `customers` customers, each with up to `max_orders`
+    /// orders of up to `max_items` items.
+    pub fn database(&mut self, customers: usize, max_orders: usize, max_items: usize) -> Database {
+        let bag = Bag::from_values((0..customers).map(|_| {
+            let orders = self.rng.gen_range(1..=max_orders.max(1));
+            self.customer(orders, max_items)
+        }));
+        let mut db = Database::new();
+        db.insert_relation("Customers", Self::customer_type(), bag);
+        db
+    }
+
+    /// A batch of fresh items to add to some order (the deep-update
+    /// payload; flat values, ready for a dictionary `⊎`).
+    pub fn item_batch(&mut self, n: usize) -> Bag {
+        Bag::from_values((0..n).map(|_| self.item()))
+    }
+
+    /// A bag of fresh customers (a classical top-level insertion).
+    pub fn customer_batch(&mut self, n: usize, max_orders: usize, max_items: usize) -> Bag {
+        Bag::from_values((0..n).map(|_| {
+            let orders = self.rng.gen_range(1..=max_orders.max(1));
+            self.customer(orders, max_items)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_shape() {
+        let mut g = OrdersGen::new(5, 100);
+        let db = g.database(10, 3, 4);
+        let bag = db.get("Customers").unwrap();
+        assert_eq!(bag.cardinality(), 10);
+        for (c, _) in bag.iter() {
+            assert!(c.conforms_to(&OrdersGen::customer_type()), "bad customer {c}");
+            let orders = c.project(2).unwrap().as_bag().unwrap();
+            assert!((1..=3).contains(&(orders.cardinality() as usize)));
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_across_customers_and_orders() {
+        let mut g = OrdersGen::new(5, 10);
+        let db = g.database(20, 3, 2);
+        let bag = db.get("Customers").unwrap();
+        let ids: std::collections::BTreeSet<_> =
+            bag.iter().map(|(v, _)| v.project(0).unwrap().clone()).collect();
+        assert_eq!(ids.len(), 20);
+        let mut order_ids = std::collections::BTreeSet::new();
+        for (c, _) in bag.iter() {
+            for (o, _) in c.project(2).unwrap().as_bag().unwrap().iter() {
+                assert!(order_ids.insert(o.project(0).unwrap().clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn item_batches_are_flat() {
+        let mut g = OrdersGen::new(9, 50);
+        let batch = g.item_batch(5);
+        assert!(batch.cardinality() >= 1);
+        for (v, _) in batch.iter() {
+            assert!(matches!(v, Value::Base(_)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = || OrdersGen::new(11, 10).database(5, 2, 2);
+        assert_eq!(mk(), mk());
+    }
+}

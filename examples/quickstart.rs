@@ -1,0 +1,44 @@
+//! Quickstart: declare a relation, register an incrementally maintained
+//! view, stream updates.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use nrc_core::builder::{cmp_lit, filter_query};
+use nrc_core::expr::CmpOp;
+use nrc_data::{Bag, BaseType, Database, Type, Value};
+use nrc_engine::{IvmSystem, Strategy};
+
+fn main() {
+    // A flat relation of integers.
+    let mut db = Database::new();
+    db.insert_relation(
+        "R",
+        Type::Base(BaseType::Int),
+        Bag::from_values((0..10).map(Value::int)),
+    );
+
+    // The view keeps every element greater than 4, maintained by its delta
+    // query (Prop. 4.1: h[R ⊎ ΔR] = h[R] ⊎ δ(h)[R, ΔR]).
+    let q = filter_query("R", cmp_lit("x", vec![], CmpOp::Gt, 4i64));
+    let mut sys = IvmSystem::new(db);
+    sys.register("big", q, Strategy::FirstOrder).expect("register view");
+    println!("initial view: {}", sys.view("big").expect("view"));
+
+    // Insertions and deletions are both just ⊎ with signed multiplicities.
+    let updates = [
+        Bag::from_values([Value::int(42), Value::int(3)]),
+        Bag::from_pairs([(Value::int(7), -1), (Value::int(100), 2)]),
+    ];
+    for (i, delta) in updates.iter().enumerate() {
+        sys.apply_update("R", delta).expect("apply update");
+        println!("after update {}: {}", i + 1, sys.view("big").expect("view"));
+    }
+
+    let stats = sys.stats("big").expect("stats");
+    println!(
+        "maintained through {} updates with 1 full evaluation and {} refresh steps",
+        stats.updates_applied, stats.refresh_steps
+    );
+}

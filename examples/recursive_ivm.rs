@@ -1,0 +1,67 @@
+//! Recursive IVM (§4.1) on Example 4's query `h[R] = flatten(R) × flatten(R)`.
+//!
+//! Shows the higher-order delta tower (Thm. 2: one derivation per degree,
+//! ending input-independent) and the runtime difference between first-order
+//! and recursive maintenance on a "square of count" aggregate.
+//!
+//! ```text
+//! cargo run --release --example recursive_ivm
+//! ```
+
+use nrc_core::builder::{flatten, for_, pair, rel, self_product_of_flatten, unit_sng};
+use nrc_core::degree::degree_of;
+use nrc_core::delta::delta_tower;
+use nrc_core::typecheck::TypeEnv;
+use nrc_engine::{IvmSystem, Strategy};
+use nrc_workloads::SkewGen;
+use std::time::Instant;
+
+fn main() {
+    // R : Bag(Bag(Int)) with 500 inner bags of 4 items.
+    let mut gen = SkewGen::new(7, 1_000_000_000);
+    let db = gen.database(&[500, 4]);
+    let tenv = TypeEnv::from_database(&db);
+
+    // --- The delta tower of Example 4 -----------------------------------
+    let h = self_product_of_flatten("R");
+    println!("h[R] = {h}");
+    println!("deg(h) = {}\n", degree_of(&h));
+    let tower = delta_tower(&h, "R", &tenv, 8).expect("tower");
+    for (i, level) in tower.iter().enumerate() {
+        println!("δ^{i}(h): degree {}  —  {level}", degree_of(level));
+    }
+    println!(
+        "\nafter deg(h) = {} derivations the delta no longer mentions R:\n  δ²(h) is a pure \
+         function of the updates (Thm. 2)\n",
+        degree_of(&h)
+    );
+
+    // --- Runtime: recursive vs first-order on the square-of-count -------
+    let cnt = || for_("x", flatten(rel("R")), unit_sng());
+    let square = pair(cnt(), cnt());
+    println!("g[R] = cnt(R) × cnt(R)   (cnt = for x in flatten(R) union sng(⟨⟩))");
+    for (label, strategy) in [
+        ("re-evaluation", Strategy::Reevaluate),
+        ("first-order IVM", Strategy::FirstOrder),
+        ("recursive IVM ", Strategy::Recursive),
+    ] {
+        let mut gen = SkewGen::new(7, 1_000_000_000);
+        let db = gen.database(&[500, 4]);
+        let mut sys = IvmSystem::new(db);
+        sys.register("g", square.clone(), strategy).expect("register");
+        let start = Instant::now();
+        for _ in 0..20 {
+            let delta = gen.bag(&[2, 4]);
+            sys.apply_update("R", &delta).expect("update");
+        }
+        let elapsed = start.elapsed();
+        println!(
+            "  {label}: 20 updates in {elapsed:?}  (materializations: {})",
+            1 + sys.stats("g").expect("stats").materialized_aux
+        );
+    }
+    println!(
+        "\nrecursive IVM materializes cnt(R) once and maintains it with cnt(ΔR) — the delta \
+         evaluation never walks R again (the paper's partial-evaluation argument)."
+    );
+}

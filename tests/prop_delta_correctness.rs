@@ -1,0 +1,114 @@
+//! Property test for **Proposition 4.1**: for every IncNRC⁺ query `h`,
+//! database `R` and update `ΔR`,
+//!
+//! ```text
+//! h[R ⊎ ΔR] = h[R] ⊎ δ_R(h)[R, ΔR]
+//! ```
+//!
+//! checked over hundreds of generator-produced (query, instance, update)
+//! triples, with simplified and unsimplified deltas, and for every relation
+//! of multi-relation databases.
+
+use nrc_core::delta::delta_wrt_rel;
+use nrc_core::eval::{eval_query, Env};
+use nrc_core::generator::{GenConfig, QueryGen};
+use nrc_core::optimize::simplify;
+use nrc_core::typecheck::TypeEnv;
+
+#[test]
+fn proposition_4_1_holds_on_random_inc_queries() {
+    let mut checked = 0;
+    for seed in 0..250u64 {
+        let mut g = QueryGen::new(seed, GenConfig::default());
+        let db = g.gen_database();
+        let q = g.gen_inc_query(&db);
+        let tenv = TypeEnv::from_database(&db);
+        for rel in q.free_relations() {
+            let update = g.gen_update(&db, &rel);
+            let dq = delta_wrt_rel(&q, &rel, &tenv)
+                .unwrap_or_else(|e| panic!("seed {seed}: delta failed for {q}: {e}"));
+
+            // h[R] ⊎ δ(h)
+            let mut env_before = Env::new(&db);
+            let before = eval_query(&q, &mut env_before)
+                .unwrap_or_else(|e| panic!("seed {seed}: eval failed for {q}: {e}"));
+            let mut env_delta = Env::new(&db).with_delta(rel.clone(), update.clone());
+            let change = eval_query(&dq, &mut env_delta)
+                .unwrap_or_else(|e| panic!("seed {seed}: delta eval failed for {dq}: {e}"));
+            let incremental = before.union(&change);
+
+            // h[R ⊎ ΔR]
+            let mut db2 = db.clone();
+            db2.apply_update(&rel, &update).expect("update");
+            let mut env_after = Env::new(&db2);
+            let recomputed = eval_query(&q, &mut env_after).expect("eval after");
+
+            assert_eq!(
+                incremental, recomputed,
+                "seed {seed}: Prop 4.1 violated for {q} wrt {rel} with Δ = {update}"
+            );
+
+            // The simplified delta is semantically identical.
+            let sq = simplify(&dq, &tenv)
+                .unwrap_or_else(|e| panic!("seed {seed}: simplify failed for {dq}: {e}"));
+            let mut env_s = Env::new(&db).with_delta(rel.clone(), update.clone());
+            let change_s = eval_query(&sq, &mut env_s)
+                .unwrap_or_else(|e| panic!("seed {seed}: simplified delta eval failed: {e}"));
+            assert_eq!(change, change_s, "seed {seed}: simplification changed δ of {q}");
+            assert!(
+                sq.node_count() <= dq.node_count(),
+                "seed {seed}: simplification grew the delta"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 200, "only {checked} cases exercised");
+}
+
+#[test]
+fn proposition_4_1_composes_over_update_sequences() {
+    // Applying k successive deltas equals recomputation after k updates.
+    for seed in 0..60u64 {
+        let mut g = QueryGen::new(seed, GenConfig::default());
+        let mut db = g.gen_database();
+        let q = g.gen_inc_query(&db);
+        let tenv = TypeEnv::from_database(&db);
+        let rel = match q.free_relations().into_iter().next() {
+            Some(r) => r,
+            None => continue,
+        };
+        let dq = delta_wrt_rel(&q, &rel, &tenv).expect("delta");
+        let mut env0 = Env::new(&db);
+        let mut materialized = eval_query(&q, &mut env0).expect("eval");
+        for _ in 0..4 {
+            let update = g.gen_update(&db, &rel);
+            let mut env = Env::new(&db).with_delta(rel.clone(), update.clone());
+            let change = eval_query(&dq, &mut env).expect("delta eval");
+            materialized.union_assign(&change);
+            db.apply_update(&rel, &update).expect("update");
+        }
+        let mut env_final = Env::new(&db);
+        let expected = eval_query(&q, &mut env_final).expect("eval final");
+        assert_eq!(materialized, expected, "seed {seed}: drift for {q}");
+    }
+}
+
+#[test]
+fn deltas_of_input_independent_queries_are_empty() {
+    // Lemma 1 as an end-to-end property.
+    for seed in 0..80u64 {
+        let mut g = QueryGen::new(seed, GenConfig::default());
+        let db = g.gen_database();
+        let q = g.gen_inc_query(&db);
+        if !q.free_relations().is_empty() {
+            continue;
+        }
+        let tenv = TypeEnv::from_database(&db);
+        let dq = delta_wrt_rel(&q, "R0", &tenv).expect("delta");
+        let s = simplify(&dq, &tenv).expect("simplify");
+        assert!(
+            matches!(s, nrc_core::Expr::Empty { .. }),
+            "seed {seed}: δ of input-independent {q} simplified to {s}, not ∅"
+        );
+    }
+}

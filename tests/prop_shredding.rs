@@ -1,0 +1,167 @@
+//! Property tests for the shredding pipeline (§5): Lemma 6 (nesting inverts
+//! value shredding), Theorem 8 (shredded execution + nesting ≡ direct
+//! evaluation, on full NRC⁺ including input-dependent singletons), and
+//! consistency preservation (Lemmas 11–12).
+
+use nrc_core::eval::{eval_query, Env};
+use nrc_core::generator::{GenConfig, QueryGen};
+use nrc_core::shred::values::{nest_bag, shred_bag, LabelGen};
+use nrc_core::shred::{
+    bind_shredded_database, check_consistent, eval_shredded, eval_shredded_nested, shred_query,
+};
+use nrc_core::typecheck::TypeEnv;
+
+#[test]
+fn lemma_6_nesting_inverts_shredding_on_random_values() {
+    for seed in 0..200u64 {
+        let mut g = QueryGen::new(seed, GenConfig::default());
+        let ty = g.gen_type(3);
+        let bag = g.gen_bag(&ty, 5);
+        let mut gen = LabelGen::new();
+        let (flat, ctx) = shred_bag(&bag, &ty, &mut gen)
+            .unwrap_or_else(|e| panic!("seed {seed}: shred failed for type {ty}: {e}"));
+        let back = nest_bag(&flat, &ty, &ctx)
+            .unwrap_or_else(|e| panic!("seed {seed}: nest failed: {e}"));
+        assert_eq!(back, bag, "seed {seed}: Lemma 6 violated at type {ty}");
+        // Lemma 11: shredded values are consistent.
+        check_consistent(&flat, &ty, &ctx)
+            .unwrap_or_else(|e| panic!("seed {seed}: inconsistent shredding: {e}"));
+    }
+}
+
+#[test]
+fn theorem_8_shredded_execution_equals_direct_evaluation() {
+    let mut checked = 0;
+    for seed in 0..250u64 {
+        // Full NRC⁺ — input-dependent singletons allowed.
+        let mut g = QueryGen::new(seed, GenConfig::default());
+        let db = g.gen_database();
+        let q = g.gen_query(&db);
+        let tenv = TypeEnv::from_database(&db);
+        let shredded = shred_query(&q, &tenv)
+            .unwrap_or_else(|e| panic!("seed {seed}: shredding failed for {q}: {e}"));
+        let mut env = Env::new(&db);
+        let mut gen = LabelGen::new();
+        bind_shredded_database(&mut env, &db, &mut gen).expect("bind shredded inputs");
+        let nested = eval_shredded_nested(&shredded, &mut env)
+            .unwrap_or_else(|e| panic!("seed {seed}: shredded execution failed for {q}: {e}"));
+        let mut direct_env = Env::new(&db);
+        let direct = eval_query(&q, &mut direct_env).expect("direct eval");
+        assert_eq!(nested, direct, "seed {seed}: Theorem 8 violated for {q}");
+        checked += 1;
+    }
+    assert_eq!(checked, 250);
+}
+
+#[test]
+fn lemma_12_shredded_outputs_are_consistent() {
+    for seed in 0..150u64 {
+        let mut g = QueryGen::new(seed, GenConfig::default());
+        let db = g.gen_database();
+        let q = g.gen_query(&db);
+        let tenv = TypeEnv::from_database(&db);
+        let shredded = shred_query(&q, &tenv).expect("shred");
+        let mut env = Env::new(&db);
+        let mut gen = LabelGen::new();
+        bind_shredded_database(&mut env, &db, &mut gen).expect("bind");
+        let (flat, ctx) = eval_shredded(&shredded, &mut env)
+            .unwrap_or_else(|e| panic!("seed {seed}: shredded execution failed for {q}: {e}"));
+        check_consistent(&flat, &shredded.elem_ty, &ctx).unwrap_or_else(|e| {
+            panic!("seed {seed}: inconsistent shredded output for {q}: {e}")
+        });
+    }
+}
+
+#[test]
+fn shredded_flat_queries_are_inc_nrc() {
+    // The point of the transformation: outputs live in IncNRC⁺ₗ, so they
+    // have deltas even when the input query does not.
+    for seed in 0..150u64 {
+        let mut g = QueryGen::new(seed, GenConfig::default());
+        let db = g.gen_database();
+        let q = g.gen_query(&db);
+        let tenv = TypeEnv::from_database(&db);
+        let shredded = shred_query(&q, &tenv).expect("shred");
+        assert!(shredded.flat.is_inc_nrc(), "seed {seed}: flat part of {q} not IncNRC⁺");
+        assert!(shredded.ctx.is_inc_nrc(), "seed {seed}: ctx part of {q} not IncNRC⁺");
+    }
+}
+
+#[test]
+fn theorem_5_shredded_queries_are_recursively_incrementalizable() {
+    // The outputs of shredding live in IncNRC⁺ₗ, so the closed delta rules
+    // apply to them *repeatedly*: wrt the shredded input variables, each
+    // derivative exists (no InputDependentSng) and the degree drops by one
+    // per step, reaching input-independence (Thm. 5).
+    use nrc_core::degree::{degree, DegreeEnv};
+    use nrc_core::delta::delta_wrt_var;
+    use nrc_core::optimize::simplify;
+    use nrc_core::shred::{ctx_name, flat_name, shred_type_ctx, shred_type_flat};
+    use nrc_data::Type;
+
+    let mut exercised = 0;
+    for seed in 0..120u64 {
+        let mut g = QueryGen::new(seed, GenConfig::default());
+        let db = g.gen_database();
+        let q = g.gen_query(&db);
+        let tenv_orig = TypeEnv::from_database(&db);
+        let shredded = shred_query(&q, &tenv_orig).expect("shred");
+
+        // Shredded-world typing environment.
+        let mut tenv = TypeEnv::default();
+        for rel in db.relation_names() {
+            let elem = db.schema(rel).expect("schema");
+            tenv.lets.push((
+                flat_name(rel),
+                Type::bag(shred_type_flat(elem).expect("flat type")),
+            ));
+            tenv.lets.push((ctx_name(rel), shred_type_ctx(elem).expect("ctx type")));
+            for order in 1..=4 {
+                tenv.lets.push((
+                    format!("Δ{order}_{}", flat_name(rel)),
+                    Type::bag(shred_type_flat(elem).expect("flat type")),
+                ));
+                tenv.lets.push((
+                    format!("Δ{order}_{}", ctx_name(rel)),
+                    shred_type_ctx(elem).expect("ctx type"),
+                ));
+            }
+        }
+        let mut deg_env = DegreeEnv::new();
+        for rel in db.relation_names() {
+            deg_env.free_vars.insert(flat_name(rel), 1);
+            deg_env.free_vars.insert(ctx_name(rel), 1);
+        }
+
+        for part in [&shredded.flat, &shredded.ctx] {
+            let mut cur = simplify(part, &tenv).expect("simplify");
+            let mut order = 1;
+            // Differentiate wrt every input variable until input-independent.
+            loop {
+                let free: Vec<String> = db
+                    .relation_names()
+                    .flat_map(|r| [flat_name(r), ctx_name(r)])
+                    .filter(|v| cur.depends_on_var(v))
+                    .collect();
+                if free.is_empty() || order > 4 {
+                    break;
+                }
+                let deg_before = degree(&cur, &mut deg_env.clone());
+                let var = &free[0];
+                let d = delta_wrt_var(&cur, var, &format!("Δ{order}_{var}"), &tenv)
+                    .unwrap_or_else(|e| {
+                        panic!("seed {seed}: shredded delta failed (Thm. 5) for {cur}: {e}")
+                    });
+                cur = simplify(&d, &tenv).expect("simplify δ");
+                let deg_after = degree(&cur, &mut deg_env.clone());
+                assert!(
+                    deg_after < deg_before || deg_before == 0,
+                    "seed {seed}: degree did not drop ({deg_before} → {deg_after}) for {cur}"
+                );
+                order += 1;
+                exercised += 1;
+            }
+        }
+    }
+    assert!(exercised > 100, "only {exercised} derivations exercised");
+}

@@ -1,0 +1,138 @@
+//! Property tests for **Theorem 2** (degrees), **Theorem 4** (cost
+//! separation) and the finiteness of recursive IVM, over generator-produced
+//! queries.
+
+use nrc_core::cost::{cost, lt, size_of_bag, tcost, Cost, CostEnv};
+use nrc_core::degree::degree_of_wrt;
+use nrc_core::delta::{delta_tower, delta_wrt_rel};
+use nrc_core::generator::{GenConfig, QueryGen};
+use nrc_core::optimize::simplify;
+use nrc_core::typecheck::TypeEnv;
+
+#[test]
+fn theorem_2_degree_drops_by_one_along_towers() {
+    let mut checked = 0;
+    for seed in 0..400u64 {
+        let mut g = QueryGen::new(seed, GenConfig::default());
+        let db = g.gen_database();
+        let q = g.gen_inc_query(&db);
+        let tenv = TypeEnv::from_database(&db);
+        for rel in q.free_relations() {
+            let simplified = simplify(&q, &tenv).expect("simplify");
+            if !simplified.depends_on_rel(&rel) {
+                continue; // simplification revealed independence
+            }
+            let deg = degree_of_wrt(&simplified, &rel);
+            // Degrees can exceed the practical tower length for big
+            // products; bound the work.
+            if !(1..=5).contains(&deg) {
+                continue;
+            }
+            let tower = delta_tower(&simplified, &rel, &tenv, 6)
+                .unwrap_or_else(|e| panic!("seed {seed}: tower failed for {simplified}: {e}"));
+            assert_eq!(
+                tower.len() as u32,
+                deg + 1,
+                "seed {seed}: tower length ≠ deg+1 for {simplified} (deg {deg})"
+            );
+            for (i, level) in tower.iter().enumerate() {
+                assert_eq!(
+                    degree_of_wrt(level, &rel),
+                    deg - i as u32,
+                    "seed {seed}: degree wrong at level {i} of {simplified}"
+                );
+            }
+            assert!(!tower.last().expect("tower non-empty").depends_on_rel(&rel));
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "only {checked} towers exercised");
+}
+
+#[test]
+fn theorem_4_deltas_cost_strictly_less() {
+    let mut checked = 0;
+    for seed in 0..400u64 {
+        let cfg = GenConfig { rel_card: 8, ..GenConfig::default() };
+        let mut g = QueryGen::new(seed, cfg);
+        let db = g.gen_database();
+        let q = g.gen_inc_query(&db);
+        let tenv = TypeEnv::from_database(&db);
+        let simplified = simplify(&q, &tenv).expect("simplify");
+        for rel in simplified.free_relations() {
+            // Incremental update: one tuple shaped like the relation's own
+            // elements, against a relation of several (size(ΔR) ≺ size(R)).
+            let bag = db.get(&rel).expect("relation");
+            if bag.cardinality() < 2 {
+                continue;
+            }
+            let d = simplify(&delta_wrt_rel(&simplified, &rel, &tenv).expect("delta"), &tenv)
+                .expect("simplify δ");
+            let mut cenv = CostEnv::from_database(&db);
+            for r in db.relation_names() {
+                cenv.set_delta_card(r, 1);
+            }
+            let ch = cost(&simplified, &mut cenv)
+                .unwrap_or_else(|e| panic!("seed {seed}: cost failed for {simplified}: {e}"));
+            let cd = cost(&d, &mut cenv)
+                .unwrap_or_else(|e| panic!("seed {seed}: cost failed for δ = {d}: {e}"));
+            assert!(
+                lt(&cd, &ch),
+                "seed {seed}: Thm 4 cost order violated for {simplified} wrt {rel}:\n  C[[δ]] = {cd}\n  C[[h]] = {ch}"
+            );
+            assert!(
+                tcost(&cd) < tcost(&ch),
+                "seed {seed}: Thm 4 tcost violated for {simplified} wrt {rel}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "only {checked} cost comparisons exercised");
+}
+
+#[test]
+fn size_of_respects_the_strict_order_for_small_updates() {
+    // size(ΔR) ≺ size(R) whenever ΔR has strictly fewer tuples of the same
+    // shape — the definition of an *incremental* update (§4.2).
+    for seed in 0..100u64 {
+        let mut g = QueryGen::new(seed, GenConfig::default());
+        let db = g.gen_database();
+        for rel in db.relation_names() {
+            let bag = db.get(rel).expect("bag");
+            if bag.cardinality() < 2 {
+                continue;
+            }
+            let elem_ty = db.schema(rel).expect("schema");
+            // A single existing tuple as the update.
+            let (v, _) = bag.iter().next().expect("non-empty");
+            let delta = nrc_data::Bag::singleton(v.clone());
+            let sd = size_of_bag(&delta, elem_ty);
+            let sr = size_of_bag(bag, elem_ty);
+            assert!(
+                lt(&sd, &sr),
+                "seed {seed}: size({delta}) = {sd} ⊀ size(R) = {sr} for {rel}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tcost_is_monotone_in_the_cost_order() {
+    // x ⪯ y ⇒ tcost(x) ≤ tcost(y), the glue between Thm. 4's two parts.
+    let cases = vec![
+        (Cost::One, Cost::One),
+        (Cost::bag(2, Cost::One), Cost::bag(5, Cost::One)),
+        (
+            Cost::bag(2, Cost::Tuple(vec![Cost::One, Cost::bag(3, Cost::One)])),
+            Cost::bag(4, Cost::Tuple(vec![Cost::One, Cost::bag(3, Cost::One)])),
+        ),
+        (
+            Cost::bag(3, Cost::bag(1, Cost::One)),
+            Cost::bag(3, Cost::bag(9, Cost::One)),
+        ),
+    ];
+    for (lo, hi) in cases {
+        assert!(nrc_core::cost::le(&lo, &hi));
+        assert!(tcost(&lo) <= tcost(&hi), "{lo} vs {hi}");
+    }
+}

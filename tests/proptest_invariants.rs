@@ -1,0 +1,142 @@
+//! `proptest`-driven invariants on the core data structures: the
+//! commutative-group laws of generalized bags (§3), dictionary algebra
+//! (§5.2 / App. C.2), and the circuit substrate's arithmetic.
+
+use nrc_circuit::circuit::{from_bits, to_bits};
+use nrc_circuit::{refresh_circuit, BagLayout};
+use nrc_data::{Bag, Dictionary, Label, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::int),
+        "[a-d]{1,3}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::bool),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::Tuple),
+            prop::collection::vec((inner, -3i64..4), 0..3)
+                .prop_map(|pairs| Value::Bag(Bag::from_pairs(pairs))),
+        ]
+    })
+}
+
+fn arb_bag() -> impl Strategy<Value = Bag> {
+    prop::collection::vec((arb_value(), -4i64..5), 0..6).prop_map(Bag::from_pairs)
+}
+
+fn arb_dict() -> impl Strategy<Value = Dictionary> {
+    prop::collection::vec((0u32..5, arb_bag()), 0..4).prop_map(|entries| {
+        Dictionary::from_pairs(entries.into_iter().map(|(i, b)| (Label::atomic(i), b)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bag_union_is_commutative(a in arb_bag(), b in arb_bag()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn bag_union_is_associative(a in arb_bag(), b in arb_bag(), c in arb_bag()) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn empty_is_the_identity(a in arb_bag()) {
+        prop_assert_eq!(a.union(&Bag::empty()), a.clone());
+        prop_assert_eq!(Bag::empty().union(&a), a);
+    }
+
+    #[test]
+    fn negation_is_the_inverse(a in arb_bag()) {
+        prop_assert_eq!(a.union(&a.negate()), Bag::empty());
+        prop_assert_eq!(a.negate().negate(), a);
+    }
+
+    #[test]
+    fn delta_to_always_exists(a in arb_bag(), b in arb_bag()) {
+        // The commutative-group property §3 leans on.
+        let d = a.delta_to(&b);
+        prop_assert_eq!(a.union(&d), b);
+    }
+
+    #[test]
+    fn product_distributes_over_union(a in arb_bag(), b in arb_bag(), c in arb_bag()) {
+        prop_assert_eq!(
+            a.product(&b.union(&c)),
+            a.product(&b).union(&a.product(&c))
+        );
+    }
+
+    #[test]
+    fn scaling_matches_repeated_union(a in arb_bag(), k in 0i64..5) {
+        let mut acc = Bag::empty();
+        for _ in 0..k {
+            acc.union_assign(&a);
+        }
+        prop_assert_eq!(a.scale(k), acc);
+    }
+
+    #[test]
+    fn cardinality_is_subadditive(a in arb_bag(), b in arb_bag()) {
+        prop_assert!(a.union(&b).cardinality() <= a.cardinality() + b.cardinality());
+    }
+
+    #[test]
+    fn dict_addition_is_commutative(a in arb_dict(), b in arb_dict()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn dict_addition_is_associative(a in arb_dict(), b in arb_dict(), c in arb_dict()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn dict_label_union_is_idempotent(a in arb_dict()) {
+        prop_assert_eq!(a.label_union(&a).expect("self-union"), a);
+    }
+
+    #[test]
+    fn dict_union_of_disjoint_supports_never_errors(
+        a in prop::collection::vec((0u32..3, arb_bag()), 0..3),
+        b in prop::collection::vec((10u32..13, arb_bag()), 0..3),
+    ) {
+        let da = Dictionary::from_pairs(a.into_iter().map(|(i, x)| (Label::atomic(i), x)));
+        let db = Dictionary::from_pairs(b.into_iter().map(|(i, x)| (Label::atomic(i), x)));
+        let u = da.label_union(&db).expect("disjoint supports");
+        prop_assert_eq!(u.support_size(), da.support_size() + db.support_size());
+    }
+
+    #[test]
+    fn bit_codec_roundtrips(v in 0u64..256, k in 1usize..9) {
+        prop_assert_eq!(from_bits(&to_bits(v, k)), v % (1 << k));
+    }
+
+    #[test]
+    fn refresh_circuit_matches_bag_union_mod_2k(
+        pairs_v in prop::collection::vec((0i64..6, -7i64..8), 0..5),
+        pairs_d in prop::collection::vec((0i64..6, -7i64..8), 0..5),
+    ) {
+        let k = 4;
+        let layout = BagLayout::int_domain(6, k);
+        let v = Bag::from_pairs(pairs_v.into_iter().map(|(x, m)| (Value::int(x), m)));
+        let d = Bag::from_pairs(pairs_d.into_iter().map(|(x, m)| (Value::int(x), m)));
+        let circuit = refresh_circuit(&layout);
+        let mut bits = layout.encode(&v);
+        bits.extend(layout.encode(&d));
+        let out = layout.decode(&circuit.evaluate(&bits));
+        let expected = v.union(&d);
+        for slot in 0..6 {
+            let val = Value::int(slot);
+            prop_assert_eq!(
+                out.multiplicity(&val).rem_euclid(16),
+                expected.multiplicity(&val).rem_euclid(16)
+            );
+        }
+    }
+}
