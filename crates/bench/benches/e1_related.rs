@@ -11,9 +11,10 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(3));
     g.warm_up_time(std::time::Duration::from_millis(500));
     for n in [128usize, 256, 512] {
-        for (label, strategy) in
-            [("ivm", Strategy::Shredded), ("reeval", Strategy::Reevaluate)]
-        {
+        for (label, strategy) in [
+            ("ivm", Strategy::Shredded),
+            ("reeval", Strategy::Reevaluate),
+        ] {
             g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 let (mut sys, mut gen) = setup(n, strategy, 42);
                 b.iter(|| one_update(&mut sys, &mut gen, 4));

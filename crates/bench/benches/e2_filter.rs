@@ -11,9 +11,10 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(3));
     g.warm_up_time(std::time::Duration::from_millis(500));
     for n in [1024usize, 8192] {
-        for (label, strategy) in
-            [("ivm", Strategy::FirstOrder), ("reeval", Strategy::Reevaluate)]
-        {
+        for (label, strategy) in [
+            ("ivm", Strategy::FirstOrder),
+            ("reeval", Strategy::Reevaluate),
+        ] {
             g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 let (mut sys, mut gen) = setup(n, strategy, 1);
                 b.iter(|| {

@@ -16,7 +16,8 @@ fn bench(c: &mut Criterion) {
             let label = first_items_label(&sys);
             b.iter(|| {
                 let upd = deep_update(gen.item_batch(3), label.clone());
-                sys.apply_shredded_update("Customers", &upd).expect("deep update");
+                sys.apply_shredded_update("Customers", &upd)
+                    .expect("deep update");
             });
         });
         g.bench_with_input(BenchmarkId::new("reeval", n), &n, |b, &n| {

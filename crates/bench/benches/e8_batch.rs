@@ -1,0 +1,44 @@
+//! Criterion bench for experiment E8: per-update refresh vs coalesced
+//! batches vs coalesced batches with parallel per-view refresh, per
+//! maintenance strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_bench::e8_batch::{ingest, setup_with, Mode};
+use nrc_engine::Strategy;
+use nrc_workloads::StreamConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_batch");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, strategy) in [
+        ("reeval", Strategy::Reevaluate),
+        ("first_order", Strategy::FirstOrder),
+        ("recursive", Strategy::Recursive),
+        ("shredded", Strategy::Shredded),
+    ] {
+        for (mode_label, mode) in [
+            ("single", Mode::Single),
+            ("batched", Mode::Batched),
+            ("batched_par", Mode::BatchedParallel),
+        ] {
+            let id = BenchmarkId::new(label, mode_label);
+            g.bench_with_input(id, &mode, |b, &mode| {
+                let cfg = StreamConfig {
+                    batch_size: 64,
+                    ..StreamConfig::default()
+                };
+                let (mut sys, mut gen) = setup_with(256, strategy, 42, cfg);
+                b.iter(|| {
+                    let batches = gen.batches(1);
+                    ingest(&mut sys, &batches, mode)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,14 +8,20 @@
 //! harness [--quick] [e1 e2 …]     # default: all experiments, full sizes
 //! ```
 
-use nrc_bench::{e1_related, e2_filter, e3_recursive, e4_cost, e5_deep, e6_circuit, e7_degree};
 use nrc_bench::Table;
+use nrc_bench::{
+    e1_related, e2_filter, e3_recursive, e4_cost, e5_deep, e6_circuit, e7_degree, e8_batch,
+};
 use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let want = |id: &str| selected.is_empty() || selected.contains(&id);
 
     type Runner = fn(bool) -> Table;
@@ -28,7 +34,17 @@ fn main() {
         ("e5", e5_deep::run),
         ("e6", e6_circuit::run),
         ("e7", e7_degree::run),
+        ("e8", e8_batch::run),
     ];
+    let known: Vec<&str> = runs.iter().map(|(id, _)| *id).collect();
+    for sel in &selected {
+        if !known.contains(sel) {
+            eprintln!(
+                "warning: unknown experiment `{sel}` (known: {})",
+                known.join(", ")
+            );
+        }
+    }
     for (id, f) in runs {
         if want(id) {
             eprintln!("running {id}{}…", if quick { " (quick)" } else { "" });

@@ -27,7 +27,8 @@ pub fn setup(n: usize, strategy: Strategy, seed: u64) -> (IvmSystem, MovieGen) {
     let mut gen = MovieGen::new(seed, 16, 32);
     let db = gen.database(n);
     let mut sys = IvmSystem::new(db);
-    sys.register("related", related_query(), strategy).expect("register related");
+    sys.register("related", related_query(), strategy)
+        .expect("register related");
     (sys, gen)
 }
 

@@ -61,7 +61,11 @@ pub fn run(quick: bool) -> Table {
     }
     t.note(format!(
         "IVM latency should stay ~flat while re-evaluation grows linearly; speed-ups: {}",
-        ratios.iter().map(|r| format!("{r:.0}×")).collect::<Vec<_>>().join(", ")
+        ratios
+            .iter()
+            .map(|r| format!("{r:.0}×"))
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
     t
 }

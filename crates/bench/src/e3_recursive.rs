@@ -52,13 +52,23 @@ pub fn run(quick: bool) -> Table {
     let mut t = Table::new(
         "E3",
         "recursive IVM (§4.1): materializing the input-dependent parts of δ",
-        &["N = n·m", "re-eval / upd", "1st-order / upd", "recursive / upd", "rec. speed-up vs 1st"],
+        &[
+            "N = n·m",
+            "re-eval / upd",
+            "1st-order / upd",
+            "recursive / upd",
+            "rec. speed-up vs 1st",
+        ],
     );
     let reps = if quick { 2 } else { 3 };
     let d = 2;
     for (n, m) in sizes(quick) {
         let mut us = vec![];
-        for strategy in [Strategy::Reevaluate, Strategy::FirstOrder, Strategy::Recursive] {
+        for strategy in [
+            Strategy::Reevaluate,
+            Strategy::FirstOrder,
+            Strategy::Recursive,
+        ] {
             let (mut sys, mut gen) = setup(square_of_count(), n, m, strategy, 9);
             let avg = time_avg_us(reps, || {
                 let delta = gen.bag(&[d, m]);
@@ -99,7 +109,11 @@ mod tests {
     #[test]
     fn all_strategies_agree_on_square_of_count() {
         let mut results = vec![];
-        for strategy in [Strategy::Reevaluate, Strategy::FirstOrder, Strategy::Recursive] {
+        for strategy in [
+            Strategy::Reevaluate,
+            Strategy::FirstOrder,
+            Strategy::Recursive,
+        ] {
             let (mut sys, mut gen) = setup(square_of_count(), 20, 3, strategy, 5);
             for _ in 0..3 {
                 let delta = gen.update(sys.database().get("R").unwrap(), &[2, 3], 1);

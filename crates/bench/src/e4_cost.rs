@@ -31,7 +31,12 @@ pub fn suite() -> Vec<(&'static str, Expr)> {
             for_(
                 "x",
                 flatten(rel("R")),
-                for_where("y", elem_sng("x"), cmp_lit("y", vec![], CmpOp::Gt, 500_000_000i64), elem_sng("y")),
+                for_where(
+                    "y",
+                    elem_sng("x"),
+                    cmp_lit("y", vec![], CmpOp::Gt, 500_000_000i64),
+                    elem_sng("y"),
+                ),
             ),
         ),
         ("count", for_("x", flatten(rel("R")), unit_sng())),
@@ -94,7 +99,14 @@ pub fn run(quick: bool) -> Table {
     let mut t = Table::new(
         "E4",
         "cost model (§4.2): tcost(C[[δ(h)]]) < tcost(C[[h]]), bounds track measured work",
-        &["query", "tcost(h)", "steps(h)", "tcost(δh)", "steps(δh)", "Thm 4"],
+        &[
+            "query",
+            "tcost(h)",
+            "steps(h)",
+            "tcost(δh)",
+            "steps(δh)",
+            "Thm 4",
+        ],
     );
     let rows = measure(&db, &update);
     let mut all_hold = true;

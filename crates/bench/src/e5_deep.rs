@@ -9,9 +9,9 @@
 use crate::report::{fmt_us, Table};
 use crate::time_avg_us;
 use nrc_core::builder::{elem_sng, for_, rel};
+use nrc_data::{Label, Value};
 use nrc_engine::shredded::{DeepPath, ShreddedUpdate};
 use nrc_engine::{IvmSystem, Strategy};
-use nrc_data::{Label, Value};
 use nrc_workloads::OrdersGen;
 
 /// Sweep sizes (customer counts).
@@ -42,7 +42,13 @@ pub fn first_items_label(sys: &IvmSystem) -> Label {
     let orders_label = flat
         .iter()
         .next()
-        .map(|(v, _)| v.project(2).expect("orders").as_label().expect("label").clone())
+        .map(|(v, _)| {
+            v.project(2)
+                .expect("orders")
+                .as_label()
+                .expect("label")
+                .clone()
+        })
         .expect("non-empty relation");
     // The orders dictionary lives at ctx.3.1 (field 2's node, dict part).
     let orders_dict = match ctx {
@@ -57,7 +63,13 @@ pub fn first_items_label(sys: &IvmSystem) -> Label {
     orders
         .iter()
         .next()
-        .map(|(o, _)| o.project(1).expect("items").as_label().expect("label").clone())
+        .map(|(o, _)| {
+            o.project(1)
+                .expect("items")
+                .as_label()
+                .expect("label")
+                .clone()
+        })
         .expect("non-empty order bag")
 }
 
@@ -79,7 +91,12 @@ pub fn run(quick: bool) -> Table {
     let mut t = Table::new(
         "E5",
         "deep updates (§5): dictionary ⊎ vs re-evaluating the nested view",
-        &["customers", "deep IVM / update", "re-eval / update", "speed-up"],
+        &[
+            "customers",
+            "deep IVM / update",
+            "re-eval / update",
+            "speed-up",
+        ],
     );
     let reps = if quick { 2 } else { 3 };
     for n in sizes(quick) {
@@ -88,7 +105,8 @@ pub fn run(quick: bool) -> Table {
         let label = first_items_label(&sys);
         let ivm_us = time_avg_us(reps, || {
             let upd = deep_update(gen.item_batch(3), label.clone());
-            sys.apply_shredded_update("Customers", &upd).expect("deep update");
+            sys.apply_shredded_update("Customers", &upd)
+                .expect("deep update");
         });
         // Baseline: rebuild the view from an equivalently-updated database.
         let (mut base, mut gen_b) = setup(n, Strategy::Reevaluate, 21);
@@ -127,7 +145,10 @@ mod tests {
         assert_eq!(total_items(&sys), before_items + 5);
         // And the (lazily synced) database stays consistent with the view.
         sys.sync_database().unwrap();
-        assert_eq!(&sys.view("orders_view").unwrap(), sys.database().get("Customers").unwrap());
+        assert_eq!(
+            &sys.view("orders_view").unwrap(),
+            sys.database().get("Customers").unwrap()
+        );
     }
 
     fn total_items(sys: &IvmSystem) -> u64 {
@@ -139,8 +160,7 @@ mod tests {
                 orders
                     .iter()
                     .map(|(o, om)| {
-                        o.project(1).unwrap().as_bag().unwrap().cardinality()
-                            * om.unsigned_abs()
+                        o.project(1).unwrap().as_bag().unwrap().cardinality() * om.unsigned_abs()
                     })
                     .sum::<u64>()
                     * m.unsigned_abs()

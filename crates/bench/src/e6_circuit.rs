@@ -74,9 +74,15 @@ mod tests {
         // Column 1 (refresh depth) constant, column 3 (flatten depth)
         // strictly increasing.
         let rd: Vec<&String> = t.rows.iter().map(|r| &r[1]).collect();
-        assert!(rd.windows(2).all(|w| w[0] == w[1]), "refresh depth varies: {rd:?}");
+        assert!(
+            rd.windows(2).all(|w| w[0] == w[1]),
+            "refresh depth varies: {rd:?}"
+        );
         let fd: Vec<usize> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
-        assert!(fd.windows(2).all(|w| w[1] > w[0]), "flatten depth flat: {fd:?}");
+        assert!(
+            fd.windows(2).all(|w| w[1] > w[0]),
+            "flatten depth flat: {fd:?}"
+        );
     }
 
     #[test]

@@ -38,7 +38,13 @@ pub fn run(quick: bool) -> Table {
     let mut t = Table::new(
         "E7",
         "Thm. 2: deg(δ(h)) = deg(h) − 1 — tower length equals the static degree",
-        &["query", "deg(h)", "tower levels", "degrees along tower", "steps per level"],
+        &[
+            "query",
+            "deg(h)",
+            "tower levels",
+            "degrees along tower",
+            "steps per level",
+        ],
     );
     for k in 1..=max_k {
         let q = degree_query(k);

@@ -15,6 +15,7 @@
 //! | E5 | §5: shredded IVM supports deep updates to inner bags |
 //! | E6 | Thm. 9: NC⁰ refresh vs non-NC⁰ re-evaluation circuits |
 //! | E7 | Thm. 2: the delta tower has exactly deg(h) input-dependent levels |
+//! | E8 | Prop. 4.1 additivity: coalesced batches + parallel per-view refresh |
 
 pub mod e1_related;
 pub mod e2_filter;
@@ -23,6 +24,7 @@ pub mod e4_cost;
 pub mod e5_deep;
 pub mod e6_circuit;
 pub mod e7_degree;
+pub mod e8_batch;
 pub mod report;
 
 pub use report::Table;

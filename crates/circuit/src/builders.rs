@@ -104,7 +104,11 @@ mod tests {
         let expected = v.union(&d);
         for val in [0i64, 3, 4] {
             let e = expected.multiplicity(&Value::int(val)).rem_euclid(16);
-            assert_eq!(out.multiplicity(&Value::int(val)).rem_euclid(16), e, "slot {val}");
+            assert_eq!(
+                out.multiplicity(&Value::int(val)).rem_euclid(16),
+                e,
+                "slot {val}"
+            );
         }
     }
 
@@ -115,7 +119,10 @@ mod tests {
             .into_iter()
             .map(|n| refresh_circuit(&BagLayout::int_domain(n, k)).depth())
             .collect();
-        assert!(depths.windows(2).all(|w| w[0] == w[1]), "depths vary: {depths:?}");
+        assert!(
+            depths.windows(2).all(|w| w[0] == w[1]),
+            "depths vary: {depths:?}"
+        );
     }
 
     #[test]

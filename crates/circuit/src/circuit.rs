@@ -101,7 +101,11 @@ impl Circuit {
             }
             support.push(s);
         }
-        self.outputs.iter().map(|&o| support[o].len()).max().unwrap_or(0)
+        self.outputs
+            .iter()
+            .map(|&o| support[o].len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Evaluate the circuit on an input assignment (`bits.len()` must equal
@@ -245,7 +249,11 @@ impl CircuitBuilder {
 
     /// Finalize with the given output nodes.
     pub fn finish(self, outputs: Vec<NodeId>) -> Circuit {
-        Circuit { gates: self.gates, inputs: self.inputs, outputs }
+        Circuit {
+            gates: self.gates,
+            inputs: self.inputs,
+            outputs,
+        }
     }
 
     fn push(&mut self, g: Gate) -> NodeId {
@@ -264,7 +272,9 @@ pub fn to_bits(v: u64, k: usize) -> Vec<bool> {
 
 /// Decode `k` little-endian bits into a `u64`.
 pub fn from_bits(bits: &[bool]) -> u64 {
-    bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | ((b as u64) << i))
+    bits.iter()
+        .enumerate()
+        .fold(0, |acc, (i, &b)| acc | ((b as u64) << i))
 }
 
 #[cfg(test)]

@@ -30,7 +30,10 @@ impl BagLayout {
     /// A layout whose universe is `{0, …, n−1}` as integer values —
     /// the canonical single-column active domain used by experiment E6.
     pub fn int_domain(n: usize, k: usize) -> BagLayout {
-        BagLayout { universe: (0..n as i64).map(Value::int).collect(), k }
+        BagLayout {
+            universe: (0..n as i64).map(Value::int).collect(),
+            k,
+        }
     }
 
     /// A layout for pairs over `{0,…,n−1}²` (the output universe of a
@@ -129,7 +132,10 @@ mod tests {
         let expected = a.union(&b);
         let decoded = layout.decode(&sum_bits);
         assert_eq!(decoded.multiplicity(&Value::int(0)), (3 + 30) % 32);
-        assert_eq!(decoded.multiplicity(&Value::int(1)), expected.multiplicity(&Value::int(1)));
+        assert_eq!(
+            decoded.multiplicity(&Value::int(1)),
+            expected.multiplicity(&Value::int(1))
+        );
     }
 
     #[test]
@@ -141,10 +147,7 @@ mod tests {
 
     #[test]
     fn universe_is_sorted_and_deduped() {
-        let layout = BagLayout::new(
-            vec![Value::int(2), Value::int(1), Value::int(2)],
-            1,
-        );
+        let layout = BagLayout::new(vec![Value::int(2), Value::int(1), Value::int(2)], 1);
         assert_eq!(layout.universe, vec![Value::int(1), Value::int(2)]);
     }
 }

@@ -31,7 +31,11 @@ pub fn var(name: impl Into<String>) -> Expr {
 
 /// `let name := value in body`.
 pub fn let_(name: impl Into<String>, value: Expr, body: Expr) -> Expr {
-    Expr::Let { name: name.into(), value: Box::new(value), body: Box::new(body) }
+    Expr::Let {
+        name: name.into(),
+        value: Box::new(value),
+        body: Box::new(body),
+    }
 }
 
 /// `sng(x)`.
@@ -41,7 +45,10 @@ pub fn elem_sng(var: impl Into<String>) -> Expr {
 
 /// `sng(π_path(x))` with a 0-based component path.
 pub fn proj_sng(var: impl Into<String>, path: Vec<usize>) -> Expr {
-    Expr::ProjSng { var: var.into(), path }
+    Expr::ProjSng {
+        var: var.into(),
+        path,
+    }
 }
 
 /// `sng(⟨⟩)`.
@@ -51,7 +58,10 @@ pub fn unit_sng() -> Expr {
 
 /// The nested singleton `sngι(e)`.
 pub fn sng(index: u32, body: Expr) -> Expr {
-    Expr::Sng { index, body: Box::new(body) }
+    Expr::Sng {
+        index,
+        body: Box::new(body),
+    }
 }
 
 /// `∅ : Bag(elem_ty)`.
@@ -81,7 +91,11 @@ pub fn pair(a: Expr, b: Expr) -> Expr {
 
 /// `for var in source union body`.
 pub fn for_(var: impl Into<String>, source: Expr, body: Expr) -> Expr {
-    Expr::For { var: var.into(), source: Box::new(source), body: Box::new(body) }
+    Expr::For {
+        var: var.into(),
+        source: Box::new(source),
+        body: Box::new(body),
+    }
 }
 
 /// `for var in source where pred union body` — the Example 2 sugar
@@ -92,7 +106,11 @@ pub fn for_where(var: impl Into<String>, source: Expr, pred: BoolExpr, body: Exp
         source: Box::new(Expr::Pred(pred)),
         body: Box::new(body),
     };
-    Expr::For { var: var.into(), source: Box::new(source), body: Box::new(inner) }
+    Expr::For {
+        var: var.into(),
+        source: Box::new(source),
+        body: Box::new(inner),
+    }
 }
 
 /// `flatten(e)`.
@@ -127,7 +145,11 @@ pub fn cmp_lit(
     op: CmpOp,
     lit: impl Into<BaseValue>,
 ) -> BoolExpr {
-    BoolExpr::Cmp(Operand::Ref(ScalarRef::path(var, path)), op, Operand::Lit(lit.into()))
+    BoolExpr::Cmp(
+        Operand::Ref(ScalarRef::path(var, path)),
+        op,
+        Operand::Lit(lit.into()),
+    )
 }
 
 /// The `related` query of the paper's motivating example (§2.1):
@@ -154,9 +176,13 @@ pub fn rel_b(m: &str) -> Expr {
 
 /// `isRelated(m, m2) = m.name != m2.name && (m.gen == m2.gen || m.dir == m2.dir)`.
 pub fn is_related(m: &str, m2: &str) -> BoolExpr {
-    cmp(m, vec![0], CmpOp::Ne, m2, vec![0]).and(
-        cmp(m, vec![1], CmpOp::Eq, m2, vec![1]).or(cmp(m, vec![2], CmpOp::Eq, m2, vec![2])),
-    )
+    cmp(m, vec![0], CmpOp::Ne, m2, vec![0]).and(cmp(m, vec![1], CmpOp::Eq, m2, vec![1]).or(cmp(
+        m,
+        vec![2],
+        CmpOp::Eq,
+        m2,
+        vec![2],
+    )))
 }
 
 /// `filter_p[R]` of Example 2: `for x in R where p(x) union sng(x)`.

@@ -41,7 +41,10 @@ pub enum Cost {
 impl Cost {
     /// `n{c}` constructor.
     pub fn bag(card: u64, elem: Cost) -> Cost {
-        Cost::Bag { card, elem: Box::new(elem) }
+        Cost::Bag {
+            card,
+            elem: Box::new(elem),
+        }
     }
 
     /// The bottom element `1_A` of a cost domain (minimum cardinalities are
@@ -229,7 +232,10 @@ impl CostEnv {
                 rel_sizes.insert(name.clone(), size_of_bag(bag, ty));
             }
         }
-        CostEnv { rel_sizes, ..CostEnv::default() }
+        CostEnv {
+            rel_sizes,
+            ..CostEnv::default()
+        }
     }
 
     /// Register an assumed update size for `Δ^k R`.
@@ -247,16 +253,25 @@ impl CostEnv {
             .and_then(|c| c.elem().cloned())
             .unwrap_or(Cost::One);
         for order in 1..=4 {
-            self.delta_sizes.insert((rel.to_owned(), order), Cost::bag(d, elem.clone()));
+            self.delta_sizes
+                .insert((rel.to_owned(), order), Cost::bag(d, elem.clone()));
         }
     }
 
     fn lookup_let(&self, name: &str) -> Option<&Cost> {
-        self.lets.iter().rev().find(|(n, _)| n == name).map(|(_, c)| c)
+        self.lets
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
     }
 
     fn lookup_elem(&self, name: &str) -> Option<&Cost> {
-        self.elems.iter().rev().find(|(n, _)| n == name).map(|(_, c)| c)
+        self.elems
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
     }
 }
 
@@ -278,7 +293,9 @@ fn project_cost(c: &Cost, path: &[usize]) -> Result<Cost, CostError> {
 fn as_bag_cost(c: Cost, at: &str) -> Result<(u64, Cost), CostError> {
     match c {
         Cost::Bag { card, elem } => Ok((card, *elem)),
-        other => Err(CostError::Shape(format!("expected bag cost at {at}, got {other}"))),
+        other => Err(CostError::Shape(format!(
+            "expected bag cost at {at}, got {other}"
+        ))),
     }
 }
 
@@ -402,9 +419,15 @@ mod tests {
     fn example_5_size_of_nested_bag() {
         // R = {⟨Comedy,{Carnage}⟩, ⟨Animation,{Up,Shrek,Cars}⟩}
         // size(R) = 2{⟨1, 3{1}⟩}
-        let ty = Type::pair(Type::Base(BaseType::Str), Type::bag(Type::Base(BaseType::Str)));
+        let ty = Type::pair(
+            Type::Base(BaseType::Str),
+            Type::bag(Type::Base(BaseType::Str)),
+        );
         let r = Bag::from_values([
-            Value::pair(Value::str("Comedy"), Value::Bag(Bag::from_values([Value::str("Carnage")]))),
+            Value::pair(
+                Value::str("Comedy"),
+                Value::Bag(Bag::from_values([Value::str("Carnage")])),
+            ),
             Value::pair(
                 Value::str("Animation"),
                 Value::Bag(Bag::from_values([
@@ -415,7 +438,10 @@ mod tests {
             ),
         ]);
         let c = size_of_bag(&r, &ty);
-        assert_eq!(c, Cost::bag(2, Cost::Tuple(vec![Cost::One, Cost::bag(3, Cost::One)])));
+        assert_eq!(
+            c,
+            Cost::bag(2, Cost::Tuple(vec![Cost::One, Cost::bag(3, Cost::One)]))
+        );
         assert_eq!(c.to_string(), "2{⟨1, 3{1}⟩}");
     }
 
@@ -424,7 +450,10 @@ mod tests {
         // C[[related[M]]] = |M|{⟨1, |M|{1}⟩}; tcost = |M|(1 + |M|).
         let db = example_movies();
         let c = cost_against(&related_query(), &db, 1).unwrap();
-        assert_eq!(c, Cost::bag(3, Cost::Tuple(vec![Cost::One, Cost::bag(3, Cost::One)])));
+        assert_eq!(
+            c,
+            Cost::bag(3, Cost::Tuple(vec![Cost::One, Cost::bag(3, Cost::One)]))
+        );
         assert_eq!(tcost(&c), 3 * (1 + 3));
     }
 
@@ -498,7 +527,10 @@ mod tests {
 
     #[test]
     fn bottom_matches_type_shape() {
-        let t = Type::pair(Type::Base(BaseType::Str), Type::bag(Type::Base(BaseType::Int)));
+        let t = Type::pair(
+            Type::Base(BaseType::Str),
+            Type::bag(Type::Base(BaseType::Int)),
+        );
         assert_eq!(
             Cost::bottom(&t),
             Cost::Tuple(vec![Cost::One, Cost::bag(1, Cost::One)])
@@ -526,7 +558,11 @@ mod tests {
             "R",
             Type::bag(inner),
             Bag::from_values([
-                Value::Bag(Bag::from_values([Value::int(1), Value::int(2), Value::int(3)])),
+                Value::Bag(Bag::from_values([
+                    Value::int(1),
+                    Value::int(2),
+                    Value::int(3),
+                ])),
                 Value::Bag(Bag::from_values([Value::int(4)])),
             ]),
         );

@@ -116,12 +116,14 @@ pub fn degree_wrt(e: &Expr, rel: &str, env: &mut DegreeEnv) -> u32 {
         }
         Expr::Negate(inner) | Expr::Flatten(inner) => degree_wrt(inner, rel, env),
         Expr::Product(es) => es.iter().map(|f| degree_wrt(f, rel, env)).sum(),
-        Expr::For { source, body, .. } => {
-            degree_wrt(source, rel, env) + degree_wrt(body, rel, env)
-        }
+        Expr::For { source, body, .. } => degree_wrt(source, rel, env) + degree_wrt(body, rel, env),
         Expr::DictSng { body, .. } => degree_wrt(body, rel, env),
         Expr::DictGet { dict, .. } => degree_wrt(dict, rel, env),
-        Expr::CtxTuple(es) => es.iter().map(|f| degree_wrt(f, rel, env)).max().unwrap_or(0),
+        Expr::CtxTuple(es) => es
+            .iter()
+            .map(|f| degree_wrt(f, rel, env))
+            .max()
+            .unwrap_or(0),
         Expr::CtxProj { ctx, .. } => degree_wrt(ctx, rel, env),
     }
 }
@@ -152,7 +154,10 @@ mod tests {
     fn products_and_fors_add_degrees() {
         assert_eq!(degree_of(&pair(rel("R"), rel("R"))), 2);
         assert_eq!(degree_of(&product(vec![rel("R"), rel("S"), rel("T")])), 3);
-        assert_eq!(degree_of(&for_("x", rel("R"), pair(rel("S"), elem_sng("x")))), 2);
+        assert_eq!(
+            degree_of(&for_("x", rel("R"), pair(rel("S"), elem_sng("x")))),
+            2
+        );
         assert_eq!(degree_of(&self_product_of_flatten("R")), 2);
     }
 

@@ -23,7 +23,7 @@
 
 use crate::expr::{delta_var_name, Expr};
 use crate::typecheck::{infer, TypeEnv, TypeError};
-use nrc_data::Type;
+use nrc_data::{Bag, Type};
 use std::fmt;
 
 /// Errors raised by delta derivation.
@@ -99,7 +99,10 @@ pub fn delta_wrt_rel_order(
     env: &TypeEnv,
 ) -> Result<Expr, DeltaError> {
     let mut env = env.clone();
-    let target = Target::Rel { name: rel.to_owned(), order };
+    let target = Target::Rel {
+        name: rel.to_owned(),
+        order,
+    };
     delta(e, &target, &mut env)
 }
 
@@ -113,7 +116,10 @@ pub fn delta_wrt_var(
     env: &TypeEnv,
 ) -> Result<Expr, DeltaError> {
     let mut env = env.clone();
-    let target = Target::Var { name: var.to_owned(), replacement: replacement.to_owned() };
+    let target = Target::Var {
+        name: var.to_owned(),
+        replacement: replacement.to_owned(),
+    };
     delta(e, &target, &mut env)
 }
 
@@ -166,10 +172,58 @@ fn empty_like(e: &Expr, env: &mut TypeEnv) -> Result<Expr, DeltaError> {
 /// The `∅` expression of a given (bag or context) type.
 pub fn empty_of_type(ty: &Type) -> Option<Expr> {
     match ty {
-        Type::Bag(elem) => Some(Expr::Empty { elem_ty: (**elem).clone() }),
+        Type::Bag(elem) => Some(Expr::Empty {
+            elem_ty: (**elem).clone(),
+        }),
         Type::Tuple(_) | Type::Dict(_) => Some(Expr::EmptyCtx(ty.clone())),
         _ => None,
     }
+}
+
+/// Coalesce a sequence of `(relation, Δ)` updates into one `⊎`-merged delta
+/// per relation, preserving the order in which relations first appear.
+///
+/// Soundness is the additivity underlying Prop. 4.1: updates live in the
+/// commutative group of generalized bags, so for a single relation
+/// `h[R ⊎ u₁ ⊎ u₂] = h[R] ⊎ δ(h)[R, u₁ ⊎ u₂]` — the delta query evaluated
+/// once on the coalesced update equals the composition of the per-update
+/// refreshes. Updates to *different* relations do not commute with each
+/// other's refresh in general, which is why the relation order is kept:
+/// callers apply the coalesced segments sequentially.
+///
+/// ```
+/// use nrc_core::delta::coalesce_updates;
+/// use nrc_data::{Bag, Value};
+/// let u1 = ("R".to_string(), Bag::from_values([Value::int(1)]));
+/// let u2 = ("S".to_string(), Bag::from_values([Value::int(9)]));
+/// let u3 = ("R".to_string(), Bag::from_pairs([(Value::int(1), -1)]));
+/// let coalesced = coalesce_updates([u1, u2, u3]);
+/// assert_eq!(coalesced.len(), 2);
+/// assert_eq!(coalesced[0].0, "R");
+/// assert!(coalesced[0].1.is_empty()); // insert and delete of 1 cancel
+/// ```
+pub fn coalesce_updates<I>(updates: I) -> Vec<(String, Bag)>
+where
+    I: IntoIterator<Item = (String, Bag)>,
+{
+    // Gather per-relation delta groups in first-appearance order, then merge
+    // each group with the pre-sized bulk `⊎`.
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: std::collections::BTreeMap<String, Vec<Bag>> = Default::default();
+    for (rel, delta) in updates {
+        if !groups.contains_key(&rel) {
+            order.push(rel.clone());
+        }
+        groups.entry(rel).or_default().push(delta);
+    }
+    order
+        .into_iter()
+        .map(|rel| {
+            let bags = groups.remove(&rel).expect("group recorded");
+            let merged = Bag::union_many(bags.iter());
+            (rel, merged)
+        })
+        .collect()
 }
 
 /// Does `e` use `name` anywhere — free, bound, or as a binder? Used to pick
@@ -202,9 +256,7 @@ fn delta(e: &Expr, target: &Target, env: &mut TypeEnv) -> Result<Expr, DeltaErro
     }
     match e {
         Expr::Rel(name) => match target {
-            Target::Rel { name: t, order } if t == name => {
-                Ok(Expr::DeltaRel(name.clone(), *order))
-            }
+            Target::Rel { name: t, order } if t == name => Ok(Expr::DeltaRel(name.clone(), *order)),
             _ => unreachable!("dependence check ensures the target matches"),
         },
         Expr::Var(x) => match target {
@@ -222,8 +274,10 @@ fn delta(e: &Expr, target: &Target, env: &mut TypeEnv) -> Result<Expr, DeltaErro
             env.lets.push((dname.clone(), value_ty));
 
             let result = (|| {
-                let x_target =
-                    Target::Var { name: name.clone(), replacement: dname.clone() };
+                let x_target = Target::Var {
+                    name: name.clone(),
+                    replacement: dname.clone(),
+                };
                 // δ_T(e₂) — X, ΔX treated as constants.
                 let shadowed = matches!(target, Target::Var { name: t, .. } if t == name);
                 let d_t_body = if shadowed {
@@ -275,20 +329,26 @@ fn delta(e: &Expr, target: &Target, env: &mut TypeEnv) -> Result<Expr, DeltaErro
                 }
             };
             let dep_src = target.depends(source);
-            let dsource = if dep_src { Some(delta(source, target, env)?) } else { None };
+            let dsource = if dep_src {
+                Some(delta(source, target, env)?)
+            } else {
+                None
+            };
             env.elems.push((var.clone(), elem_ty));
             let result = (|| {
                 let dep_body = target.depends(body);
-                let dbody = if dep_body { Some(delta(body, target, env)?) } else { None };
+                let dbody = if dep_body {
+                    Some(delta(body, target, env)?)
+                } else {
+                    None
+                };
                 let mk = |src: &Expr, bod: &Expr| Expr::For {
                     var: var.clone(),
                     source: Box::new(src.clone()),
                     body: Box::new(bod.clone()),
                 };
                 Ok::<_, DeltaError>(match (&dsource, &dbody) {
-                    (Some(ds), Some(db)) => {
-                        sum3(mk(ds, body), mk(source, db), mk(ds, db), false)
-                    }
+                    (Some(ds), Some(db)) => sum3(mk(ds, body), mk(source, db), mk(ds, db), false),
                     (Some(ds), None) => mk(ds, body),
                     (None, Some(db)) => mk(source, db),
                     (None, None) => unreachable!("dependence check ensures some part depends"),
@@ -301,8 +361,7 @@ fn delta(e: &Expr, target: &Target, env: &mut TypeEnv) -> Result<Expr, DeltaErro
             // n-ary generalization of δ(e₁×e₂): sum over every non-empty
             // subset S of the dependent factors, replacing exactly those with
             // their deltas (n = 2 yields the paper's three terms).
-            let dep: Vec<usize> =
-                (0..es.len()).filter(|&i| target.depends(&es[i])).collect();
+            let dep: Vec<usize> = (0..es.len()).filter(|&i| target.depends(&es[i])).collect();
             debug_assert!(!dep.is_empty());
             let mut deltas = Vec::with_capacity(dep.len());
             for &i in &dep {
@@ -327,7 +386,11 @@ fn delta(e: &Expr, target: &Target, env: &mut TypeEnv) -> Result<Expr, DeltaErro
         }
         Expr::Negate(inner) => Ok(Expr::Negate(Box::new(delta(inner, target, env)?))),
         Expr::Flatten(inner) => Ok(Expr::Flatten(Box::new(delta(inner, target, env)?))),
-        Expr::DictSng { index, params, body } => {
+        Expr::DictSng {
+            index,
+            params,
+            body,
+        } => {
             // δ([(ι,Π) ↦ e]) = [(ι,Π) ↦ δ(e)]
             for (p, t) in params {
                 env.elems.push((p.clone(), t.clone()));
@@ -336,7 +399,11 @@ fn delta(e: &Expr, target: &Target, env: &mut TypeEnv) -> Result<Expr, DeltaErro
             for _ in params {
                 env.elems.pop();
             }
-            Ok(Expr::DictSng { index: *index, params: params.clone(), body: Box::new(dbody?) })
+            Ok(Expr::DictSng {
+                index: *index,
+                params: params.clone(),
+                body: Box::new(dbody?),
+            })
         }
         Expr::DictGet { dict, label } => Ok(Expr::DictGet {
             dict: Box::new(delta(dict, target, env)?),
@@ -380,7 +447,10 @@ fn delta(e: &Expr, target: &Target, env: &mut TypeEnv) -> Result<Expr, DeltaErro
 
 fn sum3(a: Expr, b: Expr, c: Expr, is_ctx: bool) -> Expr {
     if is_ctx {
-        Expr::CtxAdd(Box::new(Expr::CtxAdd(Box::new(a), Box::new(b))), Box::new(c))
+        Expr::CtxAdd(
+            Box::new(Expr::CtxAdd(Box::new(a), Box::new(b))),
+            Box::new(c),
+        )
     } else {
         Expr::Union(Box::new(Expr::Union(Box::new(a), Box::new(b))), Box::new(c))
     }
@@ -443,10 +513,7 @@ mod tests {
         let dq = delta_wrt_rel(&q, "M", &env).unwrap();
         // δ(M×M) = ΔM×M ⊎ M×ΔM ⊎ ΔM×ΔM
         let rendered = dq.to_string();
-        assert_eq!(
-            rendered,
-            "(((ΔM × M) ⊎ (M × ΔM)) ⊎ (ΔM × ΔM))"
-        );
+        assert_eq!(rendered, "(((ΔM × M) ⊎ (M × ΔM)) ⊎ (ΔM × ΔM))");
         check_prop_4_1(&q, &db, "M", &example_movies_update());
     }
 
@@ -499,7 +566,10 @@ mod tests {
         // differentiate wrt var V where body shadows V
         let env = {
             let mut env = TypeEnv::from_database(&db);
-            env.lets.push(("V".into(), nrc_data::Type::bag(db.schema("M").unwrap().clone())));
+            env.lets.push((
+                "V".into(),
+                nrc_data::Type::bag(db.schema("M").unwrap().clone()),
+            ));
             env
         };
         let q = let_("V", rel("M"), var("V")); // inner V is the let-bound one
@@ -525,7 +595,11 @@ mod tests {
     fn input_independent_sng_is_fine() {
         let db = example_movies();
         // sng of a constant bag — in IncNRC+, delta is ∅.
-        let q = for_("m", rel("M"), sng(1, empty(nrc_data::Type::Base(nrc_data::BaseType::Int))));
+        let q = for_(
+            "m",
+            rel("M"),
+            sng(1, empty(nrc_data::Type::Base(nrc_data::BaseType::Int))),
+        );
         let env = TypeEnv::from_database(&db);
         let dq = delta_wrt_rel(&q, "M", &env).unwrap();
         check_prop_4_1(&q, &db, "M", &example_movies_update());
@@ -545,7 +619,10 @@ mod tests {
         let order = next_delta_order(&d1, "R");
         assert_eq!(order, 2);
         let d2 = delta_wrt_rel_order(&d1, "R", order, &env).unwrap();
-        assert!(!d2.depends_on_rel("R"), "δ²(h) must be input-independent: {d2}");
+        assert!(
+            !d2.depends_on_rel("R"),
+            "δ²(h) must be input-independent: {d2}"
+        );
     }
 
     #[test]

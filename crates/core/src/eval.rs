@@ -19,7 +19,7 @@
 //! `tcost(C[[h]])` of §4.2.
 
 use crate::expr::{BoolExpr, CmpOp, Expr, Operand, ScalarRef};
-use nrc_data::{Bag, BaseValue, Database, DataError, Dictionary, Label, Type, Value};
+use nrc_data::{Bag, BaseValue, DataError, Database, Dictionary, Label, Type, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -146,9 +146,9 @@ impl CtxVal {
     pub fn as_dict(&self) -> Result<&DictVal, EvalError> {
         match self {
             CtxVal::Dict(d) => Ok(d),
-            CtxVal::Tuple(_) => {
-                Err(EvalError::Malformed("expected dictionary context node".into()))
-            }
+            CtxVal::Tuple(_) => Err(EvalError::Malformed(
+                "expected dictionary context node".into(),
+            )),
         }
     }
 
@@ -157,7 +157,9 @@ impl CtxVal {
     pub fn from_value(v: &Value) -> Result<CtxVal, EvalError> {
         match v {
             Value::Tuple(vs) => Ok(CtxVal::Tuple(
-                vs.iter().map(CtxVal::from_value).collect::<Result<_, _>>()?,
+                vs.iter()
+                    .map(CtxVal::from_value)
+                    .collect::<Result<_, _>>()?,
             )),
             Value::Dict(d) => Ok(CtxVal::Dict(DictVal::Ext(d.clone()))),
             other => Err(EvalError::Malformed(format!(
@@ -199,7 +201,14 @@ pub struct Env<'a> {
 impl<'a> Env<'a> {
     /// A fresh environment over `db`.
     pub fn new(db: &'a Database) -> Env<'a> {
-        Env { db, deltas: BTreeMap::new(), lets: vec![], elems: vec![], ctx_lets: vec![], steps: 0 }
+        Env {
+            db,
+            deltas: BTreeMap::new(),
+            lets: vec![],
+            elems: vec![],
+            ctx_lets: vec![],
+            steps: 0,
+        }
     }
 
     /// Bind the first-order update `ΔR` for relation `name`.
@@ -225,15 +234,27 @@ impl<'a> Env<'a> {
     }
 
     fn lookup_let(&self, name: &str) -> Option<&Value> {
-        self.lets.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.lets
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     fn lookup_elem(&self, name: &str) -> Option<&Value> {
-        self.elems.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.elems
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     fn lookup_ctx(&self, name: &str) -> Option<&CtxVal> {
-        self.ctx_lets.iter().rev().find(|(n, _)| n == name).map(|(_, c)| c)
+        self.ctx_lets
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
     }
 
     fn resolve_ref(&self, r: &ScalarRef) -> Result<Value, EvalError> {
@@ -247,16 +268,32 @@ impl<'a> Env<'a> {
 /// Is `e` (syntactically) a context-typed expression in the current
 /// environment? Used by `let` to decide whether to bind a value or a context.
 fn expr_is_ctx(e: &Expr, env: &Env<'_>) -> bool {
-    match e {
-        Expr::CtxTuple(_)
-        | Expr::DictSng { .. }
-        | Expr::EmptyCtx(_)
-        | Expr::LabelUnion(_, _)
-        | Expr::CtxProj { .. } => true,
-        Expr::Var(x) => env.lookup_ctx(x).is_some(),
-        Expr::Let { body, .. } => expr_is_ctx(body, env),
-        _ => false,
+    fn rec(e: &Expr, env: &Env<'_>, assumed: &mut Vec<(String, bool)>) -> bool {
+        match e {
+            Expr::CtxTuple(_)
+            | Expr::DictSng { .. }
+            | Expr::EmptyCtx(_)
+            | Expr::LabelUnion(_, _)
+            | Expr::CtxAdd(_, _)
+            | Expr::CtxProj { .. } => true,
+            Expr::Var(x) => match assumed.iter().rev().find(|(n, _)| n == x) {
+                Some((_, is_ctx)) => *is_ctx,
+                None => env.lookup_ctx(x).is_some(),
+            },
+            Expr::Let { name, value, body } => {
+                // The body may reference `name`, which this let binds — the
+                // environment cannot know about it yet, so carry the
+                // hypothetical binding (ctx or not) explicitly.
+                let value_is_ctx = rec(value, env, assumed);
+                assumed.push((name.clone(), value_is_ctx));
+                let r = rec(body, env, assumed);
+                assumed.pop();
+                r
+            }
+            _ => false,
+        }
     }
+    rec(e, env, &mut Vec::new())
 }
 
 /// Evaluate a bag-typed expression to a [`Bag`].
@@ -268,7 +305,10 @@ pub fn eval_query(e: &Expr, env: &mut Env<'_>) -> Result<Bag, EvalError> {
 pub fn eval(e: &Expr, env: &mut Env<'_>) -> Result<Value, EvalError> {
     match e {
         Expr::Rel(r) => {
-            let bag = env.db.get(r).ok_or_else(|| EvalError::UnknownRelation(r.clone()))?;
+            let bag = env
+                .db
+                .get(r)
+                .ok_or_else(|| EvalError::UnknownRelation(r.clone()))?;
             env.steps += bag.distinct_count() as u64;
             Ok(Value::Bag(bag.clone()))
         }
@@ -315,7 +355,10 @@ pub fn eval(e: &Expr, env: &mut Env<'_>) -> Result<Value, EvalError> {
             Ok(Value::Bag(Bag::singleton(v)))
         }
         Expr::ProjSng { var, path } => {
-            let v = env.resolve_ref(&ScalarRef { var: var.clone(), path: path.clone() })?;
+            let v = env.resolve_ref(&ScalarRef {
+                var: var.clone(),
+                path: path.clone(),
+            })?;
             env.steps += 1;
             Ok(Value::Bag(Bag::singleton(v)))
         }
@@ -368,7 +411,11 @@ pub fn eval(e: &Expr, env: &mut Env<'_>) -> Result<Value, EvalError> {
         Expr::Pred(p) => {
             let holds = eval_pred(p, env)?;
             env.steps += 1;
-            Ok(Value::Bag(if holds { Bag::singleton(Value::unit()) } else { Bag::empty() }))
+            Ok(Value::Bag(if holds {
+                Bag::singleton(Value::unit())
+            } else {
+                Bag::empty()
+            }))
         }
         Expr::InLabel { index, args } => {
             let vals = args
@@ -376,7 +423,9 @@ pub fn eval(e: &Expr, env: &mut Env<'_>) -> Result<Value, EvalError> {
                 .map(|a| env.resolve_ref(a))
                 .collect::<Result<Vec<_>, _>>()?;
             env.steps += 1;
-            Ok(Value::Bag(Bag::singleton(Value::Label(Label::new(*index, vals)))))
+            Ok(Value::Bag(Bag::singleton(Value::Label(Label::new(
+                *index, vals,
+            )))))
         }
         Expr::DictGet { dict, label } => {
             let lv = env.resolve_ref(label)?;
@@ -468,19 +517,23 @@ fn compare(a: &BaseValue, op: CmpOp, b: &BaseValue) -> Result<bool, EvalError> {
 pub fn resolve_ctx(e: &Expr, env: &mut Env<'_>) -> Result<CtxVal, EvalError> {
     match e {
         Expr::CtxTuple(es) => Ok(CtxVal::Tuple(
-            es.iter().map(|c| resolve_ctx(c, env)).collect::<Result<_, _>>()?,
+            es.iter()
+                .map(|c| resolve_ctx(c, env))
+                .collect::<Result<_, _>>()?,
         )),
-        Expr::DictSng { index, params, body } => Ok(CtxVal::Dict(DictVal::Intens(Box::new(
-            IntensDict {
-                index: *index,
-                params: params.clone(),
-                body: (**body).clone(),
-                lets: env.lets.clone(),
-                elems: env.elems.clone(),
-                ctx_lets: env.ctx_lets.clone(),
-                deltas: env.deltas.clone(),
-            },
-        )))),
+        Expr::DictSng {
+            index,
+            params,
+            body,
+        } => Ok(CtxVal::Dict(DictVal::Intens(Box::new(IntensDict {
+            index: *index,
+            params: params.clone(),
+            body: (**body).clone(),
+            lets: env.lets.clone(),
+            elems: env.elems.clone(),
+            ctx_lets: env.ctx_lets.clone(),
+            deltas: env.deltas.clone(),
+        })))),
         Expr::EmptyCtx(t) => empty_ctx_of_type(t),
         Expr::Var(x) => {
             if let Some(c) = env.lookup_ctx(x) {
@@ -533,7 +586,9 @@ fn empty_ctx_of_type(t: &Type) -> Result<CtxVal, EvalError> {
             ts.iter().map(empty_ctx_of_type).collect::<Result<_, _>>()?,
         )),
         Type::Dict(_) => Ok(CtxVal::Dict(DictVal::Ext(Dictionary::empty()))),
-        other => Err(EvalError::Malformed(format!("{other} is not a context type"))),
+        other => Err(EvalError::Malformed(format!(
+            "{other} is not a context type"
+        ))),
     }
 }
 
@@ -542,7 +597,9 @@ pub fn ctx_label_union(a: CtxVal, b: CtxVal) -> Result<CtxVal, EvalError> {
     match (a, b) {
         (CtxVal::Tuple(xs), CtxVal::Tuple(ys)) => {
             if xs.len() != ys.len() {
-                return Err(EvalError::Malformed("context tuple arity mismatch in ∪".into()));
+                return Err(EvalError::Malformed(
+                    "context tuple arity mismatch in ∪".into(),
+                ));
             }
             Ok(CtxVal::Tuple(
                 xs.into_iter()
@@ -578,7 +635,9 @@ pub fn ctx_add(a: CtxVal, b: CtxVal) -> Result<CtxVal, EvalError> {
     match (a, b) {
         (CtxVal::Tuple(xs), CtxVal::Tuple(ys)) => {
             if xs.len() != ys.len() {
-                return Err(EvalError::Malformed("context tuple arity mismatch in ⊎Γ".into()));
+                return Err(EvalError::Malformed(
+                    "context tuple arity mismatch in ⊎Γ".into(),
+                ));
             }
             Ok(CtxVal::Tuple(
                 xs.into_iter()
@@ -842,8 +901,18 @@ mod tests {
         };
         let q = for_(
             "l",
-            for_("m", rel("M"), Expr::InLabel { index: 1, args: vec![ScalarRef::var("m")] }),
-            Expr::DictGet { dict: Box::new(dict), label: ScalarRef::var("l") },
+            for_(
+                "m",
+                rel("M"),
+                Expr::InLabel {
+                    index: 1,
+                    args: vec![ScalarRef::var("m")],
+                },
+            ),
+            Expr::DictGet {
+                dict: Box::new(dict),
+                label: ScalarRef::var("l"),
+            },
         );
         let mut env = Env::new(&db);
         let out = eval_query(&q, &mut env).unwrap();
@@ -862,8 +931,18 @@ mod tests {
         };
         let q = for_(
             "l",
-            for_("m", rel("M"), Expr::InLabel { index: 1, args: vec![ScalarRef::var("m")] }),
-            Expr::DictGet { dict: Box::new(dict), label: ScalarRef::var("l") },
+            for_(
+                "m",
+                rel("M"),
+                Expr::InLabel {
+                    index: 1,
+                    args: vec![ScalarRef::var("m")],
+                },
+            ),
+            Expr::DictGet {
+                dict: Box::new(dict),
+                label: ScalarRef::var("l"),
+            },
         );
         let mut env = Env::new(&db);
         assert_eq!(eval_query(&q, &mut env).unwrap(), Bag::empty());
@@ -886,8 +965,18 @@ mod tests {
         let union_d = Expr::LabelUnion(Box::new(d1), Box::new(d2));
         let q = for_(
             "l",
-            for_("m", rel("M"), Expr::InLabel { index: 2, args: vec![ScalarRef::var("m")] }),
-            Expr::DictGet { dict: Box::new(union_d), label: ScalarRef::var("l") },
+            for_(
+                "m",
+                rel("M"),
+                Expr::InLabel {
+                    index: 2,
+                    args: vec![ScalarRef::var("m")],
+                },
+            ),
+            Expr::DictGet {
+                dict: Box::new(union_d),
+                label: ScalarRef::var("l"),
+            },
         );
         let mut env = Env::new(&db);
         let out = eval_query(&q, &mut env).unwrap();

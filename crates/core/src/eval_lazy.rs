@@ -17,8 +17,8 @@
 //! `tcost(C[[h]])` bounds lazy work even when the eager evaluator does
 //! more (because eager evaluation materializes projected-away inner bags).
 
-use crate::expr::{Expr, ScalarRef};
 use crate::eval::{eval_pred, Env, EvalError};
+use crate::expr::{Expr, ScalarRef};
 use nrc_data::{Bag, Value};
 
 /// A lazily evaluated value: tuples and base values are strict; bag
@@ -82,15 +82,29 @@ pub struct LazyEnv<'a, 'b> {
 impl<'a, 'b> LazyEnv<'a, 'b> {
     /// Wrap an eager environment (for its database/update bindings).
     pub fn new(base: &'b mut Env<'a>) -> LazyEnv<'a, 'b> {
-        LazyEnv { base, lets: vec![], elems: vec![], lazy_steps: 0, expand_steps: 0 }
+        LazyEnv {
+            base,
+            lets: vec![],
+            elems: vec![],
+            lazy_steps: 0,
+            expand_steps: 0,
+        }
     }
 
     fn lookup_elem(&self, name: &str) -> Option<&LazyValue> {
-        self.elems.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.elems
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     fn lookup_let(&self, name: &str) -> Option<&LazyValue> {
-        self.lets.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.lets
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     fn resolve_ref(&self, r: &ScalarRef) -> Result<LazyValue, EvalError> {
@@ -104,7 +118,12 @@ impl<'a, 'b> LazyEnv<'a, 'b> {
                 })?,
                 LazyValue::Strict(v) => {
                     // Fall back to strict projection.
-                    return Ok(LazyValue::Strict(v.project_path(&r.path[r.path.iter().position(|x| *x == i).unwrap_or(0)..])?.clone()));
+                    return Ok(LazyValue::Strict(
+                        v.project_path(
+                            &r.path[r.path.iter().position(|x| *x == i).unwrap_or(0)..],
+                        )?
+                        .clone(),
+                    ));
                 }
                 other => {
                     return Err(EvalError::Malformed(format!(
@@ -165,7 +184,10 @@ pub fn eval_lazy(e: &Expr, env: &mut LazyEnv<'_, '_>) -> Result<LazyBag, EvalErr
             Ok(out)
         }
         Expr::ProjSng { var, path } => {
-            let v = env.resolve_ref(&ScalarRef { var: var.clone(), path: path.clone() })?;
+            let v = env.resolve_ref(&ScalarRef {
+                var: var.clone(),
+                path: path.clone(),
+            })?;
             env.lazy_steps += 1;
             let mut out = LazyBag::default();
             out.push(v, 1);
@@ -348,7 +370,9 @@ pub fn expand(v: &LazyValue, env: &mut LazyEnv<'_, '_>) -> Result<Value, EvalErr
     match v {
         LazyValue::Strict(v) => Ok(v.clone()),
         LazyValue::Tuple(vs) => Ok(Value::Tuple(
-            vs.iter().map(|c| expand(c, env)).collect::<Result<_, _>>()?,
+            vs.iter()
+                .map(|c| expand(c, env))
+                .collect::<Result<_, _>>()?,
         )),
         LazyValue::Bag(b) => expand_bag(b.clone(), env).map(Value::Bag),
         LazyValue::Thunk(c) => {
@@ -487,9 +511,10 @@ mod tests {
         db.insert_relation(
             "R",
             Type::bag(int),
-            nrc_data::Bag::from_values([
-                Value::Bag(nrc_data::Bag::from_values([Value::int(1), Value::int(2)])),
-            ]),
+            nrc_data::Bag::from_values([Value::Bag(nrc_data::Bag::from_values([
+                Value::int(1),
+                Value::int(2),
+            ]))]),
         );
         // Double nesting via sng of sng.
         let q = for_("x", rel("R"), sng(1, sng(2, elem_sng("x"))));

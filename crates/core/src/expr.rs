@@ -35,12 +35,18 @@ pub struct ScalarRef {
 impl ScalarRef {
     /// Reference the variable itself.
     pub fn var(name: impl Into<String>) -> ScalarRef {
-        ScalarRef { var: name.into(), path: vec![] }
+        ScalarRef {
+            var: name.into(),
+            path: vec![],
+        }
     }
 
     /// Reference a component path of the variable.
     pub fn path(name: impl Into<String>, path: Vec<usize>) -> ScalarRef {
-        ScalarRef { var: name.into(), path }
+        ScalarRef {
+            var: name.into(),
+            path,
+        }
     }
 }
 
@@ -478,9 +484,11 @@ impl Expr {
     pub fn depends_on_var(&self, name: &str) -> bool {
         match self {
             Expr::Var(v) => v == name,
-            Expr::Let { name: n, value, body } => {
-                value.depends_on_var(name) || (n != name && body.depends_on_var(name))
-            }
+            Expr::Let {
+                name: n,
+                value,
+                body,
+            } => value.depends_on_var(name) || (n != name && body.depends_on_var(name)),
             _ => {
                 let mut found = false;
                 self.for_each_child(|c| found = found || c.depends_on_var(name));
@@ -588,7 +596,11 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
-            Expr::DictSng { index, params, body } => {
+            Expr::DictSng {
+                index,
+                params,
+                body,
+            } => {
                 write!(f, "[(ι{index},")?;
                 for (i, (p, _)) in params.iter().enumerate() {
                     if i > 0 {
@@ -629,14 +641,21 @@ mod tests {
         let e = let_(
             "X",
             rel("R"),
-            for_("x", var("X"), product(vec![rel("S"), Expr::DeltaRel("R".into(), 1)])),
+            for_(
+                "x",
+                var("X"),
+                product(vec![rel("S"), Expr::DeltaRel("R".into(), 1)]),
+            ),
         );
         assert_eq!(
             e.free_relations(),
             ["R", "S"].iter().map(|s| s.to_string()).collect()
         );
         assert!(e.free_let_vars().is_empty());
-        assert_eq!(e.delta_relations(), [("R".to_string(), 1)].into_iter().collect());
+        assert_eq!(
+            e.delta_relations(),
+            [("R".to_string(), 1)].into_iter().collect()
+        );
         assert!(e.depends_on_rel("S"));
         assert!(!e.depends_on_rel("T"));
     }

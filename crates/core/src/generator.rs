@@ -59,7 +59,12 @@ pub struct QueryGen {
 impl QueryGen {
     /// A deterministic generator for the given seed.
     pub fn new(seed: u64, cfg: GenConfig) -> QueryGen {
-        QueryGen { rng: StdRng::seed_from_u64(seed), cfg, next_var: 0, next_sng: 1 }
+        QueryGen {
+            rng: StdRng::seed_from_u64(seed),
+            cfg,
+            next_var: 0,
+            next_sng: 1,
+        }
     }
 
     fn fresh_var(&mut self) -> String {
@@ -90,7 +95,11 @@ impl QueryGen {
             0..=4 => Type::Base(self.gen_base_type()),
             5..=7 => {
                 let n = self.rng.gen_range(2..=3);
-                Type::Tuple((0..n).map(|_| self.gen_type(depth.saturating_sub(1))).collect())
+                Type::Tuple(
+                    (0..n)
+                        .map(|_| self.gen_type(depth.saturating_sub(1)))
+                        .collect(),
+                )
             }
             _ if depth > 0 => Type::bag(self.gen_type(depth - 1)),
             _ => Type::Base(self.gen_base_type()),
@@ -220,9 +229,7 @@ impl QueryGen {
         let let_vars_matching: Vec<String> = scope
             .lets
             .iter()
-            .filter(|(_, t, indep)| {
-                *t == Type::bag(elem.clone()) && (allow_input || *indep)
-            })
+            .filter(|(_, t, indep)| *t == Type::bag(elem.clone()) && (allow_input || *indep))
             .map(|(n, _, _)| n.clone())
             .collect();
 
@@ -260,7 +267,9 @@ impl QueryGen {
 
         let choice = options[self.rng.gen_range(0..options.len())];
         match choice {
-            0 => Expr::Empty { elem_ty: elem.clone() },
+            0 => Expr::Empty {
+                elem_ty: elem.clone(),
+            },
             1 => Expr::Rel(rels_matching[self.rng.gen_range(0..rels_matching.len())].clone()),
             2 => Expr::ElemSng(
                 elem_vars_matching[self.rng.gen_range(0..elem_vars_matching.len())].clone(),
@@ -281,15 +290,21 @@ impl QueryGen {
                     Expr::Pred(self.gen_pred(scope))
                 }
             }
-            5 => Expr::Var(
-                let_vars_matching[self.rng.gen_range(0..let_vars_matching.len())].clone(),
-            ),
+            5 => {
+                Expr::Var(let_vars_matching[self.rng.gen_range(0..let_vars_matching.len())].clone())
+            }
             6 => {
                 let a = self.gen_bag_expr(elem, db, scope, depth - 1, allow_input);
                 let b = self.gen_bag_expr(elem, db, scope, depth - 1, allow_input);
                 Expr::Union(Box::new(a), Box::new(b))
             }
-            7 => Expr::Negate(Box::new(self.gen_bag_expr(elem, db, scope, depth - 1, allow_input))),
+            7 => Expr::Negate(Box::new(self.gen_bag_expr(
+                elem,
+                db,
+                scope,
+                depth - 1,
+                allow_input,
+            ))),
             8 => {
                 let ts = match elem {
                     Type::Tuple(ts) => ts.clone(),
@@ -309,16 +324,15 @@ impl QueryGen {
                 scope.elems.push((var.clone(), src_elem));
                 let body = self.gen_bag_expr(elem, db, scope, depth - 1, allow_input);
                 scope.elems.pop();
-                Expr::For { var, source: Box::new(source), body: Box::new(body) }
+                Expr::For {
+                    var,
+                    source: Box::new(source),
+                    body: Box::new(body),
+                }
             }
             10 => {
-                let inner = self.gen_bag_expr(
-                    &Type::bag(elem.clone()),
-                    db,
-                    scope,
-                    depth - 1,
-                    allow_input,
-                );
+                let inner =
+                    self.gen_bag_expr(&Type::bag(elem.clone()), db, scope, depth - 1, allow_input);
                 Expr::Flatten(Box::new(inner))
             }
             11 => {
@@ -334,7 +348,10 @@ impl QueryGen {
                     // still fine (sng* only restricts database access).
                     self.gen_bag_expr(&inner_elem, db, scope, depth - 1, false)
                 };
-                Expr::Sng { index: self.fresh_sng(), body: Box::new(body) }
+                Expr::Sng {
+                    index: self.fresh_sng(),
+                    body: Box::new(body),
+                }
             }
             12 => {
                 let bound_elem = self.pick_source_type(db, scope, allow_input);
@@ -353,10 +370,16 @@ impl QueryGen {
                             .map(|(_, _, i)| *i)
                             .unwrap_or(false)
                     });
-                scope.lets.push((name.clone(), Type::bag(bound_elem), indep));
+                scope
+                    .lets
+                    .push((name.clone(), Type::bag(bound_elem), indep));
                 let body = self.gen_bag_expr(elem, db, scope, depth - 1, allow_input);
                 scope.lets.pop();
-                Expr::Let { name, value: Box::new(value), body: Box::new(body) }
+                Expr::Let {
+                    name,
+                    value: Box::new(value),
+                    body: Box::new(body),
+                }
             }
             _ => unreachable!("exhaustive choice list"),
         }
@@ -458,11 +481,7 @@ fn collect_paths(t: &Type, want: &Type, prefix: &mut Vec<usize>, f: &mut impl Fn
     }
 }
 
-fn collect_base_paths(
-    t: &Type,
-    prefix: &mut Vec<usize>,
-    f: &mut impl FnMut(Vec<usize>, BaseType),
-) {
+fn collect_base_paths(t: &Type, prefix: &mut Vec<usize>, f: &mut impl FnMut(Vec<usize>, BaseType)) {
     match t {
         Type::Base(b) => f(prefix.clone(), *b),
         Type::Tuple(ts) => {
@@ -487,9 +506,8 @@ mod tests {
             let mut g = QueryGen::new(seed, GenConfig::default());
             let db = g.gen_database();
             let q = g.gen_query(&db);
-            typecheck(&q, &db).unwrap_or_else(|e| {
-                panic!("seed {seed}: generated ill-typed query {q}: {e}")
-            });
+            typecheck(&q, &db)
+                .unwrap_or_else(|e| panic!("seed {seed}: generated ill-typed query {q}: {e}"));
         }
     }
 
@@ -524,7 +542,10 @@ mod tests {
             let delta = g.gen_update(&db, "R0");
             let ty = db.schema("R0").unwrap();
             for (v, _) in delta.iter() {
-                assert!(v.conforms_to(ty), "seed {seed}: {v} does not conform to {ty}");
+                assert!(
+                    v.conforms_to(ty),
+                    "seed {seed}: {v} does not conform to {ty}"
+                );
             }
         }
     }

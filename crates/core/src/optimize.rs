@@ -82,12 +82,19 @@ fn simp(e: &Expr, env: &mut TypeEnv) -> Result<Expr, TypeError> {
             if matches!(v, Expr::Empty { .. } | Expr::EmptyCtx(_)) {
                 return simp(&subst_var(&b, name, &v), env);
             }
-            Ok(Expr::Let { name: name.clone(), value: Box::new(v), body: Box::new(b) })
+            Ok(Expr::Let {
+                name: name.clone(),
+                value: Box::new(v),
+                body: Box::new(b),
+            })
         }
 
         Expr::Sng { index, body } => {
             let b = simp(body, env)?;
-            Ok(Expr::Sng { index: *index, body: Box::new(b) })
+            Ok(Expr::Sng {
+                index: *index,
+                body: Box::new(b),
+            })
         }
 
         Expr::Union(a, b) => {
@@ -142,7 +149,9 @@ fn simp(e: &Expr, env: &mut TypeEnv) -> Result<Expr, TypeError> {
                         }
                     }
                 }
-                return Ok(Expr::Empty { elem_ty: Type::Tuple(elems) });
+                return Ok(Expr::Empty {
+                    elem_ty: Type::Tuple(elems),
+                });
             }
             Ok(Expr::Product(parts))
         }
@@ -196,13 +205,19 @@ fn simp(e: &Expr, env: &mut TypeEnv) -> Result<Expr, TypeError> {
             if matches!(src, Expr::UnitSng) && !b.free_elem_vars().contains(var) {
                 return Ok(b);
             }
-            Ok(Expr::For { var: var.clone(), source: Box::new(src), body: Box::new(b) })
+            Ok(Expr::For {
+                var: var.clone(),
+                source: Box::new(src),
+                body: Box::new(b),
+            })
         }
 
         Expr::Flatten(inner) => {
             let x = simp(inner, env)?;
             match x {
-                Expr::Empty { elem_ty: Type::Bag(t) } => Ok(Expr::Empty { elem_ty: *t }),
+                Expr::Empty {
+                    elem_ty: Type::Bag(t),
+                } => Ok(Expr::Empty { elem_ty: *t }),
                 Expr::Sng { body, .. } => Ok(*body),
                 Expr::Union(a, b) => {
                     let fa = simp(&Expr::Flatten(a), env)?;
@@ -217,7 +232,11 @@ fn simp(e: &Expr, env: &mut TypeEnv) -> Result<Expr, TypeError> {
             }
         }
 
-        Expr::DictSng { index, params, body } => {
+        Expr::DictSng {
+            index,
+            params,
+            body,
+        } => {
             for (p, t) in params {
                 env.elems.push((p.clone(), t.clone()));
             }
@@ -225,15 +244,24 @@ fn simp(e: &Expr, env: &mut TypeEnv) -> Result<Expr, TypeError> {
             for _ in params {
                 env.elems.pop();
             }
-            Ok(Expr::DictSng { index: *index, params: params.clone(), body: Box::new(b?) })
+            Ok(Expr::DictSng {
+                index: *index,
+                params: params.clone(),
+                body: Box::new(b?),
+            })
         }
 
         Expr::DictGet { dict, label } => {
             let d = simp(dict, env)?;
             if let Expr::EmptyCtx(Type::Dict(elem)) = &d {
-                return Ok(Expr::Empty { elem_ty: (**elem).clone() });
+                return Ok(Expr::Empty {
+                    elem_ty: (**elem).clone(),
+                });
             }
-            Ok(Expr::DictGet { dict: Box::new(d), label: label.clone() })
+            Ok(Expr::DictGet {
+                dict: Box::new(d),
+                label: label.clone(),
+            })
         }
 
         Expr::CtxTuple(es) => {
@@ -251,7 +279,10 @@ fn simp(e: &Expr, env: &mut TypeEnv) -> Result<Expr, TypeError> {
                 Expr::EmptyCtx(Type::Tuple(ts)) if *index < ts.len() => {
                     Ok(Expr::EmptyCtx(ts[*index].clone()))
                 }
-                other => Ok(Expr::CtxProj { ctx: Box::new(other), index: *index }),
+                other => Ok(Expr::CtxProj {
+                    ctx: Box::new(other),
+                    index: *index,
+                }),
             }
         }
 
@@ -287,14 +318,27 @@ fn simp(e: &Expr, env: &mut TypeEnv) -> Result<Expr, TypeError> {
 pub fn subst_var(e: &Expr, name: &str, replacement: &Expr) -> Expr {
     match e {
         Expr::Var(x) if x == name => replacement.clone(),
-        Expr::Let { name: n, value, body } => {
+        Expr::Let {
+            name: n,
+            value,
+            body,
+        } => {
             let v = subst_var(value, name, replacement);
-            let b = if n == name { (**body).clone() } else { subst_var(body, name, replacement) };
-            Expr::Let { name: n.clone(), value: Box::new(v), body: Box::new(b) }
+            let b = if n == name {
+                (**body).clone()
+            } else {
+                subst_var(body, name, replacement)
+            };
+            Expr::Let {
+                name: n.clone(),
+                value: Box::new(v),
+                body: Box::new(b),
+            }
         }
-        Expr::Sng { index, body } => {
-            Expr::Sng { index: *index, body: Box::new(subst_var(body, name, replacement)) }
-        }
+        Expr::Sng { index, body } => Expr::Sng {
+            index: *index,
+            body: Box::new(subst_var(body, name, replacement)),
+        },
         Expr::Union(a, b) => Expr::Union(
             Box::new(subst_var(a, name, replacement)),
             Box::new(subst_var(b, name, replacement)),
@@ -324,7 +368,11 @@ pub fn subst_var(e: &Expr, name: &str, replacement: &Expr) -> Expr {
             source: Box::new(subst_var(source, name, replacement)),
             body: Box::new(subst_var(body, name, replacement)),
         },
-        Expr::DictSng { index, params, body } => Expr::DictSng {
+        Expr::DictSng {
+            index,
+            params,
+            body,
+        } => Expr::DictSng {
             index: *index,
             params: params.clone(),
             body: Box::new(subst_var(body, name, replacement)),
@@ -356,7 +404,10 @@ pub fn subst_scalar(e: &Expr, var: &str, r: &ScalarRef) -> Expr {
         if sr.var == var {
             let mut path = r.path.clone();
             path.extend_from_slice(&sr.path);
-            ScalarRef { var: r.var.clone(), path }
+            ScalarRef {
+                var: r.var.clone(),
+                path,
+            }
         } else {
             sr.clone()
         }
@@ -366,7 +417,10 @@ pub fn subst_scalar(e: &Expr, var: &str, r: &ScalarRef) -> Expr {
             if r.path.is_empty() {
                 Expr::ElemSng(r.var.clone())
             } else {
-                Expr::ProjSng { var: r.var.clone(), path: r.path.clone() }
+                Expr::ProjSng {
+                    var: r.var.clone(),
+                    path: r.path.clone(),
+                }
             }
         }
         Expr::ProjSng { var: x, path } if x == var => {
@@ -375,38 +429,63 @@ pub fn subst_scalar(e: &Expr, var: &str, r: &ScalarRef) -> Expr {
             if p.is_empty() {
                 Expr::ElemSng(r.var.clone())
             } else {
-                Expr::ProjSng { var: r.var.clone(), path: p }
+                Expr::ProjSng {
+                    var: r.var.clone(),
+                    path: p,
+                }
             }
         }
         Expr::Pred(p) => Expr::Pred(subst_pred(p, &rr)),
-        Expr::InLabel { index, args } => {
-            Expr::InLabel { index: *index, args: args.iter().map(&rr).collect() }
-        }
+        Expr::InLabel { index, args } => Expr::InLabel {
+            index: *index,
+            args: args.iter().map(&rr).collect(),
+        },
         Expr::DictGet { dict, label } => Expr::DictGet {
             dict: Box::new(subst_scalar(dict, var, r)),
             label: rr(label),
         },
-        Expr::For { var: v, source, body } => {
+        Expr::For {
+            var: v,
+            source,
+            body,
+        } => {
             let src = subst_scalar(source, var, r);
-            let b = if v == var { (**body).clone() } else { subst_scalar(body, var, r) };
-            Expr::For { var: v.clone(), source: Box::new(src), body: Box::new(b) }
+            let b = if v == var {
+                (**body).clone()
+            } else {
+                subst_scalar(body, var, r)
+            };
+            Expr::For {
+                var: v.clone(),
+                source: Box::new(src),
+                body: Box::new(b),
+            }
         }
-        Expr::DictSng { index, params, body } => {
+        Expr::DictSng {
+            index,
+            params,
+            body,
+        } => {
             let b = if params.iter().any(|(p, _)| p == var) {
                 (**body).clone()
             } else {
                 subst_scalar(body, var, r)
             };
-            Expr::DictSng { index: *index, params: params.clone(), body: Box::new(b) }
+            Expr::DictSng {
+                index: *index,
+                params: params.clone(),
+                body: Box::new(b),
+            }
         }
         Expr::Let { name, value, body } => Expr::Let {
             name: name.clone(),
             value: Box::new(subst_scalar(value, var, r)),
             body: Box::new(subst_scalar(body, var, r)),
         },
-        Expr::Sng { index, body } => {
-            Expr::Sng { index: *index, body: Box::new(subst_scalar(body, var, r)) }
-        }
+        Expr::Sng { index, body } => Expr::Sng {
+            index: *index,
+            body: Box::new(subst_scalar(body, var, r)),
+        },
         Expr::Union(a, b) => Expr::Union(
             Box::new(subst_scalar(a, var, r)),
             Box::new(subst_scalar(b, var, r)),
@@ -446,8 +525,12 @@ fn subst_pred(p: &BoolExpr, rr: &impl Fn(&ScalarRef) -> ScalarRef) -> BoolExpr {
     };
     match p {
         BoolExpr::Cmp(a, op, b) => BoolExpr::Cmp(ro(a), *op, ro(b)),
-        BoolExpr::And(a, b) => BoolExpr::And(Box::new(subst_pred(a, rr)), Box::new(subst_pred(b, rr))),
-        BoolExpr::Or(a, b) => BoolExpr::Or(Box::new(subst_pred(a, rr)), Box::new(subst_pred(b, rr))),
+        BoolExpr::And(a, b) => {
+            BoolExpr::And(Box::new(subst_pred(a, rr)), Box::new(subst_pred(b, rr)))
+        }
+        BoolExpr::Or(a, b) => {
+            BoolExpr::Or(Box::new(subst_pred(a, rr)), Box::new(subst_pred(b, rr)))
+        }
         BoolExpr::Not(a) => BoolExpr::Not(Box::new(subst_pred(a, rr))),
         BoolExpr::Const(b) => BoolExpr::Const(*b),
     }
@@ -487,7 +570,10 @@ mod tests {
 
     #[test]
     fn negate_laws() {
-        assert_eq!(simplify(&negate(negate(rel("M"))), &env()).unwrap(), rel("M"));
+        assert_eq!(
+            simplify(&negate(negate(rel("M"))), &env()).unwrap(),
+            rel("M")
+        );
         assert_eq!(
             simplify(&negate(empty(int_ty())), &env()).unwrap(),
             empty(int_ty())
@@ -551,9 +637,16 @@ mod tests {
 
     #[test]
     fn ctx_laws() {
-        let d = Expr::DictSng { index: 1, params: vec![], body: Box::new(unit_sng()) };
+        let d = Expr::DictSng {
+            index: 1,
+            params: vec![],
+            body: Box::new(unit_sng()),
+        };
         let t = Expr::CtxTuple(vec![d.clone(), Expr::CtxTuple(vec![])]);
-        let proj = Expr::CtxProj { ctx: Box::new(t), index: 0 };
+        let proj = Expr::CtxProj {
+            ctx: Box::new(t),
+            index: 0,
+        };
         assert_eq!(simplify(&proj, &env()).unwrap(), d);
         let u = Expr::LabelUnion(
             Box::new(Expr::EmptyCtx(Type::dict(Type::unit()))),

@@ -86,7 +86,9 @@ fn check_value(v: &Value, ty: &Type, ctx: &Value) -> Result<(), ConsistencyError
                     )))
                 }
             };
-            let def = dict.get(l).ok_or_else(|| ConsistencyError::Undefined(l.clone()))?;
+            let def = dict
+                .get(l)
+                .ok_or_else(|| ConsistencyError::Undefined(l.clone()))?;
             for (dv, _) in def.iter() {
                 check_value(dv, elem_ty, child)?;
             }
@@ -117,8 +119,7 @@ pub fn check_update_consistent(
 }
 
 fn add_ctx(a: &Value, b: &Value) -> Result<Value, ConsistencyError> {
-    super::values::add_ctx_value(a, b)
-        .map_err(|e| ConsistencyError::Shape(e.to_string()))
+    super::values::add_ctx_value(a, b).map_err(|e| ConsistencyError::Shape(e.to_string()))
 }
 
 /// Collect every label defined anywhere inside a context value.
@@ -145,7 +146,10 @@ mod tests {
     use nrc_data::{Bag, BaseType, Dictionary};
 
     fn nested_instance() -> (Bag, Type) {
-        let ty = Type::pair(Type::Base(BaseType::Str), Type::bag(Type::Base(BaseType::Str)));
+        let ty = Type::pair(
+            Type::Base(BaseType::Str),
+            Type::bag(Type::Base(BaseType::Str)),
+        );
         let bag = Bag::from_values([Value::pair(
             Value::str("a"),
             Value::Bag(Bag::from_values([Value::str("x")])),
@@ -194,8 +198,7 @@ mod tests {
             Value::Label(nrc_data::Label::atomic(99_999_999)),
         )]);
         let empty_dctx = crate::shred::values::empty_ctx_value(&ty).unwrap();
-        let err =
-            check_update_consistent(&flat, &ctx, &bogus_flat, &empty_dctx, &ty).unwrap_err();
+        let err = check_update_consistent(&flat, &ctx, &bogus_flat, &empty_dctx, &ty).unwrap_err();
         assert!(matches!(err, ConsistencyError::Undefined(_)));
     }
 

@@ -20,7 +20,7 @@ use super::transform::Shredded;
 use super::values::{nest_bag, shred_bag, LabelGen};
 use super::ShredError;
 use crate::eval::{apply_dict, eval_query, resolve_ctx, CtxVal, Env};
-use nrc_data::{Bag, Database, DataError, Dictionary, Label, Type, Value};
+use nrc_data::{Bag, DataError, Database, Dictionary, Label, Type, Value};
 use std::collections::BTreeSet;
 
 /// Label requests per context node, mirroring the context type's tree shape.
@@ -44,8 +44,13 @@ fn req_empty(ty: &Type) -> Result<ReqTree, ShredError> {
         Type::Tuple(ts) => Ok(ReqTree::Tuple(
             ts.iter().map(req_empty).collect::<Result<_, _>>()?,
         )),
-        Type::Bag(c) => Ok(ReqTree::Node { labels: BTreeSet::new(), child: Box::new(req_empty(c)?) }),
-        other => Err(ShredError::Shape(format!("{other} is not a shreddable type"))),
+        Type::Bag(c) => Ok(ReqTree::Node {
+            labels: BTreeSet::new(),
+            child: Box::new(req_empty(c)?),
+        }),
+        other => Err(ShredError::Shape(format!(
+            "{other} is not a shreddable type"
+        ))),
     }
 }
 
@@ -218,8 +223,7 @@ fn refresh_level(
                 let def = match old_dict.get(l) {
                     Some(existing) => {
                         // Incremental: old definition ⊎ delta contribution.
-                        let change =
-                            apply_dict(delta_dict, l, env_delta)?.unwrap_or_default();
+                        let change = apply_dict(delta_dict, l, env_delta)?.unwrap_or_default();
                         existing.union(&change)
                     }
                     None => {
@@ -234,11 +238,19 @@ fn refresh_level(
                 dict.define(l.clone(), def);
             }
             let child_val = refresh_level(
-                old_child, full_child, delta_child, elem_ty, &child_req, env_new, env_delta,
+                old_child,
+                full_child,
+                delta_child,
+                elem_ty,
+                &child_req,
+                env_new,
+                env_delta,
             )?;
             Ok(Value::Tuple(vec![Value::Dict(dict), child_val]))
         }
-        _ => Err(ShredError::Shape("refresh: request/type shape mismatch".into())),
+        _ => Err(ShredError::Shape(
+            "refresh: request/type shape mismatch".into(),
+        )),
     }
 }
 
@@ -327,7 +339,11 @@ mod tests {
     fn theorem_8_for_union_and_negation() {
         let q = union(
             related_query(),
-            negate(for_("m", rel("M"), pair(proj_sng("m", vec![0]), sng(7, rel_b("m"))))),
+            negate(for_(
+                "m",
+                rel("M"),
+                pair(proj_sng("m", vec![0]), sng(7, rel_b("m"))),
+            )),
         );
         // related ⊎ ⊖(related-with-different-indices) — exercises ∪ of
         // contexts with disjoint indices; semantically ∅ output.
@@ -338,12 +354,18 @@ mod tests {
     fn theorem_8_for_nested_input_roundtrip_through_query() {
         // Query over an input with nested bags: keep elements whole.
         let mut db = Database::new();
-        let elem = Type::pair(Type::Base(BaseType::Int), Type::bag(Type::Base(BaseType::Int)));
+        let elem = Type::pair(
+            Type::Base(BaseType::Int),
+            Type::bag(Type::Base(BaseType::Int)),
+        );
         db.insert_relation(
             "R",
             elem.clone(),
             Bag::from_values([
-                Value::pair(Value::int(1), Value::Bag(Bag::from_values([Value::int(10)]))),
+                Value::pair(
+                    Value::int(1),
+                    Value::Bag(Bag::from_values([Value::int(10)])),
+                ),
                 Value::pair(Value::int(2), Value::Bag(Bag::empty())),
             ]),
         );
@@ -417,9 +439,15 @@ mod tests {
         // Replace the context binding with empty dictionaries.
         let empty_ctx = super::super::values::empty_ctx_value(db2.schema("R").unwrap()).unwrap();
         env2.ctx_lets.clear();
-        env2.bind_ctx(super::super::ctx_name("R"), CtxVal::from_value(&empty_ctx).unwrap());
+        env2.bind_ctx(
+            super::super::ctx_name("R"),
+            CtxVal::from_value(&empty_ctx).unwrap(),
+        );
         drop(shredded);
         let err = eval_shredded(&s2, &mut env2).unwrap_err();
-        assert!(matches!(err, ShredError::Data(DataError::UndefinedLabel { .. })));
+        assert!(matches!(
+            err,
+            ShredError::Data(DataError::UndefinedLabel { .. })
+        ));
     }
 }

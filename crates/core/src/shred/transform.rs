@@ -51,7 +51,12 @@ impl Shredder {
     /// Create a shredder for queries typed against `orig_env` (relation
     /// schemas of the original database).
     pub fn new(orig_env: TypeEnv) -> Shredder {
-        Shredder { orig_env, shred_env: TypeEnv::default(), next_index: 1, next_label_var: 0 }
+        Shredder {
+            orig_env,
+            shred_env: TypeEnv::default(),
+            next_index: 1,
+            next_label_var: 0,
+        }
     }
 
     /// Allocate a fresh static index `ι`.
@@ -94,11 +99,17 @@ impl Shredder {
     fn go(&mut self, e: &Expr) -> Result<(Expr, Expr), ShredError> {
         match e {
             // sh^F(R) = R__F, sh^Γ(R) = R__G (value shredding of the input).
-            Expr::Rel(r) => Ok((Expr::Var(super::flat_name(r)), Expr::Var(super::ctx_name(r)))),
+            Expr::Rel(r) => Ok((
+                Expr::Var(super::flat_name(r)),
+                Expr::Var(super::ctx_name(r)),
+            )),
             Expr::DeltaRel(r, k) => Err(ShredError::Unsupported(format!(
                 "Δ^{k}{r}: deltas are derived after shredding, not before"
             ))),
-            Expr::Var(x) => Ok((Expr::Var(super::flat_name(x)), Expr::Var(super::ctx_name(x)))),
+            Expr::Var(x) => Ok((
+                Expr::Var(super::flat_name(x)),
+                Expr::Var(super::ctx_name(x)),
+            )),
             Expr::Let { name, value, body } => {
                 let vty = infer(value, &mut self.orig_env)?;
                 let (vf, vg) = self.go(value)?;
@@ -124,16 +135,23 @@ impl Shredder {
                 Ok((wrap(bf), wrap(bg)))
             }
             // sh^F(sng(x)) = sng(x) over the flat x; sh^Γ(sng(x)) = x^Γ.
-            Expr::ElemSng(x) => {
-                Ok((Expr::ElemSng(x.clone()), Expr::Var(super::elem_ctx_name(x))))
-            }
+            Expr::ElemSng(x) => Ok((Expr::ElemSng(x.clone()), Expr::Var(super::elem_ctx_name(x)))),
             // sh^F(sng(π_p(x))) = sng(π_p(x)); sh^Γ = x^Γ projected along p.
             Expr::ProjSng { var, path } => {
                 let mut ctx = Expr::Var(super::elem_ctx_name(var));
                 for &i in path {
-                    ctx = Expr::CtxProj { ctx: Box::new(ctx), index: i };
+                    ctx = Expr::CtxProj {
+                        ctx: Box::new(ctx),
+                        index: i,
+                    };
                 }
-                Ok((Expr::ProjSng { var: var.clone(), path: path.clone() }, ctx))
+                Ok((
+                    Expr::ProjSng {
+                        var: var.clone(),
+                        path: path.clone(),
+                    },
+                    ctx,
+                ))
             }
             Expr::UnitSng => Ok((Expr::UnitSng, Expr::CtxTuple(vec![]))),
             // The key case: sngι(e) becomes inL + a dictionary literal.
@@ -156,11 +174,17 @@ impl Shredder {
                     args.push(ScalarRef::var(v.clone()));
                 }
                 let flat = Expr::InLabel { index, args };
-                let dict = Expr::DictSng { index, params, body: Box::new(bf) };
+                let dict = Expr::DictSng {
+                    index,
+                    params,
+                    body: Box::new(bf),
+                };
                 Ok((flat, Expr::CtxTuple(vec![dict, bg])))
             }
             Expr::Empty { elem_ty } => Ok((
-                Expr::Empty { elem_ty: shred_type_flat(elem_ty)? },
+                Expr::Empty {
+                    elem_ty: shred_type_flat(elem_ty)?,
+                },
                 Expr::EmptyCtx(shred_type_ctx(elem_ty)?),
             )),
             Expr::Union(a, b) => {
@@ -216,7 +240,11 @@ impl Shredder {
                         body: Box::new(bf),
                     }),
                 };
-                let ctx = Expr::Let { name: ctx_var, value: Box::new(sg), body: Box::new(bg) };
+                let ctx = Expr::Let {
+                    name: ctx_var,
+                    value: Box::new(sg),
+                    body: Box::new(bg),
+                };
                 Ok((flat, ctx))
             }
             Expr::Flatten(inner) => {
@@ -228,11 +256,17 @@ impl Shredder {
                     var: lvar.clone(),
                     source: Box::new(f),
                     body: Box::new(Expr::DictGet {
-                        dict: Box::new(Expr::CtxProj { ctx: Box::new(g.clone()), index: 0 }),
+                        dict: Box::new(Expr::CtxProj {
+                            ctx: Box::new(g.clone()),
+                            index: 0,
+                        }),
                         label: ScalarRef::var(lvar),
                     }),
                 };
-                let ctx = Expr::CtxProj { ctx: Box::new(g), index: 1 };
+                let ctx = Expr::CtxProj {
+                    ctx: Box::new(g),
+                    index: 1,
+                };
                 Ok((flat, ctx))
             }
             // Predicates only touch base components, whose paths are
@@ -312,34 +346,39 @@ fn map_children_result(
             value: Box::new(f(value)?),
             body: Box::new(f(body)?),
         },
-        Expr::Sng { index, body } => Expr::Sng { index: *index, body: Box::new(f(body)?) },
+        Expr::Sng { index, body } => Expr::Sng {
+            index: *index,
+            body: Box::new(f(body)?),
+        },
         Expr::Union(a, b) => Expr::Union(Box::new(f(a)?), Box::new(f(b)?)),
         Expr::LabelUnion(a, b) => Expr::LabelUnion(Box::new(f(a)?), Box::new(f(b)?)),
         Expr::CtxAdd(a, b) => Expr::CtxAdd(Box::new(f(a)?), Box::new(f(b)?)),
         Expr::Negate(x) => Expr::Negate(Box::new(f(x)?)),
         Expr::Flatten(x) => Expr::Flatten(Box::new(f(x)?)),
-        Expr::Product(es) => {
-            Expr::Product(es.iter().map(&mut *f).collect::<Result<_, _>>()?)
-        }
-        Expr::CtxTuple(es) => {
-            Expr::CtxTuple(es.iter().map(&mut *f).collect::<Result<_, _>>()?)
-        }
-        Expr::CtxProj { ctx, index } => {
-            Expr::CtxProj { ctx: Box::new(f(ctx)?), index: *index }
-        }
+        Expr::Product(es) => Expr::Product(es.iter().map(&mut *f).collect::<Result<_, _>>()?),
+        Expr::CtxTuple(es) => Expr::CtxTuple(es.iter().map(&mut *f).collect::<Result<_, _>>()?),
+        Expr::CtxProj { ctx, index } => Expr::CtxProj {
+            ctx: Box::new(f(ctx)?),
+            index: *index,
+        },
         Expr::For { var, source, body } => Expr::For {
             var: var.clone(),
             source: Box::new(f(source)?),
             body: Box::new(f(body)?),
         },
-        Expr::DictSng { index, params, body } => Expr::DictSng {
+        Expr::DictSng {
+            index,
+            params,
+            body,
+        } => Expr::DictSng {
             index: *index,
             params: params.clone(),
             body: Box::new(f(body)?),
         },
-        Expr::DictGet { dict, label } => {
-            Expr::DictGet { dict: Box::new(f(dict)?), label: label.clone() }
-        }
+        Expr::DictGet { dict, label } => Expr::DictGet {
+            dict: Box::new(f(dict)?),
+            label: label.clone(),
+        },
     })
 }
 
@@ -361,7 +400,10 @@ mod tests {
         let f = s.flat.to_string();
         assert!(f.contains("M__F"), "flat = {f}");
         assert!(f.contains("inL_1(m)"), "flat = {f}");
-        assert!(!f.contains("sng_"), "flat must not contain nested singletons: {f}");
+        assert!(
+            !f.contains("sng_"),
+            "flat must not contain nested singletons: {f}"
+        );
         // Ctx: contains the dictionary [(ι1, m) ↦ relB^F(m)].
         let g = s.ctx.to_string();
         assert!(g.contains("[(ι1, m) ↦"), "ctx = {g}");
@@ -380,9 +422,15 @@ mod tests {
             super::super::flat_name("M"),
             nrc_data::Type::bag(shred_type_flat(&movie_ty).unwrap()),
         ));
-        env.lets.push((super::super::ctx_name("M"), shred_type_ctx(&movie_ty).unwrap()));
+        env.lets.push((
+            super::super::ctx_name("M"),
+            shred_type_ctx(&movie_ty).unwrap(),
+        ));
         let tf = infer(&s.flat, &mut env).unwrap();
-        assert_eq!(tf, nrc_data::Type::bag(shred_type_flat(&s.elem_ty).unwrap()));
+        assert_eq!(
+            tf,
+            nrc_data::Type::bag(shred_type_flat(&s.elem_ty).unwrap())
+        );
         let tg = infer(&s.ctx, &mut env).unwrap();
         assert_eq!(tg, shred_type_ctx(&s.elem_ty).unwrap());
     }
@@ -410,7 +458,10 @@ mod tests {
         let env = TypeEnv::from_database(&db);
         let s = shred_query(&flatten(rel("R")), &env).unwrap();
         let f = s.flat.to_string();
-        assert!(f.contains("for __l0 in R__F union R__G.Γ1(__l0)"), "flat = {f}");
+        assert!(
+            f.contains("for __l0 in R__F union R__G.Γ1(__l0)"),
+            "flat = {f}"
+        );
         assert_eq!(s.ctx.to_string(), "R__G.Γ2");
     }
 
@@ -437,7 +488,14 @@ mod tests {
         let q = for_(
             "m",
             rel("M"),
-            sng(0, for_("m2", rel("M"), product(vec![proj_sng("m", vec![0]), proj_sng("m2", vec![0])]))),
+            sng(
+                0,
+                for_(
+                    "m2",
+                    rel("M"),
+                    product(vec![proj_sng("m", vec![0]), proj_sng("m2", vec![0])]),
+                ),
+            ),
         );
         let s = shred_query(&q, &env).unwrap();
         match &s.ctx {

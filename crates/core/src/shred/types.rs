@@ -70,7 +70,10 @@ mod tests {
     fn inner_bags_become_labels_with_dictionaries() {
         // related's element type: Str × Bag(Str)
         let t = Type::pair(str_ty(), Type::bag(str_ty()));
-        assert_eq!(shred_type_flat(&t).unwrap(), Type::pair(str_ty(), Type::Label));
+        assert_eq!(
+            shred_type_flat(&t).unwrap(),
+            Type::pair(str_ty(), Type::Label)
+        );
         let ctx = shred_type_ctx(&t).unwrap();
         assert_eq!(
             ctx,
@@ -99,7 +102,10 @@ mod tests {
 
     #[test]
     fn flat_types_are_flat() {
-        let t = Type::pair(str_ty(), Type::bag(Type::pair(str_ty(), Type::bag(str_ty()))));
+        let t = Type::pair(
+            str_ty(),
+            Type::bag(Type::pair(str_ty(), Type::bag(str_ty()))),
+        );
         assert!(is_flat_type(&shred_type_flat(&t).unwrap()));
         assert!(is_ctx_type(&shred_type_ctx(&t).unwrap()));
     }

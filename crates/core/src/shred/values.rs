@@ -28,7 +28,9 @@ pub struct LabelGen {
 impl LabelGen {
     /// A generator starting at [`INPUT_LABEL_BASE`].
     pub fn new() -> LabelGen {
-        LabelGen { next: INPUT_LABEL_BASE }
+        LabelGen {
+            next: INPUT_LABEL_BASE,
+        }
     }
 
     /// Allocate a fresh argument-less label (the paper's `⟨ι_v, ⟨⟩⟩`).
@@ -124,11 +126,7 @@ pub fn add_ctx_value_in_place(a: &mut Value, b: &Value) -> Result<(), ShredError
 
 /// Shred a single value of type `ty`: returns its flat representation and
 /// the context (dictionaries for every inner bag).
-pub fn shred_value(
-    v: &Value,
-    ty: &Type,
-    gen: &mut LabelGen,
-) -> Result<(Value, Value), ShredError> {
+pub fn shred_value(v: &Value, ty: &Type, gen: &mut LabelGen) -> Result<(Value, Value), ShredError> {
     match (v, ty) {
         (Value::Base(_), Type::Base(_)) => Ok((v.clone(), Value::unit())),
         (Value::Tuple(vs), Type::Tuple(ts)) if vs.len() == ts.len() => {
@@ -152,18 +150,16 @@ pub fn shred_value(
                 Value::Tuple(vec![Value::Dict(dict), child_ctx]),
             ))
         }
-        _ => Err(ShredError::Shape(format!("value {v} does not conform to type {ty}"))),
+        _ => Err(ShredError::Shape(format!(
+            "value {v} does not conform to type {ty}"
+        ))),
     }
 }
 
 /// Shred a bag of `elem_ty` values: the flat bag keeps the top level as a
 /// bag (only *inner* bags become labels) and the context merges all element
 /// contexts via `∪` (fresh labels never collide).
-pub fn shred_bag(
-    b: &Bag,
-    elem_ty: &Type,
-    gen: &mut LabelGen,
-) -> Result<(Bag, Value), ShredError> {
+pub fn shred_bag(b: &Bag, elem_ty: &Type, gen: &mut LabelGen) -> Result<(Bag, Value), ShredError> {
     let mut flat = Bag::empty();
     let mut ctx = empty_ctx_value(elem_ty)?;
     for (v, m) in b.iter() {
@@ -239,7 +235,10 @@ mod tests {
                 Value::str("a"),
                 Value::Bag(Bag::from_values([Value::str("x1"), Value::str("x2")])),
             ),
-            Value::pair(Value::str("b"), Value::Bag(Bag::from_values([Value::str("x3")]))),
+            Value::pair(
+                Value::str("b"),
+                Value::Bag(Bag::from_values([Value::str("x3")])),
+            ),
         ]);
         (bag, ty)
     }
@@ -314,7 +313,10 @@ mod tests {
         ]);
         let mut gen = LabelGen::new();
         let (flat, _) = shred_bag(&bag, &ty, &mut gen).unwrap();
-        let labels: Vec<_> = flat.iter().map(|(v, _)| v.as_label().unwrap().clone()).collect();
+        let labels: Vec<_> = flat
+            .iter()
+            .map(|(v, _)| v.as_label().unwrap().clone())
+            .collect();
         assert_eq!(labels.len(), 2);
         assert_ne!(labels[0], labels[1]);
         assert!(labels.iter().all(|l| l.index >= INPUT_LABEL_BASE));

@@ -33,7 +33,11 @@ pub enum TypeError {
     /// An expression of bag type was required.
     NotABag { at: String, got: String },
     /// A tuple component path failed to resolve.
-    BadPath { var: String, path: Vec<usize>, ty: String },
+    BadPath {
+        var: String,
+        path: Vec<usize>,
+        ty: String,
+    },
     /// A predicate touched a non-`Base` component — violates the positivity
     /// restriction of §3 (predicates act only on tuples of basic values).
     PredicateNotBase { at: String },
@@ -108,7 +112,11 @@ pub struct TypeEnv {
 impl TypeEnv {
     /// An environment with the given relation schemas and empty contexts.
     pub fn new(schemas: BTreeMap<String, Type>) -> TypeEnv {
-        TypeEnv { schemas, lets: vec![], elems: vec![] }
+        TypeEnv {
+            schemas,
+            lets: vec![],
+            elems: vec![],
+        }
     }
 
     /// Build from a database's declared schemas.
@@ -124,12 +132,20 @@ impl TypeEnv {
 
     /// Look up a `let` variable (innermost binding wins).
     pub fn lookup_let(&self, name: &str) -> Option<&Type> {
-        self.lets.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t)
+        self.lets
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
     }
 
     /// Look up an element variable (innermost binding wins).
     pub fn lookup_elem(&self, name: &str) -> Option<&Type> {
-        self.elems.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t)
+        self.elems
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
     }
 
     /// Bind a `let` variable for the duration of `f`.
@@ -200,7 +216,10 @@ pub fn infer(e: &Expr, env: &mut TypeEnv) -> Result<Type, TypeError> {
             let bt = infer(body, env)?;
             match &bt {
                 Type::Bag(_) => Ok(Type::bag(bt)),
-                other => Err(TypeError::NotABag { at: "sng(e)".into(), got: other.to_string() }),
+                other => Err(TypeError::NotABag {
+                    at: "sng(e)".into(),
+                    got: other.to_string(),
+                }),
             }
         }
         Expr::Empty { elem_ty } => Ok(Type::bag(elem_ty.clone())),
@@ -208,7 +227,10 @@ pub fn infer(e: &Expr, env: &mut TypeEnv) -> Result<Type, TypeError> {
             let ta = infer(a, env)?;
             let tb = infer(b, env)?;
             if !matches!(ta, Type::Bag(_)) {
-                return Err(TypeError::NotABag { at: "⊎ (left)".into(), got: ta.to_string() });
+                return Err(TypeError::NotABag {
+                    at: "⊎ (left)".into(),
+                    got: ta.to_string(),
+                });
             }
             if ta != tb {
                 return Err(TypeError::Mismatch {
@@ -222,7 +244,10 @@ pub fn infer(e: &Expr, env: &mut TypeEnv) -> Result<Type, TypeError> {
         Expr::Negate(inner) => {
             let t = infer(inner, env)?;
             if !matches!(t, Type::Bag(_)) {
-                return Err(TypeError::NotABag { at: "⊖".into(), got: t.to_string() });
+                return Err(TypeError::NotABag {
+                    at: "⊖".into(),
+                    got: t.to_string(),
+                });
             }
             Ok(t)
         }
@@ -235,7 +260,10 @@ pub fn infer(e: &Expr, env: &mut TypeEnv) -> Result<Type, TypeError> {
                 match infer(e, env)? {
                     Type::Bag(t) => elems.push(*t),
                     other => {
-                        return Err(TypeError::NotABag { at: "×".into(), got: other.to_string() })
+                        return Err(TypeError::NotABag {
+                            at: "×".into(),
+                            got: other.to_string(),
+                        })
                     }
                 }
             }
@@ -254,7 +282,10 @@ pub fn infer(e: &Expr, env: &mut TypeEnv) -> Result<Type, TypeError> {
             };
             let bt = env.with_elem(var, elem, |env| infer(body, env))?;
             if !matches!(bt, Type::Bag(_)) {
-                return Err(TypeError::NotABag { at: "for body".into(), got: bt.to_string() });
+                return Err(TypeError::NotABag {
+                    at: "for body".into(),
+                    got: bt.to_string(),
+                });
             }
             Ok(bt)
         }
@@ -266,7 +297,10 @@ pub fn infer(e: &Expr, env: &mut TypeEnv) -> Result<Type, TypeError> {
                     got: other.to_string(),
                 }),
             },
-            other => Err(TypeError::NotABag { at: "flatten".into(), got: other.to_string() }),
+            other => Err(TypeError::NotABag {
+                at: "flatten".into(),
+                got: other.to_string(),
+            }),
         },
         Expr::Pred(p) => {
             check_pred(p, env)?;
@@ -305,9 +339,10 @@ pub fn infer(e: &Expr, env: &mut TypeEnv) -> Result<Type, TypeError> {
                     }
                     Ok(Type::Dict(elem))
                 }
-                other => {
-                    Err(TypeError::NotABag { at: "dictionary body".into(), got: other.to_string() })
-                }
+                other => Err(TypeError::NotABag {
+                    at: "dictionary body".into(),
+                    got: other.to_string(),
+                }),
             }
         }
         Expr::DictGet { dict, label } => {
@@ -353,7 +388,11 @@ pub fn infer(e: &Expr, env: &mut TypeEnv) -> Result<Type, TypeError> {
             }),
         },
         Expr::LabelUnion(a, b) | Expr::CtxAdd(a, b) => {
-            let op = if matches!(e, Expr::LabelUnion(_, _)) { "∪" } else { "⊎Γ" };
+            let op = if matches!(e, Expr::LabelUnion(_, _)) {
+                "∪"
+            } else {
+                "⊎Γ"
+            };
             let ta = infer(a, env)?;
             let tb = infer(b, env)?;
             if !is_ctx_type(&ta) {
@@ -373,7 +412,10 @@ pub fn infer(e: &Expr, env: &mut TypeEnv) -> Result<Type, TypeError> {
         }
         Expr::EmptyCtx(t) => {
             if !is_ctx_type(t) {
-                return Err(TypeError::NotAContext { at: "∅Γ".into(), got: t.to_string() });
+                return Err(TypeError::NotAContext {
+                    at: "∅Γ".into(),
+                    got: t.to_string(),
+                });
             }
             Ok(t.clone())
         }
@@ -393,7 +435,11 @@ fn resolve_ref(r: &ScalarRef, env: &TypeEnv) -> Result<Type, TypeError> {
         .ok_or_else(|| TypeError::UnknownElemVar(r.var.clone()))?;
     project_type(t, &r.path)
         .cloned()
-        .ok_or_else(|| TypeError::BadPath { var: r.var.clone(), path: r.path.clone(), ty: t.to_string() })
+        .ok_or_else(|| TypeError::BadPath {
+            var: r.var.clone(),
+            path: r.path.clone(),
+            ty: t.to_string(),
+        })
 }
 
 fn base_type_of_operand(o: &Operand, env: &TypeEnv) -> Result<BaseType, TypeError> {
@@ -466,7 +512,10 @@ mod tests {
     fn union_requires_equal_types() {
         let db = example_movies();
         let e = union(rel("M"), empty(str_ty()));
-        assert!(matches!(typecheck(&e, &db), Err(TypeError::Mismatch { .. })));
+        assert!(matches!(
+            typecheck(&e, &db),
+            Err(TypeError::Mismatch { .. })
+        ));
         let ok = union(rel("M"), negate(rel("M")));
         assert!(typecheck(&ok, &db).is_ok());
     }
@@ -478,7 +527,10 @@ mod tests {
         assert_eq!(typecheck(&e, &db).unwrap(), Type::bag(str_ty()));
         // Out-of-range path errors.
         let bad = for_("m", rel("M"), proj_sng("m", vec![7]));
-        assert!(matches!(typecheck(&bad, &db), Err(TypeError::BadPath { .. })));
+        assert!(matches!(
+            typecheck(&bad, &db),
+            Err(TypeError::BadPath { .. })
+        ));
     }
 
     #[test]
@@ -496,8 +548,16 @@ mod tests {
     fn predicates_must_be_base_typed_and_compatible() {
         let db = example_movies();
         // comparing a string field to an int literal: mismatch
-        let bad = for_where("m", rel("M"), cmp_lit("m", vec![0], CmpOp::Eq, 3), elem_sng("m"));
-        assert!(matches!(typecheck(&bad, &db), Err(TypeError::Mismatch { .. })));
+        let bad = for_where(
+            "m",
+            rel("M"),
+            cmp_lit("m", vec![0], CmpOp::Eq, 3),
+            elem_sng("m"),
+        );
+        assert!(matches!(
+            typecheck(&bad, &db),
+            Err(TypeError::Mismatch { .. })
+        ));
         // comparing the whole tuple: not base
         let bad2 = for_where(
             "m",
@@ -505,7 +565,10 @@ mod tests {
             cmp("m", vec![], CmpOp::Eq, "m", vec![]),
             elem_sng("m"),
         );
-        assert!(matches!(typecheck(&bad2, &db), Err(TypeError::PredicateNotBase { .. })));
+        assert!(matches!(
+            typecheck(&bad2, &db),
+            Err(TypeError::PredicateNotBase { .. })
+        ));
         let ok = filter_query("M", cmp_lit("x", vec![0], CmpOp::Ne, "Drive"));
         assert!(typecheck(&ok, &db).is_ok());
     }
@@ -515,13 +578,19 @@ mod tests {
         let db = example_movies();
         let e = let_("X", rel("M"), union(var("X"), var("X")));
         assert!(typecheck(&e, &db).is_ok());
-        assert!(matches!(typecheck(&var("X"), &db), Err(TypeError::UnknownVar(_))));
+        assert!(matches!(
+            typecheck(&var("X"), &db),
+            Err(TypeError::UnknownVar(_))
+        ));
     }
 
     #[test]
     fn product_arity_enforced() {
         let db = example_movies();
-        assert_eq!(typecheck(&product(vec![rel("M")]), &db), Err(TypeError::ProductArity));
+        assert_eq!(
+            typecheck(&product(vec![rel("M")]), &db),
+            Err(TypeError::ProductArity)
+        );
         let t = typecheck(&product(vec![rel("M"), rel("M")]), &db).unwrap();
         match t {
             Type::Bag(inner) => match *inner {
@@ -555,8 +624,18 @@ mod tests {
         // applying it to a label-typed component
         let apply = for_(
             "l",
-            for_("m", rel("M"), Expr::InLabel { index: 1, args: vec![ScalarRef::var("m")] }),
-            Expr::DictGet { dict: Box::new(d), label: ScalarRef::var("l") },
+            for_(
+                "m",
+                rel("M"),
+                Expr::InLabel {
+                    index: 1,
+                    args: vec![ScalarRef::var("m")],
+                },
+            ),
+            Expr::DictGet {
+                dict: Box::new(d),
+                label: ScalarRef::var("l"),
+            },
         );
         assert_eq!(typecheck(&apply, &db).unwrap(), Type::bag(str_ty()));
     }
@@ -576,23 +655,41 @@ mod tests {
     fn ctx_tuple_and_projection() {
         let db = example_movies();
         let unit_ctx = Expr::CtxTuple(vec![]);
-        let d = Expr::DictSng { index: 1, params: vec![], body: Box::new(unit_sng()) };
+        let d = Expr::DictSng {
+            index: 1,
+            params: vec![],
+            body: Box::new(unit_sng()),
+        };
         let ctx = Expr::CtxTuple(vec![d, unit_ctx]);
         let t = typecheck(&ctx, &db).unwrap();
         assert!(is_ctx_type(&t));
-        let proj = Expr::CtxProj { ctx: Box::new(ctx), index: 0 };
+        let proj = Expr::CtxProj {
+            ctx: Box::new(ctx),
+            index: 0,
+        };
         assert_eq!(typecheck(&proj, &db).unwrap(), Type::dict(Type::unit()));
     }
 
     #[test]
     fn label_union_requires_matching_ctx_types() {
         let db = example_movies();
-        let d1 = Expr::DictSng { index: 1, params: vec![], body: Box::new(unit_sng()) };
-        let d2 = Expr::DictSng { index: 2, params: vec![], body: Box::new(unit_sng()) };
+        let d1 = Expr::DictSng {
+            index: 1,
+            params: vec![],
+            body: Box::new(unit_sng()),
+        };
+        let d2 = Expr::DictSng {
+            index: 2,
+            params: vec![],
+            body: Box::new(unit_sng()),
+        };
         let u = Expr::LabelUnion(Box::new(d1), Box::new(d2));
         assert_eq!(typecheck(&u, &db).unwrap(), Type::dict(Type::unit()));
         let bad = Expr::LabelUnion(Box::new(rel("M")), Box::new(rel("M")));
-        assert!(matches!(typecheck(&bad, &db), Err(TypeError::NotAContext { .. })));
+        assert!(matches!(
+            typecheck(&bad, &db),
+            Err(TypeError::NotAContext { .. })
+        ));
     }
 
     #[test]
@@ -601,7 +698,10 @@ mod tests {
         assert!(is_flat_type(&Type::pair(str_ty(), Type::Label)));
         assert!(!is_flat_type(&Type::bag(str_ty())));
         assert!(is_ctx_type(&Type::unit()));
-        assert!(is_ctx_type(&Type::Tuple(vec![Type::dict(str_ty()), Type::unit()])));
+        assert!(is_ctx_type(&Type::Tuple(vec![
+            Type::dict(str_ty()),
+            Type::unit()
+        ])));
         assert!(!is_ctx_type(&Type::Base(BaseType::Int)));
         assert!(!is_ctx_type(&Type::dict(Type::bag(str_ty()))));
     }

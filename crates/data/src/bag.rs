@@ -155,6 +155,66 @@ impl Bag {
         }
     }
 
+    /// Extend-style `⊎`: add every `(value, multiplicity)` pair from an
+    /// iterator, summing collisions and dropping zeros. The batch-oriented
+    /// sibling of [`Bag::union_assign`], used when coalescing many deltas
+    /// without materializing each as a separate bag first.
+    pub fn extend_pairs<I: IntoIterator<Item = (Value, i64)>>(&mut self, pairs: I) {
+        for (v, m) in pairs {
+            self.insert(v, m);
+        }
+    }
+
+    /// Coalesce many bags into one by `⊎` in a single pre-sized pass.
+    ///
+    /// All pairs are gathered and sorted once, multiplicities of equal
+    /// values are summed, zeros dropped, and the result map is bulk-built
+    /// from the sorted run — `O(N log N)` in the total number of entries,
+    /// with none of the per-bag rebalancing that a fold of
+    /// [`Bag::union`]s performs. This is the primitive behind batched
+    /// update coalescing (`δ(u₁ ⊎ u₂ ⊎ …)` preprocessing).
+    ///
+    /// ```
+    /// use nrc_data::{Bag, Value};
+    /// let a = Bag::from_pairs([(Value::int(1), 2)]);
+    /// let b = Bag::from_pairs([(Value::int(1), -2), (Value::int(2), 1)]);
+    /// let c = Bag::from_pairs([(Value::int(3), 4)]);
+    /// let merged = Bag::union_many([&a, &b, &c]);
+    /// assert_eq!(merged, a.union(&b).union(&c));
+    /// ```
+    pub fn union_many<'a, I: IntoIterator<Item = &'a Bag>>(bags: I) -> Bag {
+        let bags: Vec<&Bag> = bags.into_iter().collect();
+        match bags.len() {
+            0 => return Bag::empty(),
+            1 => return bags[0].clone(),
+            _ => {}
+        }
+        let total: usize = bags.iter().map(|b| b.distinct_count()).sum();
+        let mut pairs: Vec<(&Value, i64)> = Vec::with_capacity(total);
+        for b in &bags {
+            pairs.extend(b.iter());
+        }
+        pairs.sort_by_key(|&(v, _)| v);
+        let mut merged: Vec<(Value, i64)> = Vec::with_capacity(pairs.len());
+        for (v, m) in pairs {
+            match merged.last_mut() {
+                Some((last, acc)) if last == v => *acc += m,
+                _ => {
+                    if let Some((_, 0)) = merged.last() {
+                        merged.pop();
+                    }
+                    merged.push((v.clone(), m));
+                }
+            }
+        }
+        if let Some((_, 0)) = merged.last() {
+            merged.pop();
+        }
+        Bag {
+            elems: Arc::new(merged.into_iter().collect()),
+        }
+    }
+
     /// Bag negation `⊖`: negates every multiplicity.
     pub fn negate(&self) -> Bag {
         Bag {
@@ -175,7 +235,12 @@ impl Bag {
             return Bag::empty();
         }
         Bag {
-            elems: Arc::new(self.elems.iter().map(|(v, &m)| (v.clone(), m * k)).collect()),
+            elems: Arc::new(
+                self.elems
+                    .iter()
+                    .map(|(v, &m)| (v.clone(), m * k))
+                    .collect(),
+            ),
         }
     }
 
@@ -313,7 +378,10 @@ mod tests {
         let x = b(&[(1, 2)]);
         let y = b(&[(10, 3)]);
         let p = x.product(&y);
-        assert_eq!(p.multiplicity(&Value::pair(Value::int(1), Value::int(10))), 6);
+        assert_eq!(
+            p.multiplicity(&Value::pair(Value::int(1), Value::int(10))),
+            6
+        );
         assert_eq!(p.distinct_count(), 1);
     }
 
@@ -371,6 +439,36 @@ mod tests {
             _ => unreachable!(),
         });
         assert_eq!(squared, b(&[(1, 5)]));
+    }
+
+    #[test]
+    fn union_many_matches_folded_union() {
+        let bags = [
+            b(&[(1, 2), (2, -1)]),
+            b(&[(1, -2), (3, 4)]),
+            b(&[(2, 1), (3, -4), (5, 1)]),
+            Bag::empty(),
+        ];
+        let folded = bags.iter().fold(Bag::empty(), |acc, x| acc.union(x));
+        assert_eq!(Bag::union_many(bags.iter()), folded);
+        assert_eq!(Bag::union_many([]), Bag::empty());
+        assert_eq!(Bag::union_many([&bags[0]]), bags[0]);
+    }
+
+    #[test]
+    fn union_many_cancels_to_canonical_form() {
+        let x = b(&[(1, 3), (2, 1)]);
+        let nx = x.negate();
+        let merged = Bag::union_many([&x, &nx]);
+        assert!(merged.is_empty());
+        assert_eq!(merged, Bag::empty());
+    }
+
+    #[test]
+    fn extend_pairs_sums_collisions() {
+        let mut bag = b(&[(1, 1)]);
+        bag.extend_pairs([(Value::int(1), 2), (Value::int(2), 1), (Value::int(2), -1)]);
+        assert_eq!(bag, b(&[(1, 3)]));
     }
 
     #[test]

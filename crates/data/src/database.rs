@@ -64,6 +64,35 @@ impl Database {
         }
     }
 
+    /// Apply a sequence of coalesced per-relation deltas, each via `⊎`.
+    ///
+    /// Equivalent to calling [`Database::apply_update`] once per pair, but
+    /// validates every relation name up front so the database is left
+    /// untouched when any name is unknown (no partial application).
+    pub fn apply_updates<'a, I>(&mut self, updates: I) -> Result<(), DataError>
+    where
+        I: IntoIterator<Item = (&'a str, &'a Bag)>,
+        I::IntoIter: Clone,
+    {
+        let updates = updates.into_iter();
+        if let Some(missing) = updates
+            .clone()
+            .find(|(n, _)| !self.relations.contains_key(*n))
+        {
+            return Err(DataError::Shape {
+                expected: format!("relation {}", missing.0),
+                got: "no such relation".to_owned(),
+            });
+        }
+        for (name, delta) in updates {
+            self.relations
+                .get_mut(name)
+                .expect("validated above")
+                .union_assign(delta);
+        }
+        Ok(())
+    }
+
     /// Iterate over `(name, bag)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Bag)> {
         self.relations.iter()
@@ -151,7 +180,8 @@ mod tests {
         db.apply_update("M", &example_movies_update()).unwrap();
         assert_eq!(db.get("M").unwrap().cardinality(), 4);
         // Deleting Jarhead again restores the original instance.
-        db.apply_update("M", &example_movies_update().negate()).unwrap();
+        db.apply_update("M", &example_movies_update().negate())
+            .unwrap();
         assert_eq!(db.get("M").unwrap(), example_movies().get("M").unwrap());
     }
 
@@ -159,6 +189,18 @@ mod tests {
     fn apply_update_to_missing_relation_errors() {
         let mut db = Database::new();
         assert!(db.apply_update("M", &Bag::empty()).is_err());
+    }
+
+    #[test]
+    fn apply_updates_applies_all_or_nothing() {
+        let mut db = example_movies();
+        let delta = example_movies_update();
+        db.apply_updates([("M", &delta), ("M", &delta)]).unwrap();
+        assert_eq!(db.get("M").unwrap().cardinality(), 5);
+        // Unknown relation: rejected before anything is applied.
+        let before = db.clone();
+        assert!(db.apply_updates([("M", &delta), ("Zzz", &delta)]).is_err());
+        assert_eq!(db, before);
     }
 
     #[test]
@@ -173,7 +215,11 @@ mod tests {
     #[test]
     fn display_lists_relations() {
         let mut db = Database::new();
-        db.insert_relation("R", Type::Base(BaseType::Int), Bag::from_values([Value::int(1)]));
+        db.insert_relation(
+            "R",
+            Type::Base(BaseType::Int),
+            Bag::from_values([Value::int(1)]),
+        );
         assert_eq!(db.to_string(), "R = {1}\n");
     }
 }

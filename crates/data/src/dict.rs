@@ -47,7 +47,10 @@ impl Label {
     /// A label with no arguments (used for input inner bags, whose index is
     /// allocated freshly per bag value — Fig. 9's `D_C`).
     pub fn atomic(index: u32) -> Label {
-        Label { index, args: vec![] }
+        Label {
+            index,
+            args: vec![],
+        }
     }
 
     /// Are all argument values flat (base values or labels)? Tuple arguments
@@ -117,7 +120,10 @@ impl Dictionary {
 
     /// Add `bag` into the definition of `l` via `⊎`, defining it if absent.
     pub fn add_entry(&mut self, l: Label, bag: &Bag) {
-        Arc::make_mut(&mut self.entries).entry(l).or_default().union_assign(bag);
+        Arc::make_mut(&mut self.entries)
+            .entry(l)
+            .or_default()
+            .union_assign(bag);
     }
 
     /// Is `l` in the support?
@@ -187,11 +193,44 @@ impl Dictionary {
         }
     }
 
+    /// Batched in-place addition: `self ⊎= d₁ ⊎ d₂ ⊎ …` with the map
+    /// unshared once for the whole batch. Definitions touched by several
+    /// deltas are merged with [`Bag::union_many`] rather than pairwise.
+    pub fn add_assign_many<'a, I: IntoIterator<Item = &'a Dictionary>>(&mut self, others: I) {
+        let others: Vec<&Dictionary> = others.into_iter().filter(|d| !d.is_empty()).collect();
+        if others.is_empty() {
+            return;
+        }
+        let entries = Arc::make_mut(&mut self.entries);
+        // Group the per-label contributions across all deltas, then merge
+        // each label's bags in one pass.
+        let mut touched: BTreeMap<&Label, Vec<&Bag>> = BTreeMap::new();
+        for d in &others {
+            for (l, b) in d.iter() {
+                touched.entry(l).or_default().push(b);
+            }
+        }
+        for (l, bags) in touched {
+            let entry = entries.entry(l.clone()).or_default();
+            if bags.len() == 1 {
+                entry.union_assign(bags[0]);
+            } else {
+                let mut all = Vec::with_capacity(bags.len() + 1);
+                all.push(&*entry);
+                all.extend(bags);
+                *entry = Bag::union_many(all);
+            }
+        }
+    }
+
     /// Pointwise negation `⊖` (negates every definition, keeps support).
     pub fn negate(&self) -> Dictionary {
         Dictionary {
             entries: Arc::new(
-                self.entries.iter().map(|(l, b)| (l.clone(), b.negate())).collect(),
+                self.entries
+                    .iter()
+                    .map(|(l, b)| (l.clone(), b.negate()))
+                    .collect(),
             ),
         }
     }
@@ -320,6 +359,21 @@ mod tests {
         let c = Dictionary::singleton(l(2), bag(&["w"]));
         assert_eq!(a.add(&b), b.add(&a));
         assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn add_assign_many_matches_folded_addition() {
+        let base = Dictionary::from_pairs([(l(1), bag(&["a"])), (l(2), bag(&["b"]))]);
+        let d1 = Dictionary::from_pairs([(l(1), bag(&["x"])), (l(3), bag(&["c"]))]);
+        let d2 = Dictionary::from_pairs([(l(1), bag(&["y"])), (l(2), bag(&["b"]))]);
+        let folded = base.add(&d1).add(&d2);
+        let mut batched = base.clone();
+        batched.add_assign_many([&d1, &d2]);
+        assert_eq!(batched, folded);
+        // Empty batch is a no-op.
+        let mut same = base.clone();
+        same.add_assign_many([]);
+        assert_eq!(same, base);
     }
 
     #[test]

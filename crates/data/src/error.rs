@@ -33,7 +33,10 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::DictUnionConflict { label } => {
-                write!(f, "label union conflict: label {label} has differing definitions")
+                write!(
+                    f,
+                    "label union conflict: label {label} has differing definitions"
+                )
             }
             DataError::UndefinedLabel { label } => {
                 write!(f, "undefined label {label}")

@@ -23,8 +23,8 @@
 //! Everything is totally ordered ([`Ord`]) so bags of bags, dictionary keys,
 //! and deterministic pretty-printing work without hashing nested structures.
 
-pub mod base;
 pub mod bag;
+pub mod base;
 pub mod database;
 pub mod dict;
 pub mod error;

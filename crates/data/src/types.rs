@@ -179,13 +179,18 @@ mod tests {
     fn contains_bag_detects_nested_bags() {
         assert!(!movie_type().contains_bag());
         assert!(Type::bag(movie_type()).contains_bag());
-        assert!(Type::Tuple(vec![Type::Base(BaseType::Int), Type::bag(Type::unit())]).contains_bag());
+        assert!(
+            Type::Tuple(vec![Type::Base(BaseType::Int), Type::bag(Type::unit())]).contains_bag()
+        );
         assert!(Type::dict(Type::unit()).contains_bag());
     }
 
     #[test]
     fn display_round_trips_shapes() {
-        let t = Type::bag(Type::pair(Type::Base(BaseType::Str), Type::bag(Type::Base(BaseType::Int))));
+        let t = Type::bag(Type::pair(
+            Type::Base(BaseType::Str),
+            Type::bag(Type::Base(BaseType::Int)),
+        ));
         assert_eq!(t.to_string(), "Bag(⟨Str × Bag(Int)⟩)");
         assert_eq!(Type::dict(Type::unit()).to_string(), "(L ↦ Bag(1))");
         assert_eq!(Type::bool_bag().to_string(), "Bag(1)");

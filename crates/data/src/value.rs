@@ -295,7 +295,10 @@ mod tests {
         );
         let bag = Bag::from_values([m.clone()]);
         assert_eq!(Value::Bag(bag).infer_type(), Type::bag(m.infer_type()));
-        assert_eq!(Value::Bag(Bag::empty()).infer_type(), Type::bag(Type::unit()));
+        assert_eq!(
+            Value::Bag(Bag::empty()).infer_type(),
+            Type::bag(Type::unit())
+        );
     }
 
     #[test]
@@ -331,23 +334,33 @@ mod tests {
 
     #[test]
     fn display_nested() {
-        let v = Value::pair(Value::str("a"), Value::Bag(Bag::from_values([Value::int(1)])));
+        let v = Value::pair(
+            Value::str("a"),
+            Value::Bag(Bag::from_values([Value::int(1)])),
+        );
         assert_eq!(v.to_string(), "⟨\"a\", {1}⟩");
     }
 }
 
 #[cfg(test)]
 mod error_display_tests {
-    use crate::error::DataError;
     use crate::dict::Label;
+    use crate::error::DataError;
 
     #[test]
     fn errors_render_usefully() {
-        let e1 = DataError::UndefinedLabel { label: Label::atomic(7) };
+        let e1 = DataError::UndefinedLabel {
+            label: Label::atomic(7),
+        };
         assert!(e1.to_string().contains("⟨ι7⟩"));
-        let e2 = DataError::DictUnionConflict { label: Label::atomic(3) };
+        let e2 = DataError::DictUnionConflict {
+            label: Label::atomic(3),
+        };
         assert!(e2.to_string().contains("conflict"));
-        let e3 = DataError::Shape { expected: "bag".into(), got: "3".into() };
+        let e3 = DataError::Shape {
+            expected: "bag".into(),
+            got: "3".into(),
+        };
         assert!(e3.to_string().contains("expected bag"));
     }
 }

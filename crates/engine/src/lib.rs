@@ -17,7 +17,15 @@
 //!   domain-maintenance step of §2.2 (initialize definitions for labels the
 //!   flat delta introduces), and support *deep updates* to inner bags.
 //!
-//! Entry point: [`IvmSystem`].
+//! Updates arrive either one at a time ([`IvmSystem::apply_update`]) or as
+//! an [`UpdateBatch`] ([`IvmSystem::apply_batch`]): many raw updates
+//! coalesced per relation by `⊎` before any view work — sound because
+//! deltas are additive (Prop. 4.1) — with every registered view refreshed
+//! on its own worker under [`Parallelism::Rayon`]. Batch-path counters are
+//! exposed as [`BatchStats`].
+//!
+//! Entry point: [`IvmSystem`]. The full data-flow walkthrough lives in the
+//! repository's `docs/ARCHITECTURE.md`.
 
 pub mod error;
 pub mod recursive;
@@ -28,5 +36,5 @@ pub mod view;
 
 pub use error::EngineError;
 pub use shredded::ShreddedUpdate;
-pub use stats::ViewStats;
-pub use system::{IvmSystem, Strategy};
+pub use stats::{BatchStats, ViewStats};
+pub use system::{IvmSystem, Parallelism, Strategy, UpdateBatch};

@@ -18,6 +18,7 @@ use nrc_core::optimize::simplify;
 use nrc_core::typecheck::{typecheck, TypeEnv};
 use nrc_core::Expr;
 use nrc_data::{Bag, Database, Type, Value};
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// A recursively maintained view: the query's materialization plus, per
@@ -90,7 +91,14 @@ impl RecursiveView {
             materialized_aux: auxes.len() as u64,
             ..ViewStats::default()
         };
-        Ok(RecursiveView { query, result, deltas, auxes, stats, elem_ty })
+        Ok(RecursiveView {
+            query,
+            result,
+            deltas,
+            auxes,
+            stats,
+            elem_ty,
+        })
     }
 
     /// Apply an update `ΔR` to relation `rel` against the pre-update
@@ -102,18 +110,71 @@ impl RecursiveView {
         rel: &str,
         delta: &Bag,
     ) -> Result<(), EngineError> {
-        if let Some(d) = self.deltas.get(rel) {
-            let mut env = Env::new(db_before).with_delta(rel, delta.clone());
-            for aux in &self.auxes {
-                env.bind_let(aux.name.clone(), Value::Bag(aux.view.result.clone()));
+        self.apply_with(db_before, rel, delta, false)
+    }
+
+    /// [`RecursiveView::apply`] with an execution-mode switch: when
+    /// `parallel` is set, the view's own delta evaluation and the refreshes
+    /// of its auxiliary materializations run concurrently. This is sound
+    /// because the delta references the auxiliaries' *pre-update* results
+    /// (snapshotted up front — cheap, the bags are copy-on-write) while each
+    /// auxiliary refresh mutates only its own hierarchy.
+    pub fn apply_with(
+        &mut self,
+        db_before: &Database,
+        rel: &str,
+        delta: &Bag,
+        parallel: bool,
+    ) -> Result<(), EngineError> {
+        if parallel && !self.auxes.is_empty() {
+            let snapshot: Vec<(String, Bag)> = self
+                .auxes
+                .iter()
+                .map(|a| (a.name.clone(), a.view.result.clone()))
+                .collect();
+            let delta_expr = self.deltas.get(rel);
+            let auxes = &mut self.auxes;
+            let (main_res, aux_res) = rayon::join(
+                || -> Result<Option<(Bag, u64)>, EngineError> {
+                    let Some(d) = delta_expr else { return Ok(None) };
+                    let mut env = Env::new(db_before).with_delta(rel, delta.clone());
+                    for (name, result) in &snapshot {
+                        env.bind_let(name.clone(), Value::Bag(result.clone()));
+                    }
+                    let change = eval_query(d, &mut env)?;
+                    Ok(Some((change, env.steps)))
+                },
+                || -> Result<(), EngineError> {
+                    let results: Vec<Result<(), EngineError>> = auxes
+                        .par_iter_mut()
+                        .map(|aux| aux.view.apply_with(db_before, rel, delta, true))
+                        .collect();
+                    results.into_iter().collect()
+                },
+            );
+            // Error precedence mirrors the sequential path: the view's own
+            // delta evaluation reports first.
+            let main = main_res?;
+            aux_res?;
+            if let Some((change, steps)) = main {
+                self.stats.refresh_steps += steps;
+                self.stats.last_delta_card = change.cardinality();
+                self.result.union_assign(&change);
             }
-            let change = eval_query(d, &mut env)?;
-            self.stats.refresh_steps += env.steps;
-            self.stats.last_delta_card = change.cardinality();
-            self.result.union_assign(&change);
-        }
-        for aux in &mut self.auxes {
-            aux.view.apply(db_before, rel, delta)?;
+        } else {
+            if let Some(d) = self.deltas.get(rel) {
+                let mut env = Env::new(db_before).with_delta(rel, delta.clone());
+                for aux in &self.auxes {
+                    env.bind_let(aux.name.clone(), Value::Bag(aux.view.result.clone()));
+                }
+                let change = eval_query(d, &mut env)?;
+                self.stats.refresh_steps += env.steps;
+                self.stats.last_delta_card = change.cardinality();
+                self.result.union_assign(&change);
+            }
+            for aux in &mut self.auxes {
+                aux.view.apply_with(db_before, rel, delta, parallel)?;
+            }
         }
         self.stats.updates_applied += 1;
         Ok(())
@@ -122,13 +183,21 @@ impl RecursiveView {
     /// Total number of materialized views in this hierarchy (the view
     /// itself plus all transitive auxiliaries).
     pub fn materialization_count(&self) -> usize {
-        1 + self.auxes.iter().map(|a| a.view.materialization_count()).sum::<usize>()
+        1 + self
+            .auxes
+            .iter()
+            .map(|a| a.view.materialization_count())
+            .sum::<usize>()
     }
 
     /// Total refresh steps across the hierarchy (for strategy comparisons).
     pub fn total_refresh_steps(&self) -> u64 {
         self.stats.refresh_steps
-            + self.auxes.iter().map(|a| a.view.total_refresh_steps()).sum::<u64>()
+            + self
+                .auxes
+                .iter()
+                .map(|a| a.view.total_refresh_steps())
+                .sum::<u64>()
     }
 }
 
@@ -146,12 +215,7 @@ fn qualifies(e: &Expr, rel: &str) -> bool {
 }
 
 /// Replace maximal qualifying subexpressions by auxiliary-view variables.
-fn hoist(
-    e: &Expr,
-    rel: &str,
-    registry: &mut BTreeMap<Expr, String>,
-    counter: &mut u32,
-) -> Expr {
+fn hoist(e: &Expr, rel: &str, registry: &mut BTreeMap<Expr, String>, counter: &mut u32) -> Expr {
     if qualifies(e, rel) {
         if let Some(name) = registry.get(e) {
             return Expr::Var(name.clone());
@@ -182,7 +246,10 @@ fn map_children(e: &Expr, f: &mut impl FnMut(&Expr) -> Expr) -> Expr {
             value: Box::new(f(value)),
             body: Box::new(f(body)),
         },
-        Expr::Sng { index, body } => Expr::Sng { index: *index, body: Box::new(f(body)) },
+        Expr::Sng { index, body } => Expr::Sng {
+            index: *index,
+            body: Box::new(f(body)),
+        },
         Expr::Union(a, b) => Expr::Union(Box::new(f(a)), Box::new(f(b))),
         Expr::LabelUnion(a, b) => Expr::LabelUnion(Box::new(f(a)), Box::new(f(b))),
         Expr::CtxAdd(a, b) => Expr::CtxAdd(Box::new(f(a)), Box::new(f(b))),
@@ -190,22 +257,28 @@ fn map_children(e: &Expr, f: &mut impl FnMut(&Expr) -> Expr) -> Expr {
         Expr::Flatten(x) => Expr::Flatten(Box::new(f(x))),
         Expr::Product(es) => Expr::Product(es.iter().map(&mut *f).collect()),
         Expr::CtxTuple(es) => Expr::CtxTuple(es.iter().map(&mut *f).collect()),
-        Expr::CtxProj { ctx, index } => {
-            Expr::CtxProj { ctx: Box::new(f(ctx)), index: *index }
-        }
+        Expr::CtxProj { ctx, index } => Expr::CtxProj {
+            ctx: Box::new(f(ctx)),
+            index: *index,
+        },
         Expr::For { var, source, body } => Expr::For {
             var: var.clone(),
             source: Box::new(f(source)),
             body: Box::new(f(body)),
         },
-        Expr::DictSng { index, params, body } => Expr::DictSng {
+        Expr::DictSng {
+            index,
+            params,
+            body,
+        } => Expr::DictSng {
             index: *index,
             params: params.clone(),
             body: Box::new(f(body)),
         },
-        Expr::DictGet { dict, label } => {
-            Expr::DictGet { dict: Box::new(f(dict)), label: label.clone() }
-        }
+        Expr::DictGet { dict, label } => Expr::DictGet {
+            dict: Box::new(f(dict)),
+            label: label.clone(),
+        },
     }
 }
 
@@ -232,7 +305,10 @@ mod tests {
 
     fn nested_update() -> Bag {
         Bag::from_pairs([
-            (Value::Bag(Bag::from_values([Value::int(9), Value::int(1)])), 1),
+            (
+                Value::Bag(Bag::from_values([Value::int(9), Value::int(1)])),
+                1,
+            ),
             (Value::Bag(Bag::from_values([Value::int(3)])), -1),
         ])
     }
@@ -261,7 +337,11 @@ mod tests {
         let mut v = RecursiveView::new(q.clone(), &db0).unwrap();
         let mut db = db0;
         for step in 0..4 {
-            let delta = if step % 2 == 0 { nested_update() } else { nested_update().negate() };
+            let delta = if step % 2 == 0 {
+                nested_update()
+            } else {
+                nested_update().negate()
+            };
             v.apply(&db, "R", &delta).unwrap();
             db.apply_update("R", &delta).unwrap();
             let expected = ReevalView::new(q.clone(), &db).unwrap();
@@ -295,7 +375,11 @@ mod tests {
     #[test]
     fn degree_three_builds_a_deeper_hierarchy() {
         let db = nested_db();
-        let q = product(vec![flatten(rel("R")), flatten(rel("R")), flatten(rel("R"))]);
+        let q = product(vec![
+            flatten(rel("R")),
+            flatten(rel("R")),
+            flatten(rel("R")),
+        ]);
         let mut v = RecursiveView::new(q.clone(), &db).unwrap();
         assert!(v.materialization_count() >= 2);
         let mut db2 = db.clone();

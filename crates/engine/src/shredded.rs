@@ -184,7 +184,9 @@ fn gc_level(
                 *removed += before;
                 walk(&defs, elem, &mut node[1], removed)
             }
-            _ => Err(EngineError::WrongStrategy("gc: context/type mismatch".into())),
+            _ => Err(EngineError::WrongStrategy(
+                "gc: context/type mismatch".into(),
+            )),
         }
     }
     let population: Vec<Value> = flat.iter().map(|(v, _)| v.clone()).collect();
@@ -216,7 +218,10 @@ pub struct ShreddedUpdate {
 impl ShreddedUpdate {
     /// An update that only touches the flat component.
     pub fn flat_only(flat: Bag, elem_ty: &Type) -> Result<ShreddedUpdate, EngineError> {
-        Ok(ShreddedUpdate { flat, ctx: empty_ctx_value(elem_ty)? })
+        Ok(ShreddedUpdate {
+            flat,
+            ctx: empty_ctx_value(elem_ty)?,
+        })
     }
 
     /// Shred a *proper* (insertion-only) nested bag into an update with
@@ -247,7 +252,10 @@ impl ShreddedUpdate {
     ) -> Result<ShreddedUpdate, EngineError> {
         let mut ctx = empty_ctx_value(elem_ty)?;
         set_deep(&mut ctx, elem_ty, &path.steps, label, delta)?;
-        Ok(ShreddedUpdate { flat: Bag::empty(), ctx })
+        Ok(ShreddedUpdate {
+            flat: Bag::empty(),
+            ctx,
+        })
     }
 }
 
@@ -302,7 +310,9 @@ fn set_deep(
                     d.add_entry(label, &delta);
                     Ok(())
                 }
-                _ => Err(EngineError::WrongStrategy("deep path does not address a dictionary".into())),
+                _ => Err(EngineError::WrongStrategy(
+                    "deep path does not address a dictionary".into(),
+                )),
             },
             _ => Err(EngineError::WrongStrategy(
                 "deep path must terminate at a bag-typed position".into(),
@@ -312,13 +322,17 @@ fn set_deep(
             (Value::Tuple(cs), Type::Tuple(ts)) if *i < cs.len() && *i < ts.len() => {
                 set_deep(&mut cs[*i], &ts[*i], &steps[1..], label, delta)
             }
-            _ => Err(EngineError::WrongStrategy("deep path field step mismatch".into())),
+            _ => Err(EngineError::WrongStrategy(
+                "deep path field step mismatch".into(),
+            )),
         },
         Some(DeepStep::Inner) => match (ctx, ty) {
             (Value::Tuple(cs), Type::Bag(elem)) if cs.len() == 2 => {
                 set_deep(&mut cs[1], elem, &steps[1..], label, delta)
             }
-            _ => Err(EngineError::WrongStrategy("deep path inner step mismatch".into())),
+            _ => Err(EngineError::WrongStrategy(
+                "deep path inner step mismatch".into(),
+            )),
         },
     }
 }
@@ -404,6 +418,21 @@ impl ShreddedView {
         rel: &str,
         upd: &ShreddedUpdate,
     ) -> Result<(), EngineError> {
+        self.apply_with(db, store_before, rel, upd, false)
+    }
+
+    /// [`ShreddedView::apply`] with an execution-mode switch: when
+    /// `parallel` is set, the flat-component refresh and the
+    /// context-dictionary delta resolution of each phase run concurrently
+    /// (they are independent — both read only the pre-update store).
+    pub fn apply_with(
+        &mut self,
+        db: &Database,
+        store_before: &ShreddedStore,
+        rel: &str,
+        upd: &ShreddedUpdate,
+        parallel: bool,
+    ) -> Result<(), EngineError> {
         // Phase A: the context component ΔR__G first, so that definitions of
         // labels the flat component is about to introduce are in place
         // before the flat refresh requests them.
@@ -415,6 +444,7 @@ impl ShreddedView {
                 &ctx_name(rel),
                 &delta_ctx_name(rel),
                 DeltaBinding::Ctx(&upd.ctx),
+                parallel,
             )?;
         }
         // Phase B: the flat component ΔR__F, against the store with the
@@ -434,6 +464,7 @@ impl ShreddedView {
                 &flat_name(rel),
                 &delta_flat_name(rel),
                 DeltaBinding::Flat(&upd.flat),
+                parallel,
             )?;
         }
         self.stats.updates_applied += 1;
@@ -448,34 +479,67 @@ impl ShreddedView {
         var: &str,
         dvar: &str,
         binding: DeltaBinding<'_>,
+        parallel: bool,
     ) -> Result<(), EngineError> {
-        // Old environment with the update bound.
+        // Old environment with the update bound (used for the context delta
+        // and, later, label initialization inside `refresh_ctx`).
+        let bind_update = |env: &mut Env<'_>| -> Result<(), EngineError> {
+            match &binding {
+                DeltaBinding::Flat(b) => env.bind_let(dvar.to_owned(), Value::Bag((*b).clone())),
+                DeltaBinding::Ctx(c) => env.bind_ctx(dvar.to_owned(), CtxVal::from_value(c)?),
+            }
+            Ok(())
+        };
         let mut env_delta = Env::new(db);
         store.bind_env(&mut env_delta)?;
-        match binding {
-            DeltaBinding::Flat(b) => env_delta.bind_let(dvar.to_owned(), Value::Bag(b.clone())),
-            DeltaBinding::Ctx(c) => env_delta.bind_ctx(dvar.to_owned(), CtxVal::from_value(c)?),
-        }
+        bind_update(&mut env_delta)?;
 
-        // 1. Flat view refresh.
-        let (new_flat, flat_change) = if let Some(d) = self.flat_deltas.get(var) {
-            let change = eval_query(d, &mut env_delta)?;
-            self.stats.last_delta_card = change.cardinality();
-            let next = self.flat_result.union(&change);
-            (next, Some(change))
+        let flat_delta = self.flat_deltas.get(var);
+        let ctx_delta = self.ctx_deltas.get(var);
+
+        // 1 + 2. Flat view refresh and context-delta resolution. The two
+        // evaluations read the same immutable pre-update state, so when both
+        // are non-trivial they run on separate workers, each with its own
+        // (cheap, copy-on-write) environment.
+        let (flat_change, delta_ctxval) = if parallel && flat_delta.is_some() && ctx_delta.is_some()
+        {
+            let env_ctx = &mut env_delta;
+            let (flat_res, ctx_res) = rayon::join(
+                || -> Result<(Bag, u64), EngineError> {
+                    let mut env_flat = Env::new(db);
+                    store.bind_env(&mut env_flat)?;
+                    bind_update(&mut env_flat)?;
+                    let change = eval_query(flat_delta.expect("checked"), &mut env_flat)?;
+                    Ok((change, env_flat.steps))
+                },
+                || -> Result<CtxVal, EngineError> {
+                    Ok(resolve_ctx(ctx_delta.expect("checked"), env_ctx)?)
+                },
+            );
+            let (change, flat_steps) = flat_res?;
+            env_delta.steps += flat_steps;
+            (Some(change), ctx_res?)
         } else {
-            (self.flat_result.clone(), None)
+            let flat_change = match flat_delta {
+                Some(d) => Some(eval_query(d, &mut env_delta)?),
+                None => None,
+            };
+            let delta_ctxval = match ctx_delta {
+                Some(d) => resolve_ctx(d, &mut env_delta)?,
+                None => {
+                    // No dependence: the delta context is empty.
+                    let empty = empty_ctx(&self.shredded.elem_ty)?;
+                    resolve_from_value(&empty)?
+                }
+            };
+            (flat_change, delta_ctxval)
         };
-
-        // 2. Context refresh: delta context against the old environment,
-        //    full context against the updated one.
-        let delta_ctxval = match self.ctx_deltas.get(var) {
-            Some(d) => resolve_ctx(d, &mut env_delta)?,
-            None => {
-                // No dependence: the delta context is empty.
-                let empty = empty_ctx(&self.shredded.elem_ty)?;
-                resolve_from_value(&empty)?
+        let new_flat = match &flat_change {
+            Some(change) => {
+                self.stats.last_delta_card = change.cardinality();
+                self.flat_result.union(change)
             }
+            None => self.flat_result.clone(),
         };
 
         // Sparse fast path: when the delta context is fully extensional
@@ -519,7 +583,11 @@ impl ShreddedView {
 
     /// The nested result (applies the nesting function `u`).
     pub fn nested(&self) -> Result<Bag, EngineError> {
-        Ok(nest_bag(&self.flat_result, &self.shredded.elem_ty, &self.ctx_result)?)
+        Ok(nest_bag(
+            &self.flat_result,
+            &self.shredded.elem_ty,
+            &self.ctx_result,
+        )?)
     }
 }
 
@@ -591,8 +659,8 @@ mod tests {
         let mut view = ShreddedView::new(related_query(), &db, &store).unwrap();
         assert_eq!(view.nested().unwrap(), reevaluate(&related_query(), &db));
 
-        let upd = ShreddedUpdate::flat_only(example_movies_update(), db.schema("M").unwrap())
-            .unwrap();
+        let upd =
+            ShreddedUpdate::flat_only(example_movies_update(), db.schema("M").unwrap()).unwrap();
         let mut db2 = db.clone();
         db2.apply_update("M", &example_movies_update()).unwrap();
         view.apply(&db, &store, "M", &upd).unwrap();
@@ -623,14 +691,23 @@ mod tests {
 
     fn nested_orders_db() -> (Database, Type) {
         // R : Bag(Int × Bag(Int)) — "order id × items".
-        let elem = Type::pair(Type::Base(BaseType::Int), Type::bag(Type::Base(BaseType::Int)));
+        let elem = Type::pair(
+            Type::Base(BaseType::Int),
+            Type::bag(Type::Base(BaseType::Int)),
+        );
         let mut db = Database::new();
         db.insert_relation(
             "R",
             elem.clone(),
             Bag::from_values([
-                Value::pair(Value::int(1), Value::Bag(Bag::from_values([Value::int(10), Value::int(11)]))),
-                Value::pair(Value::int(2), Value::Bag(Bag::from_values([Value::int(20)]))),
+                Value::pair(
+                    Value::int(1),
+                    Value::Bag(Bag::from_values([Value::int(10), Value::int(11)])),
+                ),
+                Value::pair(
+                    Value::int(2),
+                    Value::Bag(Bag::from_values([Value::int(20)])),
+                ),
             ]),
         );
         (db, elem)
@@ -765,7 +842,10 @@ mod tests {
 
     #[test]
     fn deep_path_validation() {
-        let elem = Type::pair(Type::Base(BaseType::Int), Type::bag(Type::Base(BaseType::Int)));
+        let elem = Type::pair(
+            Type::Base(BaseType::Int),
+            Type::bag(Type::Base(BaseType::Int)),
+        );
         // Addressing a non-bag position fails.
         let err = ShreddedUpdate::deep(
             &elem,
@@ -784,14 +864,23 @@ mod gc_tests {
 
     #[test]
     fn gc_drops_orphaned_definitions_after_deletion() {
-        let elem = Type::pair(Type::Base(BaseType::Int), Type::bag(Type::Base(BaseType::Int)));
+        let elem = Type::pair(
+            Type::Base(BaseType::Int),
+            Type::bag(Type::Base(BaseType::Int)),
+        );
         let mut db = Database::new();
         db.insert_relation(
             "R",
             elem.clone(),
             Bag::from_values([
-                Value::pair(Value::int(1), Value::Bag(Bag::from_values([Value::int(10)]))),
-                Value::pair(Value::int(2), Value::Bag(Bag::from_values([Value::int(20)]))),
+                Value::pair(
+                    Value::int(1),
+                    Value::Bag(Bag::from_values([Value::int(10)])),
+                ),
+                Value::pair(
+                    Value::int(2),
+                    Value::Bag(Bag::from_values([Value::int(20)])),
+                ),
             ]),
         );
         let mut store = ShreddedStore::from_database(&db).unwrap();
@@ -817,7 +906,10 @@ mod gc_tests {
 
     #[test]
     fn gc_is_a_noop_on_fully_live_stores() {
-        let elem = Type::pair(Type::Base(BaseType::Int), Type::bag(Type::Base(BaseType::Int)));
+        let elem = Type::pair(
+            Type::Base(BaseType::Int),
+            Type::bag(Type::Base(BaseType::Int)),
+        );
         let mut db = Database::new();
         db.insert_relation(
             "R",

@@ -1,4 +1,4 @@
-//! Per-view maintenance statistics.
+//! Per-view and per-batch maintenance statistics.
 
 use serde::Serialize;
 
@@ -21,4 +21,57 @@ pub struct ViewStats {
     /// Number of auxiliary materializations (recursive IVM) or dictionary
     /// entries (shredded IVM) owned by this view.
     pub materialized_aux: u64,
+}
+
+/// Counters describing the batched maintenance path
+/// ([`crate::IvmSystem::apply_batch`]): how many raw updates were coalesced,
+/// how much delta volume was applied, and how long the batch refreshes took.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct BatchStats {
+    /// Batches applied through `apply_batch`.
+    pub batches_applied: u64,
+    /// Raw (pre-coalescing) updates contained in those batches.
+    pub updates_coalesced: u64,
+    /// Coalesced per-relation segments processed (≤ `updates_coalesced`).
+    pub relation_segments: u64,
+    /// Total cardinality of the coalesced deltas applied.
+    pub delta_cardinality: u64,
+    /// Cumulative wall time spent inside `apply_batch`, in nanoseconds.
+    pub batch_nanos: u64,
+    /// Wall time of the most recent batch, in nanoseconds.
+    pub last_batch_nanos: u64,
+    /// Raw updates in the most recent batch.
+    pub last_batch_updates: u64,
+}
+
+impl BatchStats {
+    /// Average throughput over all batches, in raw updates per second.
+    /// `0.0` before any batch has been applied.
+    pub fn throughput_updates_per_sec(&self) -> f64 {
+        if self.batch_nanos == 0 {
+            return 0.0;
+        }
+        self.updates_coalesced as f64 / (self.batch_nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_zero_before_batches() {
+        assert_eq!(BatchStats::default().throughput_updates_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn throughput_counts_raw_updates() {
+        let s = BatchStats {
+            batches_applied: 2,
+            updates_coalesced: 100,
+            batch_nanos: 500_000_000, // 0.5 s
+            ..BatchStats::default()
+        };
+        assert_eq!(s.throughput_updates_per_sec(), 200.0);
+    }
 }

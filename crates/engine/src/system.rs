@@ -4,16 +4,27 @@
 //! views under a chosen [`Strategy`], and routes updates: every registered
 //! view is refreshed against the pre-update state (deltas reference the old
 //! database, Prop. 4.1), then the base data is updated.
+//!
+//! Two ingestion paths exist:
+//!
+//! * [`IvmSystem::apply_update`] — one update at a time;
+//! * [`IvmSystem::apply_batch`] — an [`UpdateBatch`] of many updates,
+//!   coalesced per relation by `⊎` *before* any view work (sound by the
+//!   additivity of deltas, Prop. 4.1), with every registered view refreshed
+//!   on its own worker when [`Parallelism::Rayon`] is selected.
 
 use crate::error::EngineError;
 use crate::recursive::RecursiveView;
 use crate::shredded::{ShreddedStore, ShreddedUpdate, ShreddedView};
-use crate::stats::ViewStats;
+use crate::stats::{BatchStats, ViewStats};
 use crate::view::{FirstOrderView, ReevalView};
+use nrc_core::delta::coalesce_updates;
 use nrc_core::shred::nest_value;
 use nrc_core::Expr;
 use nrc_data::{Bag, Database, Label, Value};
+use rayon::prelude::*;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// How a view is maintained.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,6 +47,111 @@ enum ViewKind {
     Shredded(Box<ShreddedView>),
 }
 
+/// How view refreshes are executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Refresh views one after another on the calling thread.
+    Sequential,
+    /// Refresh each registered view on its own worker (and, within the
+    /// shredded and recursive strategies, split independent sub-refreshes
+    /// too). Results are bit-identical to sequential execution — views are
+    /// independent and each refresh only reads shared pre-update state.
+    #[default]
+    Rayon,
+}
+
+/// A batch of updates, coalesced per relation by `⊎` before any view work.
+///
+/// Deltas are additive (Prop. 4.1): refreshing a view once with
+/// `u₁ ⊎ u₂ ⊎ …` produces exactly the state that refreshing per update
+/// would, while evaluating every delta query once instead of once per
+/// update. Updates to different relations are kept as separate segments in
+/// first-appearance order, since refreshes across relations compose
+/// sequentially.
+///
+/// ```
+/// use nrc_data::{Bag, Value};
+/// use nrc_engine::UpdateBatch;
+///
+/// let mut batch = UpdateBatch::new();
+/// batch.push("M", Bag::from_values([Value::int(1)]));
+/// batch.push("N", Bag::from_values([Value::int(9)]));
+/// batch.push("M", Bag::from_pairs([(Value::int(1), -1), (Value::int(2), 1)]));
+///
+/// assert_eq!(batch.raw_updates(), 3);
+/// // M's two updates coalesced: the insert/delete of 1 cancelled away.
+/// let segments: Vec<_> = batch.segments().collect();
+/// assert_eq!(segments.len(), 2);
+/// assert_eq!(segments[0].0, "M");
+/// assert_eq!(segments[0].1.multiplicity(&Value::int(2)), 1);
+/// assert_eq!(segments[0].1.multiplicity(&Value::int(1)), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    /// Coalesced `(relation, Δ)` segments in first-appearance order.
+    segments: Vec<(String, Bag)>,
+    /// Raw updates pushed (before coalescing).
+    raw_updates: u64,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> UpdateBatch {
+        UpdateBatch::default()
+    }
+
+    /// Coalesce a sequence of `(relation, Δ)` updates into a batch in one
+    /// bulk pass (preferred over repeated [`UpdateBatch::push`] for large
+    /// streams).
+    pub fn from_updates<I>(updates: I) -> UpdateBatch
+    where
+        I: IntoIterator<Item = (String, Bag)>,
+    {
+        let mut raw = 0u64;
+        let segments = coalesce_updates(updates.into_iter().inspect(|_| raw += 1));
+        UpdateBatch {
+            segments,
+            raw_updates: raw,
+        }
+    }
+
+    /// Add one update to the batch, `⊎`-merging it into the relation's
+    /// existing segment if there is one.
+    pub fn push(&mut self, rel: impl Into<String>, delta: Bag) {
+        let rel = rel.into();
+        self.raw_updates += 1;
+        match self.segments.iter_mut().find(|(r, _)| *r == rel) {
+            Some((_, seg)) => seg.union_assign(&delta),
+            None => self.segments.push((rel, delta)),
+        }
+    }
+
+    /// The coalesced `(relation, Δ)` segments, in first-appearance order.
+    pub fn segments(&self) -> impl Iterator<Item = (&str, &Bag)> {
+        self.segments.iter().map(|(r, b)| (r.as_str(), b))
+    }
+
+    /// Number of coalesced per-relation segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Does the batch contain no updates?
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Number of raw updates pushed into the batch (before coalescing).
+    pub fn raw_updates(&self) -> u64 {
+        self.raw_updates
+    }
+
+    /// Total cardinality of the coalesced deltas.
+    pub fn total_cardinality(&self) -> u64 {
+        self.segments.iter().map(|(_, b)| b.cardinality()).sum()
+    }
+}
+
 /// The maintenance runtime.
 pub struct IvmSystem {
     db: Database,
@@ -44,12 +160,38 @@ pub struct IvmSystem {
     /// Relations whose nested mirror in `db` is stale (shredded updates are
     /// applied to the store; the nested form is reconstructed lazily).
     stale: std::collections::BTreeSet<String>,
+    /// Execution mode for batched view refresh.
+    parallelism: Parallelism,
+    /// Counters for the batched maintenance path.
+    batch_stats: BatchStats,
 }
 
 impl IvmSystem {
     /// Create a system over an initial database.
     pub fn new(db: Database) -> IvmSystem {
-        IvmSystem { db, store: None, views: BTreeMap::new(), stale: Default::default() }
+        IvmSystem {
+            db,
+            store: None,
+            views: BTreeMap::new(),
+            stale: Default::default(),
+            parallelism: Parallelism::default(),
+            batch_stats: BatchStats::default(),
+        }
+    }
+
+    /// Select how [`IvmSystem::apply_batch`] executes view refreshes.
+    pub fn set_parallelism(&mut self, mode: Parallelism) {
+        self.parallelism = mode;
+    }
+
+    /// The currently selected refresh execution mode.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Counters for the batched maintenance path.
+    pub fn batch_stats(&self) -> &BatchStats {
+        &self.batch_stats
     }
 
     /// The current database.
@@ -102,8 +244,12 @@ impl IvmSystem {
         }
         let kind = match strategy {
             Strategy::Reevaluate => ViewKind::Reeval(Box::new(ReevalView::new(query, &self.db)?)),
-            Strategy::FirstOrder => ViewKind::FirstOrder(Box::new(FirstOrderView::new(query, &self.db)?)),
-            Strategy::Recursive => ViewKind::Recursive(Box::new(RecursiveView::new(query, &self.db)?)),
+            Strategy::FirstOrder => {
+                ViewKind::FirstOrder(Box::new(FirstOrderView::new(query, &self.db)?))
+            }
+            Strategy::Recursive => {
+                ViewKind::Recursive(Box::new(RecursiveView::new(query, &self.db)?))
+            }
             Strategy::Shredded => {
                 self.ensure_store()?;
                 let store = self.store.as_ref().expect("ensured");
@@ -121,6 +267,79 @@ impl IvmSystem {
     /// resolved against existing flat tuples (labels must match for
     /// cancellation) — see [`EngineError::UnmatchedDeletion`].
     pub fn apply_update(&mut self, rel: &str, delta: &Bag) -> Result<(), EngineError> {
+        self.apply_update_with(rel, delta, false)
+    }
+
+    /// Apply a coalesced batch of updates: each per-relation segment is
+    /// applied in order, refreshing every registered view once per segment
+    /// (instead of once per raw update). Under [`Parallelism::Rayon`] the
+    /// per-view refreshes of a segment run concurrently; results are
+    /// bit-identical to sequential per-update application.
+    ///
+    /// On error, segments already applied stay applied (the batch is not
+    /// transactional); the returned error identifies the failing segment's
+    /// cause exactly as [`IvmSystem::apply_update`] would.
+    ///
+    /// ```
+    /// use nrc_core::builder::{cmp_lit, filter_query};
+    /// use nrc_core::expr::CmpOp;
+    /// use nrc_data::database::{example_movies, example_movies_update};
+    /// use nrc_engine::{IvmSystem, Strategy, UpdateBatch};
+    ///
+    /// let mut sys = IvmSystem::new(example_movies());
+    /// let q = filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "Drama"));
+    /// sys.register("dramas", q, Strategy::FirstOrder).unwrap();
+    ///
+    /// let mut batch = UpdateBatch::new();
+    /// batch.push("M", example_movies_update());        // insert Jarhead
+    /// batch.push("M", example_movies_update().negate()); // …and delete it
+    /// batch.push("M", example_movies_update());        // …and re-insert it
+    /// sys.apply_batch(&batch).unwrap();
+    ///
+    /// // One coalesced refresh, same result as three sequential updates.
+    /// assert_eq!(sys.view("dramas").unwrap().cardinality(), 2);
+    /// assert_eq!(sys.batch_stats().updates_coalesced, 3);
+    /// ```
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<(), EngineError> {
+        let start = Instant::now();
+        let parallel = self.parallelism == Parallelism::Rayon;
+        let mut segments = 0u64;
+        let mut delta_card = 0u64;
+        let mut outcome = Ok(());
+        for (rel, delta) in batch.segments.iter() {
+            if delta.is_empty() {
+                // Fully cancelled by coalescing — view contents are already
+                // exactly the sequential outcome.
+                continue;
+            }
+            if let Err(e) = self.apply_update_with(rel, delta, parallel) {
+                // Earlier segments stay applied (documented); fall through so
+                // the stats below still account for the work performed.
+                outcome = Err(e);
+                break;
+            }
+            segments += 1;
+            delta_card += delta.cardinality();
+        }
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.batch_stats.batches_applied += 1;
+        self.batch_stats.updates_coalesced += batch.raw_updates;
+        self.batch_stats.relation_segments += segments;
+        self.batch_stats.delta_cardinality += delta_card;
+        self.batch_stats.batch_nanos += nanos;
+        self.batch_stats.last_batch_nanos = nanos;
+        self.batch_stats.last_batch_updates = batch.raw_updates;
+        outcome
+    }
+
+    /// The single-segment refresh cycle shared by [`IvmSystem::apply_update`]
+    /// and [`IvmSystem::apply_batch`].
+    fn apply_update_with(
+        &mut self,
+        rel: &str,
+        delta: &Bag,
+        parallel: bool,
+    ) -> Result<(), EngineError> {
         if self.db.get(rel).is_none() {
             return Err(EngineError::UnknownRelation(rel.to_owned()));
         }
@@ -136,28 +355,38 @@ impl IvmSystem {
         // Incremental views refresh against the *old* state (Prop. 4.1), so
         // run them before mutating anything. Avoiding database snapshots
         // here keeps the subsequent in-place `⊎` at O(|Δ| log n) thanks to
-        // the copy-on-write data structures.
-        for kind in self.views.values_mut() {
-            match kind {
-                ViewKind::Reeval(_) => {}
-                ViewKind::FirstOrder(v) => v.apply(&self.db, rel, delta)?,
-                ViewKind::Recursive(v) => v.apply(&self.db, rel, delta)?,
-                ViewKind::Shredded(v) => {
-                    let upd = shredded_update.as_ref().expect("store exists");
-                    let store = self.store.as_ref().expect("store exists");
-                    v.apply(&self.db, store, rel, upd)?;
+        // the copy-on-write data structures. Views are mutually independent
+        // — each refresh reads only the shared pre-update state and writes
+        // only its own materialization — so they fan out across workers.
+        {
+            let db = &self.db;
+            let store = self.store.as_ref();
+            let shredded_update = shredded_update.as_ref();
+            let refresh = |kind: &mut ViewKind| -> Result<(), EngineError> {
+                match kind {
+                    ViewKind::Reeval(_) => Ok(()),
+                    ViewKind::FirstOrder(v) => v.apply(db, rel, delta),
+                    ViewKind::Recursive(v) => v.apply_with(db, rel, delta, parallel),
+                    ViewKind::Shredded(v) => {
+                        let upd = shredded_update.expect("store exists");
+                        let store = store.expect("store exists");
+                        v.apply_with(db, store, rel, upd, parallel)
+                    }
                 }
-            }
+            };
+            run_over_views(&mut self.views, parallel, refresh)?;
         }
         if let (Some(store), Some(upd)) = (&mut self.store, &shredded_update) {
             store.apply(rel, upd)?;
         }
         self.db.apply_update(rel, delta)?;
         // Re-evaluation baselines read the *new* state.
-        for kind in self.views.values_mut() {
-            if let ViewKind::Reeval(v) = kind {
-                v.refresh(&self.db)?;
-            }
+        {
+            let db = &self.db;
+            run_over_views(&mut self.views, parallel, |kind| match kind {
+                ViewKind::Reeval(v) => v.refresh(db),
+                _ => Ok(()),
+            })?;
         }
         Ok(())
     }
@@ -303,6 +532,26 @@ impl IvmSystem {
     }
 }
 
+/// Run `refresh` over every registered view, sequentially or fanned out
+/// across workers. Error reporting is deterministic either way: the first
+/// failing view in name order wins.
+fn run_over_views(
+    views: &mut BTreeMap<String, ViewKind>,
+    parallel: bool,
+    refresh: impl Fn(&mut ViewKind) -> Result<(), EngineError> + Sync,
+) -> Result<(), EngineError> {
+    if parallel && views.len() > 1 {
+        let targets: Vec<&mut ViewKind> = views.values_mut().collect();
+        let results: Vec<Result<(), EngineError>> = targets.into_par_iter().map(&refresh).collect();
+        results.into_iter().collect()
+    } else {
+        for kind in views.values_mut() {
+            refresh(kind)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,12 +588,15 @@ mod tests {
     fn related_maintained_shredded_in_system() {
         let db = example_movies();
         let mut sys = IvmSystem::new(db);
-        sys.register("rel", related_query(), Strategy::Reevaluate).unwrap();
-        sys.register("rel_sh", related_query(), Strategy::Shredded).unwrap();
+        sys.register("rel", related_query(), Strategy::Reevaluate)
+            .unwrap();
+        sys.register("rel_sh", related_query(), Strategy::Shredded)
+            .unwrap();
         sys.apply_update("M", &example_movies_update()).unwrap();
         assert_eq!(sys.view("rel_sh").unwrap(), sys.view("rel").unwrap());
         // Deletions resolve labels against the store.
-        sys.apply_update("M", &example_movies_update().negate()).unwrap();
+        sys.apply_update("M", &example_movies_update().negate())
+            .unwrap();
         assert_eq!(sys.view("rel_sh").unwrap(), sys.view("rel").unwrap());
     }
 
@@ -372,18 +624,19 @@ mod tests {
     #[test]
     fn unmatched_deletion_is_reported() {
         let mut db = Database::new();
-        let elem = Type::pair(Type::Base(BaseType::Int), Type::bag(Type::Base(BaseType::Int)));
+        let elem = Type::pair(
+            Type::Base(BaseType::Int),
+            Type::bag(Type::Base(BaseType::Int)),
+        );
         db.insert_relation(
             "R",
             elem,
             Bag::from_values([Value::pair(Value::int(1), Value::Bag(Bag::empty()))]),
         );
         let mut sys = IvmSystem::new(db);
-        sys.register("v", for_("x", rel("R"), elem_sng("x")), Strategy::Shredded).unwrap();
-        let bogus = Bag::from_pairs([(
-            Value::pair(Value::int(9), Value::Bag(Bag::empty())),
-            -1,
-        )]);
+        sys.register("v", for_("x", rel("R"), elem_sng("x")), Strategy::Shredded)
+            .unwrap();
+        let bogus = Bag::from_pairs([(Value::pair(Value::int(9), Value::Bag(Bag::empty())), -1)]);
         assert!(matches!(
             sys.apply_update("R", &bogus),
             Err(EngineError::UnmatchedDeletion(_))
@@ -393,7 +646,10 @@ mod tests {
     #[test]
     fn deep_updates_flow_through_the_system() {
         let mut db = Database::new();
-        let elem = Type::pair(Type::Base(BaseType::Int), Type::bag(Type::Base(BaseType::Int)));
+        let elem = Type::pair(
+            Type::Base(BaseType::Int),
+            Type::bag(Type::Base(BaseType::Int)),
+        );
         db.insert_relation(
             "R",
             elem.clone(),
@@ -403,7 +659,8 @@ mod tests {
             )]),
         );
         let mut sys = IvmSystem::new(db);
-        sys.register("v", for_("x", rel("R"), elem_sng("x")), Strategy::Shredded).unwrap();
+        sys.register("v", for_("x", rel("R"), elem_sng("x")), Strategy::Shredded)
+            .unwrap();
         let label = sys
             .find_label("R", &[1], |v| v.project(0).unwrap() == &Value::int(1))
             .unwrap()
@@ -431,15 +688,24 @@ mod tests {
     #[test]
     fn shredded_updates_blocked_when_flat_views_exist() {
         let mut db = Database::new();
-        let elem = Type::pair(Type::Base(BaseType::Int), Type::bag(Type::Base(BaseType::Int)));
+        let elem = Type::pair(
+            Type::Base(BaseType::Int),
+            Type::bag(Type::Base(BaseType::Int)),
+        );
         db.insert_relation(
             "R",
             elem.clone(),
             Bag::from_values([Value::pair(Value::int(1), Value::Bag(Bag::empty()))]),
         );
         let mut sys = IvmSystem::new(db);
-        sys.register("sh", for_("x", rel("R"), elem_sng("x")), Strategy::Shredded).unwrap();
-        sys.register("re", for_("x", rel("R"), elem_sng("x")), Strategy::Reevaluate).unwrap();
+        sys.register("sh", for_("x", rel("R"), elem_sng("x")), Strategy::Shredded)
+            .unwrap();
+        sys.register(
+            "re",
+            for_("x", rel("R"), elem_sng("x")),
+            Strategy::Reevaluate,
+        )
+        .unwrap();
         let upd = ShreddedUpdate::flat_only(Bag::empty(), &elem).unwrap();
         assert!(matches!(
             sys.apply_shredded_update("R", &upd),
@@ -458,6 +724,170 @@ mod tests {
         let s = sys.stats("v").unwrap();
         assert_eq!(s.updates_applied, 2);
         assert_eq!(s.reevaluations, 1);
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use nrc_core::builder::*;
+    use nrc_core::expr::CmpOp;
+    use nrc_data::database::{example_movies, example_movies_update};
+    use nrc_data::{BaseType, Type};
+
+    fn movie(name: &str, gen: &str, dir: &str) -> Value {
+        Value::Tuple(vec![Value::str(name), Value::str(gen), Value::str(dir)])
+    }
+
+    /// A system with all four strategies registered over the movies schema.
+    fn four_strategy_system() -> IvmSystem {
+        let mut sys = IvmSystem::new(example_movies());
+        let q = filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "Action"));
+        sys.register("re", q.clone(), Strategy::Reevaluate).unwrap();
+        sys.register("fo", q.clone(), Strategy::FirstOrder).unwrap();
+        sys.register("rc", q, Strategy::Recursive).unwrap();
+        sys.register("sh", related_query(), Strategy::Shredded)
+            .unwrap();
+        sys.register("sh_re", related_query(), Strategy::Reevaluate)
+            .unwrap();
+        sys
+    }
+
+    fn updates() -> Vec<Bag> {
+        vec![
+            example_movies_update(),
+            Bag::from_values([movie("Heat", "Action", "Mann")]),
+            example_movies_update().negate(),
+            Bag::from_pairs([
+                (movie("Gladiator", "Action", "Scott"), 1),
+                (movie("Heat", "Action", "Mann"), -1),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_sequential_across_strategies() {
+        for mode in [Parallelism::Sequential, Parallelism::Rayon] {
+            let mut batched = four_strategy_system();
+            batched.set_parallelism(mode);
+            let mut sequential = four_strategy_system();
+
+            let mut batch = UpdateBatch::new();
+            for u in updates() {
+                batch.push("M", u);
+            }
+            batched.apply_batch(&batch).unwrap();
+            for u in updates() {
+                sequential.apply_update("M", &u).unwrap();
+            }
+            for view in ["re", "fo", "rc", "sh", "sh_re"] {
+                assert_eq!(
+                    batched.view(view).unwrap(),
+                    sequential.view(view).unwrap(),
+                    "{view} diverged under {mode:?}"
+                );
+            }
+            assert_eq!(batched.database(), sequential.database());
+        }
+    }
+
+    #[test]
+    fn batch_coalesces_across_relations_in_order() {
+        let mut db = example_movies();
+        db.declare("N", Type::Base(BaseType::Int));
+        let mut sys = IvmSystem::new(db);
+        sys.register("pairs", pair(rel("M"), rel("N")), Strategy::FirstOrder)
+            .unwrap();
+
+        let batch = UpdateBatch::from_updates([
+            ("M".to_string(), example_movies_update()),
+            ("N".to_string(), Bag::from_values([Value::int(1)])),
+            ("M".to_string(), example_movies_update()),
+            ("N".to_string(), Bag::from_values([Value::int(2)])),
+        ]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.raw_updates(), 4);
+        sys.apply_batch(&batch).unwrap();
+
+        let mut expected = IvmSystem::new({
+            let mut db = example_movies();
+            db.declare("N", Type::Base(BaseType::Int));
+            db
+        });
+        expected
+            .register("pairs", pair(rel("M"), rel("N")), Strategy::FirstOrder)
+            .unwrap();
+        expected
+            .apply_update("M", &example_movies_update())
+            .unwrap();
+        expected
+            .apply_update("N", &Bag::from_values([Value::int(1)]))
+            .unwrap();
+        expected
+            .apply_update("M", &example_movies_update())
+            .unwrap();
+        expected
+            .apply_update("N", &Bag::from_values([Value::int(2)]))
+            .unwrap();
+
+        assert_eq!(sys.view("pairs").unwrap(), expected.view("pairs").unwrap());
+    }
+
+    #[test]
+    fn batch_stats_accumulate() {
+        let mut sys = four_strategy_system();
+        let mut batch = UpdateBatch::new();
+        batch.push("M", example_movies_update());
+        batch.push("M", Bag::from_values([movie("Heat", "Action", "Mann")]));
+        sys.apply_batch(&batch).unwrap();
+        sys.apply_batch(&batch).unwrap();
+        let stats = sys.batch_stats();
+        assert_eq!(stats.batches_applied, 2);
+        assert_eq!(stats.updates_coalesced, 4);
+        assert_eq!(stats.relation_segments, 2);
+        assert!(stats.batch_nanos > 0);
+        assert!(stats.throughput_updates_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn fully_cancelled_batches_are_noops() {
+        let mut sys = four_strategy_system();
+        let before = sys.view("sh").unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.push("M", example_movies_update());
+        batch.push("M", example_movies_update().negate());
+        sys.apply_batch(&batch).unwrap();
+        assert_eq!(sys.view("sh").unwrap(), before);
+        assert_eq!(sys.batch_stats().relation_segments, 0);
+        assert_eq!(sys.batch_stats().batches_applied, 1);
+    }
+
+    #[test]
+    fn batch_errors_identify_unknown_relations_and_still_record_stats() {
+        let mut sys = four_strategy_system();
+        let mut batch = UpdateBatch::new();
+        batch.push("M", example_movies_update());
+        batch.push("Zzz", Bag::from_values([Value::int(1)]));
+        assert!(matches!(
+            sys.apply_batch(&batch),
+            Err(EngineError::UnknownRelation(_))
+        ));
+        // The M segment was applied before the failure (the batch is not
+        // transactional) and the stats account for that work.
+        assert_eq!(sys.view("fo").unwrap().cardinality(), 2);
+        let stats = sys.batch_stats();
+        assert_eq!(stats.batches_applied, 1);
+        assert_eq!(stats.relation_segments, 1);
+        assert_eq!(stats.updates_coalesced, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_accepted() {
+        let mut sys = four_strategy_system();
+        assert!(UpdateBatch::new().is_empty());
+        sys.apply_batch(&UpdateBatch::new()).unwrap();
+        assert_eq!(sys.batch_stats().batches_applied, 1);
+        assert_eq!(sys.batch_stats().updates_coalesced, 0);
     }
 }
 
@@ -484,7 +914,8 @@ mod api_tests {
             sys.find_label("M", &[0], |_| true),
             Err(EngineError::WrongStrategy(_))
         ));
-        sys.register("sh", related_query(), Strategy::Shredded).unwrap();
+        sys.register("sh", related_query(), Strategy::Shredded)
+            .unwrap();
         // Movie rows are flat — there is no label at position 0.
         assert!(sys.find_label("M", &[0], |_| true).is_err());
         // Predicate matching nothing yields None.
@@ -501,7 +932,8 @@ mod api_tests {
     fn sync_database_is_idempotent_without_staleness() {
         let mut sys = IvmSystem::new(example_movies());
         sys.sync_database().unwrap();
-        sys.register("sh", related_query(), Strategy::Shredded).unwrap();
+        sys.register("sh", related_query(), Strategy::Shredded)
+            .unwrap();
         sys.sync_database().unwrap();
         assert_eq!(sys.database().get("M").unwrap().cardinality(), 3);
     }

@@ -1,4 +1,10 @@
 //! Re-evaluation baseline and classical first-order IVM views.
+//!
+//! Both view kinds are oblivious to how updates were grouped: the `delta`
+//! handed to [`FirstOrderView::apply`] may be a single update or a whole
+//! batch coalesced by `⊎` ([`crate::UpdateBatch`]) — additivity of deltas
+//! (Prop. 4.1) makes the refresh identical either way, which is what the
+//! engine's batched path builds on.
 
 use crate::error::EngineError;
 use crate::stats::ViewStats;
@@ -38,8 +44,17 @@ impl ReevalView {
         };
         let mut env = Env::new(db);
         let result = eval_query(&query, &mut env)?;
-        let stats = ViewStats { reevaluations: 1, eval_steps: env.steps, ..ViewStats::default() };
-        Ok(ReevalView { query, result, stats, elem_ty })
+        let stats = ViewStats {
+            reevaluations: 1,
+            eval_steps: env.steps,
+            ..ViewStats::default()
+        };
+        Ok(ReevalView {
+            query,
+            result,
+            stats,
+            elem_ty,
+        })
     }
 
     /// Recompute against the *updated* database.
@@ -95,8 +110,18 @@ impl FirstOrderView {
         }
         let mut env = Env::new(db);
         let result = eval_query(&query, &mut env)?;
-        let stats = ViewStats { reevaluations: 1, eval_steps: env.steps, ..ViewStats::default() };
-        Ok(FirstOrderView { query, deltas, result, stats, elem_ty })
+        let stats = ViewStats {
+            reevaluations: 1,
+            eval_steps: env.steps,
+            ..ViewStats::default()
+        };
+        Ok(FirstOrderView {
+            query,
+            deltas,
+            result,
+            stats,
+            elem_ty,
+        })
     }
 
     /// Apply an update `ΔR` to relation `rel`. `db_before` must be the

@@ -132,99 +132,187 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, offset: start, line });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, offset: start, line });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, offset: start, line });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                    line,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { kind: TokenKind::Dot, offset: start, line });
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { kind: TokenKind::Semi, offset: start, line });
+                out.push(Token {
+                    kind: TokenKind::Semi,
+                    offset: start,
+                    line,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { kind: TokenKind::Star, offset: start, line });
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { kind: TokenKind::Minus, offset: start, line });
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Assign, offset: start, line });
+                    out.push(Token {
+                        kind: TokenKind::Assign,
+                        offset: start,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Colon, offset: start, line });
+                    out.push(Token {
+                        kind: TokenKind::Colon,
+                        offset: start,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '+' => {
                 if bytes.get(i + 1) == Some(&b'+') {
-                    out.push(Token { kind: TokenKind::PlusPlus, offset: start, line });
+                    out.push(Token {
+                        kind: TokenKind::PlusPlus,
+                        offset: start,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { message: "expected ++".into(), line });
+                    return Err(LexError {
+                        message: "expected ++".into(),
+                        line,
+                    });
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Le, offset: start, line });
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Lt, offset: start, line });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Ge, offset: start, line });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Gt, offset: start, line });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::EqEq, offset: start, line });
+                    out.push(Token {
+                        kind: TokenKind::EqEq,
+                        offset: start,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { message: "expected == (assignment is :=)".into(), line });
+                    return Err(LexError {
+                        message: "expected == (assignment is :=)".into(),
+                        line,
+                    });
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Ne, offset: start, line });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Bang, offset: start, line });
+                    out.push(Token {
+                        kind: TokenKind::Bang,
+                        offset: start,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    out.push(Token { kind: TokenKind::AndAnd, offset: start, line });
+                    out.push(Token {
+                        kind: TokenKind::AndAnd,
+                        offset: start,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { message: "expected &&".into(), line });
+                    return Err(LexError {
+                        message: "expected &&".into(),
+                        line,
+                    });
                 }
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    out.push(Token { kind: TokenKind::OrOr, offset: start, line });
+                    out.push(Token {
+                        kind: TokenKind::OrOr,
+                        offset: start,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { message: "expected ||".into(), line });
+                    return Err(LexError {
+                        message: "expected ||".into(),
+                        line,
+                    });
                 }
             }
             '"' => {
@@ -262,7 +350,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                out.push(Token { kind: TokenKind::Str(s), offset: start, line });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut j = i;
@@ -274,7 +366,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     message: format!("integer literal {text} out of range"),
                     line,
                 })?;
-                out.push(Token { kind: TokenKind::Int(v), offset: start, line });
+                out.push(Token {
+                    kind: TokenKind::Int(v),
+                    offset: start,
+                    line,
+                });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -284,15 +380,26 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 {
                     j += 1;
                 }
-                out.push(Token { kind: TokenKind::Ident(input[i..j].to_owned()), offset: start, line });
+                out.push(Token {
+                    kind: TokenKind::Ident(input[i..j].to_owned()),
+                    offset: start,
+                    line,
+                });
                 i = j;
             }
             other => {
-                return Err(LexError { message: format!("unexpected character {other:?}"), line })
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                })
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, offset: input.len(), line });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+        line,
+    });
     Ok(out)
 }
 

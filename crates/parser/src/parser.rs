@@ -47,7 +47,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line }
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
     }
 }
 
@@ -63,7 +66,8 @@ pub fn parse_expr(src: &str, relations: &[RelationDecl]) -> Result<Expr, ParseEr
     let tokens = lex(src)?;
     let mut p = Parser::new(tokens);
     for r in relations {
-        p.schemas.insert(r.name.clone(), (r.elem_ty.clone(), r.names.clone()));
+        p.schemas
+            .insert(r.name.clone(), (r.elem_ty.clone(), r.names.clone()));
     }
     let e = p.expr()?;
     p.expect_eof()?;
@@ -108,7 +112,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), line: self.line() })
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
@@ -167,8 +174,10 @@ impl Parser {
 
     fn infer_type(&self, e: &Expr) -> Result<Type, ParseError> {
         let mut env = self.type_env();
-        infer(e, &mut env)
-            .map_err(|te| ParseError { message: te.to_string(), line: self.line() })
+        infer(e, &mut env).map_err(|te| ParseError {
+            message: te.to_string(),
+            line: self.line(),
+        })
     }
 
     fn lookup_elem(&self, name: &str) -> Option<(Type, NameTree)> {
@@ -199,8 +208,10 @@ impl Parser {
             if self.at_kw("relation") {
                 self.bump();
                 let decl = self.relation_decl()?;
-                self.schemas
-                    .insert(decl.name.clone(), (decl.elem_ty.clone(), decl.names.clone()));
+                self.schemas.insert(
+                    decl.name.clone(),
+                    (decl.elem_ty.clone(), decl.names.clone()),
+                );
                 relations.push(decl);
             } else if self.at_kw("query") {
                 self.bump();
@@ -224,7 +235,11 @@ impl Parser {
         self.expect(&TokenKind::LParen)?;
         let (elem_ty, names) = self.field_list()?;
         self.expect(&TokenKind::Semi)?;
-        Ok(RelationDecl { name, elem_ty, names })
+        Ok(RelationDecl {
+            name,
+            elem_ty,
+            names,
+        })
     }
 
     /// `field (, field)* )` — consumed including the closing paren.
@@ -319,7 +334,11 @@ impl Parser {
             self.bump();
             parts.push(self.unary_expr()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("len 1") } else { Expr::Product(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len 1")
+        } else {
+            Expr::Product(parts)
+        })
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
@@ -378,7 +397,8 @@ impl Parser {
         let pred = if self.at_kw("where") {
             self.bump();
             // The bound variable is visible in the predicate.
-            self.elem_vars.push((var.clone(), elem_ty.clone(), elem_names.clone()));
+            self.elem_vars
+                .push((var.clone(), elem_ty.clone(), elem_names.clone()));
             let p = self.pred_or()?;
             self.elem_vars.pop();
             Some(p)
@@ -398,13 +418,21 @@ impl Parser {
                 body: Box::new(body),
             },
         };
-        Ok(Expr::For { var, source: Box::new(source), body: Box::new(body) })
+        Ok(Expr::For {
+            var,
+            source: Box::new(source),
+            body: Box::new(body),
+        })
     }
 
     /// Element field names of a `for` source, where statically recognizable.
     fn source_elem_names(&self, source: &Expr) -> NameTree {
         match source {
-            Expr::Rel(r) => self.schemas.get(r).map(|(_, nt)| nt.clone()).unwrap_or_default(),
+            Expr::Rel(r) => self
+                .schemas
+                .get(r)
+                .map(|(_, nt)| nt.clone())
+                .unwrap_or_default(),
             Expr::Var(x) => self.lookup_let(x).map(|(_, nt)| nt).unwrap_or_default(),
             // A bag-typed path desugars to flatten(sng(path)); recover the
             // element names from the path's name tree.
@@ -415,7 +443,9 @@ impl Parser {
                     };
                     let mut t = &ty;
                     for &i in path {
-                        let Type::Tuple(ts) = t else { return NameTree::None };
+                        let Type::Tuple(ts) = t else {
+                            return NameTree::None;
+                        };
                         let sub = match &nt {
                             NameTree::Fields(fs) => {
                                 fs.get(i).map(|(_, s)| s.clone()).unwrap_or_default()
@@ -451,7 +481,11 @@ impl Parser {
         self.let_vars.push((name.clone(), vty, names));
         let body = self.expr();
         self.let_vars.pop();
-        Ok(Expr::Let { name, value: Box::new(value), body: Box::new(body?) })
+        Ok(Expr::Let {
+            name,
+            value: Box::new(value),
+            body: Box::new(body?),
+        })
     }
 
     fn sng_expr(&mut self) -> Result<Expr, ParseError> {
@@ -459,7 +493,10 @@ impl Parser {
         self.expect(&TokenKind::LParen)?;
         // sng(()) — the unit singleton.
         if matches!(self.peek(), TokenKind::LParen)
-            && matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::RParen))
+            && matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::RParen)
+            )
         {
             self.bump();
             self.bump();
@@ -486,7 +523,10 @@ impl Parser {
         }
         let index = self.next_sng;
         self.next_sng += 1;
-        Ok(Expr::Sng { index, body: Box::new(e) })
+        Ok(Expr::Sng {
+            index,
+            body: Box::new(e),
+        })
     }
 
     fn tuple_literal(&mut self) -> Result<Expr, ParseError> {
@@ -515,7 +555,10 @@ impl Parser {
             return self.tuple_literal();
         }
         if matches!(self.peek(), TokenKind::LParen)
-            && matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::RParen))
+            && matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::RParen)
+            )
         {
             self.bump();
             self.bump();
@@ -530,9 +573,14 @@ impl Parser {
             Type::Bag(_) => {
                 let index = self.next_sng;
                 self.next_sng += 1;
-                Ok(Expr::Sng { index, body: Box::new(e) })
+                Ok(Expr::Sng {
+                    index,
+                    body: Box::new(e),
+                })
             }
-            other => self.err(format!("tuple component must be a path or bag expression, got {other}")),
+            other => self.err(format!(
+                "tuple component must be a path or bag expression, got {other}"
+            )),
         }
     }
 
@@ -818,7 +866,10 @@ mod tests {
     #[test]
     fn unit_singletons() {
         assert_eq!(parse_expr("sng(())", &[]).unwrap(), Expr::UnitSng);
-        assert_eq!(parse_expr("<>", &[]).map_err(|e| e.message), parse_expr("<>", &[]).map_err(|e| e.message));
+        assert_eq!(
+            parse_expr("<>", &[]).map_err(|e| e.message),
+            parse_expr("<>", &[]).map_err(|e| e.message)
+        );
     }
 
     #[test]
@@ -836,7 +887,10 @@ mod tests {
         )
         .unwrap();
         let s = e.to_string();
-        assert!(s.contains("for __w in p[m.2 == \"Drama\"] union"), "got {s}");
+        assert!(
+            s.contains("for __w in p[m.2 == \"Drama\"] union"),
+            "got {s}"
+        );
     }
 
     #[test]

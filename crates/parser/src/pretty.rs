@@ -106,7 +106,12 @@ fn emit(e: &Expr, out: &mut String) -> Result<(), PrettyError> {
             out.push_str(var);
             out.push_str(" in ");
             emit(source, out)?;
-            if let Expr::For { var: w, source: p, body: inner } = &**body {
+            if let Expr::For {
+                var: w,
+                source: p,
+                body: inner,
+            } = &**body
+            {
                 if w.starts_with("__w") {
                     if let Expr::Pred(pred) = &**p {
                         out.push_str(" where ");
@@ -146,9 +151,13 @@ fn emit(e: &Expr, out: &mut String) -> Result<(), PrettyError> {
 
 /// Emit an operand of `++` / `*`: `for` and `let` parse greedily (their
 /// bodies extend as far right as possible), so they must be parenthesized
-/// in operand position.
+/// in operand position. Bare predicates render as a `for … where …`
+/// comprehension, so they are greedy too.
 fn emit_operand_expr(e: &Expr, out: &mut String) -> Result<(), PrettyError> {
-    if matches!(e, Expr::For { .. } | Expr::Let { .. } | Expr::Negate(_)) {
+    if matches!(
+        e,
+        Expr::For { .. } | Expr::Let { .. } | Expr::Negate(_) | Expr::Pred(_)
+    ) {
         out.push('(');
         emit(e, out)?;
         out.push(')');
@@ -238,9 +247,9 @@ fn emit_operand(o: &Operand, out: &mut String) -> Result<(), PrettyError> {
             }
             Ok(())
         }
-        Operand::Lit(BaseValue::Int(i)) if *i < 0 => {
-            Err(PrettyError(format!("negative integer literal {i} (no unary minus in predicates)")))
-        }
+        Operand::Lit(BaseValue::Int(i)) if *i < 0 => Err(PrettyError(format!(
+            "negative integer literal {i} (no unary minus in predicates)"
+        ))),
         Operand::Lit(BaseValue::Int(i)) => {
             write!(out, "{i}").expect("write to string");
             Ok(())
@@ -288,7 +297,10 @@ mod tests {
         let mut env2 = Env::new(db);
         let v1 = eval_query(e, &mut env1).expect("eval original");
         let v2 = eval_query(&parsed, &mut env2).expect("eval reparsed");
-        assert_eq!(v1, v2, "round-trip changed semantics:\n  {e}\n  {src}\n  {parsed}");
+        assert_eq!(
+            v1, v2,
+            "round-trip changed semantics:\n  {e}\n  {src}\n  {parsed}"
+        );
     }
 
     #[test]
@@ -296,10 +308,7 @@ mod tests {
         let db = example_movies();
         check_roundtrip(&builder::related_query(), &db);
         check_roundtrip(
-            &builder::filter_query(
-                "M",
-                builder::cmp_lit("x", vec![1], CmpOp::Eq, "Drama"),
-            ),
+            &builder::filter_query("M", builder::cmp_lit("x", vec![1], CmpOp::Eq, "Drama")),
             &db,
         );
         check_roundtrip(&builder::pair(builder::rel("M"), builder::rel("M")), &db);
@@ -317,10 +326,7 @@ mod tests {
 
     #[test]
     fn where_sugar_is_recovered() {
-        let q = builder::filter_query(
-            "M",
-            builder::cmp_lit("x", vec![0], CmpOp::Ne, "Drive"),
-        );
+        let q = builder::filter_query("M", builder::cmp_lit("x", vec![0], CmpOp::Ne, "Drive"));
         let s = to_surface(&q).unwrap();
         assert!(s.contains("where x.1 != \"Drive\""), "got {s}");
         assert!(!s.contains("__w in"), "sugar not recovered: {s}");
@@ -335,7 +341,10 @@ mod tests {
     #[test]
     fn types_render_parseably() {
         let e = nrc_core::Expr::Empty {
-            elem_ty: Type::pair(Type::Base(BaseType::Str), Type::bag(Type::Base(BaseType::Int))),
+            elem_ty: Type::pair(
+                Type::Base(BaseType::Str),
+                Type::bag(Type::Base(BaseType::Int)),
+            ),
         };
         assert_eq!(to_surface(&e).unwrap(), "empty((Str, Bag(Int)))");
     }

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides [`Criterion`], [`BenchmarkId`], benchmark groups and the
+//! [`criterion_group!`] / [`criterion_main!`] macros with the call shapes
+//! this workspace's benches use. Timing is mean-over-samples printed to
+//! stdout — no statistics engine, plots, or saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up period before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmark `f` with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.bencher();
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Benchmark `f` without an input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = self.bencher();
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Finish the group (reports are printed as benches run).
+    pub fn finish(self) {}
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        }
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        if b.samples.is_empty() {
+            println!("{}/{}: no samples", self.name, id);
+            return;
+        }
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+        let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{}/{}: mean {} (min {}, max {}, {} samples)",
+            self.name,
+            id,
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            b.samples.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Runs the measured routine and records samples.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, then time `sample_size` executions (or
+    /// until the measurement-time budget is spent).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        black_box(routine());
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut count = 0u64;
+        g.bench_with_input(BenchmarkId::new("count", 1), &5u64, |b, &n| {
+            b.iter(|| {
+                count += n;
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

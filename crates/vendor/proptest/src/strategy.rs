@@ -1,0 +1,323 @@
+//! Strategy trait and combinators.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `recurse` receives a strategy for the
+    /// smaller structure and returns the strategy for the next level. The
+    /// `depth` parameter bounds nesting; `_desired_size` and
+    /// `_expected_branch_size` are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            current = recurse(current.clone()).boxed();
+        }
+        current
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+impl<V: std::fmt::Debug> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoxedStrategy")
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies ([`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given (non-empty) options.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.rng().gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_ranges!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! strategy_for_tuples {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_for_tuples! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Regex-lite string strategy: `&str` patterns like `"[a-d]{1,3}"` act as
+/// generators. Supported syntax: literal characters, character classes with
+/// ranges (`[a-z0-9_]`), and the quantifiers `{n}`, `{m,n}`, `?`, `+`, `*`
+/// (the unbounded ones capped at 8 repetitions).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    Lit(char),
+    Class(Vec<char>),
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut options = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in pattern {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = chars.next().expect("range end");
+                            for x in lo..=hi {
+                                options.push(x);
+                            }
+                        }
+                        Some(x) => {
+                            if let Some(p) = prev {
+                                options.push(p);
+                            }
+                            prev = Some(x);
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    options.push(p);
+                }
+                assert!(
+                    !options.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
+                Atom::Class(options)
+            }
+            '\\' => Atom::Lit(chars.next().expect("escaped character")),
+            c => Atom::Lit(c),
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for x in chars.by_ref() {
+                    if x == '}' {
+                        break;
+                    }
+                    spec.push(x);
+                }
+                match spec.split_once(',') {
+                    None => {
+                        let n: usize = spec.parse().expect("numeric quantifier");
+                        (n, n)
+                    }
+                    Some((a, b)) => {
+                        let lo: usize = a.parse().expect("numeric quantifier");
+                        let hi: usize = if b.is_empty() {
+                            lo + 8
+                        } else {
+                            b.parse().expect("numeric quantifier")
+                        };
+                        (lo, hi)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        let count = if lo >= hi {
+            lo
+        } else {
+            rng.rng().gen_range(lo..=hi)
+        };
+        for _ in 0..count {
+            match &atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(cs) => out.push(cs[rng.rng().gen_range(0..cs.len())]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let x = (-3i64..4).generate(&mut rng);
+            assert!((-3..4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn regex_lite_patterns() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..100 {
+            let s = "[a-d]{1,3}".generate(&mut rng);
+            assert!((1..=3).contains(&s.len()), "bad length: {s:?}");
+            assert!(
+                s.chars().all(|c| ('a'..='d').contains(&c)),
+                "bad char: {s:?}"
+            );
+        }
+        let lit = "ab\\[c".generate(&mut rng);
+        assert_eq!(lit, "ab[c");
+    }
+
+    #[test]
+    fn oneof_and_map_and_recursive_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let strat = crate::prop_oneof![
+            (0i64..10).prop_map(|x| x * 2),
+            (100i64..110).prop_map(|x| x),
+        ];
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v < 120);
+        }
+        let nested = (0i64..3).prop_recursive(2, 8, 2, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(|v| v.iter().sum::<i64>())
+        });
+        for _ in 0..20 {
+            let _ = nested.generate(&mut rng);
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides [`join`] and order-preserving parallel iterators over
+//! slices/vectors, executed on a lazily-started **persistent worker pool**
+//! (one thread per core). Tasks are scoped: borrowed (non-`'static`) work is
+//! dispatched to the pool and the caller blocks until completion, *helping
+//! to drain the queue while it waits* — which both amortizes thread startup
+//! across calls (the property the batched-refresh hot path needs) and makes
+//! nested fan-outs deadlock-free.
+//!
+//! There is no work stealing; items are split into contiguous chunks. That
+//! is the right shape for this workspace's use: a handful of independent,
+//! similarly-sized view-refresh tasks per update batch.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Number of worker threads the pool starts.
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolInner {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+fn pool() -> &'static PoolInner {
+    static POOL: OnceLock<&'static PoolInner> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let inner: &'static PoolInner = Box::leak(Box::new(PoolInner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for i in 0..workers() {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || worker_loop(inner))
+                .expect("spawn pool worker");
+        }
+        inner
+    })
+}
+
+fn worker_loop(inner: &'static PoolInner) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("pool queue");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = inner.available.wait(q).expect("pool queue");
+            }
+        };
+        job();
+    }
+}
+
+fn try_pop() -> Option<Job> {
+    pool().queue.lock().expect("pool queue").pop_front()
+}
+
+/// Tracks completion (and the first panic) of a group of scoped tasks.
+struct Latch {
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Arc<Latch> {
+        Arc::new(Latch {
+            remaining: AtomicUsize::new(count),
+            panic: Mutex::new(None),
+        })
+    }
+
+    fn run_one(&self, job: impl FnOnce()) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+            let mut slot = self.panic.lock().expect("latch panic slot");
+            slot.get_or_insert(payload);
+        }
+        self.remaining.fetch_sub(1, Ordering::Release);
+    }
+
+    fn done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+}
+
+/// Dispatch `tasks` (which may borrow the caller's stack) to the pool and
+/// block until all have run, helping to execute queued jobs while waiting.
+///
+/// # Safety of the lifetime erasure
+///
+/// The closures are transmuted to `'static` to fit the pool's job type.
+/// This is sound because this function does not return until every task has
+/// finished (`Latch`), so the borrowed data outlives all uses; panics are
+/// captured and re-raised after the latch settles.
+fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    if tasks.is_empty() {
+        return;
+    }
+    let latch = Latch::new(tasks.len());
+    let mut tasks = tasks;
+    // Keep one task to run inline: the caller is a worker too.
+    let inline = tasks.pop().expect("non-empty");
+    let inner = pool();
+    {
+        let mut q = inner.queue.lock().expect("pool queue");
+        for task in tasks {
+            let latch = Arc::clone(&latch);
+            // SAFETY: see function docs — completion is awaited below.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+            q.push_back(Box::new(move || latch.run_one(task)));
+        }
+        inner.available.notify_all();
+    }
+    latch.run_one(inline);
+    // Help-first wait: drain whatever is queued (our tasks or someone
+    // else's nested ones) instead of blocking, so nested fan-outs from
+    // within pool workers cannot deadlock.
+    while !latch.done() {
+        match try_pop() {
+            Some(job) => job(),
+            None => std::thread::yield_now(),
+        }
+    }
+    let payload = latch.panic.lock().expect("latch panic slot").take();
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    {
+        let slot_a = &mut ra;
+        let slot_b = &mut rb;
+        run_scoped(vec![
+            Box::new(move || *slot_b = Some(b())),
+            Box::new(move || *slot_a = Some(a())),
+        ]);
+    }
+    (
+        ra.expect("join task a completed"),
+        rb.expect("join task b completed"),
+    )
+}
+
+/// Core executor: apply `f` to every item on the worker pool, preserving
+/// input order in the output.
+fn run_parallel<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let threads = workers().min(n);
+    let chunk = n.div_ceil(threads);
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    let f = &f;
+    {
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(threads);
+        for (in_chunk, out_chunk) in slots.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
+            tasks.push(Box::new(move || {
+                for (slot, out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    *out = Some(f(slot.take().expect("item present")));
+                }
+            }));
+        }
+        run_scoped(tasks);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled slot"))
+        .collect()
+}
+
+/// The common parallel-iterator imports.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}
+
+/// Parallel iterator types.
+pub mod iter {
+    use super::run_parallel;
+
+    /// An eager "parallel iterator" over an owned collection of items.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    /// A mapped parallel iterator, executed on `collect`/`for_each`.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Map every item through `f` (runs at the terminal operation).
+        pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Apply `f` to every item in parallel.
+        pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+            run_parallel(self.items, f);
+        }
+
+        /// Number of items.
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        /// Is the iterator empty?
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+    }
+
+    impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+        /// Run the map in parallel and collect results in input order.
+        pub fn collect<C: From<Vec<R>>>(self) -> C {
+            C::from(run_parallel(self.items, self.f))
+        }
+
+        /// Run the map in parallel, discarding results.
+        pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+            let f = self.f;
+            run_parallel(self.items, |t| g(f(t)));
+        }
+    }
+
+    /// Conversion of owned collections into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Consume into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Parallel iteration over `&collection`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Borrowed item type.
+        type Item: Send + 'a;
+        /// A parallel iterator of shared references.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    /// Parallel iteration over `&mut collection`.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Mutably borrowed item type.
+        type Item: Send + 'a;
+        /// A parallel iterator of exclusive references.
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+            ParIter {
+                items: self.iter_mut().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+            ParIter {
+                items: self.iter_mut().collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::iter::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i64> = (0..100).collect();
+        let doubled: Vec<i64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<i64> = (0..50).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, (1..51).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i64> = vec![];
+        let out: Vec<i64> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7i64];
+        let out: Vec<i64> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn nested_fanout_does_not_deadlock() {
+        // More nested groups than pool workers: the help-while-waiting loop
+        // must keep making progress.
+        let outer: Vec<i64> = (0..64).collect();
+        let sums: Vec<i64> = outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<i64> = (0..16).collect();
+                let (a, b) = join(
+                    || {
+                        inner
+                            .par_iter()
+                            .map(|x| x + i)
+                            .collect::<Vec<_>>()
+                            .iter()
+                            .sum::<i64>()
+                    },
+                    || i,
+                );
+                a + b
+            })
+            .collect();
+        assert_eq!(sums.len(), 64);
+        let expected: i64 = (0..64)
+            .map(|i| (0..16).map(|x| x + i).sum::<i64>() + i)
+            .sum();
+        assert_eq!(sums.iter().sum::<i64>(), expected);
+    }
+
+    #[test]
+    fn panics_propagate_from_workers() {
+        let result = std::panic::catch_unwind(|| {
+            let v: Vec<i64> = (0..8).collect();
+            let _: Vec<i64> = v
+                .par_iter()
+                .map(|&x| {
+                    if x == 5 {
+                        panic!("boom");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides [`Serialize`] / [`Deserialize`] traits and re-exports the derive
+//! macros from `serde_derive`. Serialization targets the in-memory [`Json`]
+//! tree, which `serde_json` renders to text. Only the surface this workspace
+//! uses is implemented; see `crates/vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// An in-memory JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object (insertion-ordered).
+    Object(Vec<(String, Json)>),
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+/// A value that can be serialized to [`Json`].
+pub trait Serialize {
+    /// Convert to the JSON tree.
+    fn to_json(&self) -> Json;
+}
+
+/// Marker trait paired with the `Deserialize` derive.
+///
+/// Deserialization is not implemented in this stand-in — no code path in the
+/// workspace deserializes — but the derive keeps call sites source-compatible
+/// with real serde.
+pub trait Deserialize: Sized {}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+impl<T: Deserialize> Deserialize for Arc<T> {}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    /// Maps serialize as arrays of `[key, value]` pairs: keys here are
+    /// arbitrary ordered values (e.g. nested bag elements), not strings.
+    fn to_json(&self) -> Json {
+        Json::Array(
+            self.iter()
+                .map(|(k, v)| Json::Array(vec![k.to_json(), v.to_json()]))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize, V: Deserialize> Deserialize for BTreeMap<K, V> {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(3i64.to_json(), Json::Int(3));
+        assert_eq!(3u64.to_json(), Json::UInt(3));
+        assert_eq!(true.to_json(), Json::Bool(true));
+        assert_eq!("x".to_json(), Json::Str("x".into()));
+    }
+
+    #[test]
+    fn containers_serialize() {
+        assert_eq!(
+            vec![1i64, 2].to_json(),
+            Json::Array(vec![Json::Int(1), Json::Int(2)])
+        );
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1i64);
+        assert_eq!(
+            m.to_json(),
+            Json::Array(vec![Json::Array(vec![Json::Str("a".into()), Json::Int(1)])])
+        );
+    }
+}

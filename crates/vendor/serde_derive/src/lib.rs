@@ -1,0 +1,304 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derives for the vendored `serde` crate's `Serialize` /
+//! `Deserialize` traits, built directly on `proc_macro` (no `syn`/`quote`
+//! available offline). Supports non-generic structs (named, tuple, unit) and
+//! enums (unit, tuple, struct variants) — the only shapes this workspace
+//! derives on.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a parsed item.
+enum Item {
+    Struct(String, Fields),
+    Enum(String, Vec<(String, Fields)>),
+}
+
+/// Field list of a struct or enum variant.
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (count).
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct(name, fields) => {
+            let expr = match fields {
+                Fields::Named(fs) => object_expr(fs, "self.", ""),
+                Fields::Tuple(n) => {
+                    let parts: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                        .collect();
+                    if *n == 1 {
+                        parts.into_iter().next().unwrap()
+                    } else {
+                        format!("::serde::Json::Array(vec![{}])", parts.join(", "))
+                    }
+                }
+                Fields::Unit => "::serde::Json::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => {
+                        format!("{name}::{vname} => ::serde::Json::Str(\"{vname}\".to_string()),\n")
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let parts: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json({b})"))
+                            .collect();
+                        let inner = if *n == 1 {
+                            parts[0].clone()
+                        } else {
+                            format!("::serde::Json::Array(vec![{}])", parts.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Json::Object(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            binders.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let inner = object_expr(fs, "", "");
+                        format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Json::Object(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            fs.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+/// Derive `serde::Deserialize` (a marker impl in this stand-in).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::Struct(name, _) | Item::Enum(name, _) => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+/// Build a `Json::Object(...)` expression over named fields. `prefix` is
+/// prepended to each field access (`self.` for structs, empty for
+/// match-bound variant fields).
+fn object_expr(fields: &[String], prefix: &str, _suffix: &str) -> String {
+    let parts: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Json::Object(vec![{}])", parts.join(", "))
+}
+
+/// Parse the derive input into an [`Item`]. Panics (compile error) on shapes
+/// this stand-in does not support (e.g. generic types).
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                // Optional (crate)/(super)/... restriction.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in does not support generic types ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match toks.next() {
+            None => Item::Struct(name, Fields::Unit),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct(name, Fields::Unit),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(name, Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct(name, Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(name, parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Parse `name: Type, ...` inside a brace group, returning field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:`, found {other:?}"),
+        }
+        // Consume the type up to a top-level comma, tracking angle depth
+        // (generic arguments contain commas that do not end the field).
+        let mut angle = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle -= 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Count top-level comma-separated types in a paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_tokens = false;
+    let mut angle = 0i32;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Parse enum variants: `Name`, `Name(T, ...)`, `Name { f: T, ... }`, with
+/// optional attributes and `= discriminant`.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let vname = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fs = parse_named_fields(g.stream());
+                toks.next();
+                Fields::Named(fs)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip optional `= discriminant` then the trailing comma.
+        loop {
+            match toks.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push((vname, fields));
+    }
+    variants
+}

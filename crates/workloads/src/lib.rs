@@ -11,12 +11,17 @@
 //! * [`orders`] — a nested customer→orders→items schema for the deep-update
 //!   experiments (E5);
 //! * [`skew`] — nested bags with *per-level cardinality control*, exercising
-//!   the level-indexed cost domains of §4.2 (E4).
+//!   the level-indexed cost domains of §4.2 (E4);
+//! * [`stream`] — a high-volume streaming workload emitting update
+//!   *batches* of configurable size and hot-key skew, feeding the batched
+//!   maintenance path (E8).
 
 pub mod movies;
 pub mod orders;
 pub mod skew;
+pub mod stream;
 
 pub use movies::MovieGen;
 pub use orders::OrdersGen;
 pub use skew::SkewGen;
+pub use stream::{StreamConfig, StreamGen};

@@ -23,7 +23,12 @@ impl MovieGen {
     /// A deterministic generator. `genres`/`directors` bound the join
     /// fan-out of `isRelated`.
     pub fn new(seed: u64, genres: usize, directors: usize) -> MovieGen {
-        MovieGen { rng: StdRng::seed_from_u64(seed), genres, directors, next_id: 0 }
+        MovieGen {
+            rng: StdRng::seed_from_u64(seed),
+            genres,
+            directors,
+            next_id: 0,
+        }
     }
 
     /// The `Movie` element type: `⟨name, gen, dir⟩`, all strings.
@@ -66,8 +71,11 @@ impl MovieGen {
     pub fn update(&mut self, current: &Bag, inserts: usize, deletes: usize) -> Bag {
         let mut delta = self.bag(inserts);
         if deletes > 0 {
-            let existing: Vec<&Value> =
-                current.iter().filter(|(_, m)| *m > 0).map(|(v, _)| v).collect();
+            let existing: Vec<&Value> = current
+                .iter()
+                .filter(|(_, m)| *m > 0)
+                .map(|(v, _)| v)
+                .collect();
             for _ in 0..deletes.min(existing.len()) {
                 let v = existing[self.rng.gen_range(0..existing.len())];
                 delta.insert(v.clone(), -1);
@@ -110,10 +118,14 @@ mod tests {
     fn genres_and_directors_are_bounded() {
         let mut g = MovieGen::new(1, 3, 2);
         let bag = g.bag(200);
-        let genres: std::collections::BTreeSet<_> =
-            bag.iter().map(|(v, _)| v.project(1).unwrap().clone()).collect();
-        let dirs: std::collections::BTreeSet<_> =
-            bag.iter().map(|(v, _)| v.project(2).unwrap().clone()).collect();
+        let genres: std::collections::BTreeSet<_> = bag
+            .iter()
+            .map(|(v, _)| v.project(1).unwrap().clone())
+            .collect();
+        let dirs: std::collections::BTreeSet<_> = bag
+            .iter()
+            .map(|(v, _)| v.project(2).unwrap().clone())
+            .collect();
         assert!(genres.len() <= 3);
         assert!(dirs.len() <= 2);
     }

@@ -22,7 +22,12 @@ pub struct OrdersGen {
 impl OrdersGen {
     /// A deterministic generator.
     pub fn new(seed: u64, item_domain: usize) -> OrdersGen {
-        OrdersGen { rng: StdRng::seed_from_u64(seed), item_domain, next_customer: 0, next_order: 0 }
+        OrdersGen {
+            rng: StdRng::seed_from_u64(seed),
+            item_domain,
+            next_customer: 0,
+            next_order: 0,
+        }
     }
 
     /// The element type of `Customers`.
@@ -37,7 +42,7 @@ impl OrdersGen {
     /// The element type of the orders inner bag.
     pub fn order_type() -> Type {
         Type::Tuple(vec![
-            Type::Base(BaseType::Int), // order_id
+            Type::Base(BaseType::Int),            // order_id
             Type::bag(Type::Base(BaseType::Int)), // items
         ])
     }
@@ -112,7 +117,10 @@ mod tests {
         let bag = db.get("Customers").unwrap();
         assert_eq!(bag.cardinality(), 10);
         for (c, _) in bag.iter() {
-            assert!(c.conforms_to(&OrdersGen::customer_type()), "bad customer {c}");
+            assert!(
+                c.conforms_to(&OrdersGen::customer_type()),
+                "bad customer {c}"
+            );
             let orders = c.project(2).unwrap().as_bag().unwrap();
             assert!((1..=3).contains(&(orders.cardinality() as usize)));
         }
@@ -123,8 +131,10 @@ mod tests {
         let mut g = OrdersGen::new(5, 10);
         let db = g.database(20, 3, 2);
         let bag = db.get("Customers").unwrap();
-        let ids: std::collections::BTreeSet<_> =
-            bag.iter().map(|(v, _)| v.project(0).unwrap().clone()).collect();
+        let ids: std::collections::BTreeSet<_> = bag
+            .iter()
+            .map(|(v, _)| v.project(0).unwrap().clone())
+            .collect();
         assert_eq!(ids.len(), 20);
         let mut order_ids = std::collections::BTreeSet::new();
         for (c, _) in bag.iter() {

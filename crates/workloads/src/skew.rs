@@ -22,7 +22,10 @@ pub struct SkewGen {
 impl SkewGen {
     /// A deterministic generator.
     pub fn new(seed: u64, leaf_domain: i64) -> SkewGen {
-        SkewGen { rng: StdRng::seed_from_u64(seed), leaf_domain: leaf_domain.max(1) }
+        SkewGen {
+            rng: StdRng::seed_from_u64(seed),
+            leaf_domain: leaf_domain.max(1),
+        }
     }
 
     /// The type `Bag(Bag(…Int))` with `levels` bag constructors — as an
@@ -65,7 +68,10 @@ impl SkewGen {
     /// A database with relation `R` whose element type has
     /// `profile.len() − 1` nesting levels.
     pub fn database(&mut self, profile: &[usize]) -> Database {
-        assert!(!profile.is_empty(), "profile must have at least the top level");
+        assert!(
+            !profile.is_empty(),
+            "profile must have at least the top level"
+        );
         let bag = self.bag(profile);
         let elem_ty = Self::nested_type(profile.len() - 1);
         let mut db = Database::new();
@@ -77,8 +83,11 @@ impl SkewGen {
     /// insertions with `deletes` random removals from `current`).
     pub fn update(&mut self, current: &Bag, profile: &[usize], deletes: usize) -> Bag {
         let mut delta = self.bag(profile);
-        let existing: Vec<&Value> =
-            current.iter().filter(|(_, m)| *m > 0).map(|(v, _)| v).collect();
+        let existing: Vec<&Value> = current
+            .iter()
+            .filter(|(_, m)| *m > 0)
+            .map(|(v, _)| v)
+            .collect();
         for _ in 0..deletes.min(existing.len()) {
             let v = existing[self.rng.gen_range(0..existing.len())];
             delta.insert(v.clone(), -1);

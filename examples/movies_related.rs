@@ -43,19 +43,24 @@ fn main() {
     println!("related ≡ {related}\n");
 
     let mut sys = IvmSystem::new(db);
-    sys.register("related", related, Strategy::Shredded).expect("register");
+    sys.register("related", related, Strategy::Shredded)
+        .expect("register");
     print_view("related[M]", &sys.view("related").expect("view"));
 
     // Insert Jarhead; the maintained view must gain Jarhead rows *and*
     // deep-update Drive's and Skyfall's inner bags (paper's second table).
-    sys.apply_update("M", &example_movies_update()).expect("update");
+    sys.apply_update("M", &example_movies_update())
+        .expect("update");
     print_view("related[M ⊎ ΔM]", &sys.view("related").expect("view"));
 
     // The shredded internals: the flat view and the label dictionary of
     // §2.2's relatedF / relatedΓ.
     let store = sys.store().expect("shredded store");
     let (flat, _) = &store.inputs["M"];
-    println!("shredded input M__F has {} flat tuples", flat.distinct_count());
+    println!(
+        "shredded input M__F has {} flat tuples",
+        flat.distinct_count()
+    );
     let stats = sys.stats("related").expect("stats");
     println!(
         "dictionary definitions materialized: {} (one per movie, domain-maintained)",

@@ -35,7 +35,13 @@ fn main() {
     let orders_label = flat
         .iter()
         .find(|(c, _)| c.project(0).expect("id") == &Value::int(0))
-        .map(|(c, _)| c.project(2).expect("orders").as_label().expect("label").clone())
+        .map(|(c, _)| {
+            c.project(2)
+                .expect("orders")
+                .as_label()
+                .expect("label")
+                .clone()
+        })
         .expect("customer 0");
     let orders_dict = match ctx {
         Value::Tuple(cs) => match &cs[2] {
@@ -49,7 +55,13 @@ fn main() {
         .expect("orders definition")
         .iter()
         .next()
-        .map(|(o, _)| o.project(1).expect("items").as_label().expect("label").clone())
+        .map(|(o, _)| {
+            o.project(1)
+                .expect("items")
+                .as_label()
+                .expect("label")
+                .clone()
+        })
         .expect("an order");
 
     // Deep update: three new items into that one inner bag.

@@ -43,17 +43,25 @@ fn main() {
     for (name, q) in &prog.queries {
         // Nested-output queries need the shredded strategy; flat ones can
         // use classical first-order IVM.
-        let strategy =
-            if q.is_inc_nrc() { Strategy::FirstOrder } else { Strategy::Shredded };
+        let strategy = if q.is_inc_nrc() {
+            Strategy::FirstOrder
+        } else {
+            Strategy::Shredded
+        };
         println!("registering `{name}` under {strategy:?}:\n  {q}\n");
-        sys.register(name.clone(), q.clone(), strategy).expect("register");
+        sys.register(name.clone(), q.clone(), strategy)
+            .expect("register");
     }
 
     let show = |sys: &IvmSystem, label: &str| {
         println!("--- {label} ---");
         for (name, _) in &prog.queries {
             let view = sys.view(name).expect("view");
-            println!("{name} ({} distinct): {}", view.distinct_count(), preview(&view));
+            println!(
+                "{name} ({} distinct): {}",
+                view.distinct_count(),
+                preview(&view)
+            );
         }
         println!();
     };
@@ -67,14 +75,26 @@ fn main() {
 
 fn preview(bag: &Bag) -> String {
     let items: Vec<String> = bag.iter().take(3).map(|(v, _)| short(v)).collect();
-    let suffix = if bag.distinct_count() > 3 { ", …" } else { "" };
+    let suffix = if bag.distinct_count() > 3 {
+        ", …"
+    } else {
+        ""
+    };
     format!("{{{}{suffix}}}", items.join(", "))
 }
 
 fn short(v: &Value) -> String {
     let s = v.to_string();
     if s.len() > 60 {
-        format!("{}…", &s[..s.char_indices().take(57).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0)])
+        format!(
+            "{}…",
+            &s[..s
+                .char_indices()
+                .take(57)
+                .last()
+                .map(|(i, c)| i + c.len_utf8())
+                .unwrap_or(0)]
+        )
     } else {
         s
     }

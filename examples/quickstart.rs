@@ -23,7 +23,8 @@ fn main() {
     // query (Prop. 4.1: h[R ⊎ ΔR] = h[R] ⊎ δ(h)[R, ΔR]).
     let q = filter_query("R", cmp_lit("x", vec![], CmpOp::Gt, 4i64));
     let mut sys = IvmSystem::new(db);
-    sys.register("big", q, Strategy::FirstOrder).expect("register view");
+    sys.register("big", q, Strategy::FirstOrder)
+        .expect("register view");
     println!("initial view: {}", sys.view("big").expect("view"));
 
     // Insertions and deletions are both just ⊎ with signed multiplicities.

@@ -48,7 +48,8 @@ fn main() {
         let mut gen = SkewGen::new(7, 1_000_000_000);
         let db = gen.database(&[500, 4]);
         let mut sys = IvmSystem::new(db);
-        sys.register("g", square.clone(), strategy).expect("register");
+        sys.register("g", square.clone(), strategy)
+            .expect("register");
         let start = Instant::now();
         for _ in 0..20 {
             let delta = gen.bag(&[2, 4]);

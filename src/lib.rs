@@ -11,6 +11,10 @@
 //! * [`circuit`] — NC⁰/TC⁰ circuit substrate (Theorem 9)
 //! * [`workloads`] — seeded data and update generators
 //!
+//! The end-to-end design — parser → typecheck → delta/shredding → engine
+//! strategies → views, including the batched parallel maintenance path —
+//! is documented in `docs/ARCHITECTURE.md` at the repository root.
+//!
 //! ## Example: maintaining the paper's motivating query
 //!
 //! ```

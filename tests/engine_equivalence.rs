@@ -1,9 +1,12 @@
 //! End-to-end engine property: every maintenance strategy computes the same
 //! views as re-evaluation across random update sequences — first-order and
-//! recursive for IncNRC⁺ queries, shredded for full NRC⁺.
+//! recursive for IncNRC⁺ queries, shredded for full NRC⁺ — and the batched
+//! maintenance path (`apply_batch`) produces view states identical to
+//! applying every update sequentially.
 
 use nrc_core::generator::{GenConfig, QueryGen};
 use nrc_engine::{IvmSystem, Strategy};
+use proptest::prelude::*;
 
 #[test]
 fn inc_strategies_agree_over_random_update_sequences() {
@@ -12,9 +15,12 @@ fn inc_strategies_agree_over_random_update_sequences() {
         let db = g.gen_database();
         let q = g.gen_inc_query(&db);
         let mut sys = IvmSystem::new(db.clone());
-        sys.register("re", q.clone(), Strategy::Reevaluate).expect("register re");
-        sys.register("fo", q.clone(), Strategy::FirstOrder).expect("register fo");
-        sys.register("rc", q.clone(), Strategy::Recursive).expect("register rc");
+        sys.register("re", q.clone(), Strategy::Reevaluate)
+            .expect("register re");
+        sys.register("fo", q.clone(), Strategy::FirstOrder)
+            .expect("register fo");
+        sys.register("rc", q.clone(), Strategy::Recursive)
+            .expect("register rc");
         let rels: Vec<String> = db.relation_names().cloned().collect();
         for step in 0..4 {
             let rel = &rels[step % rels.len()];
@@ -44,8 +50,10 @@ fn shredded_strategy_agrees_on_full_nrc_queries() {
         let db = g.gen_database();
         let q = g.gen_query(&db);
         let mut sys = IvmSystem::new(db.clone());
-        sys.register("re", q.clone(), Strategy::Reevaluate).expect("register re");
-        sys.register("sh", q.clone(), Strategy::Shredded).expect("register sh");
+        sys.register("re", q.clone(), Strategy::Reevaluate)
+            .expect("register re");
+        sys.register("sh", q.clone(), Strategy::Shredded)
+            .expect("register sh");
         let rels: Vec<String> = db.relation_names().cloned().collect();
         for step in 0..3 {
             let rel = &rels[step % rels.len()];
@@ -78,7 +86,8 @@ fn stats_expose_incremental_behaviour() {
     let db = g.gen_database();
     let q = g.gen_inc_query(&db);
     let mut sys = IvmSystem::new(db.clone());
-    sys.register("re", q.clone(), Strategy::Reevaluate).expect("re");
+    sys.register("re", q.clone(), Strategy::Reevaluate)
+        .expect("re");
     sys.register("fo", q, Strategy::FirstOrder).expect("fo");
     for _ in 0..3 {
         let update = g.gen_update(sys.database(), "R0");
@@ -101,8 +110,10 @@ fn related_survives_a_long_mixed_update_stream() {
     let mut gen = MovieGen::new(99, 5, 7);
     let db = gen.database(60);
     let mut sys = IvmSystem::new(db);
-    sys.register("re", related_query(), Strategy::Reevaluate).expect("re");
-    sys.register("sh", related_query(), Strategy::Shredded).expect("sh");
+    sys.register("re", related_query(), Strategy::Reevaluate)
+        .expect("re");
+    sys.register("sh", related_query(), Strategy::Shredded)
+        .expect("sh");
     for step in 0..40 {
         let current = sys.database().get("M").expect("M").clone();
         let delta = gen.update(&current, 2, if step % 3 == 0 { 2 } else { 0 });
@@ -123,6 +134,86 @@ fn related_survives_a_long_mixed_update_stream() {
     );
 }
 
+/// A system over the streaming movies schema with all four strategies
+/// registered: a genre filter under re-evaluation, first-order and
+/// recursive IVM, plus `related` under shredding (checked against its own
+/// re-evaluation baseline).
+fn batchable_system(db: nrc_data::Database) -> IvmSystem {
+    use nrc_core::builder::{cmp_lit, filter_query, related_query};
+    use nrc_core::expr::CmpOp;
+
+    let q = filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "genre0"));
+    let mut sys = IvmSystem::new(db);
+    sys.register("re", q.clone(), Strategy::Reevaluate)
+        .expect("re");
+    sys.register("fo", q.clone(), Strategy::FirstOrder)
+        .expect("fo");
+    sys.register("rc", q, Strategy::Recursive).expect("rc");
+    sys.register("sh", related_query(), Strategy::Shredded)
+        .expect("sh");
+    sys.register("sh_re", related_query(), Strategy::Reevaluate)
+        .expect("sh_re");
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `apply_batch(us)` yields view states identical to sequentially
+    /// applying each `u ∈ us`, across all four maintenance strategies and
+    /// both refresh execution modes.
+    #[test]
+    fn apply_batch_equals_sequential_updates(
+        seed in 0u64..10_000,
+        batch_sizes in prop::collection::vec(1usize..8, 1..4),
+        delete_tenths in 0usize..6,
+        parallel in any::<bool>(),
+    ) {
+        use nrc_engine::{Parallelism, UpdateBatch};
+        use nrc_workloads::{StreamConfig, StreamGen};
+
+        let mut gen = StreamGen::new(
+            seed,
+            StreamConfig {
+                batch_size: 1, // sized per batch below
+                delete_fraction: delete_tenths as f64 / 10.0,
+                genres: 4,
+                directors: 4,
+                ..StreamConfig::default()
+            },
+        );
+        let db = gen.database(25);
+        let mut batched = batchable_system(db.clone());
+        batched.set_parallelism(if parallel {
+            Parallelism::Rayon
+        } else {
+            Parallelism::Sequential
+        });
+        let mut sequential = batchable_system(db);
+
+        for size in batch_sizes {
+            // One stream of `size` single-tuple updates, fed to both systems.
+            let updates: Vec<(String, nrc_data::Bag)> =
+                (0..size).flat_map(|_| gen.next_batch()).collect();
+            for (rel, delta) in &updates {
+                sequential.apply_update(rel, delta).expect("sequential update");
+            }
+            batched
+                .apply_batch(&UpdateBatch::from_updates(updates))
+                .expect("batched update");
+
+            for view in ["re", "fo", "rc", "sh", "sh_re"] {
+                prop_assert_eq!(
+                    batched.view(view).expect("batched view"),
+                    sequential.view(view).expect("sequential view"),
+                    "view {} diverged (parallel={})", view, parallel
+                );
+            }
+            prop_assert_eq!(batched.database(), sequential.database());
+        }
+    }
+}
+
 #[test]
 fn nested_inputs_with_mixed_insert_delete_streams() {
     // Relations whose *elements* contain bags: deletions must resolve the
@@ -136,12 +227,22 @@ fn nested_inputs_with_mixed_insert_delete_streams() {
     let mut sys = IvmSystem::new(db);
     let items_q = flatten(for_("c", rel("Customers"), proj_sng("c", vec![2])));
     let all_orders = flatten(items_q.clone());
-    sys.register("re", for_("c", rel("Customers"), elem_sng("c")), Strategy::Reevaluate)
-        .expect("re");
-    sys.register("sh", for_("c", rel("Customers"), elem_sng("c")), Strategy::Shredded)
-        .expect("sh");
-    sys.register("orders_re", items_q.clone(), Strategy::Reevaluate).expect("orders re");
-    sys.register("orders_sh", items_q, Strategy::Shredded).expect("orders sh");
+    sys.register(
+        "re",
+        for_("c", rel("Customers"), elem_sng("c")),
+        Strategy::Reevaluate,
+    )
+    .expect("re");
+    sys.register(
+        "sh",
+        for_("c", rel("Customers"), elem_sng("c")),
+        Strategy::Shredded,
+    )
+    .expect("sh");
+    sys.register("orders_re", items_q.clone(), Strategy::Reevaluate)
+        .expect("orders re");
+    sys.register("orders_sh", items_q, Strategy::Shredded)
+        .expect("orders sh");
     drop(all_orders);
     for step in 0..10 {
         // Alternate: insert a customer / delete an existing one.
@@ -154,7 +255,11 @@ fn nested_inputs_with_mixed_insert_delete_streams() {
         };
         sys.apply_update("Customers", &delta)
             .unwrap_or_else(|e| panic!("step {step}: {e}"));
-        assert_eq!(sys.view("sh").unwrap(), sys.view("re").unwrap(), "step {step}");
+        assert_eq!(
+            sys.view("sh").unwrap(),
+            sys.view("re").unwrap(),
+            "step {step}"
+        );
         assert_eq!(
             sys.view("orders_sh").unwrap(),
             sys.view("orders_re").unwrap(),

@@ -41,7 +41,8 @@ fn section_2_motivating_example() {
     );
 
     let mut sys = IvmSystem::new(db);
-    sys.register("related", related.clone(), Strategy::Shredded).expect("register");
+    sys.register("related", related.clone(), Strategy::Shredded)
+        .expect("register");
 
     let inner = |bag: &Bag, movie: &str| -> Vec<String> {
         bag.iter()
@@ -65,7 +66,8 @@ fn section_2_motivating_example() {
     assert_eq!(inner(&before, "Rush"), vec!["\"Skyfall\""]);
 
     // Paper's second table after ΔM = {⟨Jarhead, Drama, Mendes⟩}.
-    sys.apply_update("M", &example_movies_update()).expect("update");
+    sys.apply_update("M", &example_movies_update())
+        .expect("update");
     let after = sys.view("related").expect("view");
     assert_eq!(inner(&after, "Drive"), vec!["\"Jarhead\""]);
     assert_eq!(inner(&after, "Skyfall"), vec!["\"Jarhead\"", "\"Rush\""]);
@@ -104,7 +106,10 @@ fn example_4_higher_order_deltas() {
     // δ²(h) = flatten(ΔR)×flatten(Δ′R) ⊎ flatten(Δ′R)×flatten(ΔR): exactly
     // the paper's display (the ΔR×ΔR term belongs to δ¹, not δ²).
     let d2 = tower[2].to_string();
-    assert!(d2.contains("flatten(ΔR)") && d2.contains("flatten(Δ^2R)"), "δ² = {d2}");
+    assert!(
+        d2.contains("flatten(ΔR)") && d2.contains("flatten(Δ^2R)"),
+        "δ² = {d2}"
+    );
     assert!(!tower[2].depends_on_rel("R"));
 }
 
@@ -141,7 +146,10 @@ fn example_5_size() {
 fn example_6_cost_of_related() {
     let db = example_movies();
     let c = cost_against(&builder::related_query(), &db, 1).expect("cost");
-    assert_eq!(c, Cost::bag(3, Cost::Tuple(vec![Cost::One, Cost::bag(3, Cost::One)])));
+    assert_eq!(
+        c,
+        Cost::bag(3, Cost::Tuple(vec![Cost::One, Cost::bag(3, Cost::One)]))
+    );
     assert_eq!(tcost(&c), 12);
 }
 
@@ -151,13 +159,16 @@ fn example_6_cost_of_related() {
 fn section_2_2_dictionary_domain_maintenance() {
     let db = example_movies();
     let mut sys = IvmSystem::new(db);
-    sys.register("related", builder::related_query(), Strategy::Shredded).expect("register");
+    sys.register("related", builder::related_query(), Strategy::Shredded)
+        .expect("register");
     assert_eq!(sys.stats("related").expect("stats").materialized_aux, 3);
-    sys.apply_update("M", &example_movies_update()).expect("update");
+    sys.apply_update("M", &example_movies_update())
+        .expect("update");
     // A definition for Jarhead's label was initialized.
     assert_eq!(sys.stats("related").expect("stats").materialized_aux, 4);
     // And deletion shrinks the domain again (garbage collection of
     // unreachable labels).
-    sys.apply_update("M", &example_movies_update().negate()).expect("update");
+    sys.apply_update("M", &example_movies_update().negate())
+        .expect("update");
     assert_eq!(sys.stats("related").expect("stats").materialized_aux, 3);
 }

@@ -54,7 +54,10 @@ fn proposition_4_1_holds_on_random_inc_queries() {
             let mut env_s = Env::new(&db).with_delta(rel.clone(), update.clone());
             let change_s = eval_query(&sq, &mut env_s)
                 .unwrap_or_else(|e| panic!("seed {seed}: simplified delta eval failed: {e}"));
-            assert_eq!(change, change_s, "seed {seed}: simplification changed δ of {q}");
+            assert_eq!(
+                change, change_s,
+                "seed {seed}: simplification changed δ of {q}"
+            );
             assert!(
                 sq.node_count() <= dq.node_count(),
                 "seed {seed}: simplification grew the delta"

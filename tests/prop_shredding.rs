@@ -20,8 +20,8 @@ fn lemma_6_nesting_inverts_shredding_on_random_values() {
         let mut gen = LabelGen::new();
         let (flat, ctx) = shred_bag(&bag, &ty, &mut gen)
             .unwrap_or_else(|e| panic!("seed {seed}: shred failed for type {ty}: {e}"));
-        let back = nest_bag(&flat, &ty, &ctx)
-            .unwrap_or_else(|e| panic!("seed {seed}: nest failed: {e}"));
+        let back =
+            nest_bag(&flat, &ty, &ctx).unwrap_or_else(|e| panic!("seed {seed}: nest failed: {e}"));
         assert_eq!(back, bag, "seed {seed}: Lemma 6 violated at type {ty}");
         // Lemma 11: shredded values are consistent.
         check_consistent(&flat, &ty, &ctx)
@@ -66,9 +66,8 @@ fn lemma_12_shredded_outputs_are_consistent() {
         bind_shredded_database(&mut env, &db, &mut gen).expect("bind");
         let (flat, ctx) = eval_shredded(&shredded, &mut env)
             .unwrap_or_else(|e| panic!("seed {seed}: shredded execution failed for {q}: {e}"));
-        check_consistent(&flat, &shredded.elem_ty, &ctx).unwrap_or_else(|e| {
-            panic!("seed {seed}: inconsistent shredded output for {q}: {e}")
-        });
+        check_consistent(&flat, &shredded.elem_ty, &ctx)
+            .unwrap_or_else(|e| panic!("seed {seed}: inconsistent shredded output for {q}: {e}"));
     }
 }
 
@@ -82,8 +81,14 @@ fn shredded_flat_queries_are_inc_nrc() {
         let q = g.gen_query(&db);
         let tenv = TypeEnv::from_database(&db);
         let shredded = shred_query(&q, &tenv).expect("shred");
-        assert!(shredded.flat.is_inc_nrc(), "seed {seed}: flat part of {q} not IncNRC⁺");
-        assert!(shredded.ctx.is_inc_nrc(), "seed {seed}: ctx part of {q} not IncNRC⁺");
+        assert!(
+            shredded.flat.is_inc_nrc(),
+            "seed {seed}: flat part of {q} not IncNRC⁺"
+        );
+        assert!(
+            shredded.ctx.is_inc_nrc(),
+            "seed {seed}: ctx part of {q} not IncNRC⁺"
+        );
     }
 }
 
@@ -115,7 +120,8 @@ fn theorem_5_shredded_queries_are_recursively_incrementalizable() {
                 flat_name(rel),
                 Type::bag(shred_type_flat(elem).expect("flat type")),
             ));
-            tenv.lets.push((ctx_name(rel), shred_type_ctx(elem).expect("ctx type")));
+            tenv.lets
+                .push((ctx_name(rel), shred_type_ctx(elem).expect("ctx type")));
             for order in 1..=4 {
                 tenv.lets.push((
                     format!("Δ{order}_{}", flat_name(rel)),
@@ -148,10 +154,9 @@ fn theorem_5_shredded_queries_are_recursively_incrementalizable() {
                 }
                 let deg_before = degree(&cur, &mut deg_env.clone());
                 let var = &free[0];
-                let d = delta_wrt_var(&cur, var, &format!("Δ{order}_{var}"), &tenv)
-                    .unwrap_or_else(|e| {
-                        panic!("seed {seed}: shredded delta failed (Thm. 5) for {cur}: {e}")
-                    });
+                let d = delta_wrt_var(&cur, var, &format!("Δ{order}_{var}"), &tenv).unwrap_or_else(
+                    |e| panic!("seed {seed}: shredded delta failed (Thm. 5) for {cur}: {e}"),
+                );
                 cur = simplify(&d, &tenv).expect("simplify δ");
                 let deg_after = degree(&cur, &mut deg_env.clone());
                 assert!(

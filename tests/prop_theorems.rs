@@ -53,7 +53,10 @@ fn theorem_2_degree_drops_by_one_along_towers() {
 fn theorem_4_deltas_cost_strictly_less() {
     let mut checked = 0;
     for seed in 0..400u64 {
-        let cfg = GenConfig { rel_card: 8, ..GenConfig::default() };
+        let cfg = GenConfig {
+            rel_card: 8,
+            ..GenConfig::default()
+        };
         let mut g = QueryGen::new(seed, cfg);
         let db = g.gen_database();
         let q = g.gen_inc_query(&db);
@@ -66,8 +69,11 @@ fn theorem_4_deltas_cost_strictly_less() {
             if bag.cardinality() < 2 {
                 continue;
             }
-            let d = simplify(&delta_wrt_rel(&simplified, &rel, &tenv).expect("delta"), &tenv)
-                .expect("simplify δ");
+            let d = simplify(
+                &delta_wrt_rel(&simplified, &rel, &tenv).expect("delta"),
+                &tenv,
+            )
+            .expect("simplify δ");
             let mut cenv = CostEnv::from_database(&db);
             for r in db.relation_names() {
                 cenv.set_delta_card(r, 1);
