@@ -1,0 +1,40 @@
+//! Criterion bench for experiment E9: the state-maintenance replay over
+//! interned id-keyed bags vs. the seed's value-keyed representation, per
+//! maintenance strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_bench::e9_intern::{record, replay_interned, replay_seed, SeedBag};
+use nrc_engine::Strategy;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_intern");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, strategy) in [
+        ("reeval", Strategy::Reevaluate),
+        ("first_order", Strategy::FirstOrder),
+        ("recursive", Strategy::Recursive),
+        ("shredded", Strategy::Shredded),
+    ] {
+        let (_, mut gen) = nrc_bench::e8_batch::setup(128, strategy, 42);
+        let batches = gen.batches(3);
+        let trace = record(strategy, 128, 42, &batches);
+        let seed_initial: Vec<SeedBag> = trace.initial.iter().map(SeedBag::from_bag).collect();
+        let seed_batches: Vec<Vec<SeedBag>> = trace
+            .per_batch
+            .iter()
+            .map(|ds| ds.iter().map(SeedBag::from_bag).collect())
+            .collect();
+        g.bench_with_input(BenchmarkId::new(label, "interned"), &(), |b, ()| {
+            b.iter(|| criterion::black_box(replay_interned(&trace)))
+        });
+        g.bench_with_input(BenchmarkId::new(label, "seed"), &(), |b, ()| {
+            b.iter(|| criterion::black_box(replay_seed(&seed_initial, &seed_batches)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -11,6 +11,7 @@
 use nrc_bench::Table;
 use nrc_bench::{
     e1_related, e2_filter, e3_recursive, e4_cost, e5_deep, e6_circuit, e7_degree, e8_batch,
+    e9_intern,
 };
 use std::io::Write;
 
@@ -35,6 +36,7 @@ fn main() {
         ("e6", e6_circuit::run),
         ("e7", e7_degree::run),
         ("e8", e8_batch::run),
+        ("e9", e9_intern::run),
     ];
     let known: Vec<&str> = runs.iter().map(|(id, _)| *id).collect();
     for sel in &selected {

@@ -1,0 +1,276 @@
+//! E9 — hash-consed interning: id-keyed bags vs. the seed's value-keyed
+//! representation.
+//!
+//! The interning refactor (nrc-data `intern`) keys bag contents and
+//! dictionary supports by `Vid` — `Copy` ids with `O(1)` equality/hash and
+//! integer-rank ordering — where the seed keyed them by materialized
+//! [`Value`] trees (deep `Ord` comparisons, deep clones on every insert).
+//! This experiment quantifies that difference on the E8 batched streaming
+//! workload, for every maintenance strategy:
+//!
+//! 1. run the real engine (interned representation) over the stream and
+//!    record, per batch, the delta each registered view absorbs;
+//! 2. **replay** the state-maintenance phase — snapshot + `⊎`-apply of all
+//!    recorded view deltas — once over interned [`Bag`]s and once over
+//!    [`SeedBag`], a faithful replica of the seed's value-keyed bag
+//!    (`Arc<BTreeMap<Value, i64>>` with copy-on-write, element clones on
+//!    insert, deep key comparisons);
+//! 3. report µs per raw update for both replays plus the end-to-end engine
+//!    ingest figure for context.
+//!
+//! The replayed work is identical bag algebra on identical data; only the
+//! element-keying differs, so the speed-up column isolates what the
+//! interning layer buys each strategy's refresh loop.
+
+use crate::report::{fmt_us, Table};
+use crate::{time_avg_us, time_us};
+use nrc_data::{intern, Bag, Value};
+use nrc_engine::{IvmSystem, Parallelism, Strategy, UpdateBatch};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A replica of the *seed* bag representation: value-keyed, copy-on-write.
+///
+/// `union_assign` mirrors the seed's exactly — per entry one element clone
+/// plus an `O(log n)` walk of deep `Ord` comparisons — so replaying deltas
+/// through it reproduces the per-operation costs the interning refactor
+/// removed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SeedBag {
+    elems: Arc<BTreeMap<Value, i64>>,
+}
+
+impl SeedBag {
+    /// Convert from an interned bag (resolves every element once).
+    pub fn from_bag(bag: &Bag) -> SeedBag {
+        SeedBag {
+            elems: Arc::new(bag.iter().map(|(v, m)| (v.clone(), m)).collect()),
+        }
+    }
+
+    /// The seed's `Bag::insert`: value-keyed entry with zero-drop.
+    pub fn insert(&mut self, v: Value, mult: i64) {
+        if mult == 0 {
+            return;
+        }
+        let entry = Arc::make_mut(&mut self.elems).entry(v);
+        match entry {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(mult);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let new = *e.get() + mult;
+                if new == 0 {
+                    e.remove();
+                } else {
+                    *e.get_mut() = new;
+                }
+            }
+        }
+    }
+
+    /// The seed's `Bag::union_assign`: clones every element of `other`.
+    pub fn union_assign(&mut self, other: &SeedBag) {
+        for (v, &m) in other.elems.iter() {
+            self.insert(v.clone(), m);
+        }
+    }
+
+    /// Distinct element count.
+    pub fn distinct_count(&self) -> usize {
+        self.elems.len()
+    }
+}
+
+/// The recorded maintenance trace of one strategy over the stream: initial
+/// view states plus the per-batch delta each view absorbed.
+pub struct Trace {
+    /// View states right after registration.
+    pub initial: Vec<Bag>,
+    /// `per_batch[b][v]` — the delta view `v` absorbed in batch `b`.
+    pub per_batch: Vec<Vec<Bag>>,
+    /// Raw (pre-coalescing) updates in the stream.
+    pub raw_updates: usize,
+}
+
+/// Run the engine once (sequentially, interned representation) and record
+/// every view's per-batch delta. `seed` must match the generator that
+/// produced `batches` (deletions resolve against the seeded database).
+pub fn record(strategy: Strategy, n: usize, seed: u64, batches: &[Vec<(String, Bag)>]) -> Trace {
+    let (mut sys, _) = crate::e8_batch::setup(n, strategy, seed);
+    sys.set_parallelism(Parallelism::Sequential);
+    let names: Vec<String> = sys.view_names().cloned().collect();
+    let view_states = |sys: &IvmSystem| -> Vec<Bag> {
+        names.iter().map(|n| sys.view(n).expect("view")).collect()
+    };
+    let initial = view_states(&sys);
+    let mut per_batch = Vec::with_capacity(batches.len());
+    let mut raw_updates = 0;
+    for batch in batches {
+        raw_updates += batch.len();
+        let before = view_states(&sys);
+        let b = UpdateBatch::from_updates(batch.iter().cloned());
+        sys.apply_batch(&b).expect("batch");
+        let after = view_states(&sys);
+        per_batch.push(
+            before
+                .iter()
+                .zip(&after)
+                .map(|(old, new)| old.delta_to(new))
+                .collect(),
+        );
+    }
+    Trace {
+        initial,
+        per_batch,
+        raw_updates,
+    }
+}
+
+/// One state-maintenance pass over the trace in the interned
+/// representation: snapshot every view, then `⊎`-apply every recorded
+/// delta batch by batch.
+pub fn replay_interned(trace: &Trace) -> usize {
+    let mut states: Vec<Bag> = trace.initial.clone();
+    for deltas in &trace.per_batch {
+        for (state, delta) in states.iter_mut().zip(deltas) {
+            state.union_assign(delta);
+        }
+    }
+    states.iter().map(Bag::distinct_count).sum()
+}
+
+/// The same pass over the seed's value-keyed representation.
+pub fn replay_seed(initial: &[SeedBag], per_batch: &[Vec<SeedBag>]) -> usize {
+    let mut states: Vec<SeedBag> = initial.to_vec();
+    for deltas in per_batch {
+        for (state, delta) in states.iter_mut().zip(deltas) {
+            state.union_assign(delta);
+        }
+    }
+    states.iter().map(SeedBag::distinct_count).sum()
+}
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Table {
+    let (n, nbatches, batch_size) = crate::e8_batch::sizes(quick);
+    let reps = if quick { 8 } else { 20 };
+    let mut t = Table::new(
+        "E9",
+        format!(
+            "hash-consed interning vs. seed value-keyed bags: \
+             {nbatches} batches × {batch_size} updates over n={n}, \
+             state-maintenance replay ×{reps}"
+        ),
+        &[
+            "strategy",
+            "engine batched / upd",
+            "state ⊎ interned / upd",
+            "state ⊎ seed / upd",
+            "state ⊎ speed-up",
+        ],
+    );
+    let strategies = [
+        ("reevaluate", Strategy::Reevaluate),
+        ("first-order", Strategy::FirstOrder),
+        ("recursive", Strategy::Recursive),
+        ("shredded", Strategy::Shredded),
+    ];
+    let mut speedups = Vec::new();
+    for (name, strategy) in strategies {
+        // Identical stream per strategy: same seed, fresh generator.
+        let cfg = nrc_workloads::StreamConfig {
+            batch_size,
+            ..Default::default()
+        };
+        let (_, mut gen) = crate::e8_batch::setup_with(n, strategy, 42, cfg);
+        let batches = gen.batches(nbatches);
+
+        // End-to-end engine ingest (interned representation), for context.
+        let (mut sys, _) = crate::e8_batch::setup(n, strategy, 42);
+        let engine_us = crate::e8_batch::ingest(&mut sys, &batches, crate::e8_batch::Mode::Batched);
+
+        // Record the maintenance trace, then replay its state-apply phase
+        // under both representations.
+        let (trace, _) = time_us(|| record(strategy, n, 42, &batches));
+        let raw = trace.raw_updates.max(1) as f64;
+        let seed_initial: Vec<SeedBag> = trace.initial.iter().map(SeedBag::from_bag).collect();
+        let seed_batches: Vec<Vec<SeedBag>> = trace
+            .per_batch
+            .iter()
+            .map(|ds| ds.iter().map(SeedBag::from_bag).collect())
+            .collect();
+        let interned_us = time_avg_us(reps, || {
+            std::hint::black_box(replay_interned(&trace));
+        }) / raw;
+        let seed_us = time_avg_us(reps, || {
+            std::hint::black_box(replay_seed(&seed_initial, &seed_batches));
+        }) / raw;
+        let speedup = seed_us / interned_us.max(1e-9);
+        speedups.push((name, speedup));
+        t.row(vec![
+            name.to_string(),
+            fmt_us(engine_us),
+            fmt_us(interned_us),
+            fmt_us(seed_us),
+            format!("{speedup:.1}×"),
+        ]);
+    }
+    let fast = speedups.iter().filter(|(_, s)| *s > 1.0).count();
+    t.note(format!(
+        "identical ⊎-algebra on identical deltas; only the element keying differs \
+         (interned Vid ids vs. materialized Value trees). {fast}/4 strategies \
+         replay faster interned; {} distinct values interned process-wide",
+        intern::interned_count()
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_replica_matches_interned_semantics() {
+        let a = Bag::from_pairs([(Value::int(1), 2), (Value::str("x"), -1)]);
+        let b = Bag::from_pairs([(Value::int(1), -2), (Value::int(7), 3)]);
+        let mut interned = a.clone();
+        interned.union_assign(&b);
+        let mut seed = SeedBag::from_bag(&a);
+        seed.union_assign(&SeedBag::from_bag(&b));
+        assert_eq!(seed, SeedBag::from_bag(&interned));
+        assert_eq!(seed.distinct_count(), interned.distinct_count());
+    }
+
+    #[test]
+    fn replays_agree_on_final_distinct_counts() {
+        for strategy in [
+            Strategy::Reevaluate,
+            Strategy::FirstOrder,
+            Strategy::Recursive,
+            Strategy::Shredded,
+        ] {
+            let (_, mut gen) = crate::e8_batch::setup(32, strategy, 7);
+            let batches = gen.batches(2);
+            let trace = record(strategy, 32, 7, &batches);
+            let seed_initial: Vec<SeedBag> = trace.initial.iter().map(SeedBag::from_bag).collect();
+            let seed_batches: Vec<Vec<SeedBag>> = trace
+                .per_batch
+                .iter()
+                .map(|ds| ds.iter().map(SeedBag::from_bag).collect())
+                .collect();
+            assert_eq!(
+                replay_interned(&trace),
+                replay_seed(&seed_initial, &seed_batches),
+                "{strategy:?} replays diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn quick_run_produces_full_grid() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.columns.len(), 5);
+    }
+}

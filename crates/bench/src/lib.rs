@@ -16,6 +16,7 @@
 //! | E6 | Thm. 9: NC⁰ refresh vs non-NC⁰ re-evaluation circuits |
 //! | E7 | Thm. 2: the delta tower has exactly deg(h) input-dependent levels |
 //! | E8 | Prop. 4.1 additivity: coalesced batches + parallel per-view refresh |
+//! | E9 | Hash-consed interning: id-keyed bags vs. the seed's value-keyed bags |
 
 pub mod e1_related;
 pub mod e2_filter;
@@ -25,6 +26,7 @@ pub mod e5_deep;
 pub mod e6_circuit;
 pub mod e7_degree;
 pub mod e8_batch;
+pub mod e9_intern;
 pub mod report;
 
 pub use report::Table;

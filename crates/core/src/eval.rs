@@ -388,7 +388,7 @@ pub fn eval(e: &Expr, env: &mut Env<'_>) -> Result<Value, EvalError> {
             for e in es {
                 bags.push(eval(e, env)?.into_bag()?);
             }
-            Ok(Value::Bag(product_all(&bags, &mut env.steps)))
+            Ok(Value::Bag(product_all(&bags, &mut env.steps)?))
         }
         Expr::For { var, source, body } => {
             let src = eval(source, env)?.into_bag()?;
@@ -399,7 +399,10 @@ pub fn eval(e: &Expr, env: &mut Env<'_>) -> Result<Value, EvalError> {
                 let res = eval(body, env);
                 env.elems.pop();
                 let b = res?.into_bag()?;
-                acc.union_assign(&b.scale(m));
+                // Id-native scaled accumulation: no scaled intermediate bag,
+                // no value clones — the body's elements flow into `acc` as
+                // interned ids.
+                acc.union_assign_scaled(&b, m)?;
             }
             Ok(Value::Bag(acc))
         }
@@ -455,22 +458,40 @@ pub fn eval(e: &Expr, env: &mut Env<'_>) -> Result<Value, EvalError> {
 }
 
 /// n-ary product of already-evaluated bags.
-fn product_all(bags: &[Bag], steps: &mut u64) -> Bag {
-    fn rec(bags: &[Bag], prefix: &mut Vec<Value>, mult: i64, acc: &mut Bag, steps: &mut u64) {
+///
+/// The prefix is a stack of `&'static` references into the interning arena:
+/// element trees are cloned only once per *emitted* tuple (at the leaf),
+/// never while walking, and multiplicity products are overflow-checked.
+fn product_all(bags: &[Bag], steps: &mut u64) -> Result<Bag, DataError> {
+    fn rec(
+        bags: &[Bag],
+        prefix: &mut Vec<&'static Value>,
+        mult: i64,
+        acc: &mut Bag,
+        steps: &mut u64,
+    ) -> Result<(), DataError> {
         if bags.is_empty() {
             *steps += 1;
-            acc.insert(Value::Tuple(prefix.clone()), mult);
-            return;
+            acc.insert(
+                Value::Tuple(prefix.iter().map(|&v| v.clone()).collect()),
+                mult,
+            );
+            return Ok(());
         }
-        for (v, m) in bags[0].iter() {
-            prefix.push(v.clone());
-            rec(&bags[1..], prefix, mult * m, acc, steps);
+        for (id, m) in bags[0].ids() {
+            let mult = mult
+                .checked_mul(m)
+                .ok_or(DataError::Overflow { op: "product" })?;
+            prefix.push(id.value());
+            let r = rec(&bags[1..], prefix, mult, acc, steps);
             prefix.pop();
+            r?;
         }
+        Ok(())
     }
     let mut acc = Bag::empty();
-    rec(bags, &mut Vec::new(), 1, &mut acc, steps);
-    acc
+    rec(bags, &mut Vec::new(), 1, &mut acc, steps)?;
+    Ok(acc)
 }
 
 /// Evaluate a predicate under the current element bindings.

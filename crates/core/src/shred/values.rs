@@ -350,7 +350,7 @@ mod tests {
                     let dd = di[0].as_dict().unwrap();
                     let cd = ci[0].as_dict().unwrap();
                     for (l, bag) in cd.iter() {
-                        assert_eq!(dd.get(l).unwrap(), &bag.scale(2));
+                        assert_eq!(dd.get(l).unwrap(), &bag.scale(2).unwrap());
                     }
                 }
                 _ => panic!("shape"),

@@ -9,7 +9,17 @@
 //! The invariant maintained throughout is that **no element is stored with
 //! multiplicity zero**, so structural equality coincides with semantic bag
 //! equality.
+//!
+//! Since the hash-consing refactor the element keys are interned
+//! [`Vid`]s rather than materialized [`Value`] trees: equality and hashing
+//! of elements are `O(1)`, ordering is an integer rank compare in the common
+//! case, and the algebraic combinators (`⊎`, `⊖`, scaling, flatten) never
+//! clone a value tree. The value-level API (`iter`, `insert`,
+//! `multiplicity`, …) is preserved by resolving ids on read; the `*_id`
+//! methods expose the id-native fast path for hot call sites.
 
+use crate::error::DataError;
+use crate::intern::{self, Vid};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -18,16 +28,18 @@ use std::sync::Arc;
 
 /// A generalized bag of [`Value`]s.
 ///
-/// Internally a sorted map from element to non-zero multiplicity, giving
-/// canonical representation, deterministic iteration, `O(log n)` lookup and
-/// `O(min(n, m))`-ish union.
-/// Internally the map is reference-counted with copy-on-write semantics:
-/// cloning a bag (e.g. binding relations into evaluation environments, or
-/// snapshotting the database before an update) is O(1); the map is copied
-/// only when a shared bag is mutated.
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+/// Internally a sorted map from interned element id to non-zero
+/// multiplicity, giving canonical representation, deterministic iteration
+/// (identical to the seed's value-keyed order — `Ord` on [`Vid`] refines the
+/// canonical `Ord` on [`Value`]), `O(log n)` lookup with `O(1)` key
+/// comparisons, and `O(min(n, m))`-ish union.
+/// The map is reference-counted with copy-on-write semantics: cloning a bag
+/// (e.g. binding relations into evaluation environments, or snapshotting the
+/// database before an update) is O(1); the map is copied only when a shared
+/// bag is mutated.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Bag {
-    elems: Arc<BTreeMap<Value, i64>>,
+    elems: Arc<BTreeMap<Vid, i64>>,
 }
 
 impl Bag {
@@ -38,8 +50,13 @@ impl Bag {
 
     /// The singleton bag `{v}` (multiplicity 1).
     pub fn singleton(v: Value) -> Bag {
+        Bag::singleton_id(intern::intern(v))
+    }
+
+    /// The singleton bag over an already-interned element.
+    pub fn singleton_id(id: Vid) -> Bag {
         let mut b = Bag::empty();
-        b.insert(v, 1);
+        b.insert_id(id, 1);
         b
     }
 
@@ -62,19 +79,51 @@ impl Bag {
         b
     }
 
+    /// Build a bag from `(id, multiplicity)` pairs (duplicates sum, zeros
+    /// dropped) — the id-native sibling of [`Bag::from_pairs`].
+    pub fn from_id_pairs<I: IntoIterator<Item = (Vid, i64)>>(pairs: I) -> Bag {
+        let mut b = Bag::empty();
+        for (id, m) in pairs {
+            b.insert_id(id, m);
+        }
+        b
+    }
+
     /// Add `mult` copies of `v` (negative removes). Zero-multiplicity
     /// entries are dropped to preserve the canonical-form invariant.
     pub fn insert(&mut self, v: Value, mult: i64) {
         if mult == 0 {
             return;
         }
-        let entry = Arc::make_mut(&mut self.elems).entry(v);
+        self.insert_id(intern::intern(v), mult);
+    }
+
+    /// Id-native [`Bag::insert`]: add `mult` copies of an interned element.
+    /// Multiplicity addition is overflow-checked — silent wrap-around would
+    /// corrupt the group structure undetectably.
+    pub fn insert_id(&mut self, id: Vid, mult: i64) {
+        self.try_insert_id(id, mult)
+            .expect("bag multiplicity overflow in ⊎");
+    }
+
+    /// [`Bag::insert_id`] that surfaces multiplicity-addition overflow as
+    /// [`DataError::Overflow`] instead of panicking — the building block of
+    /// the fallible accumulation paths ([`Bag::union_assign_scaled`],
+    /// [`Bag::flatten`]).
+    pub fn try_insert_id(&mut self, id: Vid, mult: i64) -> Result<(), DataError> {
+        if mult == 0 {
+            return Ok(());
+        }
+        let entry = Arc::make_mut(&mut self.elems).entry(id);
         match entry {
             std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(mult);
             }
             std::collections::btree_map::Entry::Occupied(mut e) => {
-                let new = *e.get() + mult;
+                let new = e
+                    .get()
+                    .checked_add(mult)
+                    .ok_or(DataError::Overflow { op: "⊎" })?;
                 if new == 0 {
                     e.remove();
                 } else {
@@ -82,11 +131,18 @@ impl Bag {
                 }
             }
         }
+        Ok(())
     }
 
-    /// The multiplicity of `v` (0 when absent).
+    /// The multiplicity of `v` (0 when absent). Probing for a value that was
+    /// never interned does not intern it.
     pub fn multiplicity(&self, v: &Value) -> i64 {
-        self.elems.get(v).copied().unwrap_or(0)
+        intern::lookup(v).map_or(0, |id| self.multiplicity_id(id))
+    }
+
+    /// Id-native [`Bag::multiplicity`].
+    pub fn multiplicity_id(&self, id: Vid) -> i64 {
+        self.elems.get(&id).copied().unwrap_or(0)
     }
 
     /// Is this the empty bag?
@@ -120,39 +176,69 @@ impl Bag {
 
     /// Iterate over `(element, multiplicity)` pairs in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (&Value, i64)> {
-        self.elems.iter().map(|(v, &m)| (v, m))
+        self.elems.iter().map(|(id, &m)| (id.value(), m))
+    }
+
+    /// Iterate over `(id, multiplicity)` pairs in canonical order — the
+    /// id-native sibling of [`Bag::iter`] (no resolution, `Copy` items).
+    pub fn ids(&self) -> impl Iterator<Item = (Vid, i64)> + '_ {
+        self.elems.iter().map(|(&id, &m)| (id, m))
+    }
+
+    /// The smallest element's id, if any (also the interner's rank seed for
+    /// bags-as-values).
+    pub(crate) fn first_id(&self) -> Option<Vid> {
+        self.elems.keys().next().copied()
     }
 
     /// Iterate over elements, repeated `multiplicity` times. Panics in debug
     /// builds if any multiplicity is negative; intended for proper bags.
     pub fn iter_expanded(&self) -> impl Iterator<Item = &Value> {
-        self.elems.iter().flat_map(|(v, &m)| {
+        self.elems.iter().flat_map(|(id, &m)| {
             debug_assert!(m >= 0, "iter_expanded over a signed delta bag");
-            std::iter::repeat_n(v, m.max(0) as usize)
+            std::iter::repeat_n(id.value(), m.max(0) as usize)
         })
     }
 
     /// Bag addition `⊎`: sums multiplicities, dropping zeros.
+    #[must_use = "`union` returns a new bag and leaves `self` unchanged"]
     pub fn union(&self, other: &Bag) -> Bag {
         // Merge the smaller into a clone of the larger (union of two
         // materialized bags costs time proportional to the smaller one, the
-        // assumption made in the §2.2 cost analysis).
+        // assumption made in the §2.2 cost analysis). Keys are `Copy` ids:
+        // no value tree is cloned.
         let (mut big, small) = if self.elems.len() >= other.elems.len() {
             (self.clone(), other)
         } else {
             (other.clone(), self)
         };
-        for (v, m) in small.iter() {
-            big.insert(v.clone(), m);
+        for (id, m) in small.ids() {
+            big.insert_id(id, m);
         }
         big
     }
 
     /// In-place bag addition `self ⊎= other`.
     pub fn union_assign(&mut self, other: &Bag) {
-        for (v, m) in other.iter() {
-            self.insert(v.clone(), m);
+        for (id, m) in other.ids() {
+            self.insert_id(id, m);
         }
+    }
+
+    /// In-place scaled addition `self ⊎= k · other` without materializing
+    /// the scaled intermediate — the inner step of `for`-loop accumulation
+    /// (`acc ⊎= m · body`) and of flatten.
+    pub fn union_assign_scaled(&mut self, other: &Bag, k: i64) -> Result<(), DataError> {
+        if k == 0 {
+            return Ok(());
+        }
+        for (id, m) in other.ids() {
+            let scaled = m
+                .checked_mul(k)
+                .ok_or(DataError::Overflow { op: "scaled ⊎" })?;
+            self.try_insert_id(id, scaled)?;
+        }
+        Ok(())
     }
 
     /// Extend-style `⊎`: add every `(value, multiplicity)` pair from an
@@ -165,14 +251,22 @@ impl Bag {
         }
     }
 
+    /// Id-native [`Bag::extend_pairs`].
+    pub fn extend_id_pairs<I: IntoIterator<Item = (Vid, i64)>>(&mut self, pairs: I) {
+        for (id, m) in pairs {
+            self.insert_id(id, m);
+        }
+    }
+
     /// Coalesce many bags into one by `⊎` in a single pre-sized pass.
     ///
-    /// All pairs are gathered and sorted once, multiplicities of equal
-    /// values are summed, zeros dropped, and the result map is bulk-built
-    /// from the sorted run — `O(N log N)` in the total number of entries,
-    /// with none of the per-bag rebalancing that a fold of
-    /// [`Bag::union`]s performs. This is the primitive behind batched
-    /// update coalescing (`δ(u₁ ⊎ u₂ ⊎ …)` preprocessing).
+    /// All pairs are gathered and sorted once (by interned id — an integer
+    /// rank compare), multiplicities of equal elements are summed, zeros
+    /// dropped, and the result map is bulk-built from the sorted run —
+    /// `O(N log N)` in the total number of entries, with none of the
+    /// per-bag rebalancing that a fold of [`Bag::union`]s performs. This is
+    /// the primitive behind batched update coalescing
+    /// (`δ(u₁ ⊎ u₂ ⊎ …)` preprocessing).
     ///
     /// ```
     /// use nrc_data::{Bag, Value};
@@ -182,6 +276,7 @@ impl Bag {
     /// let merged = Bag::union_many([&a, &b, &c]);
     /// assert_eq!(merged, a.union(&b).union(&c));
     /// ```
+    #[must_use = "`union_many` returns the coalesced bag"]
     pub fn union_many<'a, I: IntoIterator<Item = &'a Bag>>(bags: I) -> Bag {
         let bags: Vec<&Bag> = bags.into_iter().collect();
         match bags.len() {
@@ -190,20 +285,22 @@ impl Bag {
             _ => {}
         }
         let total: usize = bags.iter().map(|b| b.distinct_count()).sum();
-        let mut pairs: Vec<(&Value, i64)> = Vec::with_capacity(total);
+        let mut pairs: Vec<(Vid, i64)> = Vec::with_capacity(total);
         for b in &bags {
-            pairs.extend(b.iter());
+            pairs.extend(b.ids());
         }
-        pairs.sort_by_key(|&(v, _)| v);
-        let mut merged: Vec<(Value, i64)> = Vec::with_capacity(pairs.len());
-        for (v, m) in pairs {
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let mut merged: Vec<(Vid, i64)> = Vec::with_capacity(pairs.len());
+        for (id, m) in pairs {
             match merged.last_mut() {
-                Some((last, acc)) if last == v => *acc += m,
+                Some((last, acc)) if *last == id => {
+                    *acc = acc.checked_add(m).expect("bag multiplicity overflow in ⊎")
+                }
                 _ => {
                     if let Some((_, 0)) = merged.last() {
                         merged.pop();
                     }
-                    merged.push((v.clone(), m));
+                    merged.push((id, m));
                 }
             }
         }
@@ -216,35 +313,50 @@ impl Bag {
     }
 
     /// Bag negation `⊖`: negates every multiplicity.
+    #[must_use = "`negate` returns a new bag and leaves `self` unchanged"]
     pub fn negate(&self) -> Bag {
         Bag {
-            elems: Arc::new(self.elems.iter().map(|(v, &m)| (v.clone(), -m)).collect()),
+            elems: Arc::new(
+                self.elems
+                    .iter()
+                    .map(|(&id, &m)| (id, m.checked_neg().expect("bag multiplicity overflow in ⊖")))
+                    .collect(),
+            ),
         }
     }
 
     /// Group difference `self ⊎ ⊖(other)` — *not* the truncating bag minus
     /// (which is non-incrementalizable, Appendix A.2); multiplicities may go
     /// negative.
+    #[must_use = "`difference` returns a new bag and leaves `self` unchanged"]
     pub fn difference(&self, other: &Bag) -> Bag {
         self.union(&other.negate())
     }
 
-    /// Multiply every multiplicity by `k` (`k = 0` yields `∅`).
-    pub fn scale(&self, k: i64) -> Bag {
-        if k == 0 {
-            return Bag::empty();
+    /// Multiply every multiplicity by `k` (`k = 0` yields `∅`), failing with
+    /// [`DataError::Overflow`] instead of silently wrapping.
+    pub fn scale(&self, k: i64) -> Result<Bag, DataError> {
+        match k {
+            0 => return Ok(Bag::empty()),
+            1 => return Ok(self.clone()),
+            _ => {}
         }
-        Bag {
-            elems: Arc::new(
-                self.elems
-                    .iter()
-                    .map(|(v, &m)| (v.clone(), m * k))
-                    .collect(),
-            ),
-        }
+        let elems = self
+            .elems
+            .iter()
+            .map(|(&id, &m)| {
+                m.checked_mul(k)
+                    .map(|scaled| (id, scaled))
+                    .ok_or(DataError::Overflow { op: "scale" })
+            })
+            .collect::<Result<BTreeMap<_, _>, _>>()?;
+        Ok(Bag {
+            elems: Arc::new(elems),
+        })
     }
 
     /// Map every element through `f`, summing multiplicities of collisions.
+    #[must_use = "`map` returns a new bag and leaves `self` unchanged"]
     pub fn map<F: FnMut(&Value) -> Value>(&self, mut f: F) -> Bag {
         let mut out = Bag::empty();
         for (v, m) in self.iter() {
@@ -257,31 +369,37 @@ impl Bag {
     ///
     /// This realizes the group property quoted in §3: such a delta always
     /// exists.
+    #[must_use = "`delta_to` returns the delta bag without applying it"]
     pub fn delta_to(&self, target: &Bag) -> Bag {
         target.difference(self)
     }
 
-    /// Cartesian product: `{⟨v, w⟩ ↦ m·n | v ↦ m ∈ self, w ↦ n ∈ other}`.
-    pub fn product(&self, other: &Bag) -> Bag {
+    /// Cartesian product: `{⟨v, w⟩ ↦ m·n | v ↦ m ∈ self, w ↦ n ∈ other}`,
+    /// failing with [`DataError::Overflow`] when a multiplicity product
+    /// exceeds `i64`.
+    pub fn product(&self, other: &Bag) -> Result<Bag, DataError> {
         let mut out = Bag::empty();
         for (v, m) in self.iter() {
             for (w, n) in other.iter() {
-                out.insert(Value::pair(v.clone(), w.clone()), m * n);
+                let mult = m
+                    .checked_mul(n)
+                    .ok_or(DataError::Overflow { op: "product" })?;
+                out.insert(Value::pair(v.clone(), w.clone()), mult);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Flatten a bag of bags: `⊎_{v ∈ self} v`, weighting each inner bag by
     /// the multiplicity of its occurrence (linear in the input, matching the
-    /// `flatten` cost rule of Fig. 5).
+    /// `flatten` cost rule of Fig. 5). Id-native: inner elements flow into
+    /// the result as interned ids, no value tree is rebuilt.
     pub fn flatten(&self) -> Result<Bag, crate::error::DataError> {
         let mut out = Bag::empty();
-        for (v, m) in self.iter() {
-            let inner = v.as_bag()?;
-            for (w, n) in inner.iter() {
-                out.insert(w.clone(), n * m);
-            }
+        for (id, m) in self.ids() {
+            let inner = id.value().as_bag()?;
+            out.union_assign_scaled(inner, m)
+                .map_err(|_| DataError::Overflow { op: "flatten" })?;
         }
         Ok(out)
     }
@@ -290,6 +408,14 @@ impl Bag {
 impl FromIterator<Value> for Bag {
     fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
         Bag::from_values(iter)
+    }
+}
+
+impl fmt::Debug for Bag {
+    /// Debug renders resolved elements (not raw ids) so test failures stay
+    /// readable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
     }
 }
 
@@ -377,7 +503,7 @@ mod tests {
     fn product_multiplies_multiplicities() {
         let x = b(&[(1, 2)]);
         let y = b(&[(10, 3)]);
-        let p = x.product(&y);
+        let p = x.product(&y).unwrap();
         assert_eq!(
             p.multiplicity(&Value::pair(Value::int(1), Value::int(10))),
             6
@@ -390,7 +516,10 @@ mod tests {
         let x = b(&[(1, 2), (2, 1)]);
         let y = b(&[(3, 1)]);
         let z = b(&[(3, 2), (4, -1)]);
-        assert_eq!(x.product(&y.union(&z)), x.product(&y).union(&x.product(&z)));
+        assert_eq!(
+            x.product(&y.union(&z)).unwrap(),
+            x.product(&y).unwrap().union(&x.product(&z).unwrap())
+        );
     }
 
     #[test]
@@ -413,9 +542,33 @@ mod tests {
     #[test]
     fn scale_and_negate() {
         let x = b(&[(1, 2), (2, -1)]);
-        assert_eq!(x.scale(3), b(&[(1, 6), (2, -3)]));
-        assert_eq!(x.scale(0), Bag::empty());
+        assert_eq!(x.scale(3).unwrap(), b(&[(1, 6), (2, -3)]));
+        assert_eq!(x.scale(0).unwrap(), Bag::empty());
         assert_eq!(x.negate().negate(), x);
+    }
+
+    #[test]
+    fn scale_and_product_detect_overflow() {
+        let x = b(&[(1, i64::MAX / 2 + 1)]);
+        assert_eq!(x.scale(2), Err(DataError::Overflow { op: "scale" }));
+        let y = b(&[(2, 2)]);
+        assert_eq!(x.product(&y), Err(DataError::Overflow { op: "product" }));
+        let mut outer = Bag::empty();
+        outer.insert(Value::Bag(x), 2);
+        assert_eq!(outer.flatten(), Err(DataError::Overflow { op: "flatten" }));
+        let mut acc = Bag::empty();
+        assert!(acc.union_assign_scaled(&b(&[(1, i64::MAX)]), 2).is_err());
+        // Accumulator-side addition overflow surfaces as an error too (not
+        // a panic): MAX + 1.
+        let mut acc = b(&[(1, i64::MAX)]);
+        assert_eq!(
+            acc.union_assign_scaled(&b(&[(1, 1)]), 1),
+            Err(DataError::Overflow { op: "⊎" })
+        );
+        assert_eq!(
+            acc.try_insert_id(crate::intern::intern(Value::int(1)), 1),
+            Err(DataError::Overflow { op: "⊎" })
+        );
     }
 
     #[test]
@@ -469,6 +622,43 @@ mod tests {
         let mut bag = b(&[(1, 1)]);
         bag.extend_pairs([(Value::int(1), 2), (Value::int(2), 1), (Value::int(2), -1)]);
         assert_eq!(bag, b(&[(1, 3)]));
+    }
+
+    #[test]
+    fn id_native_api_matches_value_api() {
+        let mut by_value = Bag::empty();
+        let mut by_id = Bag::empty();
+        for (v, m) in [
+            (Value::int(3), 2),
+            (Value::str("x"), -1),
+            (Value::int(3), 1),
+        ] {
+            by_value.insert(v.clone(), m);
+            by_id.insert_id(crate::intern::intern(v), m);
+        }
+        assert_eq!(by_value, by_id);
+        assert_eq!(
+            by_value.multiplicity_id(crate::intern::intern(Value::int(3))),
+            3
+        );
+        let ids: Vec<_> = by_value.ids().collect();
+        let values: Vec<_> = by_value.iter().collect();
+        assert_eq!(ids.len(), values.len());
+        for ((id, im), (v, vm)) in ids.iter().zip(&values) {
+            assert_eq!(id.value(), *v);
+            assert_eq!(im, vm);
+        }
+        assert_eq!(Bag::from_id_pairs(ids), by_value);
+    }
+
+    #[test]
+    fn union_assign_scaled_matches_scale_then_union() {
+        let mut acc = b(&[(1, 1), (2, 2)]);
+        let rhs = b(&[(1, 2), (3, -1)]);
+        let mut expected = acc.clone();
+        expected.union_assign(&rhs.scale(-3).unwrap());
+        acc.union_assign_scaled(&rhs, -3).unwrap();
+        assert_eq!(acc, expected);
     }
 
     #[test]

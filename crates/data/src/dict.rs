@@ -13,9 +13,15 @@
 //!
 //! The support set is explicit: a label defined to be the empty bag
 //! (`[l ↦ ∅]`) is different from an undefined label (`[]`).
+//!
+//! Since the hash-consing refactor the support is keyed by interned label
+//! ids ([`Vid`]s resolving to [`Value::Label`]): membership tests and entry
+//! merges compare a `u32`, and the definition-agreement check of `∪` is a
+//! shallow id-keyed bag comparison. Label-level accessors resolve on read.
 
 use crate::bag::Bag;
 use crate::error::DataError;
+use crate::intern::{self, Vid};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -80,14 +86,15 @@ impl fmt::Display for Label {
 
 /// A label dictionary `L ↦ Bag(B)` with an explicit support set.
 ///
-/// Entries map labels to bag definitions; presence in the map *is*
-/// membership in the support (`supp`), so `[l ↦ ∅]` is representable and
-/// distinct from `[]`.
+/// Entries map interned label ids to bag definitions; presence in the map
+/// *is* membership in the support (`supp`), so `[l ↦ ∅]` is representable
+/// and distinct from `[]`. Iteration stays in canonical label order (`Ord`
+/// on [`Vid`] refines `Ord` on `Label`).
 /// Like [`Bag`], the entry map is reference-counted with copy-on-write
 /// semantics, so snapshotting shredded stores is cheap.
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Dictionary {
-    entries: Arc<BTreeMap<Label, Bag>>,
+    entries: Arc<BTreeMap<Vid, Bag>>,
 }
 
 impl Dictionary {
@@ -115,32 +122,63 @@ impl Dictionary {
 
     /// Define (or overwrite) the entry for `l`.
     pub fn define(&mut self, l: Label, bag: Bag) {
+        self.define_id(intern::intern_label(l), bag);
+    }
+
+    /// Id-native [`Dictionary::define`]. Panics if `l` does not resolve to
+    /// a label — catching the misuse at the call site instead of corrupting
+    /// the support and failing later during iteration.
+    pub fn define_id(&mut self, l: Vid, bag: Bag) {
+        assert!(
+            matches!(l.value(), Value::Label(_)),
+            "dictionary key {l:?} does not resolve to a label"
+        );
         Arc::make_mut(&mut self.entries).insert(l, bag);
     }
 
     /// Add `bag` into the definition of `l` via `⊎`, defining it if absent.
     pub fn add_entry(&mut self, l: Label, bag: &Bag) {
+        self.add_entry_id(intern::intern_label(l), bag);
+    }
+
+    /// Id-native [`Dictionary::add_entry`]. Panics if `l` does not resolve
+    /// to a label (see [`Dictionary::define_id`]).
+    pub fn add_entry_id(&mut self, l: Vid, bag: &Bag) {
+        assert!(
+            matches!(l.value(), Value::Label(_)),
+            "dictionary key {l:?} does not resolve to a label"
+        );
         Arc::make_mut(&mut self.entries)
             .entry(l)
             .or_default()
             .union_assign(bag);
     }
 
+    /// The interned id of `l`, if its support could ever contain it (labels
+    /// never interned are in no dictionary).
+    fn label_id(l: &Label) -> Option<Vid> {
+        intern::lookup_label(l)
+    }
+
     /// Is `l` in the support?
     pub fn defines(&self, l: &Label) -> bool {
-        self.entries.contains_key(l)
+        Self::label_id(l).is_some_and(|id| self.entries.contains_key(&id))
     }
 
     /// Look up the definition of `l`; `None` when `l ∉ supp`.
     pub fn get(&self, l: &Label) -> Option<&Bag> {
-        self.entries.get(l)
+        self.entries.get(&Self::label_id(l)?)
+    }
+
+    /// Id-native [`Dictionary::get`].
+    pub fn get_id(&self, l: Vid) -> Option<&Bag> {
+        self.entries.get(&l)
     }
 
     /// Look up the definition of `l`, erroring on undefined labels (a
     /// consistency violation, Appendix C.3).
     pub fn lookup(&self, l: &Label) -> Result<&Bag, DataError> {
-        self.entries
-            .get(l)
+        self.get(l)
             .ok_or_else(|| DataError::UndefinedLabel { label: l.clone() })
     }
 
@@ -148,7 +186,7 @@ impl Dictionary {
     /// dictionary expressions `[(ι,Π) ↦ e]` in §5.2 return `{}` for
     /// non-matching indices).
     pub fn lookup_total(&self, l: &Label) -> Bag {
-        self.entries.get(l).cloned().unwrap_or_default()
+        self.get(l).cloned().unwrap_or_default()
     }
 
     /// Number of labels in the support.
@@ -163,12 +201,24 @@ impl Dictionary {
 
     /// Iterate over the support in canonical order.
     pub fn support(&self) -> impl Iterator<Item = &Label> {
-        self.entries.keys()
+        self.entries.keys().map(|id| id.as_label())
     }
 
     /// Iterate over `(label, definition)` pairs in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (&Label, &Bag)> {
-        self.entries.iter()
+        self.entries.iter().map(|(id, b)| (id.as_label(), b))
+    }
+
+    /// Iterate over `(label id, definition)` pairs in canonical order — the
+    /// id-native sibling of [`Dictionary::iter`].
+    pub fn entry_ids(&self) -> impl Iterator<Item = (Vid, &Bag)> {
+        self.entries.iter().map(|(&id, b)| (id, b))
+    }
+
+    /// The smallest label id in the support, if any (the interner's rank
+    /// seed for dictionaries-as-values).
+    pub(crate) fn first_label_id(&self) -> Option<Vid> {
+        self.entries.keys().next().copied()
     }
 
     /// Dictionary addition `⊎`: pointwise bag addition, support union.
@@ -176,6 +226,7 @@ impl Dictionary {
     /// This is the operation that can *modify* definitions and therefore
     /// implements deep updates. Entries whose bags cancel to `∅` remain in
     /// the support (the label is still defined, just empty).
+    #[must_use = "`add` returns a new dictionary and leaves `self` unchanged"]
     pub fn add(&self, other: &Dictionary) -> Dictionary {
         let mut out = self.clone();
         out.add_assign(other);
@@ -188,8 +239,8 @@ impl Dictionary {
             return;
         }
         let entries = Arc::make_mut(&mut self.entries);
-        for (l, b) in other.iter() {
-            entries.entry(l.clone()).or_default().union_assign(b);
+        for (id, b) in other.entry_ids() {
+            entries.entry(id).or_default().union_assign(b);
         }
     }
 
@@ -204,14 +255,14 @@ impl Dictionary {
         let entries = Arc::make_mut(&mut self.entries);
         // Group the per-label contributions across all deltas, then merge
         // each label's bags in one pass.
-        let mut touched: BTreeMap<&Label, Vec<&Bag>> = BTreeMap::new();
+        let mut touched: BTreeMap<Vid, Vec<&Bag>> = BTreeMap::new();
         for d in &others {
-            for (l, b) in d.iter() {
-                touched.entry(l).or_default().push(b);
+            for (id, b) in d.entry_ids() {
+                touched.entry(id).or_default().push(b);
             }
         }
-        for (l, bags) in touched {
-            let entry = entries.entry(l.clone()).or_default();
+        for (id, bags) in touched {
+            let entry = entries.entry(id).or_default();
             if bags.len() == 1 {
                 entry.union_assign(bags[0]);
             } else {
@@ -224,12 +275,13 @@ impl Dictionary {
     }
 
     /// Pointwise negation `⊖` (negates every definition, keeps support).
+    #[must_use = "`negate` returns a new dictionary and leaves `self` unchanged"]
     pub fn negate(&self) -> Dictionary {
         Dictionary {
             entries: Arc::new(
                 self.entries
                     .iter()
-                    .map(|(l, b)| (l.clone(), b.negate()))
+                    .map(|(&id, b)| (id, b.negate()))
                     .collect(),
             ),
         }
@@ -244,14 +296,18 @@ impl Dictionary {
         }
         let mut out = self.clone();
         let entries = Arc::make_mut(&mut out.entries);
-        for (l, b) in other.iter() {
-            match entries.get(l) {
+        for (id, b) in other.entry_ids() {
+            match entries.get(&id) {
                 None => {
-                    entries.insert(l.clone(), b.clone());
+                    entries.insert(id, b.clone());
                 }
+                // Id-keyed bags compare shallowly (`Vid` equality per
+                // entry), so the §5.2 agreement check is cheap.
                 Some(existing) if existing == b => {}
                 Some(_) => {
-                    return Err(DataError::DictUnionConflict { label: l.clone() });
+                    return Err(DataError::DictUnionConflict {
+                        label: id.as_label().clone(),
+                    });
                 }
             }
         }
@@ -262,12 +318,20 @@ impl Dictionary {
     /// garbage-collect definitions whose labels no longer occur in any flat
     /// view).
     pub fn retain<F: FnMut(&Label) -> bool>(&mut self, mut keep: F) {
-        Arc::make_mut(&mut self.entries).retain(|l, _| keep(l));
+        Arc::make_mut(&mut self.entries).retain(|id, _| keep(id.as_label()));
     }
 
     /// Total cardinality of all definitions (sum of absolute multiplicities).
     pub fn total_cardinality(&self) -> u64 {
         self.entries.values().map(Bag::cardinality).sum()
+    }
+}
+
+impl fmt::Debug for Dictionary {
+    /// Debug renders resolved labels (not raw ids) so test failures stay
+    /// readable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
     }
 }
 
@@ -399,5 +463,20 @@ mod tests {
     fn total_cardinality_sums_definitions() {
         let d = Dictionary::from_pairs([(l(1), bag(&["a", "b"])), (l(2), bag(&["c"]))]);
         assert_eq!(d.total_cardinality(), 3);
+    }
+
+    #[test]
+    fn id_native_entries_match_label_entries() {
+        let d = Dictionary::from_pairs([(l(3), bag(&["a"])), (l(1), bag(&["b"]))]);
+        // Canonical order: ι1 before ι3.
+        let labels: Vec<&Label> = d.support().collect();
+        assert_eq!(labels, vec![&l(1), &l(3)]);
+        for (id, b) in d.entry_ids() {
+            assert_eq!(d.get_id(id), Some(b));
+            assert_eq!(d.get(id.as_label()), Some(b));
+        }
+        let probe = Label::new(99, vec![Value::str("never-interned-label-arg-z9")]);
+        assert!(!d.defines(&probe));
+        assert!(d.get(&probe).is_none());
     }
 }

@@ -27,6 +27,13 @@ pub enum DataError {
         /// Display rendering of the offending value.
         got: String,
     },
+    /// Multiplicity arithmetic overflowed `i64` (scaling, products or
+    /// flatten weighting) — surfaced instead of silently wrapping, which
+    /// would corrupt the bag group structure undetectably.
+    Overflow {
+        /// The operation whose multiplicity arithmetic overflowed.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -43,6 +50,9 @@ impl fmt::Display for DataError {
             }
             DataError::Shape { expected, got } => {
                 write!(f, "value shape mismatch: expected {expected}, got {got}")
+            }
+            DataError::Overflow { op } => {
+                write!(f, "multiplicity overflow in bag {op}")
             }
         }
     }

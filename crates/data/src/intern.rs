@@ -1,0 +1,610 @@
+//! Hash-consed value interning.
+//!
+//! Every hot path of the reproduction — delta application, shredded
+//! dictionary lookups, recursive auxiliary refresh — manipulates nested
+//! [`Value`] trees through [`crate::Bag`]s. Storing the trees themselves as
+//! map keys makes each comparison a deep `Ord` traversal and each copy a
+//! deep clone. This module applies the standard systems remedy, *hash
+//! consing*: a global, append-only arena assigns every distinct `Value` a
+//! small identifier [`Vid`], and all bag/dictionary internals key on `Vid`
+//! instead of `Value`.
+//!
+//! The arena caches three things per interned value:
+//!
+//! * **hash** — a structural hash (nested interned children hash by id), so
+//!   `Hash` for `Vid` is `O(1)`;
+//! * **rank** — an *order-homomorphic* 64-bit prefix of the value's position
+//!   in the canonical [`Ord`] on `Value`: `rank(a) < rank(b)` implies
+//!   `a < b`. Comparisons resolve with one integer compare in the common
+//!   case and fall back to a deep compare only on rank ties (where interned
+//!   sub-structure still short-circuits equal subtrees in `O(1)`);
+//! * **depth** — the constructor nesting depth, handy for diagnostics and
+//!   cost accounting.
+//!
+//! Equality of `Vid`s is a `u32` compare: hash consing guarantees equal
+//! values intern to equal ids. Iteration order of id-keyed maps equals the
+//! seed's value-keyed order because `Ord for Vid` refines the exact same
+//! total order (see `vid_order_matches_value_order` below).
+//!
+//! # Concurrency & memory
+//!
+//! Interning is sharded (16 hash-sharded read-write locks — lookups and
+//! intern hits take only the shared read lock) and appends to a chunked,
+//! append-only arena; resolving a `Vid` back to its `&'static Value` is
+//! lock-free (one `Acquire` load). Interned values are leaked by design —
+//! the arena is global and lives for the process, which is the hash-consing
+//! trade: memory is bounded by the number of *distinct* values ever
+//! constructed, amortized across every bag that mentions them. For
+//! unbounded update streams with ever-fresh values that bound grows with
+//! the stream; arena garbage collection (epoch- or refcount-based) is a
+//! ROADMAP item and would slot in behind this module's API.
+
+use crate::base::BaseValue;
+use crate::dict::Label;
+use crate::value::Value;
+use serde::{Deserialize, Json, Serialize};
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering as AtomicOrdering};
+use std::sync::{LazyLock, Mutex, RwLock};
+
+/// An interned value id: a handle into the global hash-consing arena.
+///
+/// `Vid` is `Copy`, compares for equality in `O(1)`, hashes in `O(1)` via
+/// the cached structural hash, and orders consistently with the canonical
+/// [`Ord`] on [`Value`] (rank prefix first, deep compare only on ties).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Vid(u32);
+
+impl Vid {
+    /// The interned value this id stands for.
+    #[inline]
+    pub fn value(self) -> &'static Value {
+        meta(self.0).value
+    }
+
+    /// The cached structural hash.
+    #[inline]
+    pub fn cached_hash(self) -> u64 {
+        meta(self.0).hash
+    }
+
+    /// The cached order-homomorphic rank prefix.
+    #[inline]
+    pub fn rank(self) -> u64 {
+        meta(self.0).rank
+    }
+
+    /// The cached constructor nesting depth (base values and labels with
+    /// flat arguments have depth 0).
+    #[inline]
+    pub fn depth(self) -> u32 {
+        meta(self.0).depth
+    }
+
+    /// The raw arena index (diagnostics only — not stable across processes).
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Resolve to a label, panicking when the interned value is not one.
+    /// Dictionary supports rely on this: their keys are always labels.
+    #[inline]
+    pub(crate) fn as_label(self) -> &'static Label {
+        match self.value() {
+            Value::Label(l) => l,
+            other => unreachable!("interned dictionary key is not a label: {other}"),
+        }
+    }
+}
+
+impl PartialOrd for Vid {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Vid {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.0 == other.0 {
+            return Ordering::Equal;
+        }
+        let (a, b) = (meta(self.0), meta(other.0));
+        match a.rank.cmp(&b.rank) {
+            // Distinct values with equal rank prefixes: fall back to the
+            // deep canonical order. Shared interned subtrees still compare
+            // in O(1) through nested `Vid` equality.
+            Ordering::Equal => a.value.cmp(b.value),
+            unequal => unequal,
+        }
+    }
+}
+
+impl Hash for Vid {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(meta(self.0).hash);
+    }
+}
+
+impl fmt::Debug for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vid({} ↦ {})", self.0, self.value())
+    }
+}
+
+impl fmt::Display for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+impl Serialize for Vid {
+    /// Ids are process-local; on the wire a `Vid` is its resolved value, so
+    /// the serialized form of id-keyed bags matches the seed representation.
+    fn to_json(&self) -> Json {
+        self.value().to_json()
+    }
+}
+
+impl Deserialize for Vid {}
+
+/// Scan one hash bucket for an already-interned equal value.
+fn find_interned(map: &HashMap<u64, Vec<u32>>, hash: u64, value: &Value) -> Option<u32> {
+    map.get(&hash)?
+        .iter()
+        .copied()
+        .find(|&id| meta(id).value == value)
+}
+
+/// Intern a value, returning its id (allocating on first sight).
+pub fn intern(value: Value) -> Vid {
+    let hash = hash_value(&value);
+    let interner = &*INTERNER;
+    let shard = &interner.shards[shard_of(hash)];
+    // Hits (the steady-state case) take only the shared read lock.
+    {
+        let map = shard.read().expect("intern shard");
+        if let Some(id) = find_interned(&map, hash, &value) {
+            return Vid(id);
+        }
+    }
+    let rank = rank_of(&value);
+    let depth = depth_of(&value);
+    let mut map = shard.write().expect("intern shard");
+    // Another thread may have interned the same value between the locks.
+    if let Some(id) = find_interned(&map, hash, &value) {
+        return Vid(id);
+    }
+    let leaked: &'static Value = Box::leak(Box::new(value));
+    let id = {
+        let _append = interner.append.lock().expect("intern append");
+        interner.arena.push(Meta {
+            value: leaked,
+            hash,
+            rank,
+            depth,
+        })
+    };
+    map.entry(hash).or_default().push(id);
+    Vid(id)
+}
+
+/// Look a value up without interning it: `None` when it was never interned.
+/// Pure reads (e.g. [`crate::Bag::multiplicity`]) use this so probing for
+/// absent values does not grow the arena; concurrent readers share the
+/// shard lock.
+pub fn lookup(value: &Value) -> Option<Vid> {
+    let hash = hash_value(value);
+    let map = INTERNER.shards[shard_of(hash)]
+        .read()
+        .expect("intern shard");
+    find_interned(&map, hash, value).map(Vid)
+}
+
+/// Look up a label's id without constructing (or interning) a `Value`
+/// wrapper — the dictionary-support fast path (shared read lock only).
+pub fn lookup_label(label: &Label) -> Option<Vid> {
+    let mut h = DefaultHasher::new();
+    h.write_u8(TAG_LABEL);
+    hash_label(label, &mut h);
+    let hash = h.finish();
+    let map = INTERNER.shards[shard_of(hash)]
+        .read()
+        .expect("intern shard");
+    let ids = map.get(&hash)?;
+    ids.iter()
+        .copied()
+        .find(|&id| matches!(meta(id).value, Value::Label(l) if l == label))
+        .map(Vid)
+}
+
+/// Intern a label as a dictionary-support key.
+pub fn intern_label(label: Label) -> Vid {
+    intern(Value::Label(label))
+}
+
+/// Number of distinct values interned so far (monotone; diagnostics).
+pub fn interned_count() -> u64 {
+    INTERNER.arena.len.load(AtomicOrdering::Acquire) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Structural hashing.
+//
+// A hand-rolled recursive hash (rather than `Value`'s derived `Hash`) so the
+// exact same bytes can be produced from a bare `&Label` in `lookup_label`
+// without constructing a `Value::Label` wrapper. Nested bag and dictionary
+// contents hash by interned id, which is what makes hashing shallow.
+// ---------------------------------------------------------------------------
+
+const TAG_BASE: u8 = 0;
+const TAG_TUPLE: u8 = 1;
+const TAG_BAG: u8 = 2;
+const TAG_LABEL: u8 = 3;
+const TAG_DICT: u8 = 4;
+
+fn hash_value(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    hash_value_into(v, &mut h);
+    h.finish()
+}
+
+fn hash_value_into(v: &Value, h: &mut DefaultHasher) {
+    match v {
+        Value::Base(b) => {
+            h.write_u8(TAG_BASE);
+            b.hash(h);
+        }
+        Value::Tuple(vs) => {
+            h.write_u8(TAG_TUPLE);
+            h.write_usize(vs.len());
+            for v in vs {
+                hash_value_into(v, h);
+            }
+        }
+        Value::Bag(b) => {
+            h.write_u8(TAG_BAG);
+            for (id, m) in b.ids() {
+                h.write_u32(id.index());
+                h.write_i64(m);
+            }
+        }
+        Value::Label(l) => {
+            h.write_u8(TAG_LABEL);
+            hash_label(l, h);
+        }
+        Value::Dict(d) => {
+            h.write_u8(TAG_DICT);
+            for (id, bag) in d.entry_ids() {
+                h.write_u32(id.index());
+                for (e, m) in bag.ids() {
+                    h.write_u32(e.index());
+                    h.write_i64(m);
+                }
+            }
+        }
+    }
+}
+
+fn hash_label(l: &Label, h: &mut DefaultHasher) {
+    h.write_u32(l.index);
+    h.write_usize(l.args.len());
+    for a in &l.args {
+        hash_value_into(a, h);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical rank.
+//
+// `rank_of` maps a value to a 64-bit integer that is *order-homomorphic*
+// with respect to the canonical `Ord` on `Value`: `a <= b` implies
+// `rank(a) <= rank(b)` (so distinct ranks decide comparisons outright).
+// Layout: 3 variant-tag bits (Base < Tuple < Bag < Label < Dict, the derive
+// order), then a variant-specific 61-bit order-preserving prefix.
+// ---------------------------------------------------------------------------
+
+const VARIANT_SHIFT: u32 = 61;
+/// Sequence prefixes (tuples, bag/dict supports) order by the first element:
+/// `0` for empty, else `1 + first_rank >> 4` (monotone, fits 61 bits).
+const SEQ_SHIFT: u32 = 4;
+
+fn variant_tag(t: u8) -> u64 {
+    (t as u64) << VARIANT_SHIFT
+}
+
+fn seq_prefix(first: Option<u64>) -> u64 {
+    match first {
+        None => 0,
+        Some(r) => 1 + (r >> SEQ_SHIFT),
+    }
+}
+
+fn rank_of(v: &Value) -> u64 {
+    match v {
+        Value::Base(b) => variant_tag(TAG_BASE) | base_rank(b),
+        Value::Tuple(vs) => variant_tag(TAG_TUPLE) | seq_prefix(vs.first().map(rank_of)),
+        Value::Bag(b) => variant_tag(TAG_BAG) | seq_prefix(b.first_id().map(Vid::rank)),
+        // Labels order by (index, args): the 32-bit index fills the top of
+        // the payload exactly; same-index labels tie-break deeply.
+        Value::Label(l) => variant_tag(TAG_LABEL) | ((l.index as u64) << 29),
+        Value::Dict(d) => variant_tag(TAG_DICT) | seq_prefix(d.first_label_id().map(Vid::rank)),
+    }
+}
+
+/// `BaseValue` order is Bool < Int < Str (derive order): 2 sub-tag bits at
+/// 59..60, then a 59-bit order-preserving payload prefix.
+fn base_rank(b: &BaseValue) -> u64 {
+    const SUB_SHIFT: u32 = 59;
+    match b {
+        BaseValue::Bool(x) => *x as u64,
+        BaseValue::Int(i) => {
+            // Flip the sign bit for an order-preserving u64, keep the top
+            // 59 bits.
+            (1u64 << SUB_SHIFT) | (((*i as u64) ^ (1u64 << 63)) >> 5)
+        }
+        BaseValue::Str(s) => {
+            // First 7 bytes, big-endian, zero-padded: monotone w.r.t.
+            // lexicographic byte order (ties resolve deeply).
+            let mut buf = [0u8; 8];
+            let n = s.len().min(7);
+            buf[1..1 + n].copy_from_slice(&s.as_bytes()[..n]);
+            (2u64 << SUB_SHIFT) | u64::from_be_bytes(buf)
+        }
+    }
+}
+
+fn depth_of(v: &Value) -> u32 {
+    match v {
+        Value::Base(_) => 0,
+        Value::Tuple(vs) => vs.iter().map(depth_of).max().map_or(0, |d| d + 1),
+        Value::Bag(b) => b.ids().map(|(id, _)| id.depth()).max().map_or(0, |d| d + 1),
+        Value::Label(l) => l.args.iter().map(depth_of).max().map_or(0, |d| d + 1),
+        Value::Dict(d) => d
+            .entry_ids()
+            .map(|(l, bag)| {
+                l.depth().max(
+                    bag.ids()
+                        .map(|(id, _)| id.depth())
+                        .max()
+                        .map_or(0, |x| x + 1),
+                )
+            })
+            .max()
+            .map_or(0, |d| d + 1),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The arena: chunked, append-only, lock-free reads.
+//
+// Chunk `c` holds `1024 << c` entries starting at global index
+// `1024 * (2^c - 1)`; 22 chunks cover the whole u32 id space. A slot is
+// written (under the append mutex) strictly before the length is published
+// with `Release`; `meta` re-reads the length with `Acquire` before indexing,
+// which establishes the happens-before edge for the slot contents no matter
+// how the `Vid` travelled between threads.
+// ---------------------------------------------------------------------------
+
+const CHUNK_BASE_LOG2: u32 = 10;
+const NUM_CHUNKS: usize = 22;
+
+struct Meta {
+    value: &'static Value,
+    hash: u64,
+    rank: u64,
+    depth: u32,
+}
+
+struct Arena {
+    chunks: [AtomicPtr<Meta>; NUM_CHUNKS],
+    len: AtomicU32,
+}
+
+#[inline]
+fn locate(index: u32) -> (usize, usize) {
+    let bucket = (index >> CHUNK_BASE_LOG2) + 1;
+    let chunk = (u32::BITS - 1 - bucket.leading_zeros()) as usize;
+    let start = ((1u32 << chunk) - 1) << CHUNK_BASE_LOG2;
+    (chunk, (index - start) as usize)
+}
+
+impl Arena {
+    const fn new() -> Arena {
+        Arena {
+            chunks: [const { AtomicPtr::new(std::ptr::null_mut()) }; NUM_CHUNKS],
+            len: AtomicU32::new(0),
+        }
+    }
+
+    /// Append one entry; caller must hold the append mutex.
+    fn push(&self, m: Meta) -> u32 {
+        let n = self.len.load(AtomicOrdering::Relaxed);
+        let (chunk, offset) = locate(n);
+        assert!(chunk < NUM_CHUNKS, "intern arena exhausted (u32 id space)");
+        let mut ptr = self.chunks[chunk].load(AtomicOrdering::Acquire);
+        if ptr.is_null() {
+            let cap = 1usize << (chunk as u32 + CHUNK_BASE_LOG2);
+            let slab: Box<[MaybeUninit<Meta>]> = Box::new_uninit_slice(cap);
+            ptr = Box::leak(slab).as_mut_ptr() as *mut Meta;
+            self.chunks[chunk].store(ptr, AtomicOrdering::Release);
+        }
+        // SAFETY: `offset` is within the chunk's capacity by construction,
+        // the slot is written exactly once (appends are serialized by the
+        // append mutex), and no reader touches it until `len` advertises it
+        // (the Release store below).
+        unsafe { ptr.add(offset).write(m) };
+        self.len.store(n + 1, AtomicOrdering::Release);
+        n
+    }
+}
+
+#[inline]
+fn meta(index: u32) -> &'static Meta {
+    let arena = &INTERNER.arena;
+    // The Acquire load pairs with the Release store in `push`, making the
+    // slot write visible; a `Vid` can only hold an already-published index.
+    let len = arena.len.load(AtomicOrdering::Acquire);
+    debug_assert!(index < len, "dangling Vid {index} (len {len})");
+    let (chunk, offset) = locate(index);
+    let ptr = arena.chunks[chunk].load(AtomicOrdering::Acquire);
+    // SAFETY: published slots are initialized (see `push`) and never moved
+    // or freed — the arena is append-only and leaked.
+    unsafe { &*ptr.add(offset) }
+}
+
+const SHARD_COUNT: usize = 16;
+
+struct Interner {
+    shards: [RwLock<HashMap<u64, Vec<u32>>>; SHARD_COUNT],
+    arena: Arena,
+    /// Serializes arena appends across shards (lookups stay sharded).
+    append: Mutex<()>,
+}
+
+#[inline]
+fn shard_of(hash: u64) -> usize {
+    // The high bits: the map buckets already consume the low ones.
+    (hash >> 59) as usize & (SHARD_COUNT - 1)
+}
+
+static INTERNER: LazyLock<Interner> = LazyLock::new(|| Interner {
+    shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+    arena: Arena::new(),
+    append: Mutex::new(()),
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::Bag;
+    use crate::dict::Dictionary;
+
+    #[test]
+    fn interning_is_idempotent_and_equality_is_id_equality() {
+        let a = intern(Value::int(42));
+        let b = intern(Value::int(42));
+        let c = intern(Value::int(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.value(), &Value::int(42));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let probe = Value::str("never-constructed-elsewhere-9f3a7");
+        assert_eq!(lookup(&probe), None);
+        let id = intern(probe.clone());
+        assert_eq!(lookup(&probe), Some(id));
+    }
+
+    #[test]
+    fn label_lookup_matches_value_lookup() {
+        let l = Label::new(7, vec![Value::str("x"), Value::int(3)]);
+        assert_eq!(lookup_label(&l), lookup(&Value::Label(l.clone())));
+        let id = intern_label(l.clone());
+        assert_eq!(lookup_label(&l), Some(id));
+        assert_eq!(id.as_label(), &l);
+    }
+
+    #[test]
+    fn vid_order_matches_value_order() {
+        // A spread of values crossing every variant and rank edge case.
+        let mut values = vec![
+            Value::bool(false),
+            Value::bool(true),
+            Value::int(i64::MIN),
+            Value::int(-1),
+            Value::int(0),
+            Value::int(1),
+            Value::int(i64::MAX),
+            Value::str(""),
+            Value::str("a"),
+            Value::str("a\u{0}"),
+            Value::str("ab"),
+            Value::str("aaaaaaaaaa"),
+            Value::str("aaaaaaaaab"),
+            Value::unit(),
+            Value::Tuple(vec![Value::int(1)]),
+            Value::Tuple(vec![Value::int(1), Value::int(2)]),
+            Value::Tuple(vec![Value::int(2)]),
+            Value::Bag(Bag::empty()),
+            Value::Bag(Bag::from_pairs([(Value::int(1), 1)])),
+            Value::Bag(Bag::from_pairs([(Value::int(1), 2)])),
+            Value::Bag(Bag::from_pairs([(Value::int(2), 1)])),
+            Value::Label(Label::atomic(0)),
+            Value::Label(Label::new(0, vec![Value::int(5)])),
+            Value::Label(Label::atomic(1)),
+            Value::Dict(Dictionary::empty()),
+            Value::Dict(Dictionary::singleton(Label::atomic(1), Bag::empty())),
+        ];
+        values.sort();
+        let ids: Vec<Vid> = values.iter().cloned().map(intern).collect();
+        for i in 0..ids.len() {
+            for j in 0..ids.len() {
+                assert_eq!(
+                    ids[i].cmp(&ids[j]),
+                    values[i].cmp(&values[j]),
+                    "Vid order diverged from Value order at ({}, {})",
+                    values[i],
+                    values[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_is_order_homomorphic() {
+        let lo = intern(Value::int(-5));
+        let hi = intern(Value::str("z"));
+        assert!(lo.rank() < hi.rank());
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn depth_counts_constructor_nesting() {
+        assert_eq!(intern(Value::int(1)).depth(), 0);
+        assert_eq!(intern(Value::pair(Value::int(1), Value::int(2))).depth(), 1);
+        let nested = Value::Bag(Bag::from_values([Value::pair(
+            Value::int(1),
+            Value::Bag(Bag::from_values([Value::int(2)])),
+        )]));
+        assert_eq!(intern(nested).depth(), 3);
+    }
+
+    #[test]
+    fn locate_maps_indices_to_chunks() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(1023), (0, 1023));
+        assert_eq!(locate(1024), (1, 0));
+        assert_eq!(locate(3071), (1, 2047));
+        assert_eq!(locate(3072), (2, 0));
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| intern(Value::pair(Value::int(i % 50), Value::int(t % 2))))
+                        .collect::<Vec<Vid>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Vid>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            for (a, b) in w[0].iter().zip(&w[1]) {
+                assert_eq!(a.value() == b.value(), a == b);
+            }
+        }
+    }
+}

@@ -22,12 +22,22 @@
 //!
 //! Everything is totally ordered ([`Ord`]) so bags of bags, dictionary keys,
 //! and deterministic pretty-printing work without hashing nested structures.
+//!
+//! Underneath the value-level API sits the hash-consing layer of
+//! [`intern`]: every distinct nested value is interned once into a global
+//! arena and addressed by a `Copy` id ([`Vid`]) with cached hash, canonical
+//! rank and depth. [`Bag`] contents and [`Dictionary`] supports key on ids,
+//! so equality is `O(1)`, ordering is an integer compare in the common case,
+//! and the algebraic combinators never deep-clone value trees. The
+//! value-level API is preserved by resolving ids on read; `*_id` methods
+//! expose the id-native fast path.
 
 pub mod bag;
 pub mod base;
 pub mod database;
 pub mod dict;
 pub mod error;
+pub mod intern;
 pub mod types;
 pub mod value;
 
@@ -36,5 +46,6 @@ pub use base::{BaseType, BaseValue};
 pub use database::Database;
 pub use dict::{Dictionary, Label};
 pub use error::DataError;
+pub use intern::Vid;
 pub use types::Type;
 pub use value::Value;

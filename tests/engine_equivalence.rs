@@ -209,6 +209,22 @@ proptest! {
                     "view {} diverged (parallel={})", view, parallel
                 );
             }
+            // All four strategies agree with each other through the batched
+            // path: re/fo/rc maintain the same filter query, sh its own
+            // re-evaluation baseline.
+            let baseline = batched.view("re").expect("re view");
+            for view in ["fo", "rc"] {
+                prop_assert_eq!(
+                    batched.view(view).expect("strategy view"),
+                    baseline.clone(),
+                    "strategy {} diverged from re-evaluation under apply_batch", view
+                );
+            }
+            prop_assert_eq!(
+                batched.view("sh").expect("sh view"),
+                batched.view("sh_re").expect("sh_re view"),
+                "shredded diverged from re-evaluation under apply_batch"
+            );
             prop_assert_eq!(batched.database(), sequential.database());
         }
     }

@@ -67,8 +67,8 @@ proptest! {
     #[test]
     fn product_distributes_over_union(a in arb_bag(), b in arb_bag(), c in arb_bag()) {
         prop_assert_eq!(
-            a.product(&b.union(&c)),
-            a.product(&b).union(&a.product(&c))
+            a.product(&b.union(&c)).unwrap(),
+            a.product(&b).unwrap().union(&a.product(&c).unwrap())
         );
     }
 
@@ -78,7 +78,7 @@ proptest! {
         for _ in 0..k {
             acc.union_assign(&a);
         }
-        prop_assert_eq!(a.scale(k), acc);
+        prop_assert_eq!(a.scale(k).unwrap(), acc);
     }
 
     #[test]
@@ -138,5 +138,115 @@ proptest! {
                 expected.multiplicity(&val).rem_euclid(16)
             );
         }
+    }
+}
+
+/// One step of a random bag-construction sequence, mirrored onto a shadow
+/// seed-representation map (`BTreeMap<Value, i64>`, the pre-interning
+/// internal form) to check canonical-form and iteration-order invariants.
+#[derive(Clone, Debug)]
+enum BagOp {
+    Insert(Value, i64),
+    UnionAssign(Bag),
+    ExtendPairs(Vec<(Value, i64)>),
+    Difference(Bag),
+}
+
+fn arb_bag_op() -> impl Strategy<Value = BagOp> {
+    prop_oneof![
+        (arb_value(), -4i64..5).prop_map(|(v, m)| BagOp::Insert(v, m)),
+        arb_bag().prop_map(BagOp::UnionAssign),
+        prop::collection::vec((arb_value(), -3i64..4), 0..4).prop_map(BagOp::ExtendPairs),
+        arb_bag().prop_map(BagOp::Difference),
+    ]
+}
+
+fn shadow_insert(shadow: &mut std::collections::BTreeMap<Value, i64>, v: &Value, m: i64) {
+    if m == 0 {
+        return;
+    }
+    let entry = shadow.entry(v.clone()).or_insert(0);
+    *entry += m;
+    if *entry == 0 {
+        shadow.remove(v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Canonical form survives every operation sequence — no element is
+    /// ever stored with multiplicity zero — and the interned, id-keyed bag
+    /// iterates in exactly the order the seed's value-keyed representation
+    /// would (`Ord` on `Vid` refines `Ord` on `Value`).
+    #[test]
+    fn canonical_form_and_seed_order_survive_op_sequences(
+        ops in prop::collection::vec(arb_bag_op(), 0..12),
+    ) {
+        let mut bag = Bag::empty();
+        let mut shadow: std::collections::BTreeMap<Value, i64> = Default::default();
+        for op in ops {
+            match op {
+                BagOp::Insert(v, m) => {
+                    shadow_insert(&mut shadow, &v, m);
+                    bag.insert(v, m);
+                }
+                BagOp::UnionAssign(b) => {
+                    for (v, m) in b.iter() {
+                        shadow_insert(&mut shadow, v, m);
+                    }
+                    bag.union_assign(&b);
+                }
+                BagOp::ExtendPairs(pairs) => {
+                    for (v, m) in &pairs {
+                        shadow_insert(&mut shadow, v, *m);
+                    }
+                    bag.extend_pairs(pairs);
+                }
+                BagOp::Difference(b) => {
+                    for (v, m) in b.iter() {
+                        shadow_insert(&mut shadow, v, -m);
+                    }
+                    bag = bag.difference(&b);
+                }
+            }
+            // No zero multiplicity survives any prefix of the sequence.
+            for (_, m) in bag.iter() {
+                prop_assert!(m != 0, "zero multiplicity stored");
+            }
+        }
+        // Identical contents *and* identical canonical iteration order.
+        let interned: Vec<(Value, i64)> = bag.iter().map(|(v, m)| (v.clone(), m)).collect();
+        let seed: Vec<(Value, i64)> = shadow.into_iter().collect();
+        prop_assert_eq!(&interned, &seed, "interned order diverged from seed order");
+        // Canonical form makes structural equality semantic equality.
+        prop_assert_eq!(bag, Bag::from_pairs(seed));
+    }
+
+    /// `union_many` and scaled accumulation preserve canonical form and the
+    /// seed iteration order too (they build maps in bulk rather than via
+    /// `insert`).
+    #[test]
+    fn bulk_union_preserves_canonical_order(bags in prop::collection::vec(arb_bag(), 0..5)) {
+        let merged = Bag::union_many(bags.iter());
+        let folded = bags.iter().fold(Bag::empty(), |acc, b| acc.union(b));
+        prop_assert_eq!(&merged, &folded);
+        for (_, m) in merged.iter() {
+            prop_assert!(m != 0);
+        }
+        let order: Vec<&Value> = merged.iter().map(|(v, _)| v).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        prop_assert_eq!(order, sorted, "bulk-built bag not in canonical order");
+    }
+
+    /// Dictionary supports iterate in canonical label order under the
+    /// id-keyed representation.
+    #[test]
+    fn dict_support_iterates_in_label_order(d in arb_dict()) {
+        let labels: Vec<&Label> = d.support().collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        prop_assert_eq!(labels, sorted);
     }
 }
