@@ -1,0 +1,50 @@
+//! Criterion bench for experiment E10: steady-state ingest throughput of
+//! the batched engine with intern-arena collection on vs. off, on the
+//! ever-fresh 50%-deletion stream. The interesting figure is the ratio —
+//! reclamation must stay within a few percent of the leak-and-forget path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_engine::{CollectPolicy, Parallelism, Strategy, UpdateBatch};
+use nrc_workloads::StreamConfig;
+
+fn ingest(strategy: Strategy, policy: CollectPolicy, prefix: &str) -> u64 {
+    let cfg = StreamConfig {
+        batch_size: 48,
+        delete_fraction: 0.5,
+        payload_prefix: format!("e10-bench-{prefix}-"),
+        ..StreamConfig::default()
+    };
+    let (mut sys, mut gen) = nrc_bench::e8_batch::setup_with(96, strategy, 42, cfg);
+    sys.set_parallelism(Parallelism::Sequential);
+    sys.set_collect_policy(policy);
+    for _ in 0..4 {
+        let b = UpdateBatch::from_updates(gen.next_batch());
+        sys.apply_batch(&b).expect("batch");
+    }
+    sys.batch_stats().updates_coalesced
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_gc");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, strategy) in [
+        ("first_order", Strategy::FirstOrder),
+        ("shredded", Strategy::Shredded),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, "no_gc"), &(), |b, ()| {
+            b.iter(|| criterion::black_box(ingest(strategy, CollectPolicy::Never, label)))
+        });
+        g.bench_with_input(BenchmarkId::new(label, "every2"), &(), |b, ()| {
+            b.iter(|| criterion::black_box(ingest(strategy, CollectPolicy::EveryN(2), label)))
+        });
+    }
+    // Leave the arena clean for whatever runs after the bench.
+    nrc_data::intern::collect_now();
+    nrc_data::intern::collect_now();
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

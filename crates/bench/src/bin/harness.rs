@@ -6,17 +6,39 @@
 //!
 //! ```text
 //! harness [--quick] [e1 e2 …]     # default: all experiments, full sizes
+//! harness check-budget            # gate: results/e10_memory.json vs
+//!                                 #       results/memory_budget.json
 //! ```
 
 use nrc_bench::Table;
 use nrc_bench::{
-    e1_related, e2_filter, e3_recursive, e4_cost, e5_deep, e6_circuit, e7_degree, e8_batch,
+    e10_gc, e1_related, e2_filter, e3_recursive, e4_cost, e5_deep, e6_circuit, e7_degree, e8_batch,
     e9_intern,
 };
 use std::io::Write;
 
+/// Run E10 and persist its machine-readable report — the artifact the CI
+/// `memory-smoke` job budgets against.
+fn run_e10(quick: bool) -> Table {
+    let report = e10_gc::measure(quick);
+    if let Err(e) = e10_gc::write_memory_report(&report, "results/e10_memory.json") {
+        eprintln!("warning: could not write results/e10_memory.json: {e}");
+    }
+    e10_gc::report_table(&report)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check-budget") {
+        match e10_gc::check_budget("results/e10_memory.json", "results/memory_budget.json") {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let selected: Vec<&str> = args
         .iter()
@@ -37,6 +59,7 @@ fn main() {
         ("e7", e7_degree::run),
         ("e8", e8_batch::run),
         ("e9", e9_intern::run),
+        ("e10", run_e10),
     ];
     let known: Vec<&str> = runs.iter().map(|(id, _)| *id).collect();
     for sel in &selected {

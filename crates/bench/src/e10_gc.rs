@@ -1,0 +1,411 @@
+//! E10 — intern-arena reclamation: bounded steady-state memory on an
+//! ever-fresh update stream.
+//!
+//! The hash-consing arena (`nrc_data::intern`) was append-only after the E9
+//! refactor: an unbounded stream whose tuples carry ever-fresh payloads
+//! grows it without bound. This experiment runs the E8 skewed stream with a
+//! 50% deletion mix — so the *live* tuple population stays roughly flat
+//! while every insertion interns genuinely fresh values — and compares, for
+//! every maintenance strategy:
+//!
+//! * [`CollectPolicy::Never`] — the old behavior: arena live-slot count
+//!   grows monotonically with the insert volume;
+//! * [`CollectPolicy::EveryN`] — epoch collection between batches: dead
+//!   slots (tuples deleted from the state, orphaned shredded labels) are
+//!   swept and reused, so the live count stays bounded near the population
+//!   size.
+//!
+//! Each cell uses a *disjoint payload prefix*: re-running the same names
+//! would hit arena entries interned by a previous cell and hide the
+//! growth. Correctness rides along: after the collected run, the final
+//! view contents are checked against a sequential per-update replica.
+//!
+//! The machine-readable outcome ([`MemoryReport`]) backs the CI
+//! `memory-smoke` job: the harness writes it to `results/e10_memory.json`
+//! and `harness -- check-budget` compares its `steady_state_live` against
+//! the checked-in budget in `results/memory_budget.json` — a structured
+//! comparison, no log scraping.
+
+use crate::report::{fmt_us, Table};
+use nrc_data::intern;
+use nrc_engine::{CollectPolicy, IvmSystem, Parallelism, Strategy, UpdateBatch};
+use nrc_workloads::{StreamConfig, StreamGen};
+use serde::Serialize;
+
+/// Sweep parameters: `(initial cardinality, batches, batch size, collect
+/// every N batches)`.
+pub fn sizes(quick: bool) -> (usize, usize, usize, u64) {
+    if quick {
+        (96, 8, 48, 2)
+    } else {
+        (256, 20, 128, 4)
+    }
+}
+
+/// The measured outcome of one strategy under both policies.
+#[derive(Clone, Debug, Serialize)]
+pub struct StrategyMemory {
+    /// Strategy name (`reevaluate` / `first-order` / `recursive` /
+    /// `shredded`).
+    pub strategy: String,
+    /// Arena live-slot growth over the stream without collection.
+    pub nogc_live_growth: u64,
+    /// Arena live-slot growth over the stream under `EveryN` collection.
+    pub gc_live_growth: u64,
+    /// Peak live-slot count observed at batch ends during the collected
+    /// run (the "steady state" the budget gates on).
+    pub gc_peak_live: u64,
+    /// Mean µs per raw update without collection.
+    pub nogc_us_per_update: f64,
+    /// Mean µs per raw update with collection.
+    pub gc_us_per_update: f64,
+    /// Collections the policy triggered.
+    pub collections: u64,
+    /// Arena slots those collections reclaimed.
+    pub slots_freed: u64,
+    /// Did the collected run's final views equal a sequential per-update
+    /// replica's?
+    pub agrees_with_sequential: bool,
+}
+
+/// The full E10 outcome: per-strategy rows plus the budgeted scalar.
+#[derive(Clone, Debug, Serialize)]
+pub struct MemoryReport {
+    /// Ran at quick sizes?
+    pub quick: bool,
+    /// Initial relation cardinality.
+    pub n: usize,
+    /// Batches streamed.
+    pub batches: usize,
+    /// Raw updates per batch.
+    pub batch_size: usize,
+    /// Collection cadence (`CollectPolicy::EveryN`).
+    pub every_n: u64,
+    /// Max over strategies of `gc_peak_live` — the number the CI memory
+    /// budget is checked against.
+    pub steady_state_live: u64,
+    /// Per-strategy measurements.
+    pub rows: Vec<StrategyMemory>,
+}
+
+/// The stream configuration of one cell: balanced insert/delete mix so the
+/// live population stays flat while payloads stay ever-fresh, and a
+/// cell-unique payload prefix so no two cells share arena entries.
+fn cell_config(batch_size: usize, prefix: &str) -> StreamConfig {
+    StreamConfig {
+        batch_size,
+        delete_fraction: 0.5,
+        payload_prefix: format!("e10-{prefix}-"),
+        ..StreamConfig::default()
+    }
+}
+
+/// Stream `nbatches` batches through `sys` one at a time (generating,
+/// applying and *dropping* each batch — retaining the whole stream would
+/// pin every payload live and mask reclamation). Returns mean µs per raw
+/// update and the peak arena live count sampled at batch ends.
+fn ingest_streaming(sys: &mut IvmSystem, gen: &mut StreamGen, nbatches: usize) -> (f64, u64) {
+    let mut raw = 0usize;
+    let mut peak_live = 0u64;
+    let (_, us) = crate::time_us(|| {
+        for _ in 0..nbatches {
+            let batch = gen.next_batch();
+            raw += batch.len();
+            let b = UpdateBatch::from_updates(batch);
+            sys.apply_batch(&b).expect("batch");
+            peak_live = peak_live.max(sys.batch_stats().arena.live);
+        }
+    });
+    (us / raw.max(1) as f64, peak_live)
+}
+
+/// Drain everything the last cell left dying (dropped systems release
+/// their whole state; value trees cascade over two sweeps).
+fn drain_garbage() {
+    intern::collect_now();
+    intern::collect_now();
+}
+
+/// Measure one strategy under `policy`, returning
+/// `(live growth, µs/update, peak live, collections, slots freed)`.
+fn run_cell(
+    strategy: Strategy,
+    n: usize,
+    nbatches: usize,
+    batch_size: usize,
+    policy: CollectPolicy,
+    prefix: &str,
+) -> (u64, f64, u64, u64, u64) {
+    let cfg = cell_config(batch_size, prefix);
+    let live_before = intern::arena_stats().live;
+    let (mut sys, mut gen) = crate::e8_batch::setup_with(n, strategy, 42, cfg);
+    sys.set_parallelism(Parallelism::Sequential);
+    sys.set_collect_policy(policy);
+    let (us_per_update, peak_live) = ingest_streaming(&mut sys, &mut gen, nbatches);
+    let live_after = intern::arena_stats().live;
+    let stats = sys.batch_stats().clone();
+    drop(sys);
+    drain_garbage();
+    (
+        live_after.saturating_sub(live_before),
+        us_per_update,
+        peak_live,
+        stats.collections_run,
+        stats.arena_slots_freed,
+    )
+}
+
+/// Replay the same stream one update at a time on a fresh system (no
+/// collection) and compare final view contents with `sys`'s.
+fn agrees_with_sequential_replay(
+    collected: &IvmSystem,
+    strategy: Strategy,
+    n: usize,
+    nbatches: usize,
+    batch_size: usize,
+    prefix: &str,
+) -> bool {
+    let cfg = cell_config(batch_size, prefix);
+    let (mut seq, mut gen) = crate::e8_batch::setup_with(n, strategy, 42, cfg);
+    for _ in 0..nbatches {
+        for (rel, delta) in gen.next_batch() {
+            seq.apply_update(&rel, &delta).expect("sequential update");
+        }
+    }
+    let names: Vec<String> = collected.view_names().cloned().collect();
+    names
+        .iter()
+        .all(|v| collected.view(v).expect("view") == seq.view(v).expect("view"))
+}
+
+/// Run the measurements (the harness writes the report to
+/// `results/e10_memory.json`; [`run`] renders it as a table).
+pub fn measure(quick: bool) -> MemoryReport {
+    let (n, nbatches, batch_size, every) = sizes(quick);
+    let strategies = [
+        ("reevaluate", Strategy::Reevaluate),
+        ("first-order", Strategy::FirstOrder),
+        ("recursive", Strategy::Recursive),
+        ("shredded", Strategy::Shredded),
+    ];
+    let mut rows = Vec::new();
+    for (name, strategy) in strategies {
+        drain_garbage();
+        let (nogc_growth, nogc_us, _, _, _) = run_cell(
+            strategy,
+            n,
+            nbatches,
+            batch_size,
+            CollectPolicy::Never,
+            &format!("{name}-nogc"),
+        );
+        // The collected run, kept alive afterwards for the agreement check.
+        let prefix = format!("{name}-gc");
+        let cfg = cell_config(batch_size, &prefix);
+        let live_before = intern::arena_stats().live;
+        let (mut sys, mut gen) = crate::e8_batch::setup_with(n, strategy, 42, cfg);
+        sys.set_parallelism(Parallelism::Sequential);
+        sys.set_collect_policy(CollectPolicy::EveryN(every));
+        let (gc_us, gc_peak) = ingest_streaming(&mut sys, &mut gen, nbatches);
+        let gc_growth = intern::arena_stats().live.saturating_sub(live_before);
+        let agrees =
+            agrees_with_sequential_replay(&sys, strategy, n, nbatches, batch_size, &prefix);
+        let stats = sys.batch_stats().clone();
+        drop(sys);
+        drain_garbage();
+        rows.push(StrategyMemory {
+            strategy: name.to_string(),
+            nogc_live_growth: nogc_growth,
+            gc_live_growth: gc_growth,
+            gc_peak_live: gc_peak,
+            nogc_us_per_update: nogc_us,
+            gc_us_per_update: gc_us,
+            collections: stats.collections_run,
+            slots_freed: stats.arena_slots_freed,
+            agrees_with_sequential: agrees,
+        });
+    }
+    let steady_state_live = rows.iter().map(|r| r.gc_peak_live).max().unwrap_or(0);
+    MemoryReport {
+        quick,
+        n,
+        batches: nbatches,
+        batch_size,
+        every_n: every,
+        steady_state_live,
+        rows,
+    }
+}
+
+/// Render a [`MemoryReport`] as the experiment table.
+pub fn report_table(r: &MemoryReport) -> Table {
+    let (n, nbatches, batch_size, every) = (r.n, r.batches, r.batch_size, r.every_n);
+    let mut t = Table::new(
+        "E10",
+        format!(
+            "intern-arena reclamation: {nbatches} batches × {batch_size} updates \
+             (50% deletions, ever-fresh payloads) over n={n}, \
+             CollectPolicy::EveryN({every}) vs Never"
+        ),
+        &[
+            "strategy",
+            "Δlive no-GC",
+            "Δlive GC",
+            "peak live GC",
+            "no-GC / upd",
+            "GC / upd",
+            "GC overhead",
+            "agrees",
+        ],
+    );
+    for row in &r.rows {
+        let overhead = row.gc_us_per_update / row.nogc_us_per_update.max(1e-9);
+        t.row(vec![
+            row.strategy.clone(),
+            row.nogc_live_growth.to_string(),
+            row.gc_live_growth.to_string(),
+            row.gc_peak_live.to_string(),
+            fmt_us(row.nogc_us_per_update),
+            fmt_us(row.gc_us_per_update),
+            format!("{overhead:.2}×"),
+            if row.agrees_with_sequential {
+                "✓".to_string()
+            } else {
+                "DIVERGED".to_string()
+            },
+        ]);
+    }
+    let freed: u64 = r.rows.iter().map(|x| x.slots_freed).sum();
+    t.note(format!(
+        "steady-state live (budgeted): {} slots; {} slots reclaimed across {} \
+         collections; without GC the arena grows monotonically with the insert \
+         volume, with GC it stays bounded near the live population",
+        r.steady_state_live,
+        freed,
+        r.rows.iter().map(|x| x.collections).sum::<u64>()
+    ));
+    t
+}
+
+/// Run the experiment (table only; the harness uses [`measure`] +
+/// [`report_table`] so it can also persist the machine-readable report).
+pub fn run(quick: bool) -> Table {
+    report_table(&measure(quick))
+}
+
+/// Serialize a report to `path` as JSON (the `memory-smoke` artifact).
+pub fn write_memory_report(r: &MemoryReport, path: &str) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, serde_json::to_string_pretty(r).expect("serializable"))
+}
+
+/// Extract the first unsigned-integer value of `"key": <digits>` from a
+/// JSON text. The two files the budget gate reads are both written by this
+/// workspace (flat structs, no nesting tricks), so a targeted scan is
+/// sufficient — and it keeps the gate structured: no grep over human logs.
+fn json_u64_field(text: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Compare a written E10 report against the checked-in budget.
+///
+/// Returns `Ok(summary)` when `steady_state_live <= max_live`, otherwise
+/// `Err(explanation)` — the harness `check-budget` subcommand exits
+/// non-zero on `Err`, which is what fails the CI `memory-smoke` job.
+pub fn check_budget(report_path: &str, budget_path: &str) -> Result<String, String> {
+    let report = std::fs::read_to_string(report_path)
+        .map_err(|e| format!("cannot read report {report_path}: {e} (run `harness e10` first)"))?;
+    let budget = std::fs::read_to_string(budget_path)
+        .map_err(|e| format!("cannot read budget {budget_path}: {e}"))?;
+    let live = json_u64_field(&report, "steady_state_live")
+        .ok_or_else(|| format!("{report_path} has no steady_state_live field"))?;
+    let max = json_u64_field(&budget, "max_live")
+        .ok_or_else(|| format!("{budget_path} has no max_live field"))?;
+    if live <= max {
+        Ok(format!(
+            "memory budget OK: steady-state arena live {live} ≤ budget {max}"
+        ))
+    } else {
+        Err(format!(
+            "memory budget EXCEEDED: steady-state arena live {live} > budget {max} \
+             — the intern arena is leaking again (or the workload legitimately \
+             grew; if so, update results/memory_budget.json with justification)"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc_reclaims_and_preserves_correctness() {
+        // NOTE: growth *comparisons* (GC vs no-GC) are asserted by the CI
+        // memory-smoke budget on the single-process harness run, not here —
+        // sibling tests in this binary intern into the same global arena
+        // concurrently, which would make a growth assertion flaky.
+        let report = measure(true);
+        assert_eq!(report.rows.len(), 4);
+        for row in &report.rows {
+            assert!(
+                row.agrees_with_sequential,
+                "{} diverged from sequential replay under EveryN collection",
+                row.strategy
+            );
+            assert!(row.collections > 0, "{} never collected", row.strategy);
+            assert!(
+                row.slots_freed > 0,
+                "{} collected nothing on an ever-fresh stream with deletions",
+                row.strategy
+            );
+        }
+        assert!(report.steady_state_live > 0);
+    }
+
+    #[test]
+    fn quick_run_produces_full_grid() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.columns.len(), 8);
+    }
+
+    #[test]
+    fn budget_check_reads_written_reports() {
+        let dir = std::env::temp_dir().join("nrc-e10-budget-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("report.json");
+        let report_path = report_path.to_str().unwrap();
+        let budget_path = dir.join("budget.json");
+        let budget_path = budget_path.to_str().unwrap();
+        let report = MemoryReport {
+            quick: true,
+            n: 1,
+            batches: 1,
+            batch_size: 1,
+            every_n: 1,
+            steady_state_live: 1000,
+            rows: vec![],
+        };
+        write_memory_report(&report, report_path).unwrap();
+        std::fs::write(budget_path, "{\n  \"max_live\": 2000\n}\n").unwrap();
+        assert!(check_budget(report_path, budget_path).is_ok());
+        std::fs::write(budget_path, "{\n  \"max_live\": 500\n}\n").unwrap();
+        let err = check_budget(report_path, budget_path).unwrap_err();
+        assert!(err.contains("EXCEEDED"), "got: {err}");
+        assert!(check_budget("/nonexistent/x.json", budget_path).is_err());
+    }
+
+    #[test]
+    fn json_field_extraction_is_exact() {
+        let text = "{ \"a\": 1, \"steady_state_live\": 42, \"b\": 7 }";
+        assert_eq!(json_u64_field(text, "steady_state_live"), Some(42));
+        assert_eq!(json_u64_field(text, "missing"), None);
+        assert_eq!(json_u64_field("{\"x\": \"notnum\"}", "x"), None);
+    }
+}

@@ -17,7 +17,9 @@
 //! | E7 | Thm. 2: the delta tower has exactly deg(h) input-dependent levels |
 //! | E8 | Prop. 4.1 additivity: coalesced batches + parallel per-view refresh |
 //! | E9 | Hash-consed interning: id-keyed bags vs. the seed's value-keyed bags |
+//! | E10 | Epoch reclamation: bounded steady-state arena on ever-fresh streams |
 
+pub mod e10_gc;
 pub mod e1_related;
 pub mod e2_filter;
 pub mod e3_recursive;

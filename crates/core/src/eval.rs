@@ -297,11 +297,21 @@ fn expr_is_ctx(e: &Expr, env: &Env<'_>) -> bool {
 }
 
 /// Evaluate a bag-typed expression to a [`Bag`].
+///
+/// Holds an intern-arena epoch pin for the duration: transient interned
+/// ids created while evaluating stay resolvable even if another thread
+/// runs `intern::collect` concurrently.
 pub fn eval_query(e: &Expr, env: &mut Env<'_>) -> Result<Bag, EvalError> {
+    let _pin = nrc_data::intern::pin();
     Ok(eval(e, env)?.into_bag()?)
 }
 
 /// Evaluate a (non-context) expression to a [`Value`].
+///
+/// Unlike [`eval_query`], this recursive entry takes no intern-arena epoch
+/// pin of its own (it would pin per node): callers evaluating concurrently
+/// with `intern::collect` should enter through [`eval_query`] /
+/// [`resolve_ctx`] or hold an `nrc_data::intern::pin` themselves.
 pub fn eval(e: &Expr, env: &mut Env<'_>) -> Result<Value, EvalError> {
     match e {
         Expr::Rel(r) => {
@@ -333,7 +343,9 @@ pub fn eval(e: &Expr, env: &mut Env<'_>) -> Result<Value, EvalError> {
         }
         Expr::Let { name, value, body } => {
             if expr_is_ctx(value, env) {
-                let c = resolve_ctx(value, env)?;
+                // In-module recursion: skip the pinning wrapper (every
+                // engine path into `eval` already holds an epoch pin).
+                let c = resolve_ctx_inner(value, env)?;
                 env.ctx_lets.push((name.clone(), c));
                 let r = eval(body, env);
                 env.ctx_lets.pop();
@@ -433,7 +445,7 @@ pub fn eval(e: &Expr, env: &mut Env<'_>) -> Result<Value, EvalError> {
         Expr::DictGet { dict, label } => {
             let lv = env.resolve_ref(label)?;
             let l = lv.as_label()?.clone();
-            let d = resolve_ctx(dict, env)?;
+            let d = resolve_ctx_inner(dict, env)?;
             let dv = d.as_dict()?.clone();
             // Dictionary application is *total* (§5.2): `∅` outside the
             // support. Delta dictionaries rely on this — a label without a
@@ -452,7 +464,7 @@ pub fn eval(e: &Expr, env: &mut Env<'_>) -> Result<Value, EvalError> {
         | Expr::EmptyCtx(_) => {
             // Context expression in value position: resolve and require it to
             // be extensional.
-            resolve_ctx(e, env)?.to_value()
+            resolve_ctx_inner(e, env)?.to_value()
         }
     }
 }
@@ -535,11 +547,22 @@ fn compare(a: &BaseValue, op: CmpOp, b: &BaseValue) -> Result<bool, EvalError> {
 
 /// Resolve a context-typed expression to a [`CtxVal`] (tree of extensional
 /// and intensional dictionaries).
+///
+/// Like [`eval_query`], holds an intern-arena epoch pin so transient
+/// interned ids survive a concurrent `intern::collect`. The pin is taken
+/// once at this entry point — the recursion below goes through
+/// `resolve_ctx_inner`, not back through here, so deep context trees pay
+/// for one pin, not one per node.
 pub fn resolve_ctx(e: &Expr, env: &mut Env<'_>) -> Result<CtxVal, EvalError> {
+    let _pin = nrc_data::intern::pin();
+    resolve_ctx_inner(e, env)
+}
+
+fn resolve_ctx_inner(e: &Expr, env: &mut Env<'_>) -> Result<CtxVal, EvalError> {
     match e {
         Expr::CtxTuple(es) => Ok(CtxVal::Tuple(
             es.iter()
-                .map(|c| resolve_ctx(c, env))
+                .map(|c| resolve_ctx_inner(c, env))
                 .collect::<Result<_, _>>()?,
         )),
         Expr::DictSng {
@@ -566,30 +589,30 @@ pub fn resolve_ctx(e: &Expr, env: &mut Env<'_>) -> Result<CtxVal, EvalError> {
             }
         }
         Expr::CtxProj { ctx, index } => {
-            let c = resolve_ctx(ctx, env)?;
+            let c = resolve_ctx_inner(ctx, env)?;
             Ok(c.project(*index)?.clone())
         }
         Expr::LabelUnion(a, b) => {
-            let ca = resolve_ctx(a, env)?;
-            let cb = resolve_ctx(b, env)?;
+            let ca = resolve_ctx_inner(a, env)?;
+            let cb = resolve_ctx_inner(b, env)?;
             ctx_label_union(ca, cb)
         }
         Expr::CtxAdd(a, b) => {
-            let ca = resolve_ctx(a, env)?;
-            let cb = resolve_ctx(b, env)?;
+            let ca = resolve_ctx_inner(a, env)?;
+            let cb = resolve_ctx_inner(b, env)?;
             ctx_add(ca, cb)
         }
         Expr::Let { name, value, body } => {
             if expr_is_ctx(value, env) {
-                let c = resolve_ctx(value, env)?;
+                let c = resolve_ctx_inner(value, env)?;
                 env.ctx_lets.push((name.clone(), c));
-                let r = resolve_ctx(body, env);
+                let r = resolve_ctx_inner(body, env);
                 env.ctx_lets.pop();
                 r
             } else {
                 let v = eval(value, env)?;
                 env.lets.push((name.clone(), v));
-                let r = resolve_ctx(body, env);
+                let r = resolve_ctx_inner(body, env);
                 env.lets.pop();
                 r
             }

@@ -126,6 +126,9 @@ fn extensionalize(
 /// The environment must bind the shredded inputs — see
 /// [`bind_shredded_database`].
 pub fn eval_shredded(s: &Shredded, env: &mut Env<'_>) -> Result<(Bag, Value), ShredError> {
+    // Epoch-pinned end to end: the label collection below resolves ids of
+    // transient flat tuples across several intermediate bags.
+    let _pin = nrc_data::intern::pin();
     let flat = eval_query(&s.flat, env)?;
     let ctxval = resolve_ctx(&s.ctx, env)?;
     let mut req = req_empty(&s.elem_ty)?;

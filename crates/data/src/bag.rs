@@ -20,9 +20,9 @@
 
 use crate::error::DataError;
 use crate::intern::{self, Vid};
+use crate::livemap::VidMap;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -37,9 +37,14 @@ use std::sync::Arc;
 /// (e.g. binding relations into evaluation environments, or snapshotting the
 /// database before an update) is O(1); the map is copied only when a shared
 /// bag is mutated.
+///
+/// The element keys participate in arena reclamation: the map (a
+/// `VidMap`) retains each key's arena slot while present and releases it
+/// on removal/drop, which is what lets `intern::collect` reclaim values no
+/// bag references anymore.
 #[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Bag {
-    elems: Arc<BTreeMap<Vid, i64>>,
+    elems: Arc<VidMap<i64>>,
 }
 
 impl Bag {
@@ -114,24 +119,13 @@ impl Bag {
         if mult == 0 {
             return Ok(());
         }
-        let entry = Arc::make_mut(&mut self.elems).entry(id);
-        match entry {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(mult);
+        Arc::make_mut(&mut self.elems).upsert_with(id, |current| match current {
+            None => Ok(Some(mult)),
+            Some(&m) => {
+                let new = m.checked_add(mult).ok_or(DataError::Overflow { op: "⊎" })?;
+                Ok((new != 0).then_some(new))
             }
-            std::collections::btree_map::Entry::Occupied(mut e) => {
-                let new = e
-                    .get()
-                    .checked_add(mult)
-                    .ok_or(DataError::Overflow { op: "⊎" })?;
-                if new == 0 {
-                    e.remove();
-                } else {
-                    *e.get_mut() = new;
-                }
-            }
-        }
-        Ok(())
+        })
     }
 
     /// The multiplicity of `v` (0 when absent). Probing for a value that was
@@ -349,7 +343,7 @@ impl Bag {
                     .map(|scaled| (id, scaled))
                     .ok_or(DataError::Overflow { op: "scale" })
             })
-            .collect::<Result<BTreeMap<_, _>, _>>()?;
+            .collect::<Result<VidMap<_>, _>>()?;
         Ok(Bag {
             elems: Arc::new(elems),
         })

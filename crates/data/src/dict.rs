@@ -22,6 +22,7 @@
 use crate::bag::Bag;
 use crate::error::DataError;
 use crate::intern::{self, Vid};
+use crate::livemap::VidMap;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -91,10 +92,12 @@ impl fmt::Display for Label {
 /// and distinct from `[]`. Iteration stays in canonical label order (`Ord`
 /// on [`Vid`] refines `Ord` on `Label`).
 /// Like [`Bag`], the entry map is reference-counted with copy-on-write
-/// semantics, so snapshotting shredded stores is cheap.
+/// semantics, so snapshotting shredded stores is cheap; and like `Bag`'s,
+/// the key set participates in arena reclamation (label slots are retained
+/// while in a support, released when dropped — see the crate's `VidMap`).
 #[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Dictionary {
-    entries: Arc<BTreeMap<Vid, Bag>>,
+    entries: Arc<VidMap<Bag>>,
 }
 
 impl Dictionary {
@@ -149,8 +152,7 @@ impl Dictionary {
             "dictionary key {l:?} does not resolve to a label"
         );
         Arc::make_mut(&mut self.entries)
-            .entry(l)
-            .or_default()
+            .or_default_mut(l)
             .union_assign(bag);
     }
 
@@ -240,7 +242,7 @@ impl Dictionary {
         }
         let entries = Arc::make_mut(&mut self.entries);
         for (id, b) in other.entry_ids() {
-            entries.entry(id).or_default().union_assign(b);
+            entries.or_default_mut(id).union_assign(b);
         }
     }
 
@@ -262,7 +264,7 @@ impl Dictionary {
             }
         }
         for (id, bags) in touched {
-            let entry = entries.entry(id).or_default();
+            let entry = entries.or_default_mut(id);
             if bags.len() == 1 {
                 entry.union_assign(bags[0]);
             } else {
@@ -318,7 +320,7 @@ impl Dictionary {
     /// garbage-collect definitions whose labels no longer occur in any flat
     /// view).
     pub fn retain<F: FnMut(&Label) -> bool>(&mut self, mut keep: F) {
-        Arc::make_mut(&mut self.entries).retain(|id, _| keep(id.as_label()));
+        Arc::make_mut(&mut self.entries).retain_entries(|id, _| keep(id.as_label()));
     }
 
     /// Total cardinality of all definitions (sum of absolute multiplicities).

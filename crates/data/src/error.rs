@@ -34,6 +34,17 @@ pub enum DataError {
         /// The operation whose multiplicity arithmetic overflowed.
         op: &'static str,
     },
+    /// An interned-value id ([`crate::Vid`]) was resolved after its arena
+    /// slot had been reclaimed by `intern::collect` — the id outlived every
+    /// bag/dictionary reference and epoch pin that kept its slot live. The
+    /// generation tag turns such use into this deterministic error instead
+    /// of a silently wrong value.
+    StaleVid {
+        /// The arena index of the reclaimed slot.
+        index: u32,
+        /// The generation the id was created at (no longer current).
+        generation: u32,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -53,6 +64,13 @@ impl fmt::Display for DataError {
             }
             DataError::Overflow { op } => {
                 write!(f, "multiplicity overflow in bag {op}")
+            }
+            DataError::StaleVid { index, generation } => {
+                write!(
+                    f,
+                    "stale interned-value id: arena slot {index} (generation \
+                     {generation}) was reclaimed by intern::collect"
+                )
             }
         }
     }

@@ -31,6 +31,12 @@
 //! and the algebraic combinators never deep-clone value trees. The
 //! value-level API is preserved by resolving ids on read; `*_id` methods
 //! expose the id-native fast path.
+//!
+//! The arena is *collectible*: bag/dictionary maps maintain per-slot live
+//! counts, and [`intern::collect`] reclaims values no map references
+//! anymore, reusing their slots under fresh generation tags (stale ids fail
+//! deterministically). See the reclamation section of [`intern`] and the
+//! epoch-pin API ([`intern::pin`], [`ArenaStats`]).
 
 pub mod bag;
 pub mod base;
@@ -38,6 +44,7 @@ pub mod database;
 pub mod dict;
 pub mod error;
 pub mod intern;
+mod livemap;
 pub mod types;
 pub mod value;
 
@@ -46,6 +53,6 @@ pub use base::{BaseType, BaseValue};
 pub use database::Database;
 pub use dict::{Dictionary, Label};
 pub use error::DataError;
-pub use intern::Vid;
+pub use intern::{ArenaStats, CollectStats, Epoch, EpochPin, Vid};
 pub use types::Type;
 pub use value::Value;

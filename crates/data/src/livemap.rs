@@ -1,0 +1,219 @@
+//! `VidMap` — the id-keyed map that keeps the intern arena's live counts.
+//!
+//! [`crate::Bag`] and [`crate::Dictionary`] store their contents in a
+//! `VidMap`: a thin wrapper over `BTreeMap<Vid, T>` whose *key set*
+//! participates in arena reclamation. Every key insertion (and every map
+//! clone — copy-on-write duplicates references) retains the key's arena
+//! slot; every key removal (and the map's drop) releases it. When the last
+//! reference to a slot disappears, the slot becomes collectible by
+//! `intern::collect` — see the reclamation section of [`crate::intern`].
+//!
+//! The wrapper exposes the read API by [`Deref`]; all mutation goes through
+//! the retain/release-aware methods below, so a key can never enter or
+//! leave the map without the arena hearing about it. Values (`T`) are
+//! ordinary owned data — for dictionaries they are [`crate::Bag`]s whose
+//! own `VidMap` handles their elements, which is exactly how dropping an
+//! interned value tree cascades releases through nesting levels.
+
+use crate::intern::{self, Vid};
+use serde::{Deserialize, Json, Serialize};
+use std::collections::BTreeMap;
+use std::ops::Deref;
+
+/// A `BTreeMap<Vid, T>` that retains/releases arena slots as keys come and
+/// go (including on clone and drop). Crate-internal: the public surface is
+/// [`crate::Bag`] / [`crate::Dictionary`].
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct VidMap<T> {
+    inner: BTreeMap<Vid, T>,
+}
+
+impl<T> VidMap<T> {
+    /// The empty map.
+    pub(crate) fn new() -> VidMap<T> {
+        VidMap {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Insert, retaining the key if it was absent.
+    pub(crate) fn insert(&mut self, key: Vid, value: T) -> Option<T> {
+        let prev = self.inner.insert(key, value);
+        if prev.is_none() {
+            intern::retain(key);
+        }
+        prev
+    }
+
+    /// One-walk insert-or-update-or-remove: `merge` sees the current value
+    /// (if any) and returns the new one, `None` meaning remove/skip. The
+    /// hot path of bag `⊎` — a `get_mut` + `insert` pair would walk the
+    /// tree twice for the fresh keys streams are made of.
+    pub(crate) fn upsert_with<E>(
+        &mut self,
+        key: Vid,
+        merge: impl FnOnce(Option<&T>) -> Result<Option<T>, E>,
+    ) -> Result<(), E> {
+        match self.inner.entry(key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                if let Some(v) = merge(None)? {
+                    intern::retain(key);
+                    e.insert(v);
+                }
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => match merge(Some(e.get()))? {
+                Some(v) => *e.get_mut() = v,
+                None => {
+                    e.remove();
+                    intern::release(key);
+                }
+            },
+        }
+        Ok(())
+    }
+
+    /// The entry for `key`, default-inserting (and retaining) when absent.
+    pub(crate) fn or_default_mut(&mut self, key: Vid) -> &mut T
+    where
+        T: Default,
+    {
+        self.inner.entry(key).or_insert_with(|| {
+            intern::retain(key);
+            T::default()
+        })
+    }
+
+    /// Keep only entries whose key/value satisfy `keep`, releasing the rest.
+    pub(crate) fn retain_entries<F: FnMut(&Vid, &mut T) -> bool>(&mut self, mut keep: F) {
+        self.inner.retain(|k, v| {
+            let kept = keep(k, v);
+            if !kept {
+                intern::release(*k);
+            }
+            kept
+        });
+    }
+}
+
+impl<T> Deref for VidMap<T> {
+    type Target = BTreeMap<Vid, T>;
+
+    fn deref(&self) -> &BTreeMap<Vid, T> {
+        &self.inner
+    }
+}
+
+impl<T> Default for VidMap<T> {
+    fn default() -> VidMap<T> {
+        VidMap::new()
+    }
+}
+
+impl<T: Clone> Clone for VidMap<T> {
+    fn clone(&self) -> VidMap<T> {
+        for key in self.inner.keys() {
+            intern::retain(*key);
+        }
+        VidMap {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for VidMap<T> {
+    fn drop(&mut self) {
+        for key in self.inner.keys() {
+            intern::release(*key);
+        }
+    }
+}
+
+impl<T> FromIterator<(Vid, T)> for VidMap<T> {
+    /// Bulk construction; duplicate keys keep the last value (and are
+    /// retained once, like the underlying `BTreeMap` semantics).
+    fn from_iter<I: IntoIterator<Item = (Vid, T)>>(iter: I) -> VidMap<T> {
+        let inner: BTreeMap<Vid, T> = iter.into_iter().collect();
+        for key in inner.keys() {
+            intern::retain(*key);
+        }
+        VidMap { inner }
+    }
+}
+
+impl<T: Serialize> Serialize for VidMap<T> {
+    fn to_json(&self) -> Json {
+        self.inner.to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for VidMap<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn probe(i: usize) -> Vid {
+        intern::intern(Value::str(format!("gc-livemap-test-{i:04}")))
+    }
+
+    #[test]
+    fn insert_upsert_remove_balance_out() {
+        let mut m: VidMap<i64> = VidMap::new();
+        let k = probe(0);
+        assert_eq!(m.insert(k, 1), None);
+        // Overwriting insert must not double-retain.
+        assert_eq!(m.insert(k, 2), Some(1));
+        // Removal through the one-walk upsert.
+        m.upsert_with::<()>(k, |cur| {
+            assert_eq!(cur, Some(&2));
+            Ok(None)
+        })
+        .unwrap();
+        assert!(m.is_empty());
+        // Upserting a missing key with `None` neither inserts nor retains.
+        m.upsert_with::<()>(k, |cur| {
+            assert_eq!(cur, None);
+            Ok(None)
+        })
+        .unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn clone_retains_and_drop_releases() {
+        let mut m: VidMap<i64> = VidMap::new();
+        let k = probe(1);
+        m.insert(k, 7);
+        let c = m.clone();
+        drop(m);
+        // The clone still protects the slot.
+        assert_eq!(c.get(&k), Some(&7));
+        assert_eq!(k.value(), &Value::str("gc-livemap-test-0001"));
+        drop(c);
+    }
+
+    #[test]
+    fn or_default_retains_once() {
+        let mut m: VidMap<i64> = VidMap::new();
+        let k = probe(2);
+        *m.or_default_mut(k) += 5;
+        *m.or_default_mut(k) += 5;
+        assert_eq!(m.get(&k), Some(&10));
+        // Balanced: one retain from or_default_mut, one release here.
+        m.retain_entries(|_, _| false);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn retain_entries_releases_dropped_keys() {
+        let mut m: VidMap<i64> = VidMap::new();
+        let keep = probe(3);
+        let toss = probe(4);
+        m.insert(keep, 1);
+        m.insert(toss, 2);
+        m.retain_entries(|k, _| *k == keep);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains_key(&keep));
+    }
+}

@@ -22,7 +22,10 @@
 //! coalesced per relation by `⊎` before any view work — sound because
 //! deltas are additive (Prop. 4.1) — with every registered view refreshed
 //! on its own worker under [`Parallelism::Rayon`]. Batch-path counters are
-//! exposed as [`BatchStats`].
+//! exposed as [`BatchStats`], including the intern-arena occupancy
+//! ([`ArenaStats`]) that the configured [`CollectPolicy`] bounds by
+//! collecting the value arena (and orphaned shredded-store dictionary
+//! definitions) between batches.
 //!
 //! Entry point: [`IvmSystem`]. The full data-flow walkthrough lives in the
 //! repository's `docs/ARCHITECTURE.md`.
@@ -35,6 +38,7 @@ pub mod system;
 pub mod view;
 
 pub use error::EngineError;
+pub use nrc_data::ArenaStats;
 pub use shredded::ShreddedUpdate;
 pub use stats::{BatchStats, ViewStats};
-pub use system::{IvmSystem, Parallelism, Strategy, UpdateBatch};
+pub use system::{CollectPolicy, IvmSystem, Parallelism, Strategy, UpdateBatch};

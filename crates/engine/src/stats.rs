@@ -1,5 +1,6 @@
 //! Per-view and per-batch maintenance statistics.
 
+use nrc_data::ArenaStats;
 use serde::Serialize;
 
 /// Counters describing how a view has been maintained.
@@ -42,6 +43,16 @@ pub struct BatchStats {
     pub last_batch_nanos: u64,
     /// Raw updates in the most recent batch.
     pub last_batch_updates: u64,
+    /// Intern-arena occupancy snapshot taken at the end of the most recent
+    /// batch (after any policy-triggered collection) — the figure the
+    /// memory-regression gate budgets against.
+    pub arena: ArenaStats,
+    /// Arena collections triggered by the system's `CollectPolicy`.
+    pub collections_run: u64,
+    /// Arena slots reclaimed by those collections.
+    pub arena_slots_freed: u64,
+    /// Orphaned shredded-store dictionary definitions reclaimed alongside.
+    pub store_defs_freed: u64,
 }
 
 impl BatchStats {

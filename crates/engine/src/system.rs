@@ -21,7 +21,7 @@ use crate::view::{FirstOrderView, ReevalView};
 use nrc_core::delta::coalesce_updates;
 use nrc_core::shred::nest_value;
 use nrc_core::Expr;
-use nrc_data::{Bag, Database, Label, Value};
+use nrc_data::{intern, Bag, Database, Label, Value};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -45,6 +45,29 @@ enum ViewKind {
     FirstOrder(Box<FirstOrderView>),
     Recursive(Box<RecursiveView>),
     Shredded(Box<ShreddedView>),
+}
+
+/// When [`IvmSystem::apply_batch`] reclaims memory: the intern arena
+/// (`nrc_data::intern::collect`) and the shredded store's orphaned
+/// dictionary definitions ([`ShreddedStore::gc`]) are collected on the same
+/// cadence, at the quiescent point after a batch's refreshes complete.
+///
+/// Steady-state memory of an unbounded stream of ever-fresh values is
+/// bounded under any policy but [`CollectPolicy::Never`]; experiment E10
+/// quantifies the bound and the (small) throughput cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CollectPolicy {
+    /// Never collect (the PR-2 behavior: the arena only grows).
+    #[default]
+    Never,
+    /// Collect after every `n`-th batch (`EveryN(1)` = every batch).
+    EveryN(u64),
+    /// Collect after any batch that leaves more than `live` occupied arena
+    /// slots.
+    HighWatermark {
+        /// The live-slot threshold that triggers a collection.
+        live: u64,
+    },
 }
 
 /// How view refreshes are executed.
@@ -162,6 +185,8 @@ pub struct IvmSystem {
     stale: std::collections::BTreeSet<String>,
     /// Execution mode for batched view refresh.
     parallelism: Parallelism,
+    /// Memory-reclamation cadence for the batch path.
+    collect_policy: CollectPolicy,
     /// Counters for the batched maintenance path.
     batch_stats: BatchStats,
 }
@@ -175,6 +200,7 @@ impl IvmSystem {
             views: BTreeMap::new(),
             stale: Default::default(),
             parallelism: Parallelism::default(),
+            collect_policy: CollectPolicy::default(),
             batch_stats: BatchStats::default(),
         }
     }
@@ -187,6 +213,16 @@ impl IvmSystem {
     /// The currently selected refresh execution mode.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// Select when [`IvmSystem::apply_batch`] reclaims memory.
+    pub fn set_collect_policy(&mut self, policy: CollectPolicy) {
+        self.collect_policy = policy;
+    }
+
+    /// The currently selected reclamation cadence.
+    pub fn collect_policy(&self) -> CollectPolicy {
+        self.collect_policy
     }
 
     /// Counters for the batched maintenance path.
@@ -329,7 +365,46 @@ impl IvmSystem {
         self.batch_stats.batch_nanos += nanos;
         self.batch_stats.last_batch_nanos = nanos;
         self.batch_stats.last_batch_updates = batch.raw_updates;
+        self.maybe_collect();
+        self.batch_stats.arena = intern::arena_stats();
         outcome
+    }
+
+    /// Run the configured [`CollectPolicy`] at the batch boundary (all
+    /// refreshes complete, no evaluation in flight on this system).
+    fn maybe_collect(&mut self) {
+        let due = match self.collect_policy {
+            CollectPolicy::Never => false,
+            CollectPolicy::EveryN(n) => n > 0 && self.batch_stats.batches_applied % n == 0,
+            CollectPolicy::HighWatermark { live } => intern::arena_stats().live > live,
+        };
+        if due {
+            self.collect_now();
+        }
+    }
+
+    /// Reclaim memory immediately: drop orphaned shredded-store dictionary
+    /// definitions (so their labels lose their last references), then sweep
+    /// the intern arena. Returns the number of arena slots freed.
+    ///
+    /// Values interned by *other* threads remain protected by their own
+    /// bag references and epoch pins; a slot is only reclaimed once nothing
+    /// references it.
+    pub fn collect_now(&mut self) -> u64 {
+        if let Some(store) = &mut self.store {
+            let rels: Vec<String> = store.inputs.keys().cloned().collect();
+            for rel in rels {
+                // Best-effort: a malformed context would have failed the
+                // refresh itself long before GC ran.
+                if let Ok(removed) = store.gc(&rel) {
+                    self.batch_stats.store_defs_freed += removed as u64;
+                }
+            }
+        }
+        let swept = intern::collect_now();
+        self.batch_stats.collections_run += 1;
+        self.batch_stats.arena_slots_freed += swept.freed;
+        swept.freed
     }
 
     /// The single-segment refresh cycle shared by [`IvmSystem::apply_update`]
@@ -340,6 +415,10 @@ impl IvmSystem {
         delta: &Bag,
         parallel: bool,
     ) -> Result<(), EngineError> {
+        // Pin the reclamation epoch for the whole refresh cycle: another
+        // system collecting on a sibling thread can then never reclaim a
+        // transient id this refresh still resolves.
+        let _pin = intern::pin();
         if self.db.get(rel).is_none() {
             return Err(EngineError::UnknownRelation(rel.to_owned()));
         }
@@ -401,6 +480,7 @@ impl IvmSystem {
         rel: &str,
         upd: &ShreddedUpdate,
     ) -> Result<(), EngineError> {
+        let _pin = intern::pin();
         if self.store.is_none() {
             return Err(EngineError::WrongStrategy(
                 "no shredded store: register a shredded view first".into(),
@@ -879,6 +959,47 @@ mod batch_tests {
         assert_eq!(stats.batches_applied, 1);
         assert_eq!(stats.relation_segments, 1);
         assert_eq!(stats.updates_coalesced, 2);
+    }
+
+    #[test]
+    fn collect_policy_preserves_view_contents() {
+        // Same stream of batches under Never vs EveryN(1): identical view
+        // contents, and the collecting system actually runs collections.
+        let mut plain = four_strategy_system();
+        let mut collected = four_strategy_system();
+        collected.set_collect_policy(CollectPolicy::EveryN(1));
+        assert_eq!(plain.collect_policy(), CollectPolicy::Never);
+        for round in 0..3 {
+            let mut batch = UpdateBatch::new();
+            for u in updates() {
+                batch.push("M", u);
+            }
+            plain.apply_batch(&batch).unwrap();
+            collected.apply_batch(&batch).unwrap();
+            for view in ["re", "fo", "rc", "sh", "sh_re"] {
+                assert_eq!(
+                    plain.view(view).unwrap(),
+                    collected.view(view).unwrap(),
+                    "{view} diverged after round {round} under EveryN(1)"
+                );
+            }
+        }
+        assert_eq!(collected.batch_stats().collections_run, 3);
+        assert_eq!(plain.batch_stats().collections_run, 0);
+        // The snapshot is taken every batch regardless of policy.
+        assert!(plain.batch_stats().arena.live > 0);
+        assert!(collected.batch_stats().arena.live > 0);
+    }
+
+    #[test]
+    fn high_watermark_policy_triggers_on_occupancy() {
+        let mut sys = four_strategy_system();
+        // Any live count exceeds 0, so every batch collects.
+        sys.set_collect_policy(CollectPolicy::HighWatermark { live: 0 });
+        let mut batch = UpdateBatch::new();
+        batch.push("M", example_movies_update());
+        sys.apply_batch(&batch).unwrap();
+        assert_eq!(sys.batch_stats().collections_run, 1);
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub struct StreamConfig {
     pub genres: usize,
     /// Number of distinct directors.
     pub directors: usize,
+    /// Prefix of generated movie names. Names are `{prefix}{counter:06}`,
+    /// so two generators with different prefixes emit *disjoint* tuple
+    /// payloads — what memory experiments need to guarantee every run
+    /// interns genuinely fresh values instead of hitting the arena entries
+    /// of a previous run.
+    pub payload_prefix: String,
 }
 
 impl Default for StreamConfig {
@@ -46,6 +52,7 @@ impl Default for StreamConfig {
             skew: 2.0,
             genres: 16,
             directors: 32,
+            payload_prefix: "movie".to_string(),
         }
     }
 }
@@ -89,7 +96,7 @@ impl StreamGen {
         let g = self.skewed_index(self.cfg.genres.max(1));
         let d = self.skewed_index(self.cfg.directors.max(1));
         Value::Tuple(vec![
-            Value::str(format!("movie{id:06}")),
+            Value::str(format!("{}{id:06}", self.cfg.payload_prefix)),
             Value::str(format!("genre{g}")),
             Value::str(format!("dir{d}")),
         ])
@@ -139,6 +146,37 @@ impl StreamGen {
     /// Number of currently live tuples.
     pub fn live_count(&self) -> usize {
         self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod prefix_tests {
+    use super::*;
+
+    #[test]
+    fn payload_prefix_disjoins_streams() {
+        let mk = |prefix: &str| {
+            let cfg = StreamConfig {
+                payload_prefix: prefix.to_string(),
+                delete_fraction: 0.0,
+                ..StreamConfig::default()
+            };
+            let mut g = StreamGen::new(5, cfg);
+            g.next_batch()
+        };
+        let a = mk("streamA-");
+        let b = mk("streamB-");
+        for ((_, da), (_, db)) in a.iter().zip(&b) {
+            let (va, _) = da.iter().next().unwrap();
+            let (vb, _) = db.iter().next().unwrap();
+            assert_ne!(va, vb, "prefixed streams must not share payloads");
+        }
+        // Default prefix preserves the historical names.
+        let mut g = StreamGen::new(5, StreamConfig::default());
+        let batch = g.next_batch();
+        let (v, _) = batch[0].1.iter().next().unwrap();
+        let name = format!("{}", v.project(0).unwrap());
+        assert!(name.contains("movie00000"), "got {name}");
     }
 }
 

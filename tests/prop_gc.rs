@@ -1,0 +1,183 @@
+//! `proptest`-driven invariants of intern-arena reclamation: under random
+//! interleavings of bag insert / union / drop / `collect`, every id held by
+//! a live bag keeps resolving to the same value, and ids that outlive their
+//! slot fail *deterministically* (generation mismatch) rather than ever
+//! resolving to a wrong value.
+//!
+//! The arena is process-global, so the tests in this binary serialize among
+//! themselves and use per-case-unique payloads: a sweep must never be able
+//! to confuse one case's values with another's.
+
+use nrc_data::{intern, Bag, DataError, Value, Vid};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn fresh_case() -> u64 {
+    CASE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A payload unique to (test case, element index): ever-fresh with respect
+/// to every other case that ever ran in this process.
+fn payload(case: u64, elem: u16) -> Value {
+    Value::Tuple(vec![
+        Value::str(format!("prop-gc-case-{case}")),
+        Value::int(elem as i64),
+    ])
+}
+
+const SLOTS: usize = 4;
+
+/// One step of the interleaving. `Insert` with a negative multiplicity
+/// exercises cancellation (key removal → release); `Drop` releases a whole
+/// map; `Union` exercises copy-on-write clones (bulk retains); `Collect`
+/// sweeps.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { slot: usize, elem: u16, mult: i8 },
+    Union { dst: usize, src: usize },
+    Drop { slot: usize },
+    Collect,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..SLOTS, 0u16..24, -3i8..4).prop_map(|(slot, elem, mult)| Op::Insert {
+            slot,
+            elem,
+            mult
+        }),
+        (0..SLOTS, 0..SLOTS).prop_map(|(dst, src)| Op::Union { dst, src }),
+        (0..SLOTS).prop_map(|slot| Op::Drop { slot }),
+        Just(Op::Collect),
+    ]
+}
+
+/// Check every live bag against its value-level model: identical pairs in
+/// identical canonical order. Resolving here would panic (deterministically)
+/// if a sweep had reclaimed anything a live bag still references.
+fn check_live(
+    bags: &[Option<Bag>],
+    models: &[Option<BTreeMap<Value, i64>>],
+) -> Result<(), TestCaseError> {
+    for (bag, model) in bags.iter().zip(models) {
+        let (Some(bag), Some(model)) = (bag, model) else {
+            continue;
+        };
+        let got: Vec<(Value, i64)> = bag.iter().map(|(v, m)| (v.clone(), m)).collect();
+        let want: Vec<(Value, i64)> = model.iter().map(|(v, &m)| (v.clone(), m)).collect();
+        prop_assert_eq!(got, want);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random insert/union/drop/collect interleavings: live ids resolve to
+    /// the same values before and after every collection.
+    #[test]
+    fn live_ids_survive_collection_unchanged(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let _serial = serial();
+        let case = fresh_case();
+        let mut bags: Vec<Option<Bag>> = (0..SLOTS).map(|_| Some(Bag::empty())).collect();
+        let mut models: Vec<Option<BTreeMap<Value, i64>>> =
+            (0..SLOTS).map(|_| Some(BTreeMap::new())).collect();
+        for op in ops {
+            match op {
+                Op::Insert { slot, elem, mult } => {
+                    if let (Some(bag), Some(model)) = (&mut bags[slot], &mut models[slot]) {
+                        let v = payload(case, elem);
+                        bag.insert(v.clone(), mult as i64);
+                        if mult != 0 {
+                            let m = model.entry(v).or_insert(0);
+                            *m += mult as i64;
+                            if *m == 0 {
+                                model.retain(|_, m| *m != 0);
+                            }
+                        }
+                    }
+                }
+                Op::Union { dst, src } => {
+                    if dst == src {
+                        continue;
+                    }
+                    let Some(src_bag) = bags[src].clone() else { continue };
+                    let Some(src_model) = models[src].clone() else { continue };
+                    if let (Some(bag), Some(model)) = (&mut bags[dst], &mut models[dst]) {
+                        bag.union_assign(&src_bag);
+                        for (v, m) in src_model {
+                            let e = model.entry(v).or_insert(0);
+                            *e += m;
+                        }
+                        model.retain(|_, m| *m != 0);
+                    }
+                }
+                Op::Drop { slot } => {
+                    bags[slot] = None;
+                    models[slot] = None;
+                }
+                Op::Collect => {
+                    // Snapshot (id, value) pairs from live bags, sweep, and
+                    // verify each id still resolves to the same value.
+                    let snapshot: Vec<(Vid, Value)> = bags
+                        .iter()
+                        .flatten()
+                        .flat_map(|b| b.ids().map(|(id, _)| (id, id.value().clone())))
+                        .collect();
+                    intern::collect_now();
+                    for (id, before) in snapshot {
+                        prop_assert_eq!(id.value(), &before);
+                    }
+                    check_live(&bags, &models)?;
+                }
+            }
+        }
+        intern::collect_now();
+        check_live(&bags, &models)?;
+    }
+
+    /// Ids whose slots are reclaimed fail deterministically: `try_value`
+    /// reports `StaleVid` (or, before the sweep reaches the slot, still the
+    /// *original* value) — never a different value, even after the slot is
+    /// reused for fresh payloads.
+    #[test]
+    fn stale_ids_error_deterministically(k in 1usize..24, churn in 1usize..64) {
+        let _serial = serial();
+        let case = fresh_case();
+        let vals: Vec<Value> = (0..k as u16).map(|i| payload(case, i)).collect();
+        let bag = Bag::from_values(vals.iter().cloned());
+        let ids: Vec<Vid> = bag.ids().map(|(id, _)| id).collect();
+        drop(bag);
+        intern::collect_now();
+        for (id, v) in ids.iter().zip(&vals) {
+            match id.try_value() {
+                Err(DataError::StaleVid { .. }) => {}
+                Ok(got) => prop_assert_eq!(got, v, "resolved to a different value"),
+                Err(other) => return Err(TestCaseError::fail(format!(
+                    "unexpected error {other}"
+                ))),
+            }
+        }
+        // Drive slot reuse with fresh payloads; the old generations must
+        // keep failing (never silently resolve to the new occupants).
+        let churn_case = fresh_case();
+        let churn_bag = Bag::from_values((0..churn as u16).map(|i| payload(churn_case, i)));
+        for id in &ids {
+            prop_assert!(matches!(
+                id.try_value(),
+                Err(DataError::StaleVid { .. })
+            ));
+        }
+        drop(churn_bag);
+        intern::collect_now();
+    }
+}
