@@ -1,0 +1,61 @@
+//! Criterion bench for experiment E11: steady-state ingest of the batched
+//! engine under bounded incremental collection vs a stop-the-world cadence
+//! on the ever-fresh 50%-deletion stream. Throughput must stay comparable —
+//! the bounded policy's win is the pause *distribution* (measured by the
+//! harness run, `results/e11_latency.json`), and this wrapper guards that
+//! the pacing machinery does not tax aggregate ingest to get it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_engine::{CollectPolicy, Parallelism, Strategy, UpdateBatch};
+use nrc_workloads::StreamConfig;
+
+fn ingest(strategy: Strategy, policy: CollectPolicy, prefix: &str) -> u64 {
+    let cfg = StreamConfig::ever_fresh(48, &format!("e11-bench-{prefix}"));
+    let (mut sys, mut gen) = nrc_bench::e8_batch::setup_with(96, strategy, 42, cfg);
+    sys.set_parallelism(Parallelism::Sequential);
+    sys.set_collect_policy(policy);
+    for _ in 0..4 {
+        let b = UpdateBatch::from_updates(gen.next_batch());
+        sys.apply_batch(&b).expect("batch");
+    }
+    sys.batch_stats().updates_coalesced
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_latency");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, strategy) in [
+        ("first_order", Strategy::FirstOrder),
+        ("shredded", Strategy::Shredded),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, "bounded64_every1"), &(), |b, ()| {
+            b.iter(|| {
+                criterion::black_box(ingest(
+                    strategy,
+                    CollectPolicy::Bounded {
+                        max_slots: 64,
+                        every: 1,
+                    },
+                    label,
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new(label, "every4_full"), &(), |b, ()| {
+            b.iter(|| criterion::black_box(ingest(strategy, CollectPolicy::EveryN(4), label)))
+        });
+        g.bench_with_input(BenchmarkId::new(label, "auto_watermark"), &(), |b, ()| {
+            b.iter(|| {
+                criterion::black_box(ingest(strategy, CollectPolicy::watermark_auto(), label))
+            })
+        });
+    }
+    // Leave the arena clean for whatever runs after the bench.
+    nrc_data::intern::collect_now();
+    nrc_data::intern::collect_now();
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

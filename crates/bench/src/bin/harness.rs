@@ -5,15 +5,20 @@
 //! Usage:
 //!
 //! ```text
-//! harness [--quick] [e1 e2 …]     # default: all experiments, full sizes
-//! harness check-budget            # gate: results/e10_memory.json vs
-//!                                 #       results/memory_budget.json
+//! harness [--quick] [e1 e2 …]            # default: all experiments, full sizes
+//! harness check-budget [REPORT BUDGET]   # structured gate: REPORT's metric vs
+//!                                        # BUDGET's ceiling; defaults to the E10
+//!                                        # memory pair (results/e10_memory.json
+//!                                        # vs results/memory_budget.json). The
+//!                                        # latency gate passes
+//!                                        # results/e11_latency.json
+//!                                        # results/latency_budget.json.
 //! ```
 
 use nrc_bench::Table;
 use nrc_bench::{
-    e10_gc, e1_related, e2_filter, e3_recursive, e4_cost, e5_deep, e6_circuit, e7_degree, e8_batch,
-    e9_intern,
+    budget, e10_gc, e11_latency, e1_related, e2_filter, e3_recursive, e4_cost, e5_deep, e6_circuit,
+    e7_degree, e8_batch, e9_intern,
 };
 use std::io::Write;
 
@@ -27,10 +32,28 @@ fn run_e10(quick: bool) -> Table {
     e10_gc::report_table(&report)
 }
 
+/// Run E11 and persist its machine-readable report — the artifact the CI
+/// `latency-smoke` job budgets against.
+fn run_e11(quick: bool) -> Table {
+    let report = e11_latency::measure(quick);
+    if let Err(e) = e11_latency::write_latency_report(&report, "results/e11_latency.json") {
+        eprintln!("warning: could not write results/e11_latency.json: {e}");
+    }
+    e11_latency::report_table(&report)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("check-budget") {
-        match e10_gc::check_budget("results/e10_memory.json", "results/memory_budget.json") {
+        let report = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("results/e10_memory.json");
+        let budget_file = args
+            .get(2)
+            .map(String::as_str)
+            .unwrap_or("results/memory_budget.json");
+        match budget::check_budget(report, budget_file) {
             Ok(msg) => println!("{msg}"),
             Err(msg) => {
                 eprintln!("{msg}");
@@ -60,6 +83,7 @@ fn main() {
         ("e8", e8_batch::run),
         ("e9", e9_intern::run),
         ("e10", run_e10),
+        ("e11", run_e11),
     ];
     let known: Vec<&str> = runs.iter().map(|(id, _)| *id).collect();
     for sel in &selected {

@@ -1,0 +1,142 @@
+//! The structured JSON budget gate shared by CI's regression jobs:
+//! `memory-smoke` (E10, steady-state arena occupancy) and `latency-smoke`
+//! (E11, max bounded collection pause).
+//!
+//! `harness check-budget <results.json> <budget.json>` compares one scalar
+//! from a harness-written report against a checked-in ceiling. The budget
+//! file is self-describing — it names the report field it gates on — so
+//! every gate shares this one code path:
+//!
+//! ```json
+//! {
+//!   "metric": "steady_state_live",
+//!   "max": 1000
+//! }
+//! ```
+//!
+//! The comparison is structured (field extraction from two JSON files this
+//! workspace itself writes), never a grep over human-readable logs.
+
+/// Extract the first unsigned-integer value of `"key": <digits>` from a
+/// JSON text. The files the budget gate reads are all written by this
+/// workspace (flat structs, no nesting tricks), so a targeted scan is
+/// sufficient.
+pub fn json_u64_field(text: &str, key: &str) -> Option<u64> {
+    let rest = field_value(text, key)?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Extract the first string value of `"key": "<text>"` from a JSON text
+/// (no escape handling — budget metric names are plain identifiers).
+pub fn json_str_field(text: &str, key: &str) -> Option<String> {
+    let rest = field_value(text, key)?;
+    let inner = rest.strip_prefix('"')?;
+    Some(inner[..inner.find('"')?].to_string())
+}
+
+/// The text right after `"key":`, whitespace-trimmed.
+fn field_value<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    Some(text[at..].trim_start().strip_prefix(':')?.trim_start())
+}
+
+/// Compare a harness-written report against a checked-in budget: the
+/// budget's `metric` field names the report field to read, its `max` field
+/// the inclusive ceiling.
+///
+/// Returns `Ok(summary)` when `report.<metric> <= budget.max`, otherwise
+/// `Err(explanation)` — the harness `check-budget` subcommand exits
+/// non-zero on `Err`, which is what fails the CI job.
+pub fn check_budget(report_path: &str, budget_path: &str) -> Result<String, String> {
+    let report = std::fs::read_to_string(report_path).map_err(|e| {
+        format!("cannot read report {report_path}: {e} (run the matching `harness eN` first)")
+    })?;
+    let budget = std::fs::read_to_string(budget_path)
+        .map_err(|e| format!("cannot read budget {budget_path}: {e}"))?;
+    let metric = json_str_field(&budget, "metric")
+        .ok_or_else(|| format!("{budget_path} has no string `metric` field"))?;
+    let max = json_u64_field(&budget, "max")
+        .ok_or_else(|| format!("{budget_path} has no integer `max` field"))?;
+    let measured = json_u64_field(&report, &metric)
+        .ok_or_else(|| format!("{report_path} has no integer `{metric}` field"))?;
+    if measured <= max {
+        Ok(format!(
+            "budget OK: {metric} {measured} ≤ budget {max} ({report_path} vs {budget_path})"
+        ))
+    } else {
+        Err(format!(
+            "budget EXCEEDED: {metric} {measured} > budget {max} ({report_path} vs \
+             {budget_path}) — a regression crept in, or the workload legitimately \
+             changed; if so, update the budget file with justification in the PR"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &std::path::Path, name: &str, text: &str) -> String {
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn json_field_extraction_is_exact() {
+        let text = "{ \"a\": 1, \"steady_state_live\": 42, \"b\": 7 }";
+        assert_eq!(json_u64_field(text, "steady_state_live"), Some(42));
+        assert_eq!(json_u64_field(text, "missing"), None);
+        assert_eq!(json_u64_field("{\"x\": \"notnum\"}", "x"), None);
+        assert_eq!(
+            json_str_field(text, "steady_state_live"),
+            None,
+            "integers are not strings"
+        );
+        assert_eq!(
+            json_str_field("{\"metric\": \"max_pause\"}", "metric"),
+            Some("max_pause".to_string())
+        );
+    }
+
+    #[test]
+    fn check_budget_gates_on_the_budget_named_metric() {
+        let dir = std::env::temp_dir().join("nrc-budget-gate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = write(
+            &dir,
+            "report.json",
+            "{\n  \"steady_state_live\": 479,\n  \"max_bounded_pause_us\": 900\n}\n",
+        );
+        let memory = write(
+            &dir,
+            "memory.json",
+            "{\n  \"metric\": \"steady_state_live\",\n  \"max\": 1000\n}\n",
+        );
+        let latency = write(
+            &dir,
+            "latency.json",
+            "{\n  \"metric\": \"max_bounded_pause_us\",\n  \"max\": 500\n}\n",
+        );
+        // Same report, two gates, one code path: the memory metric passes,
+        // the latency metric fails its tighter ceiling.
+        assert!(check_budget(&report, &memory).is_ok());
+        let err = check_budget(&report, &latency).unwrap_err();
+        assert!(
+            err.contains("EXCEEDED") && err.contains("max_bounded_pause_us"),
+            "got: {err}"
+        );
+        // Missing files and missing fields are reported, not panicked on.
+        assert!(check_budget("/nonexistent/x.json", &memory).is_err());
+        let nofield = write(
+            &dir,
+            "nofield.json",
+            "{\n  \"metric\": \"absent\",\n  \"max\": 1\n}\n",
+        );
+        assert!(check_budget(&report, &nofield)
+            .unwrap_err()
+            .contains("absent"));
+    }
+}

@@ -23,8 +23,8 @@
 //! The machine-readable outcome ([`MemoryReport`]) backs the CI
 //! `memory-smoke` job: the harness writes it to `results/e10_memory.json`
 //! and `harness -- check-budget` compares its `steady_state_live` against
-//! the checked-in budget in `results/memory_budget.json` — a structured
-//! comparison, no log scraping.
+//! the checked-in budget in `results/memory_budget.json` — the structured
+//! gate shared with E11's latency budget, see [`crate::budget`].
 
 use crate::report::{fmt_us, Table};
 use nrc_data::intern;
@@ -88,16 +88,11 @@ pub struct MemoryReport {
     pub rows: Vec<StrategyMemory>,
 }
 
-/// The stream configuration of one cell: balanced insert/delete mix so the
-/// live population stays flat while payloads stay ever-fresh, and a
-/// cell-unique payload prefix so no two cells share arena entries.
+/// The stream configuration of one cell: the shared ever-fresh churn shape
+/// (50% deletions, flat live population) under a cell-unique payload prefix
+/// so no two cells share arena entries.
 fn cell_config(batch_size: usize, prefix: &str) -> StreamConfig {
-    StreamConfig {
-        batch_size,
-        delete_fraction: 0.5,
-        payload_prefix: format!("e10-{prefix}-"),
-        ..StreamConfig::default()
-    }
+    StreamConfig::ever_fresh(batch_size, &format!("e10-{prefix}"))
 }
 
 /// Stream `nbatches` batches through `sys` one at a time (generating,
@@ -295,49 +290,7 @@ pub fn run(quick: bool) -> Table {
 
 /// Serialize a report to `path` as JSON (the `memory-smoke` artifact).
 pub fn write_memory_report(r: &MemoryReport, path: &str) -> std::io::Result<()> {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    std::fs::write(path, serde_json::to_string_pretty(r).expect("serializable"))
-}
-
-/// Extract the first unsigned-integer value of `"key": <digits>` from a
-/// JSON text. The two files the budget gate reads are both written by this
-/// workspace (flat structs, no nesting tricks), so a targeted scan is
-/// sufficient — and it keeps the gate structured: no grep over human logs.
-fn json_u64_field(text: &str, key: &str) -> Option<u64> {
-    let needle = format!("\"{key}\"");
-    let at = text.find(&needle)? + needle.len();
-    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
-    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
-    digits.parse().ok()
-}
-
-/// Compare a written E10 report against the checked-in budget.
-///
-/// Returns `Ok(summary)` when `steady_state_live <= max_live`, otherwise
-/// `Err(explanation)` — the harness `check-budget` subcommand exits
-/// non-zero on `Err`, which is what fails the CI `memory-smoke` job.
-pub fn check_budget(report_path: &str, budget_path: &str) -> Result<String, String> {
-    let report = std::fs::read_to_string(report_path)
-        .map_err(|e| format!("cannot read report {report_path}: {e} (run `harness e10` first)"))?;
-    let budget = std::fs::read_to_string(budget_path)
-        .map_err(|e| format!("cannot read budget {budget_path}: {e}"))?;
-    let live = json_u64_field(&report, "steady_state_live")
-        .ok_or_else(|| format!("{report_path} has no steady_state_live field"))?;
-    let max = json_u64_field(&budget, "max_live")
-        .ok_or_else(|| format!("{budget_path} has no max_live field"))?;
-    if live <= max {
-        Ok(format!(
-            "memory budget OK: steady-state arena live {live} ≤ budget {max}"
-        ))
-    } else {
-        Err(format!(
-            "memory budget EXCEEDED: steady-state arena live {live} > budget {max} \
-             — the intern arena is leaking again (or the workload legitimately \
-             grew; if so, update results/memory_budget.json with justification)"
-        ))
-    }
+    crate::write_json_report(r, path)
 }
 
 #[cfg(test)]
@@ -376,7 +329,7 @@ mod tests {
     }
 
     #[test]
-    fn budget_check_reads_written_reports() {
+    fn written_reports_pass_the_shared_budget_gate() {
         let dir = std::env::temp_dir().join("nrc-e10-budget-test");
         std::fs::create_dir_all(&dir).unwrap();
         let report_path = dir.join("report.json");
@@ -393,19 +346,12 @@ mod tests {
             rows: vec![],
         };
         write_memory_report(&report, report_path).unwrap();
-        std::fs::write(budget_path, "{\n  \"max_live\": 2000\n}\n").unwrap();
-        assert!(check_budget(report_path, budget_path).is_ok());
-        std::fs::write(budget_path, "{\n  \"max_live\": 500\n}\n").unwrap();
-        let err = check_budget(report_path, budget_path).unwrap_err();
+        let budget = "{\n  \"metric\": \"steady_state_live\",\n  \"max\": 2000\n}\n";
+        std::fs::write(budget_path, budget).unwrap();
+        assert!(crate::budget::check_budget(report_path, budget_path).is_ok());
+        let tight = "{\n  \"metric\": \"steady_state_live\",\n  \"max\": 500\n}\n";
+        std::fs::write(budget_path, tight).unwrap();
+        let err = crate::budget::check_budget(report_path, budget_path).unwrap_err();
         assert!(err.contains("EXCEEDED"), "got: {err}");
-        assert!(check_budget("/nonexistent/x.json", budget_path).is_err());
-    }
-
-    #[test]
-    fn json_field_extraction_is_exact() {
-        let text = "{ \"a\": 1, \"steady_state_live\": 42, \"b\": 7 }";
-        assert_eq!(json_u64_field(text, "steady_state_live"), Some(42));
-        assert_eq!(json_u64_field(text, "missing"), None);
-        assert_eq!(json_u64_field("{\"x\": \"notnum\"}", "x"), None);
     }
 }

@@ -1,0 +1,419 @@
+//! E11 — collection pacing and tail latency: the per-batch `apply_batch`
+//! latency distribution under every [`CollectPolicy`] variant, on the E10
+//! ever-fresh deletion stream.
+//!
+//! E10 established that epoch collection bounds steady-state memory; the
+//! question left open for latency-sensitive serving is *where the
+//! reclamation time goes*. A full sweep ([`CollectPolicy::EveryN`]) is
+//! stop-the-world: its pause grows with the garbage accumulated since the
+//! last sweep and lands entirely on one unlucky batch — the p99 spike. The
+//! bounded policy ([`CollectPolicy::Bounded`]) amortizes the same
+//! reclamation into per-batch increments of at most `max_slots` freed
+//! slots, resuming from the arena's persistent sweep cursor, so no single
+//! batch absorbs more than one increment's pause.
+//!
+//! Per strategy and policy the experiment replays the identical seeded
+//! stream (cell-unique payload prefixes keep the arena cells disjoint) and
+//! reports:
+//!
+//! * p50/p99/max `apply_batch` latency (collection pauses *included* —
+//!   that is what a serving caller waits out);
+//! * the max and mean collection pause (`BatchStats::max_collect_nanos`);
+//! * steady-state arena occupancy (peak and mean live at batch ends), so
+//!   pacing can be judged at equal memory: `Bounded` must hold roughly the
+//!   `EveryN` live footprint while cutting the max pause;
+//! * ingest overhead vs [`CollectPolicy::Never`].
+//!
+//! The machine-readable outcome ([`LatencyReport`]) backs the CI
+//! `latency-smoke` job: the harness writes `results/e11_latency.json` and
+//! the shared budget gate ([`crate::budget`]) compares
+//! `max_bounded_pause_us` against `results/latency_budget.json`.
+
+use crate::report::{fmt_us, Table};
+use nrc_engine::{CollectPolicy, IvmSystem, Parallelism, Strategy, UpdateBatch};
+use nrc_workloads::StreamConfig;
+use serde::Serialize;
+
+/// Sweep parameters: `(initial cardinality, batches, batch size)`.
+pub fn sizes(quick: bool) -> (usize, usize, usize) {
+    if quick {
+        (96, 16, 48)
+    } else {
+        (256, 48, 128)
+    }
+}
+
+/// Per-increment sweep budget of the `Bounded` cell: sized a little above
+/// the stream's per-batch garbage rate (≈2 slots per raw update: the fresh
+/// tuple and its name string; half the updates delete) so reclamation keeps
+/// up at `every: 1` pacing while each pause stays small.
+pub fn bounded_budget(quick: bool) -> u64 {
+    let (_, _, batch_size) = sizes(quick);
+    (batch_size as u64) * 3 / 2
+}
+
+/// Full-sweep cadence of the `EveryN` cell: lets a few batches of garbage
+/// pile up so the stop-the-world pause is representative of watermark-style
+/// operation, while keeping the steady-state live count in the same regime
+/// as the bounded cell (±10%) for an at-equal-memory pause comparison.
+pub const EVERY_N: u64 = 4;
+
+/// The policy grid of the experiment, with stable row labels.
+pub fn policies(quick: bool) -> Vec<(&'static str, CollectPolicy)> {
+    vec![
+        ("never", CollectPolicy::Never),
+        ("every-n", CollectPolicy::EveryN(EVERY_N)),
+        (
+            "bounded",
+            CollectPolicy::Bounded {
+                max_slots: bounded_budget(quick),
+                every: 1,
+            },
+        ),
+        ("auto-watermark", CollectPolicy::watermark_auto()),
+    ]
+}
+
+/// The measured outcome of one (strategy, policy) cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct PolicyLatency {
+    /// Strategy name (`first-order` / `shredded`).
+    pub strategy: String,
+    /// Policy label (`never` / `every-n` / `bounded` / `auto-watermark`).
+    pub policy: String,
+    /// Median per-batch `apply_batch` wall time, µs (pauses included).
+    pub p50_batch_us: f64,
+    /// 99th-percentile per-batch wall time, µs.
+    pub p99_batch_us: f64,
+    /// Worst single batch, µs.
+    pub max_batch_us: f64,
+    /// Longest single collection pause, µs (0 when the policy never fired).
+    pub max_pause_us: f64,
+    /// Mean collection pause, µs.
+    pub mean_pause_us: f64,
+    /// Collections the policy triggered.
+    pub collections: u64,
+    /// Arena slots those collections reclaimed.
+    pub slots_freed: u64,
+    /// Reclamation bought per pause (`BatchStats::slots_per_pause`):
+    /// bounded pacing trades this down for its per-pause ceiling.
+    pub slots_per_pause: f64,
+    /// Peak arena live-slot count at batch ends.
+    pub peak_live: u64,
+    /// Mean arena live-slot count at batch ends (the steady-state figure
+    /// the ±10% at-equal-memory comparison uses).
+    pub mean_live: u64,
+    /// Dying-list backlog left queued after the final batch (bounded
+    /// pacing keeps this small and non-accumulating).
+    pub final_backlog: u64,
+    /// Mean µs per raw update over the whole stream.
+    pub us_per_update: f64,
+    /// For the `bounded` cells: did the final views equal a sequential
+    /// per-update replica's? (`None` for other cells — full-sweep
+    /// agreement is E10's check.)
+    pub agrees_with_sequential: Option<bool>,
+}
+
+/// The full E11 outcome: per-cell rows plus the budget-gated scalars.
+#[derive(Clone, Debug, Serialize)]
+pub struct LatencyReport {
+    /// Ran at quick sizes?
+    pub quick: bool,
+    /// Initial relation cardinality.
+    pub n: usize,
+    /// Batches streamed per cell.
+    pub batches: usize,
+    /// Raw updates per batch.
+    pub batch_size: usize,
+    /// `Bounded::max_slots` used by the bounded cells.
+    pub bounded_max_slots: u64,
+    /// `EveryN` cadence used by the stop-the-world cells.
+    pub every_n: u64,
+    /// Max over the `bounded` cells of the longest collection pause, in
+    /// whole µs (rounded up) — the scalar `results/latency_budget.json`
+    /// gates in CI.
+    pub max_bounded_pause_us: u64,
+    /// Max over the `every-n` cells of the longest collection pause, µs
+    /// rounded up — the stop-the-world figure the bounded one is judged
+    /// against.
+    pub max_everyn_pause_us: u64,
+    /// Per-cell measurements.
+    pub rows: Vec<PolicyLatency>,
+}
+
+/// Value at quantile `p` (nearest-rank on a sorted copy); `0.0` when empty.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let idx = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// One cell's stream configuration (cell-unique arena payloads).
+fn cell_config(batch_size: usize, strategy: &str, policy: &str) -> StreamConfig {
+    StreamConfig::ever_fresh(batch_size, &format!("e11-{strategy}-{policy}"))
+}
+
+/// Stream `nbatches` through a fresh system under `policy`, sampling the
+/// per-batch latency (collection pauses included) and arena occupancy at
+/// every batch end.
+fn run_cell(
+    name: &str,
+    strategy: Strategy,
+    policy_label: &str,
+    policy: CollectPolicy,
+    quick: bool,
+) -> (PolicyLatency, IvmSystem) {
+    let (n, nbatches, batch_size) = sizes(quick);
+    let cfg = cell_config(batch_size, name, policy_label);
+    let (mut sys, mut gen) = crate::e8_batch::setup_with(n, strategy, 42, cfg);
+    sys.set_parallelism(Parallelism::Sequential);
+    sys.set_collect_policy(policy);
+    let mut batch_us: Vec<f64> = Vec::with_capacity(nbatches);
+    let mut live_sum = 0u64;
+    let mut peak_live = 0u64;
+    let mut raw = 0usize;
+    for _ in 0..nbatches {
+        let updates = gen.next_batch();
+        raw += updates.len();
+        let b = UpdateBatch::from_updates(updates);
+        sys.apply_batch(&b).expect("batch");
+        let stats = sys.batch_stats();
+        batch_us.push(stats.last_batch_nanos as f64 / 1e3);
+        live_sum += stats.arena.live;
+        peak_live = peak_live.max(stats.arena.live);
+    }
+    let stats = sys.batch_stats().clone();
+    let total_us: f64 = batch_us.iter().sum();
+    let row = PolicyLatency {
+        strategy: name.to_string(),
+        policy: policy_label.to_string(),
+        p50_batch_us: percentile(&batch_us, 0.50),
+        p99_batch_us: percentile(&batch_us, 0.99),
+        max_batch_us: percentile(&batch_us, 1.0),
+        max_pause_us: stats.max_collect_nanos as f64 / 1e3,
+        mean_pause_us: stats.mean_collect_nanos() / 1e3,
+        collections: stats.collections_run,
+        slots_freed: stats.arena_slots_freed,
+        slots_per_pause: stats.slots_per_pause(),
+        peak_live,
+        mean_live: live_sum / nbatches.max(1) as u64,
+        final_backlog: stats.collect_backlog,
+        us_per_update: total_us / raw.max(1) as f64,
+        agrees_with_sequential: None,
+    };
+    (row, sys)
+}
+
+/// Replay the cell's stream one update at a time on a fresh system (no
+/// collection) and compare final view contents with `sys`'s.
+fn agrees_with_sequential_replay(
+    collected: &IvmSystem,
+    strategy: Strategy,
+    name: &str,
+    policy_label: &str,
+    quick: bool,
+) -> bool {
+    let (n, nbatches, batch_size) = sizes(quick);
+    let cfg = cell_config(batch_size, name, policy_label);
+    let (mut seq, mut gen) = crate::e8_batch::setup_with(n, strategy, 42, cfg);
+    for _ in 0..nbatches {
+        for (rel, delta) in gen.next_batch() {
+            seq.apply_update(&rel, &delta).expect("sequential update");
+        }
+    }
+    let names: Vec<String> = collected.view_names().cloned().collect();
+    names
+        .iter()
+        .all(|v| collected.view(v).expect("view") == seq.view(v).expect("view"))
+}
+
+/// Drain whatever the last cell left dying (two sweeps: value trees cascade).
+fn drain_garbage() {
+    nrc_data::intern::collect_now();
+    nrc_data::intern::collect_now();
+}
+
+/// Run the measurements (the harness writes the report to
+/// `results/e11_latency.json`; [`run`] renders it as a table).
+pub fn measure(quick: bool) -> LatencyReport {
+    let (n, nbatches, batch_size) = sizes(quick);
+    let strategies = [
+        ("first-order", Strategy::FirstOrder),
+        ("shredded", Strategy::Shredded),
+    ];
+    let mut rows = Vec::new();
+    for (name, strategy) in strategies {
+        for (label, policy) in policies(quick) {
+            drain_garbage();
+            let (mut row, sys) = run_cell(name, strategy, label, policy, quick);
+            if label == "bounded" {
+                // The new path carries its own end-to-end agreement check;
+                // full-sweep agreement is covered by E10.
+                row.agrees_with_sequential = Some(agrees_with_sequential_replay(
+                    &sys, strategy, name, label, quick,
+                ));
+            }
+            drop(sys);
+            drain_garbage();
+            rows.push(row);
+        }
+    }
+    let pause_ceiling = |policy: &str| -> u64 {
+        rows.iter()
+            .filter(|r| r.policy == policy)
+            .map(|r| r.max_pause_us.ceil() as u64)
+            .max()
+            .unwrap_or(0)
+    };
+    LatencyReport {
+        quick,
+        n,
+        batches: nbatches,
+        batch_size,
+        bounded_max_slots: bounded_budget(quick),
+        every_n: EVERY_N,
+        max_bounded_pause_us: pause_ceiling("bounded"),
+        max_everyn_pause_us: pause_ceiling("every-n"),
+        rows,
+    }
+}
+
+/// Render a [`LatencyReport`] as the experiment table.
+pub fn report_table(r: &LatencyReport) -> Table {
+    let mut t = Table::new(
+        "E11",
+        format!(
+            "collection pacing vs tail latency: {} batches × {} updates \
+             (50% deletions, ever-fresh payloads) over n={}, \
+             Bounded{{max_slots: {}, every: 1}} vs EveryN({}) vs auto watermark",
+            r.batches, r.batch_size, r.n, r.bounded_max_slots, r.every_n
+        ),
+        &[
+            "strategy",
+            "policy",
+            "p50 batch",
+            "p99 batch",
+            "max pause",
+            "pauses",
+            "slots/pause",
+            "mean live",
+            "overhead vs never",
+        ],
+    );
+    for row in &r.rows {
+        let baseline = r
+            .rows
+            .iter()
+            .find(|b| b.strategy == row.strategy && b.policy == "never")
+            .map(|b| b.us_per_update)
+            .unwrap_or(0.0);
+        let overhead = row.us_per_update / baseline.max(1e-9);
+        t.row(vec![
+            row.strategy.clone(),
+            row.policy.clone(),
+            fmt_us(row.p50_batch_us),
+            fmt_us(row.p99_batch_us),
+            fmt_us(row.max_pause_us),
+            row.collections.to_string(),
+            format!("{:.0}", row.slots_per_pause),
+            row.mean_live.to_string(),
+            format!("{overhead:.2}×"),
+        ]);
+    }
+    t.note(format!(
+        "budgeted max bounded pause: {} µs (stop-the-world EveryN({}) pause: {} µs); \
+         bounded sweeps amortize reclamation into ≤{}-slot increments per batch, \
+         so the worst batch never absorbs a full sweep",
+        r.max_bounded_pause_us, r.every_n, r.max_everyn_pause_us, r.bounded_max_slots
+    ));
+    t
+}
+
+/// Run the experiment (table only; the harness uses [`measure`] +
+/// [`report_table`] so it can also persist the machine-readable report).
+pub fn run(quick: bool) -> Table {
+    report_table(&measure(quick))
+}
+
+/// Serialize a report to `path` as JSON (the `latency-smoke` artifact).
+pub fn write_latency_report(r: &LatencyReport, path: &str) -> std::io::Result<()> {
+    crate::write_json_report(r, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        let xs: Vec<f64> = (1..=99).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.50), 50.0);
+        assert_eq!(percentile(&xs, 0.99), 98.0);
+        assert_eq!(percentile(&xs, 1.0), 99.0);
+        // Order-independent.
+        let mut rev = xs.clone();
+        rev.reverse();
+        assert_eq!(percentile(&rev, 0.99), 98.0);
+    }
+
+    #[test]
+    fn bounded_pacing_bounds_pauses_and_agrees() {
+        // NOTE: pause *comparisons* (bounded vs stop-the-world wall time)
+        // are asserted by the CI latency-smoke budget on the single-process
+        // harness run, not here — sibling tests in this binary intern and
+        // collect into the same global arena concurrently, which makes
+        // timing assertions flaky. Structure is asserted instead.
+        let report = measure(true);
+        assert_eq!(report.rows.len(), 8, "2 strategies × 4 policies");
+        for row in &report.rows {
+            match row.policy.as_str() {
+                "never" => {
+                    assert_eq!(row.collections, 0, "{row:?}");
+                    assert_eq!(row.max_pause_us, 0.0, "{row:?}");
+                }
+                "bounded" => {
+                    assert_eq!(
+                        row.agrees_with_sequential,
+                        Some(true),
+                        "{} diverged from sequential replay under bounded pacing",
+                        row.strategy
+                    );
+                    assert_eq!(row.collections, report.batches as u64, "{row:?}");
+                    assert!(row.slots_freed > 0, "{row:?}");
+                    // Budget: no single pause may free more than max_slots.
+                    assert!(
+                        row.slots_freed <= report.bounded_max_slots * row.collections,
+                        "{row:?}"
+                    );
+                }
+                "every-n" => {
+                    assert_eq!(row.collections, report.batches as u64 / EVERY_N, "{row:?}");
+                    assert!(row.slots_freed > 0, "{row:?}");
+                }
+                "auto-watermark" => {
+                    // The threshold self-arms from the first batch; on an
+                    // ever-fresh stream it must eventually fire.
+                    assert!(row.collections > 0, "auto watermark never fired: {row:?}");
+                }
+                other => panic!("unexpected policy row {other}"),
+            }
+            assert!(row.p50_batch_us > 0.0, "{row:?}");
+            assert!(row.p99_batch_us >= row.p50_batch_us, "{row:?}");
+        }
+        assert!(report.max_bounded_pause_us > 0);
+    }
+
+    #[test]
+    fn quick_run_produces_full_grid() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 8);
+        assert_eq!(t.columns.len(), 9);
+    }
+}

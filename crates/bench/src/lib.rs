@@ -18,8 +18,11 @@
 //! | E8 | Prop. 4.1 additivity: coalesced batches + parallel per-view refresh |
 //! | E9 | Hash-consed interning: id-keyed bags vs. the seed's value-keyed bags |
 //! | E10 | Epoch reclamation: bounded steady-state arena on ever-fresh streams |
+//! | E11 | Collection pacing: bounded incremental sweeps vs stop-the-world tail latency |
 
+pub mod budget;
 pub mod e10_gc;
+pub mod e11_latency;
 pub mod e1_related;
 pub mod e2_filter;
 pub mod e3_recursive;
@@ -34,6 +37,18 @@ pub mod report;
 pub use report::Table;
 
 use std::time::Instant;
+
+/// Serialize a machine-readable experiment report to `path` as pretty JSON
+/// (creating the parent directory) — the artifacts CI's budget gates read.
+pub fn write_json_report<T: serde::Serialize>(report: &T, path: &str) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(report).expect("serializable report"),
+    )
+}
 
 /// Time a closure, returning (result, elapsed microseconds).
 pub fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {

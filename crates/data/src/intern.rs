@@ -44,6 +44,13 @@
 //!   before every pinned epoch, are unhashed, their boxed `Value` dropped
 //!   (recursively releasing nested children), and their index pushed onto a
 //!   **free list** that [`intern`] reuses before growing the arena.
+//! * [`collect_bounded`] is the *incremental* form: it frees at most
+//!   `max_slots` slots per call, resuming from a **persistent sweep
+//!   cursor** (the head of a process-global sweep queue) on the next call.
+//!   Latency-sensitive callers amortize reclamation into many small pauses
+//!   instead of one stop-the-world sweep; repeated bounded calls converge
+//!   to exactly the state a full sweep reaches (`CollectStats::pending`
+//!   reports the backlog still to visit).
 //! * Reused slots are **generation-tagged**: `Vid` stays `Copy` by carrying
 //!   `(index, generation)`, and every resolve checks the slot's current
 //!   generation. Using a `Vid` whose slot was reclaimed is a deterministic
@@ -76,7 +83,7 @@ use crate::value::Value;
 use serde::{Deserialize, Json, Serialize};
 use std::cmp::Ordering;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::mem::MaybeUninit;
@@ -503,7 +510,7 @@ fn min_pinned() -> Option<u64> {
         .copied()
 }
 
-/// Outcome of one [`collect`] sweep.
+/// Outcome of one [`collect`] / [`collect_bounded`] sweep.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CollectStats {
     /// Slots reclaimed (unhashed, value dropped, index freed for reuse).
@@ -512,8 +519,12 @@ pub struct CollectStats {
     /// (retained or re-interned) before the sweep reached it.
     pub resurrected: u64,
     /// Entries still dead but too young for the horizon (or shielded by a
-    /// pin); they stay on the dying list for a later sweep.
+    /// pin); they stay on the sweep queue for a later sweep.
     pub deferred: u64,
+    /// Dying-list entries still queued when the call returned — nonzero
+    /// when a bounded sweep ran out of budget (or everything examined was
+    /// deferred), zero after an unbounded sweep of quiescent garbage.
+    pub pending: u64,
 }
 
 /// Sweep the dying list, reclaiming every slot that (a) still has a zero
@@ -522,23 +533,58 @@ pub struct CollectStats {
 /// freed values drop recursively, releasing nested children (a cascade the
 /// next sweep picks up).
 ///
-/// Thread-safe and incremental: concurrent interning/lookups proceed per
-/// shard, a lookup hit resurrects a dying slot under the shard lock, and
-/// sweeps serialize among themselves.
+/// Thread-safe: concurrent interning/lookups proceed per shard, a lookup
+/// hit resurrects a dying slot under the shard lock, and sweeps serialize
+/// among themselves. Equivalent to `collect_bounded(horizon, u64::MAX)`.
 pub fn collect(horizon: Epoch) -> CollectStats {
+    collect_bounded(horizon, u64::MAX)
+}
+
+/// The bounded, incremental form of [`collect`]: free at most `max_slots`
+/// slots, then return — leaving the rest of the backlog on a **persistent
+/// sweep queue** whose head acts as the sweep cursor for the next call.
+///
+/// Pause-bounding contract:
+///
+/// * at most `max_slots` slots are reclaimed (the expensive part: an
+///   exclusive shard lock plus a recursive value drop per slot);
+/// * at most the entries queued at call start are *examined* (a few atomic
+///   loads each); entries that must stay dying (too young, or shielded by a
+///   pin) rotate to the back of the queue and are not revisited this call,
+///   so a backlog of unreclaimable slots cannot spin the sweep.
+///
+/// The epoch/generation protocol is identical to a full sweep: every free
+/// happens under the exclusive shard lock, resurrection (a lookup hit on a
+/// queued slot — including one the cursor already passed and deferred)
+/// still wins against a later sweep, and stale ids keep failing
+/// deterministically even when their slot is reused while earlier queue
+/// entries are still pending. Repeated bounded calls with a fresh horizon
+/// (see [`collect_bounded_now`]) converge to exactly the live set and
+/// [`ArenaStats`] a single full sweep reaches once `freed` and `pending`
+/// both hit zero. `max_slots == 0` examines nothing and just reports the
+/// backlog.
+pub fn collect_bounded(horizon: Epoch, max_slots: u64) -> CollectStats {
     let interner = &*INTERNER;
     let _sweep = interner.sweep.lock().expect("intern sweep");
     let mut limit = horizon.0.min(EPOCH.load(AtomicOrdering::Acquire));
     if let Some(p) = min_pinned() {
         limit = limit.min(p);
     }
-    let backlog: Vec<u32> = {
-        let mut dying = interner.dying.lock().expect("intern dying list");
-        std::mem::take(&mut *dying)
-    };
+    // The sweep queue is only touched under the sweep lock; `release` (which
+    // may run concurrently, or re-entrantly from the value drops below)
+    // pushes to the `dying` inbox instead, drained here.
+    let mut queue = interner.backlog.lock().expect("intern sweep queue");
+    {
+        let mut inbox = interner.dying.lock().expect("intern dying list");
+        queue.extend(inbox.drain(..));
+    }
     let mut stats = CollectStats::default();
-    let mut defer = Vec::new();
-    for idx in backlog {
+    let mut examine = if max_slots == 0 { 0 } else { queue.len() };
+    while examine > 0 && stats.freed < max_slots {
+        examine -= 1;
+        let idx = queue
+            .pop_front()
+            .expect("examine is bounded by queue.len()");
         let s = slot(idx);
         let shard = &interner.shards[shard_of(s.hash.load(AtomicOrdering::Relaxed))];
         let mut map = shard.write().expect("intern shard");
@@ -558,8 +604,9 @@ pub fn collect(horizon: Epoch) -> CollectStats {
             continue;
         }
         if s.dead_since.load(AtomicOrdering::Acquire) >= limit {
-            // Too young (or shielded by a pin): keep it dying.
-            defer.push(idx);
+            // Too young (or shielded by a pin): keep it dying, behind the
+            // cursor — `examine` guarantees it is not revisited this call.
+            queue.push_back(idx);
             stats.deferred += 1;
             continue;
         }
@@ -582,7 +629,8 @@ pub fn collect(horizon: Epoch) -> CollectStats {
         // slot was occupied (enqueued ⇒ installed), and retiring the
         // generation under the exclusive shard lock removed every way to
         // obtain a fresh reference. Dropping may recursively `release`
-        // nested children — which takes the dying-list lock, not held here.
+        // nested children — which takes the dying-list inbox lock, not held
+        // here (the sweep queue lock is, but `release` never touches it).
         drop(unsafe { Box::from_raw(ptr) });
         interner.free.lock().expect("intern free list").push(idx);
         interner.stats.live.fetch_sub(1, AtomicOrdering::Relaxed);
@@ -593,13 +641,8 @@ pub fn collect(horizon: Epoch) -> CollectStats {
             .fetch_sub(bytes, AtomicOrdering::Relaxed);
         stats.freed += 1;
     }
-    if !defer.is_empty() {
-        interner
-            .dying
-            .lock()
-            .expect("intern dying list")
-            .extend(defer);
-    }
+    stats.pending =
+        queue.len() as u64 + interner.dying.lock().expect("intern dying list").len() as u64;
     stats
 }
 
@@ -607,6 +650,25 @@ pub fn collect(horizon: Epoch) -> CollectStats {
 /// the cadence the engine's `CollectPolicy` uses between batches.
 pub fn collect_now() -> CollectStats {
     collect(advance_epoch())
+}
+
+/// Advance the epoch and run one *bounded* sweep increment (at most
+/// `max_slots` slots freed) — the pacing primitive behind the engine's
+/// `CollectPolicy::Bounded`. Keep calling until `freed` and `pending` are
+/// both zero to reach the state a single [`collect_now`] would.
+pub fn collect_bounded_now(max_slots: u64) -> CollectStats {
+    collect_bounded(advance_epoch(), max_slots)
+}
+
+/// Number of dying-list entries awaiting a sweep (persistent sweep queue
+/// plus the inbox of freshly-dead slots). Diagnostics/pacing: an upper
+/// bound on how much a full [`collect`] would examine, not on what it
+/// would free (queued entries may be resurrected or deferred).
+pub fn pending_reclaim() -> u64 {
+    let interner = &*INTERNER;
+    let queued = interner.backlog.lock().expect("intern sweep queue").len();
+    let inbox = interner.dying.lock().expect("intern dying list").len();
+    (queued + inbox) as u64
 }
 
 /// A point-in-time snapshot of the arena's occupancy.
@@ -983,8 +1045,15 @@ struct Interner {
     arena: Arena,
     /// Serializes arena appends across shards (lookups stay sharded).
     append: Mutex<()>,
-    /// Indices whose live count hit zero, awaiting a sweep.
+    /// Inbox of indices whose live count hit zero, awaiting a sweep.
+    /// `release` only ever touches this (it must stay cheap and re-entrant
+    /// from value drops inside a sweep); sweeps drain it into `backlog`.
     dying: Mutex<Vec<u32>>,
+    /// The persistent sweep queue: dying indices in visit order. The front
+    /// is the sweep cursor — a bounded sweep pops from it until the budget
+    /// runs out and leaves the remainder for the next call; entries that
+    /// must stay dying rotate to the back. Only touched under `sweep`.
+    backlog: Mutex<VecDeque<u32>>,
     /// Reclaimed indices available for reuse.
     free: Mutex<Vec<u32>>,
     /// Serializes sweeps.
@@ -1005,6 +1074,7 @@ static INTERNER: LazyLock<Interner> = LazyLock::new(|| Interner {
     arena: Arena::new(),
     append: Mutex::new(()),
     dying: Mutex::new(Vec::new()),
+    backlog: Mutex::new(VecDeque::new()),
     free: Mutex::new(Vec::new()),
     sweep: Mutex::new(()),
     pins: Mutex::new(BTreeMap::new()),
@@ -1015,6 +1085,17 @@ static INTERNER: LazyLock<Interner> = LazyLock::new(|| Interner {
         bytes: AtomicU64::new(0),
     },
 });
+
+/// Serializes unit tests (crate-wide) that pin epochs or collect: the arena
+/// is process-global, so "this slot is reclaimed by now" assertions only
+/// hold while no sibling test pins or sweeps concurrently. Non-GC sibling
+/// tests are harmless — they neither pin nor collect, and the resurrection
+/// protocol protects their transient ids from our sweeps.
+#[cfg(test)]
+pub(crate) fn gc_test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static GC_TESTS: Mutex<()> = Mutex::new(());
+    GC_TESTS.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 #[cfg(test)]
 mod tests {
@@ -1146,16 +1227,10 @@ mod tests {
     //
     // GC tests use payloads unique to each test (`collect` is process-global
     // and the test binary shares one arena across threads) and serialize
-    // among themselves: assertions of the form "this slot is reclaimed by
-    // now" only hold when no sibling GC test pins or sweeps concurrently.
-    // Non-GC sibling tests are harmless — they neither pin nor collect, and
-    // the resurrection protocol protects their transient ids from our
-    // sweeps.
-
-    static GC_TESTS: Mutex<()> = Mutex::new(());
+    // among themselves via the crate-wide `gc_test_serial` lock.
 
     fn gc_serial() -> std::sync::MutexGuard<'static, ()> {
-        GC_TESTS.lock().unwrap_or_else(|p| p.into_inner())
+        gc_test_serial()
     }
 
     fn probe(tag: &str, i: usize) -> Value {
@@ -1260,6 +1335,109 @@ mod tests {
         collect_now();
         for v in &inner {
             assert!(lookup(v).is_none(), "nested child {v} should be reclaimed");
+        }
+    }
+
+    // NOTE: non-GC sibling tests drop bags concurrently, so the dying
+    // inbox can always pick up unrelated entries mid-test. The bounded-GC
+    // assertions below therefore check budgets (exact — a sweep can never
+    // exceed its `max_slots`), progress and this test's own payloads, never
+    // exact queue lengths.
+
+    #[test]
+    fn bounded_collect_frees_at_most_k_and_the_cursor_persists() {
+        let _serial = gc_serial();
+        let vals: Vec<Value> = (0..20).map(|i| probe("bounded", i)).collect();
+        let bag = Bag::from_values(vals.iter().cloned());
+        let ids: Vec<Vid> = bag.ids().map(|(id, _)| id).collect();
+        drop(bag);
+        // ≥ 20 eligible entries queued, so the first bounded call must
+        // exhaust its budget exactly.
+        let first = collect_bounded_now(7);
+        assert_eq!(first.freed, 7, "budget of 7 must free exactly 7: {first:?}");
+        assert!(first.pending >= 13, "cursor must leave the rest queued");
+        // The cursor persists: successive calls make progress until this
+        // test's payloads are all reclaimed, never exceeding the budget.
+        // (Polling via the ids: a value `lookup` would *resurrect* the
+        // still-dying slots; `try_value` observes without interfering.)
+        let mut rounds = 1;
+        while ids.iter().any(|id| id.try_value().is_ok()) {
+            let s = collect_bounded_now(7);
+            assert!(s.freed <= 7, "budget violated: {s:?}");
+            rounds += 1;
+            assert!(rounds < 64, "bounded sweep failed to reach all 20 slots");
+        }
+        assert!(rounds >= 3, "20 slots cannot drain in fewer than 3×7");
+        for v in &vals {
+            assert!(lookup(v).is_none(), "{v} must be reclaimed");
+        }
+    }
+
+    #[test]
+    fn zero_budget_only_reports_the_backlog() {
+        let _serial = gc_serial();
+        let bag = Bag::from_values((0..5).map(|i| probe("zerobudget", i)));
+        drop(bag);
+        let stats = collect_bounded_now(0);
+        assert_eq!(stats.freed, 0, "zero budget must not free: {stats:?}");
+        assert!(stats.pending >= 5);
+        assert!(pending_reclaim() >= 5);
+        let full = collect_bounded_now(u64::MAX);
+        assert!(full.freed >= 5, "{full:?}");
+    }
+
+    #[test]
+    fn lookup_hit_resurrects_a_slot_the_cursor_passed_but_deferred() {
+        let _serial = gc_serial();
+        // Shield the deaths behind a pin so the bounded sweep's cursor
+        // passes every entry without freeing it (all deferred).
+        let epoch_pin = pin();
+        let vals: Vec<Value> = (0..8).map(|i| probe("passed", i)).collect();
+        let bag = Bag::from_values(vals.iter().cloned());
+        drop(bag);
+        let swept = collect_bounded_now(u64::MAX);
+        assert_eq!(swept.freed, 0, "pinned slots must not be freed: {swept:?}");
+        assert!(swept.deferred >= 8, "{swept:?}");
+        // The cursor has passed (and re-queued) every entry; a lookup hit
+        // now must still win against the next sweep.
+        let kept = intern(vals[3].clone());
+        drop(epoch_pin);
+        collect_now();
+        assert_eq!(kept.value(), &vals[3], "resurrected id must resolve");
+        for (i, v) in vals.iter().enumerate() {
+            if i == 3 {
+                assert_eq!(lookup(v), Some(kept));
+            } else {
+                assert!(lookup(v).is_none(), "{v} should be reclaimed");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_bounded_collects_converge_through_the_release_cascade() {
+        let _serial = gc_serial();
+        // Nested structure so convergence has to ride the release cascade:
+        // freeing the outer bag's slot releases the inner probes, which only
+        // then join the queue. (Exact ArenaStats parity with a full sweep is
+        // asserted in tests/prop_bounded_gc.rs, whose binary can serialize
+        // every arena touch; sibling tests here intern concurrently.)
+        let inner: Vec<Value> = (0..6).map(|i| probe("converge", i)).collect();
+        let nested = Value::Bag(Bag::from_values(inner.iter().cloned()));
+        let bag = Bag::from_values([nested.clone()]);
+        drop(bag);
+        drop(nested);
+        let mut rounds = 0;
+        loop {
+            let s = collect_bounded_now(2);
+            assert!(s.freed <= 2, "budget violated: {s:?}");
+            if s.freed == 0 && s.pending == 0 {
+                break;
+            }
+            rounds += 1;
+            assert!(rounds < 64, "bounded collection failed to converge");
+        }
+        for v in &inner {
+            assert!(lookup(v).is_none(), "{v} should be reclaimed");
         }
     }
 

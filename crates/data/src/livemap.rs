@@ -206,6 +206,54 @@ mod tests {
     }
 
     #[test]
+    fn upsert_with_balance_is_observable_by_collection() {
+        // The one-walk invariant of `upsert_with`: vacant + `Some` retains
+        // exactly once, occupied + `Some` retains zero times, occupied +
+        // `None` releases exactly once. The balance is observable through
+        // actual reclamation — an over-retain would keep the slot alive
+        // past the final release (failing the lookup assertion), an
+        // under-retain would underflow the live count (debug assertion).
+        let _serial = intern::gc_test_serial();
+        let v = Value::str("gc-livemap-upsert-balance");
+        let k = intern::intern(v.clone());
+        let mut m: VidMap<i64> = VidMap::new();
+        m.upsert_with::<()>(k, |cur| {
+            assert!(cur.is_none());
+            Ok(Some(1))
+        })
+        .unwrap();
+        // In-place updates walk the occupied entry: no second retain…
+        for _ in 0..3 {
+            m.upsert_with::<()>(k, |cur| Ok(cur.map(|c| c + 1)))
+                .unwrap();
+        }
+        assert_eq!(m.get(&k), Some(&4));
+        // …so one removal brings the count back to zero.
+        m.upsert_with::<()>(k, |_| Ok(None)).unwrap();
+        assert!(m.is_empty());
+        intern::collect_now();
+        assert!(
+            intern::lookup(&v).is_none(),
+            "balanced upserts must leave the slot collectible"
+        );
+    }
+
+    #[test]
+    fn upsert_inserted_keys_are_released_on_map_drop() {
+        let _serial = intern::gc_test_serial();
+        let v = Value::str("gc-livemap-upsert-drop");
+        let mut m: VidMap<i64> = VidMap::new();
+        m.upsert_with::<()>(intern::intern(v.clone()), |_| Ok(Some(1)))
+            .unwrap();
+        drop(m);
+        intern::collect_now();
+        assert!(
+            intern::lookup(&v).is_none(),
+            "drop must release keys inserted through upsert_with"
+        );
+    }
+
+    #[test]
     fn retain_entries_releases_dropped_keys() {
         let mut m: VidMap<i64> = VidMap::new();
         let keep = probe(3);

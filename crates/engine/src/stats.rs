@@ -53,6 +53,21 @@ pub struct BatchStats {
     pub arena_slots_freed: u64,
     /// Orphaned shredded-store dictionary definitions reclaimed alongside.
     pub store_defs_freed: u64,
+    /// Cumulative wall time spent inside policy-triggered collections
+    /// (store GC + arena sweep), in nanoseconds — the reclamation share of
+    /// `batch_nanos`.
+    pub collect_nanos: u64,
+    /// Wall time of the most recent collection pause, in nanoseconds
+    /// (`0` until the policy first fires).
+    pub last_collect_nanos: u64,
+    /// The longest single collection pause observed, in nanoseconds — the
+    /// figure the latency budget (experiment E11) gates on. Bounded
+    /// policies keep this near `max_slots`-worth of sweep work; full
+    /// sweeps let it grow with the accumulated garbage.
+    pub max_collect_nanos: u64,
+    /// Dying-list entries still queued after the most recent collection —
+    /// nonzero when a bounded sweep left backlog for its next increment.
+    pub collect_backlog: u64,
 }
 
 impl BatchStats {
@@ -63,6 +78,24 @@ impl BatchStats {
             return 0.0;
         }
         self.updates_coalesced as f64 / (self.batch_nanos as f64 / 1e9)
+    }
+
+    /// Mean collection pause, in nanoseconds (`0.0` before any collection).
+    pub fn mean_collect_nanos(&self) -> f64 {
+        if self.collections_run == 0 {
+            return 0.0;
+        }
+        self.collect_nanos as f64 / self.collections_run as f64
+    }
+
+    /// Arena slots reclaimed per collection pause — how much reclamation
+    /// each pause buys (`0.0` before any collection). Bounded pacing trades
+    /// this figure down for a hard per-pause ceiling.
+    pub fn slots_per_pause(&self) -> f64 {
+        if self.collections_run == 0 {
+            return 0.0;
+        }
+        self.arena_slots_freed as f64 / self.collections_run as f64
     }
 }
 
@@ -84,5 +117,24 @@ mod tests {
             ..BatchStats::default()
         };
         assert_eq!(s.throughput_updates_per_sec(), 200.0);
+    }
+
+    #[test]
+    fn pause_accounting_means_are_zero_before_collections() {
+        let s = BatchStats::default();
+        assert_eq!(s.mean_collect_nanos(), 0.0);
+        assert_eq!(s.slots_per_pause(), 0.0);
+    }
+
+    #[test]
+    fn pause_accounting_divides_by_collections() {
+        let s = BatchStats {
+            collections_run: 4,
+            collect_nanos: 2_000,
+            arena_slots_freed: 100,
+            ..BatchStats::default()
+        };
+        assert_eq!(s.mean_collect_nanos(), 500.0);
+        assert_eq!(s.slots_per_pause(), 25.0);
     }
 }

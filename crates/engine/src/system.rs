@@ -54,20 +54,76 @@ enum ViewKind {
 ///
 /// Steady-state memory of an unbounded stream of ever-fresh values is
 /// bounded under any policy but [`CollectPolicy::Never`]; experiment E10
-/// quantifies the bound and the (small) throughput cost.
+/// quantifies the bound and the (small) throughput cost, and experiment E11
+/// the *pause* profile: [`CollectPolicy::Bounded`] trades a little
+/// steady-state headroom for a hard per-pause sweep budget — the policy for
+/// latency-sensitive serving, where one stop-the-world sweep on the
+/// `apply_batch` hot path is the dominant tail-latency source.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum CollectPolicy {
     /// Never collect (the PR-2 behavior: the arena only grows).
     #[default]
     Never,
-    /// Collect after every `n`-th batch (`EveryN(1)` = every batch).
+    /// Fully collect after every `n`-th batch (`EveryN(1)` = every batch).
+    /// Stop-the-world: the pause grows with the garbage accumulated since
+    /// the previous sweep.
     EveryN(u64),
-    /// Collect after any batch that leaves more than `live` occupied arena
-    /// slots.
-    HighWatermark {
-        /// The live-slot threshold that triggers a collection.
-        live: u64,
+    /// Incremental collection: after every `every`-th batch, run one
+    /// *bounded* sweep increment (`nrc_data::intern::collect_bounded_now`)
+    /// that frees at most `max_slots` arena slots and leaves the rest of
+    /// the backlog on the persistent sweep cursor for the next increment.
+    /// Size `max_slots × (batch rate ÷ every)` at or above the garbage
+    /// rate and steady-state memory stays bounded while no single pause
+    /// ever sweeps more than `max_slots` slots
+    /// ([`BatchStats::max_collect_nanos`] is the measured ceiling).
+    Bounded {
+        /// Per-pause sweep budget: at most this many slots freed per
+        /// increment (`0` is treated as `1`).
+        max_slots: u64,
+        /// Run an increment after every `every`-th batch (`1` = every
+        /// batch, the tightest pacing).
+        every: u64,
     },
+    /// Collect after any batch that leaves the arena above a watermark —
+    /// on occupied **slots** (`live`), on occupied **bytes** (`bytes`,
+    /// from `ArenaStats::bytes`), or, when both are `0`, **auto-tuned**:
+    /// the byte threshold re-arms at a multiple of the observed
+    /// post-collection live bytes, tracking the workload's real working
+    /// set instead of a hand-picked constant (see
+    /// [`CollectPolicy::watermark_auto`]).
+    HighWatermark {
+        /// Live-slot threshold that triggers a collection (`0` = disabled).
+        live: u64,
+        /// Live-byte threshold that triggers a collection (`0` = disabled).
+        bytes: u64,
+    },
+}
+
+impl CollectPolicy {
+    /// A slot-count watermark (the PR-3 behavior).
+    pub fn watermark_live(live: u64) -> CollectPolicy {
+        CollectPolicy::HighWatermark { live, bytes: 0 }
+    }
+
+    /// A byte watermark over `ArenaStats::bytes` — the right unit when
+    /// interned values vary in size (a slot holding a long string is not a
+    /// slot holding a bool). `bytes` is clamped to at least 1 so an
+    /// explicit threshold never reads as auto-tuning.
+    pub fn watermark_bytes(bytes: u64) -> CollectPolicy {
+        CollectPolicy::HighWatermark {
+            live: 0,
+            bytes: bytes.max(1),
+        }
+    }
+
+    /// A self-tuning byte watermark: the first batch seeds the threshold
+    /// from the observed arena bytes, and every collection re-arms it at
+    /// a fixed multiple of the post-collection live bytes (with a small
+    /// floor) — collections fire when the arena has roughly doubled past
+    /// the live working set, whatever that working set is.
+    pub fn watermark_auto() -> CollectPolicy {
+        CollectPolicy::HighWatermark { live: 0, bytes: 0 }
+    }
 }
 
 /// How view refreshes are executed.
@@ -187,6 +243,10 @@ pub struct IvmSystem {
     parallelism: Parallelism,
     /// Memory-reclamation cadence for the batch path.
     collect_policy: CollectPolicy,
+    /// The auto-tuned byte threshold for `CollectPolicy::watermark_auto`:
+    /// seeded from the first batch's observed arena bytes, re-armed after
+    /// every collection from the post-collection live bytes.
+    auto_watermark_bytes: Option<u64>,
     /// Counters for the batched maintenance path.
     batch_stats: BatchStats,
 }
@@ -201,6 +261,7 @@ impl IvmSystem {
             stale: Default::default(),
             parallelism: Parallelism::default(),
             collect_policy: CollectPolicy::default(),
+            auto_watermark_bytes: None,
             batch_stats: BatchStats::default(),
         }
     }
@@ -215,9 +276,12 @@ impl IvmSystem {
         self.parallelism
     }
 
-    /// Select when [`IvmSystem::apply_batch`] reclaims memory.
+    /// Select when [`IvmSystem::apply_batch`] reclaims memory. Switching
+    /// policies re-seeds the auto-tuned watermark (if the new policy uses
+    /// one) from the next batch.
     pub fn set_collect_policy(&mut self, policy: CollectPolicy) {
         self.collect_policy = policy;
+        self.auto_watermark_bytes = None;
     }
 
     /// The currently selected reclamation cadence.
@@ -357,15 +421,19 @@ impl IvmSystem {
             segments += 1;
             delta_card += delta.cardinality();
         }
-        let nanos = start.elapsed().as_nanos() as u64;
         self.batch_stats.batches_applied += 1;
         self.batch_stats.updates_coalesced += batch.raw_updates;
         self.batch_stats.relation_segments += segments;
         self.batch_stats.delta_cardinality += delta_card;
-        self.batch_stats.batch_nanos += nanos;
-        self.batch_stats.last_batch_nanos = nanos;
         self.batch_stats.last_batch_updates = batch.raw_updates;
         self.maybe_collect();
+        // Batch timing *includes* any policy-triggered collection pause:
+        // that pause is what the batch's caller actually waits out, and the
+        // figure experiment E11's latency percentiles are built from
+        // (`collect_nanos`/`max_collect_nanos` break out the share).
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.batch_stats.batch_nanos += nanos;
+        self.batch_stats.last_batch_nanos = nanos;
         self.batch_stats.arena = intern::arena_stats();
         outcome
     }
@@ -373,24 +441,83 @@ impl IvmSystem {
     /// Run the configured [`CollectPolicy`] at the batch boundary (all
     /// refreshes complete, no evaluation in flight on this system).
     fn maybe_collect(&mut self) {
-        let due = match self.collect_policy {
-            CollectPolicy::Never => false,
-            CollectPolicy::EveryN(n) => n > 0 && self.batch_stats.batches_applied % n == 0,
-            CollectPolicy::HighWatermark { live } => intern::arena_stats().live > live,
+        // `Some(budget)` = collect now, with `None` meaning a full sweep.
+        let due: Option<Option<u64>> = match self.collect_policy {
+            CollectPolicy::Never => None,
+            CollectPolicy::EveryN(n) if n > 0 && self.batch_stats.batches_applied % n == 0 => {
+                Some(None)
+            }
+            CollectPolicy::EveryN(_) => None,
+            CollectPolicy::Bounded { max_slots, every }
+                if every > 0 && self.batch_stats.batches_applied % every == 0 =>
+            {
+                Some(Some(max_slots.max(1)))
+            }
+            CollectPolicy::Bounded { .. } => None,
+            CollectPolicy::HighWatermark { live, bytes } => {
+                let arena = intern::arena_stats();
+                let over = if live == 0 && bytes == 0 {
+                    match self.auto_watermark_bytes {
+                        Some(threshold) => arena.bytes > threshold,
+                        None => {
+                            // First batch under auto-tuning: seed the
+                            // threshold from the observed working set, no
+                            // collection yet.
+                            self.auto_watermark_bytes = Some(Self::auto_threshold(arena.bytes));
+                            false
+                        }
+                    }
+                } else {
+                    (live > 0 && arena.live > live) || (bytes > 0 && arena.bytes > bytes)
+                };
+                over.then_some(None)
+            }
         };
-        if due {
-            self.collect_now();
+        if let Some(budget) = due {
+            self.run_collection(budget);
+            if self.auto_watermark_bytes.is_some() {
+                // Re-arm from the post-collection live working set.
+                self.auto_watermark_bytes = Some(Self::auto_threshold(intern::arena_stats().bytes));
+            }
         }
     }
 
-    /// Reclaim memory immediately: drop orphaned shredded-store dictionary
-    /// definitions (so their labels lose their last references), then sweep
-    /// the intern arena. Returns the number of arena slots freed.
+    /// The auto-tuned watermark: fire once the arena roughly doubles past
+    /// the live working set (floored so a near-empty arena does not
+    /// collect every batch).
+    fn auto_threshold(live_bytes: u64) -> u64 {
+        const AUTO_WATERMARK_FACTOR: u64 = 2;
+        const AUTO_WATERMARK_FLOOR_BYTES: u64 = 4096;
+        live_bytes
+            .saturating_mul(AUTO_WATERMARK_FACTOR)
+            .max(AUTO_WATERMARK_FLOOR_BYTES)
+    }
+
+    /// Reclaim memory immediately with a full stop-the-world sweep: drop
+    /// orphaned shredded-store dictionary definitions (so their labels lose
+    /// their last references), then sweep the intern arena. Returns the
+    /// number of arena slots freed.
     ///
     /// Values interned by *other* threads remain protected by their own
     /// bag references and epoch pins; a slot is only reclaimed once nothing
     /// references it.
     pub fn collect_now(&mut self) -> u64 {
+        self.run_collection(None)
+    }
+
+    /// Run one *bounded* collection increment: at most `max_slots` arena
+    /// slots are freed (store GC still runs in full — it is per-relation
+    /// bookkeeping, not a sweep), the rest of the backlog stays on the
+    /// persistent sweep cursor. Returns the number of slots freed; consult
+    /// [`BatchStats::collect_backlog`] for what remains.
+    pub fn collect_bounded(&mut self, max_slots: u64) -> u64 {
+        self.run_collection(Some(max_slots.max(1)))
+    }
+
+    /// The shared collection path: store GC, then a full (`budget: None`)
+    /// or bounded arena sweep, with pause accounting.
+    fn run_collection(&mut self, budget: Option<u64>) -> u64 {
+        let start = Instant::now();
         if let Some(store) = &mut self.store {
             let rels: Vec<String> = store.inputs.keys().cloned().collect();
             for rel in rels {
@@ -401,9 +528,17 @@ impl IvmSystem {
                 }
             }
         }
-        let swept = intern::collect_now();
+        let swept = match budget {
+            None => intern::collect_now(),
+            Some(max_slots) => intern::collect_bounded_now(max_slots),
+        };
+        let nanos = start.elapsed().as_nanos() as u64;
         self.batch_stats.collections_run += 1;
         self.batch_stats.arena_slots_freed += swept.freed;
+        self.batch_stats.collect_nanos += nanos;
+        self.batch_stats.last_collect_nanos = nanos;
+        self.batch_stats.max_collect_nanos = self.batch_stats.max_collect_nanos.max(nanos);
+        self.batch_stats.collect_backlog = swept.pending;
         swept.freed
     }
 
@@ -994,12 +1129,106 @@ mod batch_tests {
     #[test]
     fn high_watermark_policy_triggers_on_occupancy() {
         let mut sys = four_strategy_system();
-        // Any live count exceeds 0, so every batch collects.
-        sys.set_collect_policy(CollectPolicy::HighWatermark { live: 0 });
+        // Any realistic arena exceeds one live slot, so every batch
+        // collects.
+        sys.set_collect_policy(CollectPolicy::watermark_live(1));
         let mut batch = UpdateBatch::new();
         batch.push("M", example_movies_update());
         sys.apply_batch(&batch).unwrap();
         assert_eq!(sys.batch_stats().collections_run, 1);
+    }
+
+    #[test]
+    fn byte_watermark_triggers_on_arena_bytes() {
+        let mut sys = four_strategy_system();
+        // One byte: always over; and an explicit 0 must clamp, not turn
+        // into auto-tuning.
+        sys.set_collect_policy(CollectPolicy::watermark_bytes(0));
+        assert_eq!(
+            sys.collect_policy(),
+            CollectPolicy::HighWatermark { live: 0, bytes: 1 }
+        );
+        let mut batch = UpdateBatch::new();
+        batch.push("M", example_movies_update());
+        sys.apply_batch(&batch).unwrap();
+        assert_eq!(sys.batch_stats().collections_run, 1);
+    }
+
+    #[test]
+    fn auto_watermark_seeds_then_fires_as_the_arena_grows() {
+        let mut sys = four_strategy_system();
+        sys.set_collect_policy(CollectPolicy::watermark_auto());
+        // First batch only seeds the threshold from the observed bytes.
+        let mut batch = UpdateBatch::new();
+        batch.push("M", example_movies_update());
+        sys.apply_batch(&batch).unwrap();
+        assert_eq!(sys.batch_stats().collections_run, 0);
+        // Grow the arena well past 2× the seeded working set with large
+        // fresh payloads; the auto watermark must fire and re-arm.
+        let mut fresh = UpdateBatch::new();
+        for i in 0..64 {
+            fresh.push(
+                "M",
+                Bag::from_values([movie(
+                    &format!("auto-tune-payload-{i:04}-{}", "x".repeat(256)),
+                    "Action",
+                    "Mann",
+                )]),
+            );
+        }
+        for _ in 0..8 {
+            sys.apply_batch(&fresh).unwrap();
+            let undo = UpdateBatch::from_updates(
+                fresh
+                    .segments()
+                    .map(|(r, b)| (r.to_string(), b.clone().negate())),
+            );
+            sys.apply_batch(&undo).unwrap();
+        }
+        assert!(
+            sys.batch_stats().collections_run > 0,
+            "auto watermark never fired: {:?}",
+            sys.batch_stats()
+        );
+    }
+
+    #[test]
+    fn bounded_policy_paces_reclamation_and_preserves_views() {
+        // Same stream under full EveryN(1) and Bounded sweeps: identical
+        // view contents, and the bounded system records backlog/pause
+        // accounting while never freeing more than its budget per pause.
+        let mut full = four_strategy_system();
+        full.set_collect_policy(CollectPolicy::EveryN(1));
+        let mut bounded = four_strategy_system();
+        bounded.set_collect_policy(CollectPolicy::Bounded {
+            max_slots: 3,
+            every: 1,
+        });
+        let mut freed_before = 0;
+        for round in 0..4 {
+            let mut batch = UpdateBatch::new();
+            for u in updates() {
+                batch.push("M", u);
+            }
+            full.apply_batch(&batch).unwrap();
+            bounded.apply_batch(&batch).unwrap();
+            let freed_now = bounded.batch_stats().arena_slots_freed;
+            assert!(
+                freed_now - freed_before <= 3,
+                "bounded pause freed more than its budget in round {round}"
+            );
+            freed_before = freed_now;
+            for view in ["re", "fo", "rc", "sh", "sh_re"] {
+                assert_eq!(
+                    full.view(view).unwrap(),
+                    bounded.view(view).unwrap(),
+                    "{view} diverged after round {round} under Bounded pacing"
+                );
+            }
+        }
+        assert_eq!(bounded.batch_stats().collections_run, 4);
+        assert!(bounded.batch_stats().collect_nanos > 0);
+        assert!(bounded.batch_stats().max_collect_nanos > 0);
     }
 
     #[test]

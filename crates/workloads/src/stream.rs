@@ -57,6 +57,22 @@ impl Default for StreamConfig {
     }
 }
 
+impl StreamConfig {
+    /// The *ever-fresh churn* shape the memory/latency experiments (E10,
+    /// E11) measure reclamation under: a balanced 50% insert/delete mix —
+    /// so the live tuple population stays roughly flat while every
+    /// insertion interns genuinely fresh payloads — under a caller-unique
+    /// prefix, so no two experiment cells share arena entries.
+    pub fn ever_fresh(batch_size: usize, prefix: &str) -> StreamConfig {
+        StreamConfig {
+            batch_size,
+            delete_fraction: 0.5,
+            payload_prefix: format!("{prefix}-"),
+            ..StreamConfig::default()
+        }
+    }
+}
+
 /// Generator of batched update streams over `M(name, gen, dir)`.
 ///
 /// Deterministic per seed. The generator tracks the live tuple population
@@ -183,6 +199,23 @@ mod prefix_tests {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ever_fresh_preset_balances_churn_under_a_unique_prefix() {
+        let cfg = StreamConfig::ever_fresh(24, "cell-a");
+        assert_eq!(cfg.batch_size, 24);
+        assert_eq!(cfg.delete_fraction, 0.5);
+        assert_eq!(cfg.payload_prefix, "cell-a-");
+        let mut g = StreamGen::new(11, cfg);
+        g.database(10);
+        let batch = g.next_batch();
+        assert_eq!(batch.len(), 24);
+        for (_, d) in &batch {
+            let (v, _) = d.iter().next().unwrap();
+            let name = format!("{}", v.project(0).unwrap());
+            assert!(name.contains("cell-a-"), "got {name}");
+        }
+    }
 
     #[test]
     fn deterministic_per_seed() {
