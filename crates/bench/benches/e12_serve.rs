@@ -1,0 +1,95 @@
+//! Criterion bench for experiment E12: aggregate read throughput of
+//! concurrent snapshot readers under live ingest. The full latency
+//! percentiles and the consistency check live in the harness run
+//! (`results/e12_serve.json`); this wrapper guards that the publication
+//! protocol (versioned Arc swap + per-reader caching) does not tax the
+//! read hot path as reader counts grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_engine::{CollectPolicy, Parallelism, Strategy, UpdateBatch};
+use nrc_serve::ServingSystem;
+use nrc_workloads::{reader_op_sets, ReadMixConfig, ReadOp, StreamConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Ingest a short ever-fresh stream while `readers` threads hammer the
+/// published snapshots; returns total reads served.
+fn serve_reads(strategy: Strategy, readers: usize, prefix: &str) -> u64 {
+    let cfg = StreamConfig::ever_fresh(48, &format!("e12-bench-{prefix}-{readers}"));
+    let (mut engine, mut gen) = nrc_bench::e8_batch::setup_with(96, strategy, 42, cfg);
+    engine.set_parallelism(Parallelism::Sequential);
+    let mut serve = ServingSystem::new(engine).expect("serving system");
+    serve.set_collect_policy(CollectPolicy::Bounded {
+        max_slots: 72,
+        every: 1,
+    });
+    let mix = ReadMixConfig {
+        ops: 64,
+        ..ReadMixConfig::default()
+    };
+    let op_sets = reader_op_sets(42, readers, &mix, &gen);
+    let handles: Vec<_> = (0..readers).map(|_| serve.reader()).collect();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let threads: Vec<_> = handles
+            .into_iter()
+            .zip(&op_sets)
+            .map(|(mut reader, ops)| {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut reads = 0u64;
+                    'run: loop {
+                        for op in ops {
+                            if stop.load(Ordering::Acquire) {
+                                break 'run;
+                            }
+                            let snap = reader.current();
+                            match op {
+                                ReadOp::Point(v) => {
+                                    criterion::black_box(snap.get("v1", v).expect("view"));
+                                }
+                                ReadOp::Scan { limit } => {
+                                    let bag = snap.view("v1").expect("view");
+                                    criterion::black_box(bag.iter().take(*limit).count());
+                                }
+                            }
+                            reads += 1;
+                        }
+                    }
+                    reads
+                })
+            })
+            .collect();
+        for _ in 0..4 {
+            let b = UpdateBatch::from_updates(gen.next_batch());
+            serve.apply_batch(&b).expect("batch");
+        }
+        stop.store(true, Ordering::Release);
+        threads.into_iter().map(|t| t.join().expect("reader")).sum()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_serve");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, strategy) in [
+        ("first_order", Strategy::FirstOrder),
+        ("shredded", Strategy::Shredded),
+    ] {
+        for readers in [1usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("readers{readers}")),
+                &(),
+                |b, ()| b.iter(|| criterion::black_box(serve_reads(strategy, readers, label))),
+            );
+        }
+    }
+    // Leave the arena clean for whatever runs after the bench.
+    nrc_data::intern::collect_now();
+    nrc_data::intern::collect_now();
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -17,8 +17,8 @@
 
 use nrc_bench::Table;
 use nrc_bench::{
-    budget, e10_gc, e11_latency, e1_related, e2_filter, e3_recursive, e4_cost, e5_deep, e6_circuit,
-    e7_degree, e8_batch, e9_intern,
+    budget, e10_gc, e11_latency, e12_serve, e1_related, e2_filter, e3_recursive, e4_cost, e5_deep,
+    e6_circuit, e7_degree, e8_batch, e9_intern,
 };
 use std::io::Write;
 
@@ -40,6 +40,16 @@ fn run_e11(quick: bool) -> Table {
         eprintln!("warning: could not write results/e11_latency.json: {e}");
     }
     e11_latency::report_table(&report)
+}
+
+/// Run E12 and persist its machine-readable report — the artifact the CI
+/// `serve-smoke` job budgets against.
+fn run_e12(quick: bool) -> Table {
+    let report = e12_serve::measure(quick);
+    if let Err(e) = e12_serve::write_serve_report(&report, "results/e12_serve.json") {
+        eprintln!("warning: could not write results/e12_serve.json: {e}");
+    }
+    e12_serve::report_table(&report)
 }
 
 fn main() {
@@ -84,6 +94,7 @@ fn main() {
         ("e9", e9_intern::run),
         ("e10", run_e10),
         ("e11", run_e11),
+        ("e12", run_e12),
     ];
     let known: Vec<&str> = runs.iter().map(|(id, _)| *id).collect();
     for sel in &selected {

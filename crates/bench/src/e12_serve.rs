@@ -1,0 +1,481 @@
+//! E12 — concurrent snapshot serving: read latency and throughput of N
+//! reader threads doing skewed point lookups and scans against published
+//! snapshots while the writer ingests the ever-fresh stream.
+//!
+//! The serving claim under test: with `nrc_serve::ServingSystem`, readers
+//! on other threads serve from frozen, internally consistent snapshots
+//! with no writer contention — point reads on an unchanged snapshot are a
+//! single atomic version check plus a map lookup — and bounded GC running
+//! under live ingest never surfaces a stale value through a live snapshot.
+//!
+//! Grid: {1, 2, 4} reader threads × {first-order, shredded} views ×
+//! {`Never`, `Bounded`} collect policies. Per cell the writer ingests the
+//! E10/E11 ever-fresh 50%-deletion stream (cell-unique payload prefixes)
+//! at a fixed small arrival pacing while the readers replay their seeded
+//! [`ReadOp`] sequences continuously, recording per-read latency and — for
+//! a deterministic subsample — `(batch_index, op, observation)` triples.
+//!
+//! **Consistency check**: after the run, the identical stream is replayed
+//! sequentially on a fresh engine, recording the read view's state after
+//! every batch; every sampled read must equal the same op executed against
+//! the replay state at the *snapshot's* batch index. Zero violations is an
+//! acceptance criterion, not a statistic.
+//!
+//! The machine-readable outcome ([`ServeReport`]) backs the CI
+//! `serve-smoke` job: the harness writes `results/e12_serve.json` and the
+//! shared budget gate compares `max_read_p99_us` against
+//! `results/serve_budget.json`.
+
+use crate::e11_latency::percentile;
+use crate::report::{fmt_us, Table};
+use nrc_data::Bag;
+use nrc_engine::{CollectPolicy, Parallelism, Strategy, UpdateBatch};
+use nrc_serve::{ServingSystem, Snapshot};
+use nrc_workloads::{reader_op_sets, ReadMixConfig, ReadOp, StreamConfig};
+use serde::Serialize;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Sweep parameters: `(initial cardinality, batches, batch size)`.
+pub fn sizes(quick: bool) -> (usize, usize, usize) {
+    if quick {
+        (96, 16, 48)
+    } else {
+        (256, 48, 128)
+    }
+}
+
+/// Reader-thread counts of the grid.
+pub const READER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The view every read op targets (registered by all strategies in the
+/// shared E8 setup).
+pub const READ_VIEW: &str = "v1";
+
+/// Writer arrival pacing between batches, µs: stretches ingest over wall
+/// time so readers overlap many snapshot versions (the pacing sleep is not
+/// part of any measured latency).
+const ARRIVAL_PACING_US: u64 = 200;
+
+/// Every n-th read contributes a consistency sample…
+const SAMPLE_EVERY: u64 = 8;
+/// …up to this many samples per reader.
+const MAX_SAMPLES: usize = 512;
+
+/// Per-increment sweep budget of the bounded cells (the E11 sizing: a
+/// little above the stream's per-batch garbage rate).
+pub fn bounded_budget(quick: bool) -> u64 {
+    let (_, _, batch_size) = sizes(quick);
+    (batch_size as u64) * 3 / 2
+}
+
+/// The policy grid.
+pub fn policies(quick: bool) -> Vec<(&'static str, CollectPolicy)> {
+    vec![
+        ("never", CollectPolicy::Never),
+        (
+            "bounded",
+            CollectPolicy::Bounded {
+                max_slots: bounded_budget(quick),
+                every: 1,
+            },
+        ),
+    ]
+}
+
+/// The measured outcome of one (strategy, policy, readers) cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeCell {
+    /// Strategy name (`first-order` / `shredded`).
+    pub strategy: String,
+    /// Policy label (`never` / `bounded`).
+    pub policy: String,
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// Reads executed across all readers while the writer ingested.
+    pub reads_total: u64,
+    /// Aggregate read throughput, reads per second.
+    pub reads_per_sec: f64,
+    /// Median per-read latency, µs.
+    pub read_p50_us: f64,
+    /// 99th-percentile per-read latency, µs.
+    pub read_p99_us: f64,
+    /// Worst single read, µs.
+    pub read_max_us: f64,
+    /// Median per-batch ingest latency, µs — wall time of the whole
+    /// serving call: refreshes, collection pauses, snapshot publication
+    /// and feed fan-out.
+    pub ingest_p50_us: f64,
+    /// 99th-percentile per-batch ingest latency, µs.
+    pub ingest_p99_us: f64,
+    /// Snapshots published over the cell's lifetime.
+    pub snapshots_published: u64,
+    /// Arena collections the policy triggered.
+    pub collections: u64,
+    /// Consistency samples re-executed against the sequential replay.
+    pub samples_checked: u64,
+    /// Samples that disagreed with the replay (must be 0).
+    pub consistency_violations: u64,
+}
+
+/// The full E12 outcome: per-cell rows plus the budget-gated scalars.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeReport {
+    /// Ran at quick sizes?
+    pub quick: bool,
+    /// Initial relation cardinality.
+    pub n: usize,
+    /// Batches streamed per cell.
+    pub batches: usize,
+    /// Raw updates per batch.
+    pub batch_size: usize,
+    /// `Bounded::max_slots` of the bounded cells.
+    pub bounded_max_slots: u64,
+    /// Max over all cells of the read p99, whole µs rounded up — the
+    /// scalar `results/serve_budget.json` gates in CI.
+    pub max_read_p99_us: u64,
+    /// Sum of `consistency_violations` over all cells (acceptance: 0).
+    pub total_consistency_violations: u64,
+    /// Per-cell measurements.
+    pub rows: Vec<ServeCell>,
+}
+
+/// One sampled read: enough to re-execute it against a sequential replay.
+struct Sample {
+    batch_index: u64,
+    op_idx: usize,
+    observed: u64,
+}
+
+/// What one reader thread brought home.
+struct ReaderOutcome {
+    latencies_us: Vec<f64>,
+    samples: Vec<Sample>,
+    reads: u64,
+    wall_us: f64,
+}
+
+/// Execute one read op against a snapshot, reduced to a comparable `u64`:
+/// the multiplicity for point lookups, an order-sensitive digest of the
+/// visited prefix for scans.
+fn exec_on_snapshot(snap: &Snapshot, op: &ReadOp) -> u64 {
+    match op {
+        ReadOp::Point(v) => snap.get(READ_VIEW, v).expect("read view") as u64,
+        ReadOp::Scan { limit } => scan_digest(snap.view(READ_VIEW).expect("read view"), *limit),
+    }
+}
+
+/// The same reduction against a plain bag (the replay side).
+fn exec_on_bag(bag: &Bag, op: &ReadOp) -> u64 {
+    match op {
+        ReadOp::Point(v) => bag.multiplicity(v) as u64,
+        ReadOp::Scan { limit } => scan_digest(bag, *limit),
+    }
+}
+
+/// Order-sensitive digest of a bag's first `limit` entries.
+fn scan_digest(bag: &Bag, limit: usize) -> u64 {
+    let mut h = DefaultHasher::new();
+    for (v, m) in bag.iter().take(limit) {
+        v.to_string().hash(&mut h);
+        m.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The read mix every cell uses.
+fn read_mix() -> ReadMixConfig {
+    ReadMixConfig {
+        ops: 192,
+        point_fraction: 0.8,
+        miss_fraction: 0.1,
+        skew: 2.0,
+        scan_limit: 24,
+    }
+}
+
+/// Stream `nbatches` through a `ServingSystem` while `readers` threads
+/// execute their op sequences against published snapshots.
+fn run_cell(
+    name: &str,
+    strategy: Strategy,
+    policy_label: &str,
+    policy: CollectPolicy,
+    readers: usize,
+    quick: bool,
+) -> ServeCell {
+    let (n, nbatches, batch_size) = sizes(quick);
+    let cfg =
+        StreamConfig::ever_fresh(batch_size, &format!("e12-{name}-{policy_label}-r{readers}"));
+    let (mut engine, mut gen) = crate::e8_batch::setup_with(n, strategy, 42, cfg.clone());
+    engine.set_parallelism(Parallelism::Sequential);
+    let mut serve = ServingSystem::new(engine).expect("serving system");
+    serve.set_collect_policy(policy);
+    // Op sequences are drawn from the pre-stream population; the replay
+    // below re-executes the very same lists.
+    let op_sets = reader_op_sets(42, readers, &read_mix(), &gen);
+    let handles: Vec<_> = (0..readers).map(|_| serve.reader()).collect();
+
+    let stop = AtomicBool::new(false);
+    let mut ingest_us: Vec<f64> = Vec::with_capacity(nbatches);
+    let outcomes: Vec<ReaderOutcome> = std::thread::scope(|scope| {
+        let threads: Vec<_> = handles
+            .into_iter()
+            .zip(&op_sets)
+            .map(|(mut reader, ops)| {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut latencies_us = Vec::new();
+                    let mut samples = Vec::new();
+                    let mut reads = 0u64;
+                    let start = Instant::now();
+                    'run: loop {
+                        for (op_idx, op) in ops.iter().enumerate() {
+                            if stop.load(Ordering::Acquire) {
+                                break 'run;
+                            }
+                            let t = Instant::now();
+                            let snap = reader.current();
+                            let observed = exec_on_snapshot(snap, op);
+                            latencies_us.push(t.elapsed().as_nanos() as f64 / 1e3);
+                            reads += 1;
+                            if reads % SAMPLE_EVERY == 0 && samples.len() < MAX_SAMPLES {
+                                samples.push(Sample {
+                                    batch_index: snap.batch_index(),
+                                    op_idx,
+                                    observed,
+                                });
+                            }
+                        }
+                    }
+                    ReaderOutcome {
+                        latencies_us,
+                        samples,
+                        reads,
+                        wall_us: start.elapsed().as_nanos() as f64 / 1e3,
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..nbatches {
+            let batch = UpdateBatch::from_updates(gen.next_batch());
+            // Wall time around the whole serving call, so collection
+            // pauses, snapshot publication and feed fan-out all count.
+            let t = Instant::now();
+            serve.apply_batch(&batch).expect("serving batch");
+            ingest_us.push(t.elapsed().as_nanos() as f64 / 1e3);
+            // Arrival pacing (not measured): gives readers wall time on
+            // every published version.
+            std::thread::sleep(Duration::from_micros(ARRIVAL_PACING_US));
+        }
+        stop.store(true, Ordering::Release);
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("reader thread"))
+            .collect()
+    });
+
+    // Sequential replay of the identical stream (same seed + config):
+    // record the read view after every batch, then re-execute each sample
+    // at its snapshot's batch index.
+    let (mut replay, mut replay_gen) = crate::e8_batch::setup_with(n, strategy, 42, cfg);
+    replay.set_parallelism(Parallelism::Sequential);
+    let mut states: Vec<Bag> = Vec::with_capacity(nbatches + 1);
+    states.push(replay.view(READ_VIEW).expect("replay view"));
+    for _ in 0..nbatches {
+        let batch = UpdateBatch::from_updates(replay_gen.next_batch());
+        replay.apply_batch(&batch).expect("replay batch");
+        states.push(replay.view(READ_VIEW).expect("replay view"));
+    }
+    let mut samples_checked = 0u64;
+    let mut violations = 0u64;
+    for (outcome, ops) in outcomes.iter().zip(&op_sets) {
+        for s in &outcome.samples {
+            samples_checked += 1;
+            let expected = exec_on_bag(&states[s.batch_index as usize], &ops[s.op_idx]);
+            if expected != s.observed {
+                violations += 1;
+            }
+        }
+    }
+
+    let mut all_latencies: Vec<f64> = Vec::new();
+    let mut reads_total = 0u64;
+    let mut max_wall_us: f64 = 0.0;
+    for o in &outcomes {
+        all_latencies.extend_from_slice(&o.latencies_us);
+        reads_total += o.reads;
+        max_wall_us = max_wall_us.max(o.wall_us);
+    }
+    let stats = serve.serve_stats();
+    ServeCell {
+        strategy: name.to_string(),
+        policy: policy_label.to_string(),
+        readers,
+        reads_total,
+        reads_per_sec: reads_total as f64 / (max_wall_us / 1e6).max(1e-9),
+        read_p50_us: percentile(&all_latencies, 0.50),
+        read_p99_us: percentile(&all_latencies, 0.99),
+        read_max_us: percentile(&all_latencies, 1.0),
+        ingest_p50_us: percentile(&ingest_us, 0.50),
+        ingest_p99_us: percentile(&ingest_us, 0.99),
+        snapshots_published: stats.snapshots_published,
+        collections: serve.batch_stats().collections_run,
+        samples_checked,
+        consistency_violations: violations,
+    }
+}
+
+/// Drain whatever the last cell left dying (two sweeps: value trees
+/// cascade).
+fn drain_garbage() {
+    nrc_data::intern::collect_now();
+    nrc_data::intern::collect_now();
+}
+
+/// Run the measurements (the harness writes the report to
+/// `results/e12_serve.json`; [`run`] renders it as a table).
+pub fn measure(quick: bool) -> ServeReport {
+    let (n, nbatches, batch_size) = sizes(quick);
+    let strategies = [
+        ("first-order", Strategy::FirstOrder),
+        ("shredded", Strategy::Shredded),
+    ];
+    let mut rows = Vec::new();
+    for (name, strategy) in strategies {
+        for (policy_label, policy) in policies(quick) {
+            for readers in READER_COUNTS {
+                drain_garbage();
+                rows.push(run_cell(
+                    name,
+                    strategy,
+                    policy_label,
+                    policy,
+                    readers,
+                    quick,
+                ));
+                drain_garbage();
+            }
+        }
+    }
+    ServeReport {
+        quick,
+        n,
+        batches: nbatches,
+        batch_size,
+        bounded_max_slots: bounded_budget(quick),
+        max_read_p99_us: rows
+            .iter()
+            .map(|r| r.read_p99_us.ceil() as u64)
+            .max()
+            .unwrap_or(0),
+        total_consistency_violations: rows.iter().map(|r| r.consistency_violations).sum(),
+        rows,
+    }
+}
+
+/// Render a [`ServeReport`] as the experiment table.
+pub fn report_table(r: &ServeReport) -> Table {
+    let mut t = Table::new(
+        "E12",
+        format!(
+            "concurrent snapshot serving: {{1,2,4}} readers (80% skewed points, \
+             20% scans) vs live ingest of {} batches × {} updates over n={}, \
+             Never vs Bounded{{max_slots: {}, every: 1}}",
+            r.batches, r.batch_size, r.n, r.bounded_max_slots
+        ),
+        &[
+            "strategy",
+            "policy",
+            "readers",
+            "reads/s",
+            "read p50",
+            "read p99",
+            "read max",
+            "ingest p99",
+            "snapshots",
+            "violations",
+        ],
+    );
+    for row in &r.rows {
+        t.row(vec![
+            row.strategy.clone(),
+            row.policy.clone(),
+            row.readers.to_string(),
+            format!("{:.0}", row.reads_per_sec),
+            fmt_us(row.read_p50_us),
+            fmt_us(row.read_p99_us),
+            fmt_us(row.read_max_us),
+            fmt_us(row.ingest_p99_us),
+            row.snapshots_published.to_string(),
+            row.consistency_violations.to_string(),
+        ]);
+    }
+    t.note(format!(
+        "budgeted max read p99: {} µs; every sampled read was re-executed against \
+         a sequential replay at its snapshot's batch index — {} violations across \
+         {} samples (acceptance requires 0)",
+        r.max_read_p99_us,
+        r.total_consistency_violations,
+        r.rows.iter().map(|c| c.samples_checked).sum::<u64>()
+    ));
+    t
+}
+
+/// Run the experiment (table only; the harness uses [`measure`] +
+/// [`report_table`] so it can also persist the machine-readable report).
+pub fn run(quick: bool) -> Table {
+    report_table(&measure(quick))
+}
+
+/// Serialize a report to `path` as JSON (the `serve-smoke` artifact).
+pub fn write_serve_report(r: &ServeReport, path: &str) -> std::io::Result<()> {
+    crate::write_json_report(r, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_reads_are_consistent_with_sequential_replay() {
+        let report = measure(true);
+        assert_eq!(
+            report.rows.len(),
+            12,
+            "2 strategies × 2 policies × 3 reader counts"
+        );
+        assert_eq!(
+            report.total_consistency_violations, 0,
+            "a sampled read diverged from sequential replay: {report:?}"
+        );
+        for row in &report.rows {
+            assert!(row.reads_total > 0, "readers must make progress: {row:?}");
+            assert!(row.samples_checked > 0, "{row:?}");
+            assert!(row.read_p99_us >= row.read_p50_us, "{row:?}");
+            // One snapshot per batch on top of the initial + registration
+            // publications.
+            assert!(row.snapshots_published > report.batches as u64, "{row:?}");
+            match row.policy.as_str() {
+                "never" => assert_eq!(row.collections, 0, "{row:?}"),
+                "bounded" => assert_eq!(row.collections, report.batches as u64, "{row:?}"),
+                other => panic!("unexpected policy {other}"),
+            }
+        }
+        // The acceptance criterion: ≥2 readers sustained concurrent reads
+        // during ingest, under bounded collection, with zero violations.
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.readers >= 2 && r.policy == "bounded" && r.reads_total > 0));
+    }
+
+    #[test]
+    fn quick_run_produces_full_grid() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 12);
+        assert_eq!(t.columns.len(), 10);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod budget;
 pub mod e10_gc;
 pub mod e11_latency;
+pub mod e12_serve;
 pub mod e1_related;
 pub mod e2_filter;
 pub mod e3_recursive;

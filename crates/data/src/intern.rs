@@ -485,6 +485,29 @@ pub fn pin() -> EpochPin {
     EpochPin { epoch }
 }
 
+impl EpochPin {
+    /// The epoch this pin was taken at: no collection horizon can pass it
+    /// while the pin is held.
+    #[must_use]
+    pub fn epoch(&self) -> Epoch {
+        Epoch(self.epoch)
+    }
+}
+
+/// The oldest outstanding pinned epoch — the *pin horizon*: no collection
+/// can reclaim a slot that died at or after it. `None` when no pin is held
+/// (sweeps are then limited only by their own horizon epoch).
+///
+/// Serving layers that hand out long-lived snapshots (each holding an
+/// [`EpochPin`]) surface this figure in their stats: the horizon equals the
+/// oldest outstanding snapshot's epoch, and dropping that snapshot advances
+/// it — the observable guarantee that bounded GC never frees a slot a live
+/// snapshot can still resolve.
+#[must_use]
+pub fn pin_horizon() -> Option<Epoch> {
+    min_pinned().map(Epoch)
+}
+
 impl Drop for EpochPin {
     fn drop(&mut self) {
         let mut pins = match INTERNER.pins.lock() {
@@ -1308,6 +1331,28 @@ mod tests {
         drop(epoch_pin);
         collect_now();
         assert!(lookup(&v).is_none(), "slot must be reclaimed after unpin");
+    }
+
+    #[test]
+    fn pin_horizon_tracks_the_oldest_outstanding_pin() {
+        let _serial = gc_serial();
+        // Serialized: every pinning test in this crate holds `gc_serial`.
+        assert_eq!(pin_horizon(), None);
+        let p1 = pin();
+        let e1 = p1.epoch();
+        assert_eq!(pin_horizon(), Some(e1));
+        advance_epoch();
+        let p2 = pin();
+        assert!(p2.epoch() >= e1);
+        assert_eq!(pin_horizon(), Some(e1), "the oldest pin is the horizon");
+        drop(p1);
+        assert_eq!(
+            pin_horizon(),
+            Some(p2.epoch()),
+            "dropping the oldest pin advances the horizon"
+        );
+        drop(p2);
+        assert_eq!(pin_horizon(), None);
     }
 
     #[test]

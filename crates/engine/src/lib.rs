@@ -41,4 +41,4 @@ pub use error::EngineError;
 pub use nrc_data::ArenaStats;
 pub use shredded::ShreddedUpdate;
 pub use stats::{BatchStats, ViewStats};
-pub use system::{CollectPolicy, IvmSystem, Parallelism, Strategy, UpdateBatch};
+pub use system::{CollectPolicy, IvmSystem, Parallelism, Strategy, UpdateBatch, ViewStateSnapshot};

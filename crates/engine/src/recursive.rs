@@ -38,6 +38,10 @@ pub struct RecursiveView {
     pub stats: ViewStats,
     /// Element type of the result bag.
     pub elem_ty: Type,
+    /// When `Some`, every applied change to *this* view (not its
+    /// auxiliaries) is additionally `⊎`-merged here — the engine's
+    /// per-batch delta-capture hook. `None` costs nothing.
+    pub(crate) captured_delta: Option<Bag>,
 }
 
 /// A named auxiliary materialization.
@@ -98,6 +102,7 @@ impl RecursiveView {
             auxes,
             stats,
             elem_ty,
+            captured_delta: None,
         })
     }
 
@@ -159,6 +164,9 @@ impl RecursiveView {
             if let Some((change, steps)) = main {
                 self.stats.refresh_steps += steps;
                 self.stats.last_delta_card = change.cardinality();
+                if let Some(captured) = self.captured_delta.as_mut() {
+                    captured.union_assign(&change);
+                }
                 self.result.union_assign(&change);
             }
         } else {
@@ -170,6 +178,9 @@ impl RecursiveView {
                 let change = eval_query(d, &mut env)?;
                 self.stats.refresh_steps += env.steps;
                 self.stats.last_delta_card = change.cardinality();
+                if let Some(captured) = self.captured_delta.as_mut() {
+                    captured.union_assign(&change);
+                }
                 self.result.union_assign(&change);
             }
             for aux in &mut self.auxes {

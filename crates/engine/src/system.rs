@@ -47,6 +47,28 @@ enum ViewKind {
     Shredded(Box<ShreddedView>),
 }
 
+/// A cheap, copy-on-write snapshot of one view's materialized state (see
+/// [`IvmSystem::view_state`]). Every component is `Arc`-backed, so the
+/// snapshot stays internally consistent — frozen at the quiescent point it
+/// was taken — no matter how the engine mutates afterwards.
+#[derive(Clone, Debug)]
+pub enum ViewStateSnapshot {
+    /// The nested result bag (re-evaluation / first-order / recursive
+    /// views hold their result in nested form directly).
+    Nested(Bag),
+    /// A shredded view's state: the flat result, the context dictionaries,
+    /// and the element type `nrc_core::shred::nest_bag` needs to nest them
+    /// on demand.
+    Shredded {
+        /// Materialized flat result (`Arc`-backed).
+        flat: Bag,
+        /// Context dictionaries restricted to reachable labels.
+        ctx: Value,
+        /// Element type of the nested result.
+        elem_ty: nrc_data::Type,
+    },
+}
+
 /// When [`IvmSystem::apply_batch`] reclaims memory: the intern arena
 /// (`nrc_data::intern::collect`) and the shredded store's orphaned
 /// dictionary definitions ([`ShreddedStore::gc`]) are collected on the same
@@ -78,7 +100,9 @@ pub enum CollectPolicy {
     /// ([`BatchStats::max_collect_nanos`] is the measured ceiling).
     Bounded {
         /// Per-pause sweep budget: at most this many slots freed per
-        /// increment (`0` is treated as `1`).
+        /// increment. `0` selects **auto-sizing** (see
+        /// [`CollectPolicy::bounded_auto`]): the budget tracks an EWMA of
+        /// the observed garbage rate instead of a hand-picked constant.
         max_slots: u64,
         /// Run an increment after every `every`-th batch (`1` = every
         /// batch, the tightest pacing).
@@ -123,6 +147,20 @@ impl CollectPolicy {
     /// the live working set, whatever that working set is.
     pub fn watermark_auto() -> CollectPolicy {
         CollectPolicy::HighWatermark { live: 0, bytes: 0 }
+    }
+
+    /// Self-tuning bounded pacing: one increment per batch whose per-pause
+    /// sweep budget is sized from the *observed garbage rate* — an EWMA
+    /// (α = ¼) of dying-slot production between increments, with 1.5×
+    /// headroom and a small floor — re-armed after every collection, like
+    /// [`CollectPolicy::watermark_auto`]. Reclamation keeps up with
+    /// whatever the workload's churn turns out to be while each pause stays
+    /// proportional to that churn instead of a hand-picked `max_slots`.
+    pub fn bounded_auto() -> CollectPolicy {
+        CollectPolicy::Bounded {
+            max_slots: 0,
+            every: 1,
+        }
     }
 }
 
@@ -231,6 +269,44 @@ impl UpdateBatch {
     }
 }
 
+/// Which views the batch path records per-view deltas for.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+enum DeltaCapture {
+    /// Capture off (the default — zero cost).
+    #[default]
+    Off,
+    /// Every registered view, *including* views registered after capture
+    /// was enabled (membership is decided per batch, not frozen).
+    All,
+    /// Exactly this (non-empty) set of view names.
+    Views(std::collections::BTreeSet<String>),
+}
+
+impl DeltaCapture {
+    fn enabled(&self) -> bool {
+        !matches!(self, DeltaCapture::Off)
+    }
+
+    fn armed(&self, name: &str) -> bool {
+        match self {
+            DeltaCapture::Off => false,
+            DeltaCapture::All => true,
+            DeltaCapture::Views(set) => set.contains(name),
+        }
+    }
+}
+
+/// Pre-batch state recorded by delta capture for the view kinds whose
+/// refresh does not hand the engine an explicit change bag: the per-batch
+/// delta is then the (copy-on-write cheap to take, O(view) to diff)
+/// before/after difference.
+enum CaptureBase {
+    /// Pre-batch nested result (re-evaluation baseline views).
+    Nested(Bag),
+    /// Pre-batch flat result + context dictionaries (shredded views).
+    Shredded { flat: Bag, ctx: Value },
+}
+
 /// The maintenance runtime.
 pub struct IvmSystem {
     db: Database,
@@ -247,6 +323,21 @@ pub struct IvmSystem {
     /// seeded from the first batch's observed arena bytes, re-armed after
     /// every collection from the post-collection live bytes.
     auto_watermark_bytes: Option<u64>,
+    /// EWMA of dying-slot production between bounded increments, for
+    /// [`CollectPolicy::bounded_auto`]. `None` until the first increment.
+    auto_bounded_ewma: Option<u64>,
+    /// `intern::pending_reclaim()` right after the previous auto-bounded
+    /// increment — the baseline the next increment's production is
+    /// measured against.
+    bounded_pending_baseline: u64,
+    /// Which views [`IvmSystem::apply_batch`] records per-batch deltas
+    /// for (see [`IvmSystem::set_delta_capture`] /
+    /// [`IvmSystem::set_delta_capture_views`]).
+    capture: DeltaCapture,
+    /// Per-view pre-batch state for the diff-captured view kinds.
+    capture_pre: BTreeMap<String, CaptureBase>,
+    /// The per-view coalesced deltas of the most recent captured batch.
+    last_view_deltas: BTreeMap<String, Bag>,
     /// Counters for the batched maintenance path.
     batch_stats: BatchStats,
 }
@@ -262,6 +353,11 @@ impl IvmSystem {
             parallelism: Parallelism::default(),
             collect_policy: CollectPolicy::default(),
             auto_watermark_bytes: None,
+            auto_bounded_ewma: None,
+            bounded_pending_baseline: 0,
+            capture: DeltaCapture::Off,
+            capture_pre: BTreeMap::new(),
+            last_view_deltas: BTreeMap::new(),
             batch_stats: BatchStats::default(),
         }
     }
@@ -282,6 +378,10 @@ impl IvmSystem {
     pub fn set_collect_policy(&mut self, policy: CollectPolicy) {
         self.collect_policy = policy;
         self.auto_watermark_bytes = None;
+        self.auto_bounded_ewma = None;
+        // Auto-bounded production is measured from the policy switch, not
+        // from whatever backlog predates it.
+        self.bounded_pending_baseline = intern::pending_reclaim();
     }
 
     /// The currently selected reclamation cadence.
@@ -292,6 +392,178 @@ impl IvmSystem {
     /// Counters for the batched maintenance path.
     pub fn batch_stats(&self) -> &BatchStats {
         &self.batch_stats
+    }
+
+    /// Enable or disable per-view delta capture on the batch path for
+    /// **all** registered views — membership is decided per batch, so
+    /// views registered later are captured too. While enabled, every
+    /// [`IvmSystem::apply_batch`] records, per captured view, the
+    /// coalesced change the batch applied to it — retrievable (and
+    /// cleared) with [`IvmSystem::take_view_deltas`]. This is the engine
+    /// half of a change feed: a serving layer fans the captured deltas out
+    /// to subscribers. Use [`IvmSystem::set_delta_capture_views`] to pay
+    /// the capture cost only for the views that actually have listeners.
+    ///
+    /// Cost, per captured view: first-order and recursive views capture
+    /// the change bag their refresh already evaluates (O(|Δview|) extra
+    /// `⊎` work); re-evaluation and shredded views have no incremental
+    /// change bag, so their delta is the before/after difference of the
+    /// materialized result — O(view) per batch, only while captured.
+    /// Disabling clears all capture state.
+    pub fn set_delta_capture(&mut self, enabled: bool) {
+        if enabled {
+            self.capture = DeltaCapture::All;
+        } else {
+            self.set_delta_capture_views(std::collections::BTreeSet::new());
+        }
+    }
+
+    /// Capture per-batch deltas for exactly `views` (an empty set turns
+    /// capture off). Unregistered names are ignored. Views outside the set
+    /// pay nothing — neither the pre-batch state cloning nor the O(view)
+    /// diff of the re-evaluation/shredded capture path.
+    pub fn set_delta_capture_views(&mut self, views: std::collections::BTreeSet<String>) {
+        if views.is_empty() {
+            self.capture = DeltaCapture::Off;
+            self.clear_delta_capture();
+            self.last_view_deltas.clear();
+        } else {
+            self.capture = DeltaCapture::Views(views);
+        }
+    }
+
+    /// Is per-view delta capture enabled (for at least one view)?
+    pub fn delta_capture(&self) -> bool {
+        self.capture.enabled()
+    }
+
+    /// The per-view coalesced deltas recorded by the most recent
+    /// successfully captured batch (empty when capture is off, no batch has
+    /// run yet, or the deltas were already taken). Views untouched by the
+    /// batch map to the empty bag.
+    #[must_use]
+    pub fn take_view_deltas(&mut self) -> BTreeMap<String, Bag> {
+        std::mem::take(&mut self.last_view_deltas)
+    }
+
+    /// A cheap, copy-on-write snapshot of one view's materialized state,
+    /// taken at a quiescent point (between updates/batches): the nested
+    /// result bag for re-evaluation / first-order / recursive views, or the
+    /// flat result plus context dictionaries (and the element type needed
+    /// to nest them) for shredded views. All components are `Arc`-backed —
+    /// taking one is O(1) pointer bumps per component, and later engine
+    /// mutations copy-on-write without disturbing it. This is the
+    /// publication hook concurrent snapshot serving (`nrc-serve`) builds
+    /// immutable [`Snapshot`]s from.
+    ///
+    /// [`Snapshot`]: https://docs.rs/nrc-serve
+    pub fn view_state(&self, name: &str) -> Result<ViewStateSnapshot, EngineError> {
+        match self.views.get(name) {
+            None => Err(EngineError::UnknownView(name.to_owned())),
+            Some(ViewKind::Reeval(v)) => Ok(ViewStateSnapshot::Nested(v.result.clone())),
+            Some(ViewKind::FirstOrder(v)) => Ok(ViewStateSnapshot::Nested(v.result.clone())),
+            Some(ViewKind::Recursive(v)) => Ok(ViewStateSnapshot::Nested(v.result.clone())),
+            Some(ViewKind::Shredded(v)) => Ok(ViewStateSnapshot::Shredded {
+                flat: v.flat_result.clone(),
+                ctx: v.ctx_result.clone(),
+                elem_ty: v.shredded.elem_ty.clone(),
+            }),
+        }
+    }
+
+    /// Arm per-view capture for the coming batch (captured views only;
+    /// the rest are explicitly disarmed so stale state never accumulates).
+    fn begin_delta_capture(&mut self) {
+        self.capture_pre.clear();
+        // Take/restore instead of cloning: the set may be large and this
+        // runs on every captured batch.
+        let capture = std::mem::take(&mut self.capture);
+        for (name, kind) in self.views.iter_mut() {
+            let armed = capture.armed(name);
+            match kind {
+                ViewKind::Reeval(v) => {
+                    if armed {
+                        self.capture_pre
+                            .insert(name.clone(), CaptureBase::Nested(v.result.clone()));
+                    }
+                }
+                ViewKind::FirstOrder(v) => {
+                    v.captured_delta = armed.then(Bag::empty);
+                }
+                ViewKind::Recursive(v) => {
+                    v.captured_delta = armed.then(Bag::empty);
+                }
+                ViewKind::Shredded(v) => {
+                    if armed {
+                        self.capture_pre.insert(
+                            name.clone(),
+                            CaptureBase::Shredded {
+                                flat: v.flat_result.clone(),
+                                ctx: v.ctx_result.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.capture = capture;
+    }
+
+    /// Collect the per-view deltas armed by [`IvmSystem::begin_delta_capture`]
+    /// into `last_view_deltas`.
+    fn finish_delta_capture(&mut self) -> Result<(), EngineError> {
+        let pre = std::mem::take(&mut self.capture_pre);
+        // Take/restore instead of cloning (the restore below runs on the
+        // error path too, so the capture mode survives a failed diff).
+        let capture = std::mem::take(&mut self.capture);
+        let mut deltas = BTreeMap::new();
+        let mut outcome = Ok(());
+        for (name, kind) in self.views.iter_mut() {
+            if !capture.armed(name) {
+                continue;
+            }
+            let delta = match kind {
+                ViewKind::Reeval(v) => match pre.get(name) {
+                    Some(CaptureBase::Nested(before)) => before.delta_to(&v.result),
+                    _ => Bag::empty(),
+                },
+                ViewKind::FirstOrder(v) => v.captured_delta.take().unwrap_or_default(),
+                ViewKind::Recursive(v) => v.captured_delta.take().unwrap_or_default(),
+                ViewKind::Shredded(v) => {
+                    let diffed = match pre.get(name) {
+                        Some(CaptureBase::Shredded { flat, ctx }) => {
+                            nrc_core::shred::nest_bag(flat, &v.shredded.elem_ty, ctx)
+                                .map_err(EngineError::from)
+                                .and_then(|before| Ok(before.delta_to(&v.nested()?)))
+                        }
+                        _ => Ok(Bag::empty()),
+                    };
+                    match diffed {
+                        Ok(d) => d,
+                        Err(e) => {
+                            outcome = Err(e);
+                            break;
+                        }
+                    }
+                }
+            };
+            deltas.insert(name.clone(), delta);
+        }
+        self.capture = capture;
+        self.last_view_deltas = deltas;
+        outcome
+    }
+
+    /// Drop any armed capture state (error paths; capture disabling).
+    fn clear_delta_capture(&mut self) {
+        self.capture_pre.clear();
+        for kind in self.views.values_mut() {
+            match kind {
+                ViewKind::FirstOrder(v) => v.captured_delta = None,
+                ViewKind::Recursive(v) => v.captured_delta = None,
+                ViewKind::Reeval(_) | ViewKind::Shredded(_) => {}
+            }
+        }
     }
 
     /// The current database.
@@ -402,6 +674,9 @@ impl IvmSystem {
     /// ```
     pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<(), EngineError> {
         let start = Instant::now();
+        if self.capture.enabled() {
+            self.begin_delta_capture();
+        }
         let parallel = self.parallelism == Parallelism::Rayon;
         let mut segments = 0u64;
         let mut delta_card = 0u64;
@@ -426,6 +701,15 @@ impl IvmSystem {
         self.batch_stats.relation_segments += segments;
         self.batch_stats.delta_cardinality += delta_card;
         self.batch_stats.last_batch_updates = batch.raw_updates;
+        if self.capture.enabled() {
+            if outcome.is_ok() {
+                outcome = self.finish_delta_capture();
+            } else {
+                // Partial captures of a failed batch would be misleading.
+                self.clear_delta_capture();
+                self.last_view_deltas.clear();
+            }
+        }
         self.maybe_collect();
         // Batch timing *includes* any policy-triggered collection pause:
         // that pause is what the batch's caller actually waits out, and the
@@ -451,7 +735,11 @@ impl IvmSystem {
             CollectPolicy::Bounded { max_slots, every }
                 if every > 0 && self.batch_stats.batches_applied % every == 0 =>
             {
-                Some(Some(max_slots.max(1)))
+                if max_slots == 0 {
+                    Some(Some(self.auto_bounded_budget()))
+                } else {
+                    Some(Some(max_slots.max(1)))
+                }
             }
             CollectPolicy::Bounded { .. } => None,
             CollectPolicy::HighWatermark { live, bytes } => {
@@ -479,7 +767,33 @@ impl IvmSystem {
                 // Re-arm from the post-collection live working set.
                 self.auto_watermark_bytes = Some(Self::auto_threshold(intern::arena_stats().bytes));
             }
+            if matches!(
+                self.collect_policy,
+                CollectPolicy::Bounded { max_slots: 0, .. }
+            ) {
+                // Re-arm: the next increment's production is measured from
+                // the post-collection backlog.
+                self.bounded_pending_baseline = intern::pending_reclaim();
+            }
         }
+    }
+
+    /// The auto-sized per-pause budget of [`CollectPolicy::bounded_auto`]:
+    /// an EWMA (α = ¼) of dying-slot production between increments, with
+    /// 1.5× headroom (so reclamation outpaces the garbage rate and the
+    /// backlog stays non-accumulating) and a small floor (so a
+    /// near-quiescent stream still drains its backlog).
+    fn auto_bounded_budget(&mut self) -> u64 {
+        const HEADROOM_NUM: u64 = 3;
+        const HEADROOM_DEN: u64 = 2;
+        const FLOOR_SLOTS: u64 = 16;
+        let produced = intern::pending_reclaim().saturating_sub(self.bounded_pending_baseline);
+        let ewma = match self.auto_bounded_ewma {
+            None => produced,
+            Some(prev) => (prev * 3 + produced) / 4,
+        };
+        self.auto_bounded_ewma = Some(ewma);
+        (ewma * HEADROOM_NUM / HEADROOM_DEN).max(FLOOR_SLOTS)
     }
 
     /// The auto-tuned watermark: fire once the arena roughly doubles past
@@ -1229,6 +1543,163 @@ mod batch_tests {
         assert_eq!(bounded.batch_stats().collections_run, 4);
         assert!(bounded.batch_stats().collect_nanos > 0);
         assert!(bounded.batch_stats().max_collect_nanos > 0);
+    }
+
+    #[test]
+    fn delta_capture_records_per_view_batch_deltas() {
+        let mut sys = four_strategy_system();
+        sys.set_delta_capture(true);
+        assert!(sys.delta_capture());
+        let views = ["re", "fo", "rc", "sh", "sh_re"];
+        let before: Vec<(String, Bag)> = views
+            .iter()
+            .map(|v| (v.to_string(), sys.view(v).unwrap()))
+            .collect();
+        let mut batch = UpdateBatch::new();
+        for u in updates() {
+            batch.push("M", u);
+        }
+        sys.apply_batch(&batch).unwrap();
+        let deltas = sys.take_view_deltas();
+        assert_eq!(deltas.len(), views.len());
+        for (name, pre) in before {
+            let expected = pre.delta_to(&sys.view(&name).unwrap());
+            assert_eq!(
+                deltas[&name], expected,
+                "{name}: captured delta diverged from the before/after diff"
+            );
+        }
+        // Taking drains; a batch with capture disabled records nothing.
+        assert!(sys.take_view_deltas().is_empty());
+        sys.set_delta_capture(false);
+        sys.apply_batch(&batch).unwrap();
+        assert!(sys.take_view_deltas().is_empty());
+    }
+
+    #[test]
+    fn delta_capture_can_be_scoped_to_a_view_subset() {
+        let mut sys = four_strategy_system();
+        sys.set_delta_capture_views(["fo".to_string()].into_iter().collect());
+        assert!(sys.delta_capture());
+        let mut batch = UpdateBatch::new();
+        batch.push("M", Bag::from_values([movie("Subset", "Action", "Mann")]));
+        sys.apply_batch(&batch).unwrap();
+        let deltas = sys.take_view_deltas();
+        assert_eq!(
+            deltas.keys().collect::<Vec<_>>(),
+            vec!["fo"],
+            "only the scoped view is captured"
+        );
+        assert_eq!(
+            deltas["fo"].multiplicity(&movie("Subset", "Action", "Mann")),
+            1
+        );
+        // An empty set turns capture off entirely.
+        sys.set_delta_capture_views(Default::default());
+        assert!(!sys.delta_capture());
+        sys.apply_batch(&batch).unwrap();
+        assert!(sys.take_view_deltas().is_empty());
+    }
+
+    #[test]
+    fn all_views_capture_includes_later_registrations() {
+        let mut sys = four_strategy_system();
+        sys.set_delta_capture(true);
+        sys.register(
+            "late",
+            filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "Action")),
+            Strategy::FirstOrder,
+        )
+        .unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.push("M", Bag::from_values([movie("Late", "Action", "Mann")]));
+        sys.apply_batch(&batch).unwrap();
+        let deltas = sys.take_view_deltas();
+        assert!(
+            deltas.contains_key("late"),
+            "all-views capture must include views registered after enabling: {:?}",
+            deltas.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            deltas["late"].multiplicity(&movie("Late", "Action", "Mann")),
+            1
+        );
+    }
+
+    #[test]
+    fn view_state_snapshots_are_frozen_at_the_quiescent_point() {
+        let mut sys = four_strategy_system();
+        let fo_before = match sys.view_state("fo").unwrap() {
+            ViewStateSnapshot::Nested(b) => b,
+            other => panic!("first-order views snapshot nested, got {other:?}"),
+        };
+        assert!(matches!(
+            sys.view_state("sh").unwrap(),
+            ViewStateSnapshot::Shredded { .. }
+        ));
+        assert!(matches!(
+            sys.view_state("zzz"),
+            Err(EngineError::UnknownView(_))
+        ));
+        let cardinality_before = fo_before.cardinality();
+        let mut batch = UpdateBatch::new();
+        batch.push("M", Bag::from_values([movie("Heat", "Action", "Mann")]));
+        sys.apply_batch(&batch).unwrap();
+        // The snapshot taken before the batch is untouched by it.
+        assert_ne!(fo_before, sys.view("fo").unwrap());
+        assert_eq!(fo_before.cardinality(), cardinality_before);
+    }
+
+    #[test]
+    fn bounded_auto_policy_collects_and_preserves_views() {
+        let mut plain = four_strategy_system();
+        let mut auto_sys = four_strategy_system();
+        auto_sys.set_collect_policy(CollectPolicy::bounded_auto());
+        assert_eq!(
+            auto_sys.collect_policy(),
+            CollectPolicy::Bounded {
+                max_slots: 0,
+                every: 1
+            }
+        );
+        for round in 0..4 {
+            // Churn: a batch of fresh unique payloads, then its undo —
+            // every round turns its insertions into garbage.
+            let mut fresh = UpdateBatch::new();
+            for i in 0..24 {
+                fresh.push(
+                    "M",
+                    Bag::from_values([movie(
+                        &format!("bounded-auto-{round:02}-{i:04}"),
+                        "Action",
+                        "Mann",
+                    )]),
+                );
+            }
+            let undo = UpdateBatch::from_updates(
+                fresh
+                    .segments()
+                    .map(|(r, b)| (r.to_string(), b.clone().negate())),
+            );
+            for b in [&fresh, &undo] {
+                plain.apply_batch(b).unwrap();
+                auto_sys.apply_batch(b).unwrap();
+            }
+            for view in ["re", "fo", "rc", "sh", "sh_re"] {
+                assert_eq!(
+                    plain.view(view).unwrap(),
+                    auto_sys.view(view).unwrap(),
+                    "{view} diverged in round {round} under bounded_auto"
+                );
+            }
+        }
+        let stats = auto_sys.batch_stats();
+        assert_eq!(stats.collections_run, 8, "one increment per batch");
+        assert!(
+            stats.arena_slots_freed > 0,
+            "auto-sized increments must reclaim: {stats:?}"
+        );
+        assert_eq!(plain.batch_stats().collections_run, 0);
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub struct FirstOrderView {
     pub stats: ViewStats,
     /// Element type of the result bag.
     pub elem_ty: Type,
+    /// When `Some`, every applied change is additionally `⊎`-merged here —
+    /// the engine's per-batch delta-capture hook (see
+    /// `IvmSystem::set_delta_capture`). `None` costs nothing.
+    pub(crate) captured_delta: Option<Bag>,
 }
 
 impl FirstOrderView {
@@ -121,6 +125,7 @@ impl FirstOrderView {
             result,
             stats,
             elem_ty,
+            captured_delta: None,
         })
     }
 
@@ -138,6 +143,9 @@ impl FirstOrderView {
             let change = eval_query(d, &mut env)?;
             self.stats.refresh_steps += env.steps;
             self.stats.last_delta_card = change.cardinality();
+            if let Some(captured) = self.captured_delta.as_mut() {
+                captured.union_assign(&change);
+            }
             self.result.union_assign(&change);
         }
         self.stats.updates_applied += 1;

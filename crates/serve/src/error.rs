@@ -1,0 +1,43 @@
+//! Serving-layer error type.
+
+use nrc_engine::EngineError;
+use std::fmt;
+
+/// Errors raised by the serving layer.
+///
+/// `Clone` on purpose: a [`crate::Snapshot`] caches the (rare) failure of
+/// its on-demand nesting alongside the success case, and every reader of
+/// that snapshot observes the same cached outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// An engine error (registration, batch application, nesting).
+    Engine(EngineError),
+    /// The named view is not part of the snapshot / system.
+    UnknownView(String),
+    /// A label lookup was issued against a view that is not maintained
+    /// shredded (only shredded views carry context dictionaries).
+    NotShredded(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "{e}"),
+            ServeError::UnknownView(v) => write!(f, "unknown view {v}"),
+            ServeError::NotShredded(v) => {
+                write!(
+                    f,
+                    "view {v} is not shredded: no label dictionaries to look up"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}

@@ -1,0 +1,67 @@
+//! # nrc-serve
+//!
+//! Concurrent snapshot serving over the IVM engine: one writer ingests
+//! update batches while many reader threads serve point lookups, scans and
+//! label lookups from immutable, internally consistent snapshots — with
+//! zero reader/writer contention and bounded GC that provably never frees
+//! a slot a live snapshot can resolve.
+//!
+//! ## The MVCC assembly
+//!
+//! The pieces were already on the shelf; this crate assembles them:
+//!
+//! * **Cheap snapshots** — bags and dictionaries are `Arc`-backed
+//!   copy-on-write maps, so freezing every registered view is O(views)
+//!   pointer bumps ([`nrc_engine::IvmSystem::view_state`]); the writer's
+//!   next batch mutates fresh copies, never a published snapshot's maps.
+//! * **Pinned reclamation** — each [`Snapshot`] holds an
+//!   [`nrc_data::EpochPin`], so the collector's horizon (the *pin
+//!   horizon*, [`nrc_data::intern::pin_horizon`]) never passes the oldest
+//!   outstanding snapshot; together with the retains its maps hold, every
+//!   value reachable through a live snapshot stays resolvable no matter
+//!   how much bounded collection runs under live ingest.
+//! * **Atomic publication** — a hand-rolled, versioned `Arc` swap: readers
+//!   poll a [`SnapshotReader`] whose steady state is one atomic load and
+//!   no lock (see [`snapshot`] module docs for the protocol).
+//! * **Change feeds** — [`ServingSystem::subscribe`] delivers each batch's
+//!   coalesced per-view delta (captured by the engine's refresh itself)
+//!   over a bounded drop-oldest queue, so consumers tail views without
+//!   polling ([`feed`] module docs).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nrc_core::builder::{cmp_lit, filter_query};
+//! use nrc_core::expr::CmpOp;
+//! use nrc_data::database::{example_movies, example_movies_update};
+//! use nrc_engine::{IvmSystem, Strategy, UpdateBatch};
+//! use nrc_serve::ServingSystem;
+//!
+//! let mut serve = ServingSystem::new(IvmSystem::new(example_movies())).unwrap();
+//! let dramas = filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "Drama"));
+//! serve.register("dramas", dramas, Strategy::FirstOrder).unwrap();
+//!
+//! // Reader side: a handle per thread; snapshots outlive later batches.
+//! let mut reader = serve.reader();
+//! let before = reader.snapshot();
+//!
+//! // Writer side: ingest and publish.
+//! let mut batch = UpdateBatch::new();
+//! batch.push("M", example_movies_update());
+//! serve.apply_batch(&batch).unwrap();
+//!
+//! let after = reader.snapshot();
+//! assert_eq!(before.cardinality("dramas").unwrap(), 1);
+//! assert_eq!(after.cardinality("dramas").unwrap(), 2);
+//! assert!(after.batch_index() > before.batch_index());
+//! ```
+
+pub mod error;
+pub mod feed;
+pub mod snapshot;
+pub mod system;
+
+pub use error::ServeError;
+pub use feed::{FeedDelta, Subscription};
+pub use snapshot::{Snapshot, SnapshotReader};
+pub use system::{ServeStats, ServingSystem};

@@ -1,0 +1,287 @@
+//! Immutable, internally consistent snapshots and their publication cell.
+//!
+//! A [`Snapshot`] freezes the state of every registered view at one
+//! quiescent batch boundary. Thanks to the copy-on-write data layer it is
+//! cheap to take — per view an `Arc` pointer bump of the materialized bag
+//! (plus, for shredded views, of the context dictionaries) — and safe to
+//! read from any thread while the writer keeps ingesting: later batches
+//! mutate fresh copies, never the maps a published snapshot shares.
+//!
+//! Two mechanisms keep a snapshot's contents *resolvable* (never
+//! [`nrc_data::DataError::StaleVid`]) for its whole lifetime, however much
+//! bounded GC runs concurrently:
+//!
+//! 1. the snapshot's `Arc`'d maps retain every interned element they key on
+//!    — a retained slot's live count can never reach zero, so no sweep
+//!    frees it;
+//! 2. the snapshot holds an [`EpochPin`] taken at publication, so the
+//!    collector's horizon can never pass the snapshot's epoch — the *pin
+//!    horizon* ([`nrc_data::intern::pin_horizon`]) equals the oldest
+//!    outstanding snapshot's epoch, and dropping that snapshot advances it.
+//!
+//! Publication is a hand-rolled `Arc` swap (the crate-private
+//! `PublishCell`): the writer
+//! installs a new `Arc<Snapshot>` under a briefly held write lock and then
+//! bumps a version counter. Readers go through a [`SnapshotReader`], which
+//! caches the last snapshot it fetched: while the version is unchanged a
+//! read costs one atomic load and no lock at all; when it changed, one
+//! shared read lock clones the new `Arc` out. Readers therefore never
+//! contend with the writer's view refreshes — only with the pointer swap
+//! itself, which is O(1).
+
+use crate::error::ServeError;
+use nrc_core::shred::nest_bag;
+use nrc_data::{Bag, Epoch, EpochPin, Label, Value};
+use nrc_engine::{EngineError, ViewStateSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Decrements the shared outstanding-snapshot counter on drop, so
+/// [`crate::ServeStats::outstanding_snapshots`] tracks exactly the
+/// snapshots still alive anywhere in the process.
+struct BacklogToken(Arc<AtomicU64>);
+
+impl BacklogToken {
+    fn new(counter: &Arc<AtomicU64>) -> BacklogToken {
+        counter.fetch_add(1, Ordering::Relaxed);
+        BacklogToken(Arc::clone(counter))
+    }
+}
+
+impl Drop for BacklogToken {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One view's frozen state plus the lazily materialized nested form of a
+/// shredded view (the first reader to need it pays the nesting once; every
+/// later reader of the same snapshot shares the cached result).
+struct ViewSnap {
+    state: ViewStateSnapshot,
+    nested: OnceLock<Result<Bag, ServeError>>,
+}
+
+impl ViewSnap {
+    fn new(state: ViewStateSnapshot) -> ViewSnap {
+        ViewSnap {
+            state,
+            nested: OnceLock::new(),
+        }
+    }
+
+    /// The nested result bag this view serves reads from.
+    fn bag(&self) -> Result<&Bag, ServeError> {
+        match &self.state {
+            ViewStateSnapshot::Nested(b) => Ok(b),
+            ViewStateSnapshot::Shredded { flat, ctx, elem_ty } => self
+                .nested
+                .get_or_init(|| {
+                    nest_bag(flat, elem_ty, ctx)
+                        .map_err(|e| ServeError::Engine(EngineError::from(e)))
+                })
+                .as_ref()
+                .map_err(Clone::clone),
+        }
+    }
+}
+
+/// An immutable view of the whole system at one quiescent batch boundary.
+///
+/// All read methods are `&self` and safe to call from many threads at
+/// once; none of them can observe a torn or mid-batch state, because every
+/// component was frozen together after the batch's refreshes completed.
+#[must_use = "a snapshot pins arena slots while it is alive; drop it when done reading"]
+pub struct Snapshot {
+    batch_index: u64,
+    epoch: Epoch,
+    views: BTreeMap<String, ViewSnap>,
+    /// Shields everything resolvable through this snapshot from collection
+    /// horizons (rule 2 of the module-level safety argument).
+    _pin: EpochPin,
+    _token: BacklogToken,
+}
+
+impl Snapshot {
+    pub(crate) fn new(
+        batch_index: u64,
+        views: BTreeMap<String, ViewStateSnapshot>,
+        pin: EpochPin,
+        outstanding: &Arc<AtomicU64>,
+    ) -> Snapshot {
+        Snapshot {
+            batch_index,
+            epoch: pin.epoch(),
+            views: views
+                .into_iter()
+                .map(|(n, s)| (n, ViewSnap::new(s)))
+                .collect(),
+            _pin: pin,
+            _token: BacklogToken::new(outstanding),
+        }
+    }
+
+    /// Number of engine batches applied when this snapshot was published
+    /// (the replay point its contents are consistent with).
+    #[must_use]
+    pub fn batch_index(&self) -> u64 {
+        self.batch_index
+    }
+
+    /// The reclamation epoch pinned by this snapshot.
+    #[must_use]
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Names of the views frozen in this snapshot.
+    pub fn view_names(&self) -> impl Iterator<Item = &str> {
+        self.views.keys().map(String::as_str)
+    }
+
+    /// Does the snapshot contain a view of this name?
+    #[must_use]
+    pub fn contains(&self, view: &str) -> bool {
+        self.views.contains_key(view)
+    }
+
+    /// The frozen nested result bag of a view. For shredded views the
+    /// nesting is materialized on the first access and shared by every
+    /// later reader of this snapshot.
+    pub fn view(&self, view: &str) -> Result<&Bag, ServeError> {
+        self.views
+            .get(view)
+            .ok_or_else(|| ServeError::UnknownView(view.to_owned()))?
+            .bag()
+    }
+
+    /// Point lookup: the multiplicity of `v` in the view (0 when absent).
+    /// Probing for a never-interned value does not touch the arena.
+    pub fn get(&self, view: &str, v: &Value) -> Result<i64, ServeError> {
+        Ok(self.view(view)?.multiplicity(v))
+    }
+
+    /// Ordered scan of up to `limit` `(value, multiplicity)` pairs in the
+    /// canonical element order.
+    pub fn scan(&self, view: &str, limit: usize) -> Result<Vec<(Value, i64)>, ServeError> {
+        Ok(self
+            .view(view)?
+            .iter()
+            .take(limit)
+            .map(|(v, m)| (v.clone(), m))
+            .collect())
+    }
+
+    /// Total cardinality of a view.
+    pub fn cardinality(&self, view: &str) -> Result<u64, ServeError> {
+        Ok(self.view(view)?.cardinality())
+    }
+
+    /// Look up the inner bag a label denotes in a *shredded* view's frozen
+    /// context dictionaries (`None` when the label defines nothing there).
+    /// Errors with [`ServeError::NotShredded`] for views maintained in
+    /// nested form — they have no label indirection to resolve.
+    pub fn lookup_label(&self, view: &str, label: &Label) -> Result<Option<Bag>, ServeError> {
+        let snap = self
+            .views
+            .get(view)
+            .ok_or_else(|| ServeError::UnknownView(view.to_owned()))?;
+        match &snap.state {
+            ViewStateSnapshot::Nested(_) => Err(ServeError::NotShredded(view.to_owned())),
+            ViewStateSnapshot::Shredded { ctx, .. } => Ok(label_in_ctx(ctx, label)),
+        }
+    }
+}
+
+/// Find a label's definition in a context value (a tuple tree of
+/// dictionaries).
+fn label_in_ctx(ctx: &Value, label: &Label) -> Option<Bag> {
+    match ctx {
+        Value::Tuple(cs) => cs.iter().find_map(|c| label_in_ctx(c, label)),
+        Value::Dict(d) => d.get(label).cloned(),
+        _ => None,
+    }
+}
+
+/// The single-writer publication point: an `Arc` swap guarded by a briefly
+/// held lock, versioned so readers can skip the lock entirely while
+/// nothing new was published (see the module docs for the protocol).
+pub(crate) struct PublishCell {
+    /// Bumped (Release) *after* the swap: a reader observing version `n`
+    /// is guaranteed to find at least the `n`-th snapshot in `current`.
+    version: AtomicU64,
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl PublishCell {
+    pub(crate) fn new(initial: Arc<Snapshot>) -> PublishCell {
+        PublishCell {
+            version: AtomicU64::new(1),
+            current: RwLock::new(initial),
+        }
+    }
+
+    /// Install a new snapshot (writer side; O(1) under the write lock).
+    pub(crate) fn publish(&self, snap: Arc<Snapshot>) {
+        *self.current.write().expect("publish cell") = snap;
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current version and snapshot.
+    pub(crate) fn load(&self) -> (u64, Arc<Snapshot>) {
+        let version = self.version.load(Ordering::Acquire);
+        let snap = self.current.read().expect("publish cell").clone();
+        (version, snap)
+    }
+}
+
+/// A reader's handle onto the published snapshot sequence.
+///
+/// Cheap to clone (one per reader thread); [`SnapshotReader::current`]
+/// costs a single atomic load while the published snapshot is unchanged —
+/// the lock-free steady state — and one shared read-lock `Arc` clone when a
+/// new snapshot was published. Holding the returned `Arc<Snapshot>` keeps
+/// that state readable for as long as the reader needs it, no matter how
+/// far the writer advances.
+#[must_use = "a reader only serves reads while it is polled"]
+pub struct SnapshotReader {
+    cell: Arc<PublishCell>,
+    seen: u64,
+    cached: Arc<Snapshot>,
+}
+
+impl Clone for SnapshotReader {
+    fn clone(&self) -> SnapshotReader {
+        SnapshotReader {
+            cell: Arc::clone(&self.cell),
+            seen: self.seen,
+            cached: Arc::clone(&self.cached),
+        }
+    }
+}
+
+impl SnapshotReader {
+    pub(crate) fn new(cell: Arc<PublishCell>) -> SnapshotReader {
+        let (seen, cached) = cell.load();
+        SnapshotReader { cell, seen, cached }
+    }
+
+    /// The most recently published snapshot. One atomic load when nothing
+    /// new was published since the last call; otherwise refreshes the
+    /// cached `Arc` under the shared read lock.
+    pub fn current(&mut self) -> &Arc<Snapshot> {
+        let version = self.cell.version.load(Ordering::Acquire);
+        if version != self.seen {
+            let (seen, snap) = self.cell.load();
+            self.seen = seen;
+            self.cached = snap;
+        }
+        &self.cached
+    }
+
+    /// An owned handle to the most recently published snapshot.
+    pub fn snapshot(&mut self) -> Arc<Snapshot> {
+        Arc::clone(self.current())
+    }
+}

@@ -1,0 +1,327 @@
+//! [`ServingSystem`] — the single-writer / many-reader serving runtime.
+//!
+//! Wraps an [`IvmSystem`] behind a publication protocol: the owning thread
+//! ingests updates ([`ServingSystem::apply_batch`]) exactly as before, and
+//! at every *successful* quiescent batch boundary an immutable
+//! [`Snapshot`] of all registered views is atomically published. Reader
+//! threads hold [`SnapshotReader`]s and do point lookups, scans and label
+//! lookups against frozen, internally consistent state with zero writer
+//! contention — see `crate` docs for the full protocol and safety
+//! argument.
+
+use crate::error::ServeError;
+use crate::feed::{FeedDelta, FeedShared, Subscription};
+use crate::snapshot::{PublishCell, Snapshot, SnapshotReader};
+use nrc_core::Expr;
+use nrc_data::{intern, Bag};
+use nrc_engine::{
+    BatchStats, CollectPolicy, EngineError, IvmSystem, Parallelism, Strategy, UpdateBatch,
+};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Weak};
+
+/// Counters describing the serving layer, in the spirit of
+/// [`BatchStats`] for the batch path.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ServeStats {
+    /// Snapshots published (one per successful batch, registration, or
+    /// explicit republish).
+    pub snapshots_published: u64,
+    /// Batch index of the currently published snapshot.
+    pub published_batch_index: u64,
+    /// Snapshots currently alive anywhere in the process — the *snapshot
+    /// backlog*. Always ≥ 1: the publication cell itself holds the newest.
+    /// Every outstanding snapshot pins its epoch, so a growing backlog of
+    /// old snapshots is what holds the GC horizon back.
+    pub outstanding_snapshots: u64,
+    /// The process-wide pin horizon ([`intern::pin_horizon`]) at the time
+    /// the stats were taken: the oldest epoch any pin (snapshots included)
+    /// still shields from collection. `0` when nothing is pinned.
+    pub pin_horizon_epoch: u64,
+    /// Live subscriptions (slots whose consumer handle is still alive).
+    pub subscribers: u64,
+    /// Feed deltas pushed to subscribers over the system's lifetime.
+    pub feed_deltas_pushed: u64,
+    /// Feed deltas lost to bounded-queue backpressure (drop-oldest laps).
+    pub feed_deltas_dropped: u64,
+}
+
+/// A writer-side subscription slot. Weak on purpose: dropping the
+/// [`Subscription`] is the unsubscribe — the writer prunes dead slots at
+/// the next batch boundary.
+struct SubSlot {
+    view: String,
+    feed: Weak<FeedShared>,
+}
+
+/// The single-writer / many-reader serving runtime (see module docs).
+pub struct ServingSystem {
+    engine: IvmSystem,
+    cell: Arc<PublishCell>,
+    outstanding: Arc<AtomicU64>,
+    subs: Vec<SubSlot>,
+    /// Did the subscriber set change since the engine's capture-view set
+    /// was last synced? (Avoids rebuilding the set on every batch.)
+    subs_dirty: bool,
+    snapshots_published: u64,
+    feed_pushed: u64,
+    feed_dropped: u64,
+}
+
+impl ServingSystem {
+    /// Wrap an engine (with or without views registered yet) and publish
+    /// the initial snapshot.
+    pub fn new(engine: IvmSystem) -> Result<ServingSystem, ServeError> {
+        let outstanding = Arc::new(AtomicU64::new(0));
+        let initial = Self::build_snapshot(&engine, &outstanding)?;
+        Ok(ServingSystem {
+            engine,
+            cell: Arc::new(PublishCell::new(Arc::new(initial))),
+            outstanding,
+            subs: Vec::new(),
+            subs_dirty: false,
+            snapshots_published: 1,
+            feed_pushed: 0,
+            feed_dropped: 0,
+        })
+    }
+
+    /// Register a view under a maintenance strategy and republish, so
+    /// readers immediately see the new view's initial materialization.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        query: Expr,
+        strategy: Strategy,
+    ) -> Result<(), ServeError> {
+        self.engine.register(name, query, strategy)?;
+        self.publish()
+    }
+
+    /// Apply a coalesced batch of updates, publish the post-batch
+    /// snapshot, and fan the per-view deltas out to subscribers.
+    ///
+    /// On an engine error nothing is published — the previously published
+    /// snapshot stays current (the engine may have partially applied
+    /// earlier segments; see [`IvmSystem::apply_batch`]; use
+    /// [`ServingSystem::republish`] to surface that state deliberately) —
+    /// and no feed delta is delivered for the failed batch. The loss is
+    /// *counted*: every live subscription's [`Subscription::dropped`] is
+    /// bumped, so a consumer's Σ-of-deltas invariant is guaranteed exactly
+    /// while `dropped()` stays 0 and any failure tells it to resync from a
+    /// fresh snapshot.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<(), ServeError> {
+        self.prune_subscribers();
+        // Capture costs nothing for views nobody is listening to; the
+        // engine's capture set is re-synced only when subscriptions
+        // changed, not per batch.
+        if self.subs_dirty {
+            let subscribed: std::collections::BTreeSet<String> =
+                self.subs.iter().map(|s| s.view.clone()).collect();
+            self.engine.set_delta_capture_views(subscribed);
+            self.subs_dirty = false;
+        }
+        let capturing = self.engine.delta_capture();
+        if let Err(e) = self.engine.apply_batch(batch) {
+            if capturing {
+                self.mark_feed_loss();
+            }
+            return Err(e.into());
+        }
+        self.publish()?;
+        if capturing {
+            let deltas = self.engine.take_view_deltas();
+            self.fan_out(&deltas);
+        }
+        Ok(())
+    }
+
+    /// A captured batch failed mid-application: no trustworthy per-view
+    /// delta exists, so count the loss on every live subscription.
+    fn mark_feed_loss(&mut self) {
+        for slot in &self.subs {
+            if let Some(feed) = slot.feed.upgrade() {
+                feed.note_lost();
+                self.feed_dropped += 1;
+            }
+        }
+    }
+
+    /// Convenience single-update ingestion: a one-update batch, so
+    /// publication and feeds behave exactly as for
+    /// [`ServingSystem::apply_batch`].
+    pub fn apply_update(&mut self, rel: impl Into<String>, delta: Bag) -> Result<(), ServeError> {
+        let mut batch = UpdateBatch::new();
+        batch.push(rel, delta);
+        self.apply_batch(&batch)
+    }
+
+    /// Push one batch's captured deltas to every live subscriber of the
+    /// matching view.
+    fn fan_out(&mut self, deltas: &BTreeMap<String, Bag>) {
+        let batch_index = self.engine.batch_stats().batches_applied;
+        for slot in &self.subs {
+            let Some(feed) = slot.feed.upgrade() else {
+                continue;
+            };
+            let delta = deltas.get(&slot.view).cloned().unwrap_or_default();
+            let lapped = feed.push(FeedDelta { batch_index, delta });
+            self.feed_pushed += 1;
+            if lapped {
+                self.feed_dropped += 1;
+            }
+        }
+    }
+
+    /// Take and publish a fresh snapshot of the current engine state (also
+    /// runs automatically after every successful batch / registration).
+    pub fn republish(&mut self) -> Result<(), ServeError> {
+        self.publish()
+    }
+
+    fn publish(&mut self) -> Result<(), ServeError> {
+        let snap = Self::build_snapshot(&self.engine, &self.outstanding)?;
+        self.cell.publish(Arc::new(snap));
+        self.snapshots_published += 1;
+        Ok(())
+    }
+
+    /// Freeze every registered view (O(views) `Arc` bumps) under a fresh
+    /// epoch pin.
+    fn build_snapshot(
+        engine: &IvmSystem,
+        outstanding: &Arc<AtomicU64>,
+    ) -> Result<Snapshot, ServeError> {
+        // Pin first: anything that dies from here on stays resolvable for
+        // the snapshot's lifetime, on top of the retains its maps hold.
+        let pin = intern::pin();
+        let names: Vec<String> = engine.view_names().cloned().collect();
+        let mut views = BTreeMap::new();
+        for name in names {
+            let state = engine.view_state(&name)?;
+            views.insert(name, state);
+        }
+        Ok(Snapshot::new(
+            engine.batch_stats().batches_applied,
+            views,
+            pin,
+            outstanding,
+        ))
+    }
+
+    /// An owned handle to the currently published snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.cell.load().1
+    }
+
+    /// A reader handle for another thread: lock-free repeat reads of the
+    /// current snapshot, refreshed on publication (see [`SnapshotReader`]).
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader::new(Arc::clone(&self.cell))
+    }
+
+    /// Subscribe to a view's per-batch change feed over a bounded queue of
+    /// `capacity` deltas (clamped to ≥ 1; see [`Subscription`] for the
+    /// delivery and drop-oldest backpressure semantics). Dropping the
+    /// returned subscription unsubscribes.
+    pub fn subscribe(&mut self, view: &str, capacity: usize) -> Result<Subscription, ServeError> {
+        if !self.engine.view_names().any(|n| n == view) {
+            return Err(ServeError::UnknownView(view.to_owned()));
+        }
+        let from_batch = self.engine.batch_stats().batches_applied;
+        let (sub, shared) = Subscription::new(view, capacity.max(1), from_batch);
+        self.subs.push(SubSlot {
+            view: view.to_owned(),
+            feed: Arc::downgrade(&shared),
+        });
+        self.subs_dirty = true;
+        Ok(sub)
+    }
+
+    /// Drop subscription slots whose consumer handle is gone.
+    fn prune_subscribers(&mut self) {
+        let before = self.subs.len();
+        self.subs.retain(|s| s.feed.strong_count() > 0);
+        if self.subs.len() != before {
+            self.subs_dirty = true;
+        }
+    }
+
+    /// Live subscriptions (pruning dead slots first).
+    pub fn subscriber_count(&mut self) -> usize {
+        self.prune_subscribers();
+        self.subs.len()
+    }
+
+    /// Serving-layer counters (snapshot backlog, pin horizon, feed
+    /// delivery/drop totals).
+    #[must_use]
+    pub fn serve_stats(&self) -> ServeStats {
+        ServeStats {
+            snapshots_published: self.snapshots_published,
+            published_batch_index: self.snapshot().batch_index(),
+            outstanding_snapshots: self.outstanding.load(std::sync::atomic::Ordering::Relaxed),
+            pin_horizon_epoch: intern::pin_horizon().map_or(0, |e| e.0),
+            subscribers: self
+                .subs
+                .iter()
+                .filter(|s| s.feed.strong_count() > 0)
+                .count() as u64,
+            feed_deltas_pushed: self.feed_pushed,
+            feed_deltas_dropped: self.feed_dropped,
+        }
+    }
+
+    /// Read access to the wrapped engine (views, stats, database).
+    #[must_use]
+    pub fn engine(&self) -> &IvmSystem {
+        &self.engine
+    }
+
+    /// Unwrap back into the engine, abandoning publication state. Any
+    /// outstanding snapshots and readers stay valid (they own their data);
+    /// they just stop seeing new publications.
+    #[must_use]
+    pub fn into_engine(self) -> IvmSystem {
+        self.engine
+    }
+
+    /// Counters for the engine's batched maintenance path.
+    #[must_use]
+    pub fn batch_stats(&self) -> &BatchStats {
+        self.engine.batch_stats()
+    }
+
+    /// Select how batches refresh views (see [`IvmSystem::set_parallelism`]).
+    pub fn set_parallelism(&mut self, mode: Parallelism) {
+        self.engine.set_parallelism(mode);
+    }
+
+    /// Select when memory is reclaimed (see [`IvmSystem::set_collect_policy`]).
+    /// Outstanding snapshots bound every policy: a slot resolvable through
+    /// a live snapshot is never freed.
+    pub fn set_collect_policy(&mut self, policy: CollectPolicy) {
+        self.engine.set_collect_policy(policy);
+    }
+
+    /// Immediate full collection (see [`IvmSystem::collect_now`]).
+    pub fn collect_now(&mut self) -> u64 {
+        self.engine.collect_now()
+    }
+
+    /// One bounded collection increment (see [`IvmSystem::collect_bounded`]).
+    pub fn collect_bounded(&mut self, max_slots: u64) -> u64 {
+        self.engine.collect_bounded(max_slots)
+    }
+
+    /// The current contents of a view *through the engine* (readers should
+    /// prefer [`ServingSystem::snapshot`] /
+    /// [`ServingSystem::reader`] — this accessor exists for
+    /// writer-side checks and tests).
+    pub fn view(&self, name: &str) -> Result<Bag, EngineError> {
+        self.engine.view(name)
+    }
+}

@@ -14,14 +14,20 @@
 //!   the level-indexed cost domains of §4.2 (E4);
 //! * [`stream`] — a high-volume streaming workload emitting update
 //!   *batches* of configurable size and hot-key skew, feeding the batched
-//!   maintenance path (E8).
+//!   maintenance path (E8);
+//! * [`serve_mix`] — deterministic read-op streams (skewed point lookups,
+//!   misses, bounded scans) to run against snapshots while the [`stream`]
+//!   writer ingests — the mixed read/write shape of the serving
+//!   experiment (E12).
 
 pub mod movies;
 pub mod orders;
+pub mod serve_mix;
 pub mod skew;
 pub mod stream;
 
 pub use movies::MovieGen;
 pub use orders::OrdersGen;
+pub use serve_mix::{reader_op_sets, reader_ops, ReadMixConfig, ReadOp};
 pub use skew::SkewGen;
 pub use stream::{StreamConfig, StreamGen};

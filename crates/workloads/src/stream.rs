@@ -163,6 +163,13 @@ impl StreamGen {
     pub fn live_count(&self) -> usize {
         self.live.len()
     }
+
+    /// The currently live tuples, in emission order. Read workloads sample
+    /// their point-lookup targets from this population (see
+    /// `crate::serve_mix`).
+    pub fn live_tuples(&self) -> &[Value] {
+        &self.live
+    }
 }
 
 #[cfg(test)]

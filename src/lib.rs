@@ -9,6 +9,7 @@
 //! * [`engine`] — materialized views and maintenance strategies
 //! * [`parser`] — NRC⁺ surface syntax
 //! * [`circuit`] — NC⁰/TC⁰ circuit substrate (Theorem 9)
+//! * [`serve`] — concurrent snapshot serving (single writer, many readers)
 //! * [`workloads`] — seeded data and update generators
 //!
 //! The end-to-end design — parser → typecheck → delta/shredding → engine
@@ -53,4 +54,5 @@ pub use nrc_core as core;
 pub use nrc_data as data;
 pub use nrc_engine as engine;
 pub use nrc_parser as parser;
+pub use nrc_serve as serve;
 pub use nrc_workloads as workloads;
