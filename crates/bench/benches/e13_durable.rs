@@ -1,0 +1,105 @@
+//! Criterion bench for experiment E13: the durable ingest path (WAL
+//! encode + append under each fsync policy) and crash recovery (checkpoint
+//! load + full WAL tail replay). The fsync-overhead percentages and the
+//! recovery-time curve live in the harness run (`results/e13_durable.json`);
+//! this wrapper guards the two hot paths with statistically robust timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrc_core::builder::{cmp_lit, filter_query};
+use nrc_core::expr::CmpOp;
+use nrc_durable::{DurableOptions, DurableSystem, FsyncPolicy, ViewSpec};
+use nrc_engine::{Strategy, UpdateBatch};
+use nrc_workloads::{RecoveryPlan, StreamConfig};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nrc-e13-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn views() -> Vec<ViewSpec> {
+    vec![ViewSpec::new(
+        "fo",
+        filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "genre0")),
+        Strategy::FirstOrder,
+    )]
+}
+
+/// Durably ingest a short ever-fresh stream under one fsync policy.
+fn ingest(plan: &RecoveryPlan, fsync: FsyncPolicy, tag: &str) -> u64 {
+    let dir = scratch(tag);
+    let mut sys = DurableSystem::create(
+        &dir,
+        plan.db.clone(),
+        &views(),
+        DurableOptions {
+            fsync,
+            checkpoint_every: 0,
+            kill: None,
+        },
+    )
+    .expect("create");
+    for batch in &plan.batches {
+        sys.apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+            .expect("batch");
+    }
+    let bytes = sys.durable_stats().wal_bytes;
+    drop(sys);
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_durable");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    for (label, fsync) in [
+        ("never", FsyncPolicy::Never),
+        ("every16", FsyncPolicy::EveryN(16)),
+        ("everybatch", FsyncPolicy::EveryBatch),
+    ] {
+        let cfg = StreamConfig::ever_fresh(24, &format!("e13-bench-{label}"));
+        let plan = RecoveryPlan::generate(42, cfg, 48, 16);
+        g.bench_with_input(BenchmarkId::new("ingest", label), &plan, |b, plan| {
+            b.iter(|| criterion::black_box(ingest(plan, fsync, label)))
+        });
+    }
+
+    // Recovery: one prebuilt WAL-only directory, recovered repeatedly
+    // (recovery is read-only apart from the no-op tail truncation).
+    let cfg = StreamConfig::ever_fresh(4, "e13-bench-recover");
+    let plan = RecoveryPlan::generate(7, cfg, 32, 128);
+    let dir = scratch("recover");
+    let opts = DurableOptions {
+        fsync: FsyncPolicy::Never,
+        checkpoint_every: 0,
+        kill: None,
+    };
+    let mut sys =
+        DurableSystem::create(&dir, plan.db.clone(), &views(), opts.clone()).expect("create");
+    for batch in &plan.batches {
+        sys.apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+            .expect("batch");
+    }
+    drop(sys);
+    g.bench_function(BenchmarkId::new("recover", "128"), |b| {
+        b.iter(|| {
+            let (rec, stats) =
+                DurableSystem::recover(&dir, &views(), opts.clone()).expect("recover");
+            assert_eq!(stats.batches_replayed, 128);
+            criterion::black_box(rec.batch_index())
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Leave the arena clean for whatever runs after the bench.
+    nrc_data::intern::collect_now();
+    nrc_data::intern::collect_now();
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,19 +6,23 @@
 //!
 //! ```text
 //! harness [--quick] [e1 e2 …]            # default: all experiments, full sizes
-//! harness check-budget [REPORT BUDGET]   # structured gate: REPORT's metric vs
-//!                                        # BUDGET's ceiling; defaults to the E10
+//! harness check-budget [REPORT BUDGET]   # structured gate: REPORT's metric(s) vs
+//!                                        # BUDGET's ceiling(s); defaults to the E10
 //!                                        # memory pair (results/e10_memory.json
 //!                                        # vs results/memory_budget.json). The
 //!                                        # latency gate passes
 //!                                        # results/e11_latency.json
-//!                                        # results/latency_budget.json.
+//!                                        # results/latency_budget.json; the
+//!                                        # recovery gate results/e13_durable.json
+//!                                        # results/durable_budget.json (a budget
+//!                                        # file may carry several {metric,max}
+//!                                        # entries — all must pass).
 //! ```
 
 use nrc_bench::Table;
 use nrc_bench::{
-    budget, e10_gc, e11_latency, e12_serve, e1_related, e2_filter, e3_recursive, e4_cost, e5_deep,
-    e6_circuit, e7_degree, e8_batch, e9_intern,
+    budget, e10_gc, e11_latency, e12_serve, e13_durable, e1_related, e2_filter, e3_recursive,
+    e4_cost, e5_deep, e6_circuit, e7_degree, e8_batch, e9_intern,
 };
 use std::io::Write;
 
@@ -50,6 +54,16 @@ fn run_e12(quick: bool) -> Table {
         eprintln!("warning: could not write results/e12_serve.json: {e}");
     }
     e12_serve::report_table(&report)
+}
+
+/// Run E13 and persist its machine-readable report — the artifact the CI
+/// `recovery-smoke` job budgets against.
+fn run_e13(quick: bool) -> Table {
+    let report = e13_durable::measure(quick);
+    if let Err(e) = e13_durable::write_durable_report(&report, "results/e13_durable.json") {
+        eprintln!("warning: could not write results/e13_durable.json: {e}");
+    }
+    e13_durable::report_table(&report)
 }
 
 fn main() {
@@ -95,6 +109,7 @@ fn main() {
         ("e10", run_e10),
         ("e11", run_e11),
         ("e12", run_e12),
+        ("e13", run_e13),
     ];
     let known: Vec<&str> = runs.iter().map(|(id, _)| *id).collect();
     for sel in &selected {

@@ -1,16 +1,29 @@
 //! The structured JSON budget gate shared by CI's regression jobs:
-//! `memory-smoke` (E10, steady-state arena occupancy) and `latency-smoke`
-//! (E11, max bounded collection pause).
+//! `memory-smoke` (E10, steady-state arena occupancy), `latency-smoke`
+//! (E11, max bounded collection pause), `serve-smoke` (E12, read p99) and
+//! `recovery-smoke` (E13, WAL overhead + recovery throughput).
 //!
-//! `harness check-budget <results.json> <budget.json>` compares one scalar
-//! from a harness-written report against a checked-in ceiling. The budget
-//! file is self-describing — it names the report field it gates on — so
-//! every gate shares this one code path:
+//! `harness check-budget <results.json> <budget.json>` compares scalars
+//! from a harness-written report against checked-in ceilings. The budget
+//! file is self-describing — it names the report fields it gates on — so
+//! every gate shares this one code path. A single-metric budget:
 //!
 //! ```json
 //! {
 //!   "metric": "steady_state_live",
 //!   "max": 1000
+//! }
+//! ```
+//!
+//! A budget may also carry several `{metric, max}` entries (E13 gates two
+//! scalars of one report); every entry must pass:
+//!
+//! ```json
+//! {
+//!   "budgets": [
+//!     { "metric": "wal_everyn_overhead_pct", "max": 25 },
+//!     { "metric": "recovery_us_per_batch", "max": 100 }
+//!   ]
 //! }
 //! ```
 //!
@@ -42,34 +55,73 @@ fn field_value<'a>(text: &'a str, key: &str) -> Option<&'a str> {
     Some(text[at..].trim_start().strip_prefix(':')?.trim_start())
 }
 
-/// Compare a harness-written report against a checked-in budget: the
-/// budget's `metric` field names the report field to read, its `max` field
-/// the inclusive ceiling.
+/// Every `{metric, max}` pair of a budget text, in order of appearance: a
+/// single-metric budget yields one entry; a `"budgets": [...]` file yields
+/// one per element. The scan keys on `"metric"` occurrences, reading each
+/// entry's `max` from the text that follows it.
+pub fn budget_entries(budget: &str) -> Vec<(String, u64)> {
+    let needle = "\"metric\"";
+    let mut entries = Vec::new();
+    let mut at = 0;
+    while let Some(pos) = budget[at..].find(needle) {
+        let start = at + pos;
+        let rest = &budget[start..];
+        if let (Some(metric), Some(max)) =
+            (json_str_field(rest, "metric"), json_u64_field(rest, "max"))
+        {
+            entries.push((metric, max));
+        }
+        at = start + needle.len();
+    }
+    entries
+}
+
+/// Compare a harness-written report against a checked-in budget: each of
+/// the budget's `{metric, max}` entries names a report field to read and
+/// its inclusive ceiling.
 ///
-/// Returns `Ok(summary)` when `report.<metric> <= budget.max`, otherwise
-/// `Err(explanation)` — the harness `check-budget` subcommand exits
-/// non-zero on `Err`, which is what fails the CI job.
+/// Returns `Ok(summary)` when every `report.<metric> <= max`, otherwise
+/// `Err(explanation)` listing each exceeded metric — the harness
+/// `check-budget` subcommand exits non-zero on `Err`, which is what fails
+/// the CI job.
 pub fn check_budget(report_path: &str, budget_path: &str) -> Result<String, String> {
     let report = std::fs::read_to_string(report_path).map_err(|e| {
         format!("cannot read report {report_path}: {e} (run the matching `harness eN` first)")
     })?;
     let budget = std::fs::read_to_string(budget_path)
         .map_err(|e| format!("cannot read budget {budget_path}: {e}"))?;
-    let metric = json_str_field(&budget, "metric")
-        .ok_or_else(|| format!("{budget_path} has no string `metric` field"))?;
-    let max = json_u64_field(&budget, "max")
-        .ok_or_else(|| format!("{budget_path} has no integer `max` field"))?;
-    let measured = json_u64_field(&report, &metric)
-        .ok_or_else(|| format!("{report_path} has no integer `{metric}` field"))?;
-    if measured <= max {
+    let entries = budget_entries(&budget);
+    if entries.is_empty() {
+        return Err(format!(
+            "{budget_path} has no complete {{metric, max}} entry"
+        ));
+    }
+    let mut passes = Vec::new();
+    let mut failures = Vec::new();
+    for (metric, max) in entries {
+        let Some(measured) = json_u64_field(&report, &metric) else {
+            failures.push(format!("{report_path} has no integer `{metric}` field"));
+            continue;
+        };
+        if measured <= max {
+            passes.push(format!("{metric} {measured} ≤ budget {max}"));
+        } else {
+            failures.push(format!(
+                "budget EXCEEDED: {metric} {measured} > budget {max} — a regression \
+                 crept in, or the workload legitimately changed; if so, update the \
+                 budget file with justification in the PR"
+            ));
+        }
+    }
+    if failures.is_empty() {
         Ok(format!(
-            "budget OK: {metric} {measured} ≤ budget {max} ({report_path} vs {budget_path})"
+            "budget OK: {} ({report_path} vs {budget_path})",
+            passes.join("; ")
         ))
     } else {
         Err(format!(
-            "budget EXCEEDED: {metric} {measured} > budget {max} ({report_path} vs \
-             {budget_path}) — a regression crept in, or the workload legitimately \
-             changed; if so, update the budget file with justification in the PR"
+            "{} ({report_path} vs {budget_path})",
+            failures.join("\n")
         ))
     }
 }
@@ -138,5 +190,50 @@ mod tests {
         assert!(check_budget(&report, &nofield)
             .unwrap_err()
             .contains("absent"));
+    }
+
+    #[test]
+    fn multi_entry_budgets_gate_every_metric() {
+        let dir = std::env::temp_dir().join("nrc-budget-multi-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = write(
+            &dir,
+            "e13.json",
+            "{\n  \"wal_everyn_overhead_pct\": 12,\n  \"recovery_us_per_batch\": 40\n}\n",
+        );
+        let both_ok = write(
+            &dir,
+            "both_ok.json",
+            "{\n  \"budgets\": [\n    { \"metric\": \"wal_everyn_overhead_pct\", \"max\": 25 },\n    \
+             { \"metric\": \"recovery_us_per_batch\", \"max\": 100 }\n  ]\n}\n",
+        );
+        let one_fails = write(
+            &dir,
+            "one_fails.json",
+            "{\n  \"budgets\": [\n    { \"metric\": \"wal_everyn_overhead_pct\", \"max\": 25 },\n    \
+             { \"metric\": \"recovery_us_per_batch\", \"max\": 10 }\n  ]\n}\n",
+        );
+        let entries = budget_entries(&std::fs::read_to_string(&both_ok).unwrap());
+        assert_eq!(
+            entries,
+            vec![
+                ("wal_everyn_overhead_pct".to_string(), 25),
+                ("recovery_us_per_batch".to_string(), 100)
+            ]
+        );
+        let ok = check_budget(&report, &both_ok).unwrap();
+        assert!(
+            ok.contains("wal_everyn_overhead_pct 12") && ok.contains("recovery_us_per_batch 40"),
+            "got: {ok}"
+        );
+        let err = check_budget(&report, &one_fails).unwrap_err();
+        assert!(
+            err.contains("EXCEEDED") && err.contains("recovery_us_per_batch 40 > budget 10"),
+            "got: {err}"
+        );
+        let empty = write(&dir, "empty.json", "{}\n");
+        assert!(check_budget(&report, &empty)
+            .unwrap_err()
+            .contains("no complete"));
     }
 }

@@ -1,0 +1,375 @@
+//! E13 — durability: WAL ingest overhead across fsync policies and
+//! crash-recovery throughput.
+//!
+//! Two questions the durable layer must answer quantitatively:
+//!
+//! 1. **What does the log cost?** The same ever-fresh stream is ingested
+//!    through a [`DurableSystem`] under `Never`, `EveryN(16)` and
+//!    `EveryBatch` fsync policies. The gated scalar is the *median*
+//!    per-batch overhead of `EveryN(16)` over `Never`
+//!    (`wal_everyn_overhead_pct`): the median isolates the steady
+//!    encode+append cost of the WAL from the periodic fsync outliers
+//!    (1 batch in 16), which makes the gate robust to CI disk jitter while
+//!    the full fsync bill still shows up in the per-cell totals and sync
+//!    counts reported alongside.
+//! 2. **How fast is recovery?** A WAL-only directory (checkpoint at batch
+//!    0, `checkpoint_every: 0`) is recovered at growing log lengths; each
+//!    row times [`DurableSystem::recover`] end to end — checkpoint load,
+//!    view re-registration, and the tail replay that dominates as the log
+//!    grows. The gated scalar is `recovery_us_per_batch` at the longest
+//!    log (the asymptotic per-batch cost); its ceiling of 100 µs/batch is
+//!    the issue's ≥ 10k batches/s recovery floor.
+//!
+//! The harness writes `results/e13_durable.json`; CI's `recovery-smoke`
+//! job gates both scalars against `results/durable_budget.json`.
+
+use crate::e11_latency::percentile;
+use crate::report::{fmt_us, Table};
+use nrc_core::builder::{cmp_lit, filter_query, rel};
+use nrc_core::expr::CmpOp;
+use nrc_durable::{DurableOptions, DurableSystem, FsyncPolicy, ViewSpec};
+use nrc_engine::{Strategy, UpdateBatch};
+use nrc_workloads::{RecoveryPlan, StreamConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Overhead-sweep parameters: `(initial cardinality, batches, batch size)`.
+/// Batches are deliberately heavy (a `Reevaluate` view over a non-trivial
+/// base) so per-batch engine work, not the logger, sets the baseline.
+pub fn sizes(quick: bool) -> (usize, usize, usize) {
+    if quick {
+        (96, 48, 32)
+    } else {
+        (256, 192, 64)
+    }
+}
+
+/// The `EveryN` cadence of the gated overhead cell.
+pub const EVERY_N: u64 = 16;
+
+/// Replay lengths of the recovery-time curve (batches in the WAL tail).
+pub fn recovery_curve(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![64, 128, 256]
+    } else {
+        vec![256, 1024, 4096]
+    }
+}
+
+/// Updates per batch of the recovery workload: small batches, many
+/// records — the per-record replay cost is what the curve exposes.
+pub const RECOVERY_BATCH_SIZE: usize = 4;
+
+/// One fsync-policy ingest cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct DurableCell {
+    /// Policy label (`never` / `every16` / `everybatch`).
+    pub policy: String,
+    /// Batches durably ingested.
+    pub batches: u64,
+    /// Total ingest wall time, µs (includes every fsync).
+    pub ingest_total_us: f64,
+    /// Median per-batch ingest latency, µs.
+    pub ingest_p50_us: f64,
+    /// 99th-percentile per-batch ingest latency, µs.
+    pub ingest_p99_us: f64,
+    /// WAL bytes appended.
+    pub wal_bytes: u64,
+    /// Explicit WAL syncs issued by the policy.
+    pub wal_syncs: u64,
+}
+
+/// One point of the recovery-time curve.
+#[derive(Clone, Debug, Serialize)]
+pub struct RecoveryRow {
+    /// WAL records replayed.
+    pub batches: u64,
+    /// Wall time of `DurableSystem::recover`, µs.
+    pub recover_us: f64,
+    /// Amortized replay cost, µs per batch.
+    pub us_per_batch: f64,
+    /// Recovery throughput, batches per second.
+    pub batches_per_sec: f64,
+}
+
+/// The full E13 outcome: overhead cells, recovery curve, gated scalars.
+#[derive(Clone, Debug, Serialize)]
+pub struct DurableReport {
+    /// Ran at quick sizes?
+    pub quick: bool,
+    /// Initial relation cardinality of the overhead sweep.
+    pub n: usize,
+    /// Batches per overhead cell.
+    pub batches: usize,
+    /// Raw updates per batch of the overhead sweep.
+    pub batch_size: usize,
+    /// Median per-batch overhead of `EveryN(16)` over `Never`, whole
+    /// percent rounded up — gated at ≤ 25 by
+    /// `results/durable_budget.json`.
+    pub wal_everyn_overhead_pct: u64,
+    /// Amortized recovery cost at the longest log, whole µs per batch
+    /// rounded up — gated at ≤ 100 (≥ 10k batches/s) by the same budget.
+    pub recovery_us_per_batch: u64,
+    /// Per-policy ingest cells.
+    pub rows: Vec<DurableCell>,
+    /// The recovery-time curve.
+    pub recovery: Vec<RecoveryRow>,
+}
+
+/// A scratch durable directory unique to (process, tag), removed by the
+/// caller when the cell is done.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nrc-e13-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The overhead sweep's views: a full re-evaluation view sets a realistic
+/// per-batch compute baseline; a first-order filter rides along.
+fn overhead_views() -> Vec<ViewSpec> {
+    vec![
+        ViewSpec::new("re", rel("M"), Strategy::Reevaluate),
+        ViewSpec::new(
+            "fo",
+            filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "genre0")),
+            Strategy::FirstOrder,
+        ),
+    ]
+}
+
+/// Ingest the shared overhead stream under one fsync policy.
+fn overhead_cell(label: &str, fsync: FsyncPolicy, quick: bool) -> DurableCell {
+    let (n, nbatches, batch_size) = sizes(quick);
+    let cfg = StreamConfig::ever_fresh(batch_size, &format!("e13-{label}"));
+    let plan = RecoveryPlan::generate(42, cfg, n, nbatches);
+    let dir = scratch_dir(&format!("overhead-{label}"));
+    let mut sys = DurableSystem::create(
+        &dir,
+        plan.db.clone(),
+        &overhead_views(),
+        DurableOptions {
+            fsync,
+            checkpoint_every: 0,
+            kill: None,
+        },
+    )
+    .expect("create durable system");
+    let mut lat_us: Vec<f64> = Vec::with_capacity(nbatches);
+    let start = Instant::now();
+    for batch in &plan.batches {
+        let b = UpdateBatch::from_updates(batch.iter().cloned());
+        let t = Instant::now();
+        sys.apply_batch(&b).expect("durable batch");
+        lat_us.push(t.elapsed().as_nanos() as f64 / 1e3);
+    }
+    let total_us = start.elapsed().as_nanos() as f64 / 1e3;
+    let stats = sys.durable_stats();
+    drop(sys);
+    let _ = std::fs::remove_dir_all(&dir);
+    DurableCell {
+        policy: label.to_string(),
+        batches: stats.batches,
+        ingest_total_us: total_us,
+        ingest_p50_us: percentile(&lat_us, 0.50),
+        ingest_p99_us: percentile(&lat_us, 0.99),
+        wal_bytes: stats.wal_bytes,
+        wal_syncs: stats.wal_syncs,
+    }
+}
+
+/// Build a WAL-only directory of `nbatches` light batches, then time its
+/// recovery end to end.
+fn recovery_row(nbatches: usize) -> RecoveryRow {
+    let cfg = StreamConfig::ever_fresh(RECOVERY_BATCH_SIZE, &format!("e13-recover-{nbatches}"));
+    let plan = RecoveryPlan::generate(7, cfg, 32, nbatches);
+    let views = [ViewSpec::new(
+        "fo",
+        filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "genre0")),
+        Strategy::FirstOrder,
+    )];
+    let opts = DurableOptions {
+        fsync: FsyncPolicy::Never,
+        checkpoint_every: 0,
+        kill: None,
+    };
+    let dir = scratch_dir(&format!("recover-{nbatches}"));
+    let mut sys = DurableSystem::create(&dir, plan.db.clone(), &views, opts.clone())
+        .expect("create durable system");
+    for batch in &plan.batches {
+        sys.apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+            .expect("durable batch");
+    }
+    drop(sys); // crash: the directory is checkpoint@0 + a full WAL tail
+
+    let t = Instant::now();
+    let (rec, stats) = DurableSystem::recover(&dir, &views, opts).expect("recover");
+    let recover_us = t.elapsed().as_nanos() as f64 / 1e3;
+    assert_eq!(
+        stats.batches_replayed, nbatches as u64,
+        "the whole log must replay"
+    );
+    drop(rec);
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryRow {
+        batches: nbatches as u64,
+        recover_us,
+        us_per_batch: recover_us / nbatches as f64,
+        batches_per_sec: nbatches as f64 / (recover_us / 1e6).max(1e-9),
+    }
+}
+
+/// Drain whatever the last cell left dying (two sweeps: value trees
+/// cascade).
+fn drain_garbage() {
+    nrc_data::intern::collect_now();
+    nrc_data::intern::collect_now();
+}
+
+/// Run the measurements (the harness writes the report to
+/// `results/e13_durable.json`; [`run`] renders it as a table).
+pub fn measure(quick: bool) -> DurableReport {
+    let (n, nbatches, batch_size) = sizes(quick);
+    let policies = [
+        ("never", FsyncPolicy::Never),
+        ("every16", FsyncPolicy::EveryN(EVERY_N)),
+        ("everybatch", FsyncPolicy::EveryBatch),
+    ];
+    let mut rows = Vec::new();
+    for (label, fsync) in policies {
+        drain_garbage();
+        rows.push(overhead_cell(label, fsync, quick));
+        drain_garbage();
+    }
+    let never_p50 = rows[0].ingest_p50_us;
+    let everyn_p50 = rows[1].ingest_p50_us;
+    let overhead_pct = if never_p50 > 0.0 {
+        (((everyn_p50 - never_p50) / never_p50) * 100.0)
+            .ceil()
+            .max(0.0) as u64
+    } else {
+        0
+    };
+
+    let mut recovery = Vec::new();
+    for nb in recovery_curve(quick) {
+        drain_garbage();
+        recovery.push(recovery_row(nb));
+        drain_garbage();
+    }
+    let tail = recovery.last().expect("non-empty curve");
+    DurableReport {
+        quick,
+        n,
+        batches: nbatches,
+        batch_size,
+        wal_everyn_overhead_pct: overhead_pct,
+        recovery_us_per_batch: tail.us_per_batch.ceil().max(1.0) as u64,
+        rows,
+        recovery,
+    }
+}
+
+/// Render a [`DurableReport`] as the experiment table.
+pub fn report_table(r: &DurableReport) -> Table {
+    let mut t = Table::new(
+        "E13",
+        format!(
+            "durability: WAL ingest of {} batches × {} updates over n={} under \
+             Never / EveryN({EVERY_N}) / EveryBatch fsync, plus crash-recovery \
+             time vs WAL length (checkpoint@0, batch size {})",
+            r.batches, r.batch_size, r.n, RECOVERY_BATCH_SIZE
+        ),
+        &[
+            "cell",
+            "batches",
+            "total",
+            "p50",
+            "p99",
+            "WAL bytes",
+            "syncs",
+            "batches/s",
+        ],
+    );
+    for row in &r.rows {
+        t.row(vec![
+            format!("ingest/{}", row.policy),
+            row.batches.to_string(),
+            fmt_us(row.ingest_total_us),
+            fmt_us(row.ingest_p50_us),
+            fmt_us(row.ingest_p99_us),
+            row.wal_bytes.to_string(),
+            row.wal_syncs.to_string(),
+            String::new(),
+        ]);
+    }
+    for row in &r.recovery {
+        t.row(vec![
+            "recover".to_string(),
+            row.batches.to_string(),
+            fmt_us(row.recover_us),
+            fmt_us(row.us_per_batch),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{:.0}", row.batches_per_sec),
+        ]);
+    }
+    t.note(format!(
+        "gated: median EveryN({EVERY_N}) overhead {}% ≤ 25% of the Never \
+         baseline; recovery {} µs/batch ≤ 100 µs at the longest log \
+         (≥ 10k batches/s)",
+        r.wal_everyn_overhead_pct, r.recovery_us_per_batch
+    ));
+    t
+}
+
+/// Run the experiment (table only; the harness uses [`measure`] +
+/// [`report_table`] so it can also persist the machine-readable report).
+pub fn run(quick: bool) -> Table {
+    report_table(&measure(quick))
+}
+
+/// Serialize a report to `path` as JSON (the `recovery-smoke` artifact).
+pub fn write_durable_report(r: &DurableReport, path: &str) -> std::io::Result<()> {
+    crate::write_json_report(r, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_the_grid_and_policy_sync_cadences() {
+        let report = measure(true);
+        assert_eq!(report.rows.len(), 3, "never / every16 / everybatch");
+        assert_eq!(report.recovery.len(), recovery_curve(true).len());
+        let nb = report.batches as u64;
+        for row in &report.rows {
+            assert_eq!(row.batches, nb, "{row:?}");
+            assert!(row.wal_bytes > 0, "{row:?}");
+            assert!(row.ingest_p99_us >= row.ingest_p50_us, "{row:?}");
+            // The fsync cadence is deterministic per policy.
+            let want_syncs = match row.policy.as_str() {
+                "never" => 0,
+                "every16" => nb / EVERY_N,
+                "everybatch" => nb,
+                other => panic!("unexpected policy {other}"),
+            };
+            assert_eq!(row.wal_syncs, want_syncs, "{row:?}");
+        }
+        for (row, want) in report.recovery.iter().zip(recovery_curve(true)) {
+            assert_eq!(row.batches, want as u64);
+            assert!(row.us_per_batch > 0.0, "{row:?}");
+            assert!(row.batches_per_sec > 0.0, "{row:?}");
+        }
+        assert!(report.recovery_us_per_batch >= 1);
+    }
+
+    #[test]
+    fn quick_table_renders_every_cell() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 3 + recovery_curve(true).len());
+        assert_eq!(t.columns.len(), 8);
+    }
+}

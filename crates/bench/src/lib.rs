@@ -19,11 +19,14 @@
 //! | E9 | Hash-consed interning: id-keyed bags vs. the seed's value-keyed bags |
 //! | E10 | Epoch reclamation: bounded steady-state arena on ever-fresh streams |
 //! | E11 | Collection pacing: bounded incremental sweeps vs stop-the-world tail latency |
+//! | E12 | Concurrent snapshot serving: reader throughput + consistency vs live ingest |
+//! | E13 | Durability: WAL fsync-policy overhead + crash-recovery throughput |
 
 pub mod budget;
 pub mod e10_gc;
 pub mod e11_latency;
 pub mod e12_serve;
+pub mod e13_durable;
 pub mod e1_related;
 pub mod e2_filter;
 pub mod e3_recursive;

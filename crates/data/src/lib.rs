@@ -40,6 +40,7 @@
 
 pub mod bag;
 pub mod base;
+pub mod codec;
 pub mod database;
 pub mod dict;
 pub mod error;
@@ -50,6 +51,7 @@ pub mod value;
 
 pub use bag::Bag;
 pub use base::{BaseType, BaseValue};
+pub use codec::CodecError;
 pub use database::Database;
 pub use dict::{Dictionary, Label};
 pub use error::DataError;

@@ -1,0 +1,332 @@
+//! Snapshot checkpoints: periodic full-state images recovery starts from.
+//!
+//! A checkpoint persists, at one quiescent batch boundary, the base
+//! relations (name, element type, bag) and every published view's fully
+//! materialized *nested* bag — all values resolved through the intern seam
+//! ([`nrc_data::codec`]), so the file is arena- and generation-independent
+//! and survives any amount of GC slot reuse between write and read. The
+//! view bags are not replayed on recovery (views recompute from the
+//! relations at registration); they are stored as an end-to-end integrity
+//! check — recomputation must reproduce them exactly, or the checkpoint is
+//! rejected.
+//!
+//! ```text
+//! file := magic "NRCCKP01" len:u32 crc:u32 body[len]
+//! body := batch_index:u64
+//!         nrels:u32 (name:str elem_type bag)*
+//!         nviews:u32 (name:str bag)*
+//! ```
+//!
+//! **Atomicity.** A checkpoint is written to `<name>.tmp`, synced, and
+//! `rename(2)`d into place; the rename is atomic on POSIX filesystems. A
+//! crash mid-write leaves only a `.tmp` file recovery ignores (and cleans
+//! up); a crash between sync and rename leaves the previous checkpoint
+//! authoritative. Validation (magic, length, checksum, decode) runs before
+//! a checkpoint is trusted, so even a damaged *renamed* file — bit rot,
+//! tampering — falls back to the next-newest valid checkpoint, with the
+//! WAL supplying the longer replay tail.
+
+use crate::error::{io_err, DurableError};
+use crate::kill::{write_guarded, KillPoint};
+use crate::wal::crc32;
+use nrc_data::codec;
+use nrc_data::{Bag, Type};
+use std::fs::File;
+use std::path::{Path, PathBuf};
+
+/// File magic identifying a checkpoint (8 bytes, version-suffixed).
+pub const CKPT_MAGIC: &[u8; 8] = b"NRCCKP01";
+
+/// Extension of finished checkpoints.
+const CKPT_EXT: &str = "nrcck";
+
+/// The state a checkpoint carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointData {
+    /// Durable batch index the state is consistent with.
+    pub batch_index: u64,
+    /// Base relations: `(name, element type, bag)`.
+    pub relations: Vec<(String, Type, Bag)>,
+    /// Published views in nested form, for post-recovery verification.
+    pub views: Vec<(String, Bag)>,
+}
+
+/// File name of the checkpoint at `batch_index` (zero-padded so
+/// lexicographic order is numeric order).
+pub fn file_name(batch_index: u64) -> String {
+    format!("ckpt-{batch_index:020}.{CKPT_EXT}")
+}
+
+fn encode_body(data: &CheckpointData) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_u64(&mut out, data.batch_index);
+    codec::put_u32(&mut out, data.relations.len() as u32);
+    for (name, ty, bag) in &data.relations {
+        codec::put_str(&mut out, name);
+        codec::encode_type(ty, &mut out);
+        codec::encode_bag(bag, &mut out);
+    }
+    codec::put_u32(&mut out, data.views.len() as u32);
+    for (name, bag) in &data.views {
+        codec::put_str(&mut out, name);
+        codec::encode_bag(bag, &mut out);
+    }
+    out
+}
+
+fn decode_body(body: &[u8]) -> Result<CheckpointData, DurableError> {
+    let mut r = codec::Reader::new(body);
+    let batch_index = r.u64("batch index")?;
+    let nrels = r.len("relations")?;
+    let mut relations = Vec::with_capacity(nrels);
+    for _ in 0..nrels {
+        let name = r.str("relation name")?;
+        let ty = codec::decode_type(&mut r)?;
+        let bag = codec::decode_bag(&mut r)?;
+        relations.push((name, ty, bag));
+    }
+    let nviews = r.len("views")?;
+    let mut views = Vec::with_capacity(nviews);
+    for _ in 0..nviews {
+        let name = r.str("view name")?;
+        let bag = codec::decode_bag(&mut r)?;
+        views.push((name, bag));
+    }
+    r.finish()?;
+    Ok(CheckpointData {
+        batch_index,
+        relations,
+        views,
+    })
+}
+
+/// Write `data` as the checkpoint for its batch index: tmp file → sync →
+/// atomic rename → directory sync. Returns the final path and the bytes
+/// written. Guarded writes make a mid-checkpoint kill leave only a torn
+/// `.tmp` behind.
+pub fn write(
+    dir: &Path,
+    data: &CheckpointData,
+    kill: Option<&KillPoint>,
+) -> Result<(PathBuf, u64), DurableError> {
+    let body = encode_body(data);
+    let mut bytes = Vec::with_capacity(CKPT_MAGIC.len() + 8 + body.len());
+    bytes.extend_from_slice(CKPT_MAGIC);
+    codec::put_u32(&mut bytes, body.len() as u32);
+    codec::put_u32(&mut bytes, crc32(&body));
+    bytes.extend_from_slice(&body);
+
+    let final_path = dir.join(file_name(data.batch_index));
+    let tmp_path = final_path.with_extension("tmp");
+    let mut tmp = File::create(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
+    write_guarded(&mut tmp, &bytes, kill, &tmp_path)?;
+    tmp.sync_data().map_err(|e| io_err(&tmp_path, e))?;
+    drop(tmp);
+    std::fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, e))?;
+    // Make the rename itself durable. Directory sync can be unsupported on
+    // exotic filesystems; failing open here would be worse than the tiny
+    // window it closes, so it is best-effort.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok((final_path, bytes.len() as u64))
+}
+
+/// Validate and load one checkpoint file.
+pub fn load(path: &Path) -> Result<CheckpointData, DurableError> {
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    let corrupt = |detail: &str| DurableError::Corrupt {
+        path: path.to_path_buf(),
+        detail: detail.to_string(),
+    };
+    if bytes.len() < CKPT_MAGIC.len() + 8 || &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+        return Err(corrupt("missing or bad checkpoint magic"));
+    }
+    let off = CKPT_MAGIC.len();
+    let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+    let body = bytes
+        .get(off + 8..off + 8 + len)
+        .ok_or_else(|| corrupt("truncated checkpoint body"))?;
+    if bytes.len() != off + 8 + len {
+        return Err(corrupt("trailing bytes after checkpoint body"));
+    }
+    if crc32(body) != crc {
+        return Err(corrupt("checkpoint checksum mismatch"));
+    }
+    decode_body(body)
+}
+
+/// The result of scanning a directory for checkpoints.
+#[derive(Debug)]
+pub struct CheckpointScan {
+    /// The newest checkpoint that validated, with its path.
+    pub newest: Option<(CheckpointData, PathBuf)>,
+    /// Finished checkpoint files seen.
+    pub scanned: usize,
+    /// Files that failed validation and were skipped.
+    pub rejected: usize,
+}
+
+/// Find the newest valid checkpoint in `dir`, skipping damaged ones, and
+/// remove leftover `.tmp` residue from crashed checkpoint writes.
+pub fn load_newest(dir: &Path) -> Result<CheckpointScan, DurableError> {
+    let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with("ckpt-") && name.ends_with(".tmp") {
+            // Residue of a crashed checkpoint write: never valid, never
+            // referenced — clean it up.
+            let _ = std::fs::remove_file(&path);
+            continue;
+        }
+        let Some(stem) = name
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.strip_suffix(&format!(".{CKPT_EXT}")))
+        else {
+            continue;
+        };
+        if let Ok(index) = stem.parse::<u64>() {
+            candidates.push((index, path));
+        }
+    }
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+    let scanned = candidates.len();
+    let mut rejected = 0;
+    for (_, path) in candidates {
+        match load(&path) {
+            Ok(data) => {
+                return Ok(CheckpointScan {
+                    newest: Some((data, path)),
+                    scanned,
+                    rejected,
+                })
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+    Ok(CheckpointScan {
+        newest: None,
+        scanned,
+        rejected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrc_data::{BaseType, Value};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nrc-ckpt-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir
+    }
+
+    fn data(tag: &str, index: u64) -> CheckpointData {
+        let ty = Type::pair(Type::Base(BaseType::Str), Type::Base(BaseType::Int));
+        let bag = Bag::from_pairs([
+            (
+                Value::pair(Value::str(format!("ck-{tag}-a")), Value::int(1)),
+                2,
+            ),
+            (
+                Value::pair(Value::str(format!("ck-{tag}-b")), Value::int(2)),
+                1,
+            ),
+        ]);
+        CheckpointData {
+            batch_index: index,
+            relations: vec![("M".to_string(), Type::bag(ty), bag.clone())],
+            views: vec![("all".to_string(), bag)],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = tmp_dir("rt");
+        let d = data("rt", 7);
+        let (path, bytes) = write(&dir, &d, None).expect("write");
+        assert!(bytes > 0);
+        assert_eq!(path.file_name().unwrap().to_str().unwrap(), file_name(7));
+        assert_eq!(load(&path).expect("load"), d);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Any single-bit flip anywhere in the file makes validation reject it
+    /// (magic, length, or checksum) — a damaged checkpoint is never loaded.
+    #[test]
+    fn every_bit_flip_is_rejected() {
+        let dir = tmp_dir("flip");
+        let (path, _) = write(&dir, &data("flip", 3), None).expect("write");
+        let bytes = std::fs::read(&path).expect("read");
+        for pos in 0..bytes.len() {
+            let mut damaged = bytes.clone();
+            damaged[pos] ^= 0x04;
+            std::fs::write(&path, &damaged).expect("write damaged");
+            assert!(load(&path).is_err(), "flip at byte {pos} loaded");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `load_newest` skips a damaged newest checkpoint and falls back to
+    /// the next one, and cleans up `.tmp` residue of crashed writes.
+    #[test]
+    fn newest_falls_back_over_damage_and_ignores_tmp() {
+        let dir = tmp_dir("fallback");
+        let old = data("old", 2);
+        let new = data("new", 5);
+        write(&dir, &old, None).expect("old");
+        let (new_path, _) = write(&dir, &new, None).expect("new");
+        // Residue of a crashed later checkpoint.
+        std::fs::write(dir.join("ckpt-00000000000000000009.tmp"), b"partial").unwrap();
+
+        let scan = load_newest(&dir).expect("scan");
+        assert_eq!(scan.newest.as_ref().map(|(d, _)| d), Some(&new));
+        assert_eq!((scan.scanned, scan.rejected), (2, 0));
+        assert!(
+            !dir.join("ckpt-00000000000000000009.tmp").exists(),
+            "tmp residue must be cleaned up"
+        );
+
+        // Damage the newest: fall back to the older one.
+        let mut bytes = std::fs::read(&new_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&new_path, &bytes).unwrap();
+        let scan = load_newest(&dir).expect("scan damaged");
+        assert_eq!(scan.newest.as_ref().map(|(d, _)| d), Some(&old));
+        assert_eq!((scan.scanned, scan.rejected), (2, 1));
+
+        // Damage both: no checkpoint.
+        let old_path = dir.join(file_name(2));
+        let mut bytes = std::fs::read(&old_path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&old_path, &bytes).unwrap();
+        let scan = load_newest(&dir).expect("scan all damaged");
+        assert!(scan.newest.is_none());
+        assert_eq!(scan.rejected, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A kill mid-checkpoint leaves only a torn `.tmp`: the finished
+    /// checkpoint set is unchanged.
+    #[test]
+    fn killed_checkpoint_write_leaves_previous_authoritative() {
+        let dir = tmp_dir("killckpt");
+        let first = data("first", 1);
+        write(&dir, &first, None).expect("first");
+        let kill = crate::kill::KillPoint::arm(10);
+        let err = write(&dir, &data("second", 4), Some(&kill)).expect_err("killed");
+        assert!(err.is_kill());
+        let scan = load_newest(&dir).expect("scan");
+        assert_eq!(scan.newest.as_ref().map(|(d, _)| d), Some(&first));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic crash injection: a byte budget over durable writes.
+//!
+//! The kill-point harness (`tests/prop_recovery.rs`) needs to kill a
+//! workload at an *arbitrary byte offset* of its durable output — mid-WAL
+//! record, mid-checkpoint, between fsyncs — and then prove recovery exact.
+//! A real `SIGKILL` gives that only probabilistically; a byte budget gives
+//! it deterministically: every guarded write first asks the [`KillPoint`]
+//! how many bytes it may still emit, writes exactly that prefix to the real
+//! file, and fails with [`DurableError::Killed`] if it was cut short. The
+//! file then contains a genuine torn suffix at a caller-chosen byte, and
+//! the process-death model is faithful: bytes handed to a completed
+//! `write(2)` survive the death of the process (they live in the page
+//! cache), so what fsync buys — protection against *machine* death — is
+//! orthogonal and exercised separately by the fsync-policy matrix.
+//!
+//! With no kill point armed the guard compiles down to a plain
+//! `write_all`.
+
+use crate::error::{io_err, DurableError};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, thread-safe byte budget for durable writes.
+#[derive(Debug)]
+pub struct KillPoint {
+    remaining: AtomicU64,
+}
+
+impl KillPoint {
+    /// Arm a kill point allowing exactly `budget_bytes` more durable bytes.
+    pub fn arm(budget_bytes: u64) -> Arc<KillPoint> {
+        Arc::new(KillPoint {
+            remaining: AtomicU64::new(budget_bytes),
+        })
+    }
+
+    /// Bytes the budget still allows.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::SeqCst)
+    }
+
+    /// Claim up to `want` bytes from the budget; returns how many were
+    /// granted (less than `want` exactly when the budget ran dry).
+    fn grant(&self, want: usize) -> usize {
+        let mut cur = self.remaining.load(Ordering::SeqCst);
+        loop {
+            let take = (want as u64).min(cur);
+            match self.remaining.compare_exchange(
+                cur,
+                cur - take,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return take as usize,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// Write `buf` to `w`, honoring an armed kill point: on budget exhaustion
+/// the granted prefix is still written (the torn suffix a crash leaves)
+/// and the call fails with [`DurableError::Killed`].
+pub(crate) fn write_guarded<W: Write>(
+    w: &mut W,
+    buf: &[u8],
+    kill: Option<&KillPoint>,
+    path: &Path,
+) -> Result<(), DurableError> {
+    match kill {
+        None => w.write_all(buf).map_err(|e| io_err(path, e)),
+        Some(k) => {
+            let allowed = k.grant(buf.len());
+            w.write_all(&buf[..allowed]).map_err(|e| io_err(path, e))?;
+            if allowed < buf.len() {
+                Err(DurableError::Killed)
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_tears_writes_at_the_exact_byte() {
+        let kill = KillPoint::arm(5);
+        let mut out: Vec<u8> = Vec::new();
+        let p = Path::new("mem");
+        write_guarded(&mut out, b"abc", Some(&kill), p).expect("within budget");
+        let err = write_guarded(&mut out, b"defgh", Some(&kill), p).expect_err("over budget");
+        assert!(err.is_kill());
+        // Exactly 5 bytes reached the sink: the granted torn prefix.
+        assert_eq!(out, b"abcde");
+        assert_eq!(kill.remaining(), 0);
+        // A dead budget grants nothing further.
+        let err = write_guarded(&mut out, b"x", Some(&kill), p).expect_err("dead");
+        assert!(err.is_kill());
+        assert_eq!(out, b"abcde");
+    }
+
+    #[test]
+    fn unarmed_writes_pass_through() {
+        let mut out: Vec<u8> = Vec::new();
+        write_guarded(&mut out, b"payload", None, Path::new("mem")).expect("plain write");
+        assert_eq!(out, b"payload");
+    }
+}

@@ -1,0 +1,59 @@
+//! # nrc-durable
+//!
+//! Durability for the NRC⁺ incremental-view-maintenance serving system
+//! (PODS 2016 reproduction): a write-ahead update log, periodic snapshot
+//! checkpoints, and crash recovery.
+//!
+//! A [`DurableSystem`] wraps the serving layer's
+//! [`ServingSystem`](nrc_serve::ServingSystem) so that every applied
+//! [`UpdateBatch`](nrc_engine::UpdateBatch) survives process death:
+//!
+//! * [`wal`] — a hand-rolled, length-prefixed, CRC-32-checksummed binary
+//!   log appended *before* each batch is applied, under a configurable
+//!   [`FsyncPolicy`] (`EveryBatch` / `EveryN` / `Never`). Replay is
+//!   prefix-closed; torn tails are truncated, never partially applied.
+//! * [`checkpoint`] — atomic (tmp + rename) full-state images: base
+//!   relations and published views with every value resolved through the
+//!   intern seam ([`nrc_data::codec`]), so the on-disk format is
+//!   arena-/generation-independent and survives GC slot reuse.
+//! * [`DurableSystem::recover`] — newest valid checkpoint + WAL tail
+//!   replay, verified against the checkpoint's persisted views.
+//! * [`KillPoint`] — deterministic crash injection (a byte budget over
+//!   durable writes) powering the kill-point differential harness in
+//!   `tests/prop_recovery.rs`: recovered state ≡ never-crashed sequential
+//!   replay, at any crash byte, for all four maintenance strategies.
+//!
+//! ```
+//! use nrc_core::builder::rel;
+//! use nrc_durable::{DurableOptions, DurableSystem, FsyncPolicy, ViewSpec};
+//! use nrc_engine::{Strategy, UpdateBatch};
+//! use nrc_data::database::{example_movies, example_movies_update};
+//!
+//! let dir = std::env::temp_dir().join("nrc-durable-doc");
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let views = [ViewSpec::new("all", rel("M"), Strategy::FirstOrder)];
+//! let opts = DurableOptions { fsync: FsyncPolicy::EveryBatch, ..DurableOptions::default() };
+//!
+//! let mut sys = DurableSystem::create(&dir, example_movies(), &views, opts.clone()).unwrap();
+//! let batch = UpdateBatch::from_updates([("M".to_string(), example_movies_update())]);
+//! sys.apply_batch(&batch).unwrap();
+//! let before = sys.view("all").unwrap();
+//! drop(sys); // "crash"
+//!
+//! let (recovered, stats) = DurableSystem::recover(&dir, &views, opts).unwrap();
+//! assert_eq!(recovered.view("all").unwrap(), before);
+//! assert_eq!(stats.batches_replayed, 1);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod checkpoint;
+pub mod error;
+pub mod kill;
+pub mod system;
+pub mod wal;
+
+pub use checkpoint::CheckpointData;
+pub use error::DurableError;
+pub use kill::KillPoint;
+pub use system::{DurableOptions, DurableStats, DurableSystem, RecoveryStats, ViewSpec, WAL_FILE};
+pub use wal::{crc32, FsyncPolicy, Wal, WalRecord, WalScan};

@@ -1,0 +1,404 @@
+//! [`DurableSystem`]: a [`ServingSystem`] whose applied batches survive
+//! process death.
+//!
+//! ## Protocol
+//!
+//! * **Log before apply.** Every [`UpdateBatch`] is appended to the WAL
+//!   (and the fsync policy applied) *before* the engine sees it. The
+//!   durable prefix of the update stream is therefore decided entirely by
+//!   the log: a crash between append and apply loses nothing (recovery
+//!   replays the record); a crash mid-append truncates the torn record and
+//!   the batch was simply never accepted.
+//! * **Periodic checkpoints.** Every `checkpoint_every` batches (and once
+//!   at creation, so batch index 0 is always recoverable) the full state —
+//!   base relations plus every published view in nested, value-resolved
+//!   form — is written atomically beside the log. Checkpoints bound
+//!   recovery *time*; they never extend the durable prefix, which the WAL
+//!   alone defines.
+//! * **Recovery** = newest valid checkpoint + WAL tail. Views are
+//!   re-registered (recomputing their state at the checkpoint index),
+//!   verified against the checkpoint's persisted view bags, and the log
+//!   records with higher indices are replayed in order. Recovery is
+//!   idempotent — it mutates nothing but the torn tail truncation — so
+//!   crashing during or right after recovery and recovering again yields
+//!   the same state (the double-crash case of `tests/prop_recovery.rs`).
+//!
+//! The durable batch index is persistent and 1-based; the inner engine
+//! restarts from the checkpoint, so its in-memory `batches_applied` counts
+//! from the checkpoint, not from stream origin. [`DurableSystem::batch_index`]
+//! always reports the durable index.
+
+use crate::checkpoint::{self, CheckpointData};
+use crate::error::DurableError;
+use crate::kill::KillPoint;
+use crate::wal::{self, FsyncPolicy, Wal};
+use nrc_core::Expr;
+use nrc_data::{Bag, Database};
+use nrc_engine::{CollectPolicy, IvmSystem, Parallelism, Strategy, UpdateBatch};
+use nrc_serve::{ServeStats, ServingSystem, Snapshot, SnapshotReader};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Name of the write-ahead log inside a durable directory.
+pub const WAL_FILE: &str = "updates.wal";
+
+/// A view registration recovery must be able to repeat: durability
+/// persists *data*, not query plans, so the caller supplies the views —
+/// exactly as it supplied them to [`DurableSystem::create`] — and recovery
+/// recomputes their state from the checkpointed relations.
+#[derive(Clone, Debug)]
+pub struct ViewSpec {
+    /// View name.
+    pub name: String,
+    /// The registered query.
+    pub query: Expr,
+    /// Maintenance strategy.
+    pub strategy: Strategy,
+}
+
+impl ViewSpec {
+    /// A view registration.
+    pub fn new(name: impl Into<String>, query: Expr, strategy: Strategy) -> ViewSpec {
+        ViewSpec {
+            name: name.into(),
+            query,
+            strategy,
+        }
+    }
+}
+
+/// Tunables of a [`DurableSystem`].
+#[derive(Clone, Debug)]
+pub struct DurableOptions {
+    /// When WAL appends reach the disk.
+    pub fsync: FsyncPolicy,
+    /// Write a checkpoint every this many batches; `0` keeps only the
+    /// creation-time checkpoint (recovery then replays the whole log).
+    pub checkpoint_every: u64,
+    /// Crash-injection byte budget for the kill-point harness; `None` in
+    /// production.
+    pub kill: Option<Arc<KillPoint>>,
+}
+
+impl Default for DurableOptions {
+    /// Safe-by-default: sync every batch, checkpoint every 1024.
+    fn default() -> DurableOptions {
+        DurableOptions {
+            fsync: FsyncPolicy::EveryBatch,
+            checkpoint_every: 1024,
+            kill: None,
+        }
+    }
+}
+
+/// Counters of durable work done by one system instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurableStats {
+    /// Batches durably applied through this instance.
+    pub batches: u64,
+    /// WAL bytes appended by this instance.
+    pub wal_bytes: u64,
+    /// Explicit WAL syncs issued.
+    pub wal_syncs: u64,
+    /// Checkpoints written (including the creation-time one).
+    pub checkpoints: u64,
+    /// Durable batch index of the newest checkpoint.
+    pub last_checkpoint_index: u64,
+}
+
+/// What [`DurableSystem::recover`] found and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Durable batch index of the checkpoint recovery started from.
+    pub checkpoint_index: u64,
+    /// Finished checkpoint files present in the directory.
+    pub checkpoints_scanned: usize,
+    /// Checkpoint files that failed validation and were skipped.
+    pub checkpoints_rejected: usize,
+    /// Valid WAL records found (from stream origin, not just the tail).
+    pub wal_records: u64,
+    /// WAL records actually replayed (index > checkpoint).
+    pub batches_replayed: u64,
+    /// Torn/garbage bytes truncated from the WAL tail.
+    pub torn_bytes_truncated: u64,
+}
+
+/// A serving system with a write-ahead log and periodic checkpoints.
+pub struct DurableSystem {
+    serve: ServingSystem,
+    wal: Wal,
+    dir: PathBuf,
+    opts: DurableOptions,
+    /// Durable (persistent, 1-based) batch index of the last applied batch.
+    applied: u64,
+    checkpoints: u64,
+    last_checkpoint_index: u64,
+    /// Set on any durable-path error: the in-memory state may be ahead of
+    /// or behind the log in ways this instance can no longer reconcile.
+    dead: bool,
+}
+
+impl DurableSystem {
+    /// Create a durable system in `dir` (created if missing): build the
+    /// engine over `db`, register `views`, write the initial checkpoint,
+    /// and start the WAL. Creation is provisioning and is not
+    /// kill-guarded; the byte budget (if armed) meters subsequent ingest.
+    pub fn create(
+        dir: &Path,
+        db: Database,
+        views: &[ViewSpec],
+        opts: DurableOptions,
+    ) -> Result<DurableSystem, DurableError> {
+        std::fs::create_dir_all(dir).map_err(|e| crate::error::io_err(dir, e))?;
+        let engine = IvmSystem::new(db);
+        let mut serve = ServingSystem::new(engine)?;
+        for v in views {
+            serve.register(v.name.clone(), v.query.clone(), v.strategy)?;
+        }
+        let wal = Wal::create(&dir.join(WAL_FILE), opts.fsync, opts.kill.clone())?;
+        let mut sys = DurableSystem {
+            serve,
+            wal,
+            dir: dir.to_path_buf(),
+            opts,
+            applied: 0,
+            checkpoints: 0,
+            last_checkpoint_index: 0,
+            dead: false,
+        };
+        // The initial checkpoint is unguarded too: without it a torn
+        // creation would leave nothing to recover toward.
+        sys.write_checkpoint(false)?;
+        Ok(sys)
+    }
+
+    /// Recover the durable system persisted in `dir`: newest valid
+    /// checkpoint, re-registered views verified against it, WAL tail
+    /// replayed, torn tail truncated.
+    pub fn recover(
+        dir: &Path,
+        views: &[ViewSpec],
+        opts: DurableOptions,
+    ) -> Result<(DurableSystem, RecoveryStats), DurableError> {
+        let ckpt_scan = checkpoint::load_newest(dir)?;
+        let Some((ckpt, ckpt_path)) = ckpt_scan.newest else {
+            return Err(DurableError::NoCheckpoint {
+                dir: dir.to_path_buf(),
+            });
+        };
+
+        // Rebuild the database and recompute every view at the checkpoint
+        // index (registration evaluates the query over the database).
+        let mut db = Database::new();
+        for (name, ty, bag) in &ckpt.relations {
+            db.insert_relation(name.clone(), ty.clone(), bag.clone());
+        }
+        let engine = IvmSystem::new(db);
+        let mut serve = ServingSystem::new(engine)?;
+        for v in views {
+            serve.register(v.name.clone(), v.query.clone(), v.strategy)?;
+        }
+
+        // Integrity gate: recomputation must reproduce the persisted view
+        // bags exactly. Comparison is in nested, value-resolved form, so
+        // it is independent of label allocation and arena layout.
+        let snap = serve.snapshot();
+        let recomputed = snap.resolved_views()?;
+        if recomputed != ckpt.views {
+            return Err(DurableError::Corrupt {
+                path: ckpt_path,
+                detail: "checkpoint views disagree with recomputation from its relations"
+                    .to_string(),
+            });
+        }
+        drop(snap);
+
+        // Replay the WAL tail beyond the checkpoint.
+        let wal_path = dir.join(WAL_FILE);
+        let scan = wal::scan(&wal_path)?;
+        let mut applied = ckpt.batch_index;
+        let mut replayed = 0u64;
+        for record in &scan.records {
+            if record.batch_index <= ckpt.batch_index {
+                continue;
+            }
+            if record.batch_index != applied + 1 {
+                return Err(DurableError::Corrupt {
+                    path: wal_path.clone(),
+                    detail: format!("WAL skips from batch {applied} to {}", record.batch_index),
+                });
+            }
+            serve.apply_batch(&record.batch)?;
+            applied = record.batch_index;
+            replayed += 1;
+        }
+
+        let stats = RecoveryStats {
+            checkpoint_index: ckpt.batch_index,
+            checkpoints_scanned: ckpt_scan.scanned,
+            checkpoints_rejected: ckpt_scan.rejected,
+            wal_records: scan.records.len() as u64,
+            batches_replayed: replayed,
+            torn_bytes_truncated: scan.torn_bytes(),
+        };
+        let wal = Wal::resume(&wal_path, opts.fsync, opts.kill.clone(), &scan)?;
+        Ok((
+            DurableSystem {
+                serve,
+                wal,
+                dir: dir.to_path_buf(),
+                opts,
+                applied,
+                checkpoints: 0,
+                last_checkpoint_index: ckpt.batch_index,
+                dead: false,
+            },
+            stats,
+        ))
+    }
+
+    /// Durably apply one batch: WAL append (+ policy fsync) first, engine
+    /// apply + snapshot publication second, periodic checkpoint third.
+    /// Any failure — including the injected [`DurableError::Killed`] —
+    /// poisons this instance; the directory stays recoverable.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<(), DurableError> {
+        if self.dead {
+            return Err(DurableError::Dead);
+        }
+        let index = self.applied + 1;
+        if let Err(e) = self.try_apply(index, batch) {
+            self.dead = true;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn try_apply(&mut self, index: u64, batch: &UpdateBatch) -> Result<(), DurableError> {
+        self.wal.append(index, batch)?;
+        self.serve.apply_batch(batch)?;
+        self.applied = index;
+        if self.opts.checkpoint_every > 0 && index % self.opts.checkpoint_every == 0 {
+            self.write_checkpoint(true)?;
+        }
+        Ok(())
+    }
+
+    /// Write a checkpoint of the current state now.
+    pub fn checkpoint_now(&mut self) -> Result<(), DurableError> {
+        if self.dead {
+            return Err(DurableError::Dead);
+        }
+        if let Err(e) = self.write_checkpoint(true) {
+            self.dead = true;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn write_checkpoint(&mut self, guarded: bool) -> Result<(), DurableError> {
+        // The WAL must not lag the checkpoint on disk: recovery trusts a
+        // checkpoint unconditionally, so everything up to its index must
+        // be at least as durable as the checkpoint itself.
+        if self.applied > 0 {
+            self.wal.sync()?;
+        }
+        let db = self.serve.engine().database();
+        let mut relations = Vec::new();
+        for (name, bag) in db.iter() {
+            let ty = db
+                .schema(name)
+                .cloned()
+                .ok_or_else(|| DurableError::Corrupt {
+                    path: self.dir.clone(),
+                    detail: format!("relation {name} has no schema"),
+                })?;
+            relations.push((name.clone(), ty, bag.clone()));
+        }
+        let views = self.serve.snapshot().resolved_views()?;
+        let data = CheckpointData {
+            batch_index: self.applied,
+            relations,
+            views,
+        };
+        let kill = if guarded {
+            self.opts.kill.as_deref()
+        } else {
+            None
+        };
+        checkpoint::write(&self.dir, &data, kill)?;
+        self.checkpoints += 1;
+        self.last_checkpoint_index = self.applied;
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- reads
+
+    /// Durable batch index of the last applied batch (1-based; 0 = none).
+    pub fn batch_index(&self) -> u64 {
+        self.applied
+    }
+
+    /// The current published snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.serve.snapshot()
+    }
+
+    /// A lock-free reader handle.
+    pub fn reader(&self) -> SnapshotReader {
+        self.serve.reader()
+    }
+
+    /// A view's current nested result.
+    pub fn view(&self, name: &str) -> Result<Bag, DurableError> {
+        self.serve
+            .view(name)
+            .map_err(|e| DurableError::Serve(e.into()))
+    }
+
+    /// The wrapped serving system (read-only: mutating ingest must go
+    /// through [`DurableSystem::apply_batch`] or it would bypass the log).
+    pub fn serving(&self) -> &ServingSystem {
+        &self.serve
+    }
+
+    /// Serving-layer counters.
+    pub fn serve_stats(&self) -> ServeStats {
+        self.serve.serve_stats()
+    }
+
+    /// Durability counters.
+    pub fn durable_stats(&self) -> DurableStats {
+        DurableStats {
+            batches: self.applied,
+            wal_bytes: self.wal.bytes_appended(),
+            wal_syncs: self.wal.syncs(),
+            checkpoints: self.checkpoints,
+            last_checkpoint_index: self.last_checkpoint_index,
+        }
+    }
+
+    /// The durable directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the write-ahead log.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    /// Pass-through: view refresh execution mode.
+    pub fn set_parallelism(&mut self, mode: Parallelism) {
+        self.serve.set_parallelism(mode);
+    }
+
+    /// Pass-through: engine reclamation pacing.
+    pub fn set_collect_policy(&mut self, policy: CollectPolicy) {
+        self.serve.set_collect_policy(policy);
+    }
+
+    /// Is this instance poisoned by an earlier failure?
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+}

@@ -1,0 +1,548 @@
+//! The write-ahead update log.
+//!
+//! An append-only file of self-validating records, one per applied
+//! [`UpdateBatch`]:
+//!
+//! ```text
+//! file   := magic "NRCWAL01" record*
+//! record := len:u32 crc:u32 payload[len]
+//! payload:= batch_index:u64 raw_updates:u64 nsegs:u32 (rel:str bag)*
+//! ```
+//!
+//! All integers are little-endian; bags are encoded through
+//! [`nrc_data::codec`], so payloads carry resolved values, never arena ids.
+//! `crc` is CRC-32 (IEEE) over the payload. A record is *valid* iff its
+//! length fits in the file, its checksum matches, its payload decodes, and
+//! its batch index is the successor of the previous record's — the log is
+//! therefore **prefix-closed**: the set of valid logs is closed under
+//! truncation to a record boundary, and [`scan`] returns the longest valid
+//! prefix of any byte string.
+//!
+//! **Torn-tail argument.** A crash can leave any byte prefix of the last
+//! in-flight record (writes are appends; earlier bytes are never touched).
+//! Whatever the tear point, the tail fails one of the validity checks —
+//! short header → length check, short payload → length check, complete
+//! length but garbage bytes → checksum (up to CRC collision on a *random*
+//! tear, ~2⁻³²) — so replay stops at the last complete record and
+//! [`Wal::resume`] truncates the file there. A torn record is never
+//! partially applied because validation precedes decoding and decoding
+//! precedes application.
+
+use crate::error::{io_err, DurableError};
+use crate::kill::{write_guarded, KillPoint};
+use nrc_data::codec;
+use nrc_engine::UpdateBatch;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File magic identifying a WAL (8 bytes, version-suffixed).
+pub const WAL_MAGIC: &[u8; 8] = b"NRCWAL01";
+
+/// Upper bound on a single record payload; a length field beyond it is
+/// unconditionally garbage (guards the scanner against absurd allocations
+/// on random tails).
+const MAX_RECORD: u32 = 1 << 30;
+
+/// When appended records reach the disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every record: no acknowledged batch is ever lost,
+    /// at one device round-trip per batch.
+    EveryBatch,
+    /// `fdatasync` after every `n`-th record: bounds loss on *machine*
+    /// failure to at most `n` acknowledged batches while amortizing the
+    /// sync cost. `EveryN(1)` ≡ `EveryBatch`; `EveryN(0)` is treated as
+    /// `Never`.
+    EveryN(u64),
+    /// Never sync explicitly; the OS flushes at its leisure. Process death
+    /// loses nothing (completed writes live in the page cache); machine
+    /// death may lose any unflushed suffix.
+    Never,
+}
+
+// ------------------------------------------------------------------ crc32
+
+/// The CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) table.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ------------------------------------------------------------- payloads
+
+/// Encode one record payload (no framing).
+fn encode_payload(batch_index: u64, batch: &UpdateBatch) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_u64(&mut out, batch_index);
+    codec::put_u64(&mut out, batch.raw_updates());
+    let segments: Vec<(&str, &nrc_data::Bag)> = batch.segments().collect();
+    codec::put_u32(&mut out, segments.len() as u32);
+    for (rel, bag) in segments {
+        codec::put_str(&mut out, rel);
+        codec::encode_bag(bag, &mut out);
+    }
+    out
+}
+
+/// Decode one record payload, re-interning its bags.
+fn decode_payload(payload: &[u8]) -> Result<WalRecord, DurableError> {
+    let mut r = codec::Reader::new(payload);
+    let batch_index = r.u64("batch index")?;
+    let raw_updates = r.u64("raw updates")?;
+    let nsegs = r.len("segments")?;
+    let mut segments = Vec::with_capacity(nsegs);
+    for _ in 0..nsegs {
+        let rel = r.str("relation")?;
+        let bag = codec::decode_bag(&mut r)?;
+        segments.push((rel, bag));
+    }
+    r.finish()?;
+    Ok(WalRecord {
+        batch_index,
+        batch: UpdateBatch::from_coalesced(segments, raw_updates),
+    })
+}
+
+// ------------------------------------------------------------------ scan
+
+/// One valid WAL record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The durable batch index this record carries (1-based, contiguous).
+    pub batch_index: u64,
+    /// The batch itself, reconstructed through the intern seam.
+    pub batch: UpdateBatch,
+}
+
+/// The result of scanning a WAL file: its longest valid prefix.
+#[derive(Clone, Debug)]
+pub struct WalScan {
+    /// The valid records, in log order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (magic + whole records); the file
+    /// should be truncated here before appending resumes.
+    pub valid_len: u64,
+    /// Byte length of the file as scanned.
+    pub file_len: u64,
+}
+
+impl WalScan {
+    /// Bytes past the last valid record (the torn/garbage tail).
+    pub fn torn_bytes(&self) -> u64 {
+        self.file_len - self.valid_len
+    }
+}
+
+/// Scan `path` and return its longest valid record prefix. A missing file
+/// scans as empty (a crash before the WAL's first byte). A present file
+/// whose header is not a (possibly torn) prefix of [`WAL_MAGIC`] is
+/// [`DurableError::Corrupt`] — it is not ours to truncate.
+pub fn scan(path: &Path) -> Result<WalScan, DurableError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                file_len: 0,
+            })
+        }
+        Err(e) => return Err(io_err(path, e)),
+    };
+    let file_len = bytes.len() as u64;
+    if bytes.len() < WAL_MAGIC.len() {
+        // A torn header is recoverable (valid prefix = nothing); anything
+        // else in its place is foreign.
+        if WAL_MAGIC.starts_with(&bytes) {
+            return Ok(WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                file_len,
+            });
+        }
+        return Err(DurableError::Corrupt {
+            path: path.to_path_buf(),
+            detail: "short header is not a WAL magic prefix".to_string(),
+        });
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(DurableError::Corrupt {
+            path: path.to_path_buf(),
+            detail: "bad WAL magic".to_string(),
+        });
+    }
+
+    let mut records = Vec::new();
+    let mut off = WAL_MAGIC.len();
+    loop {
+        let rem = bytes.len() - off;
+        if rem < 8 {
+            break; // torn framing header
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD || (len as usize) > rem - 8 {
+            break; // torn payload (or garbage length)
+        }
+        let payload = &bytes[off + 8..off + 8 + len as usize];
+        if crc32(payload) != crc {
+            break; // torn or bit-damaged payload
+        }
+        let Ok(record) = decode_payload(payload) else {
+            break; // checksum collision on garbage: still refuse to apply
+        };
+        let expected = records
+            .last()
+            .map(|r: &WalRecord| r.batch_index + 1)
+            .unwrap_or(record.batch_index);
+        if record.batch_index != expected {
+            break; // non-contiguous: treat as tail
+        }
+        records.push(record);
+        off += 8 + len as usize;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: off as u64,
+        file_len,
+    })
+}
+
+// ------------------------------------------------------------------- Wal
+
+/// An open WAL with an append cursor and an fsync policy.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    kill: Option<Arc<KillPoint>>,
+    /// Records ever appended to this file (drives `EveryN` cadence).
+    records: u64,
+    /// Bytes appended through this handle (excludes the header on resume).
+    bytes_appended: u64,
+    /// Explicit syncs issued.
+    syncs: u64,
+}
+
+impl Wal {
+    /// Create (or overwrite) the WAL at `path` and write its header. The
+    /// header write is not kill-guarded: creation is provisioning, not the
+    /// serving traffic the crash harness tears.
+    pub fn create(
+        path: &Path,
+        policy: FsyncPolicy,
+        kill: Option<Arc<KillPoint>>,
+    ) -> Result<Wal, DurableError> {
+        let mut file = File::create(path).map_err(|e| io_err(path, e))?;
+        file.write_all(WAL_MAGIC).map_err(|e| io_err(path, e))?;
+        file.sync_data().map_err(|e| io_err(path, e))?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            kill,
+            records: 0,
+            bytes_appended: 0,
+            syncs: 0,
+        })
+    }
+
+    /// Reopen the WAL after recovery: truncate to `scan`'s valid prefix
+    /// (discarding the torn tail forever) and position for append.
+    /// `scan.valid_len == 0` (missing file or torn header) recreates it.
+    pub fn resume(
+        path: &Path,
+        policy: FsyncPolicy,
+        kill: Option<Arc<KillPoint>>,
+        scan: &WalScan,
+    ) -> Result<Wal, DurableError> {
+        if scan.valid_len < WAL_MAGIC.len() as u64 {
+            return Wal::create(path, policy, kill);
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        file.set_len(scan.valid_len).map_err(|e| io_err(path, e))?;
+        file.seek(SeekFrom::End(0)).map_err(|e| io_err(path, e))?;
+        file.sync_data().map_err(|e| io_err(path, e))?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            kill,
+            records: scan.records.len() as u64,
+            bytes_appended: 0,
+            syncs: 0,
+        })
+    }
+
+    /// Append one record (frame + checksummed payload), then apply the
+    /// fsync policy. Returns the record's size in bytes.
+    pub fn append(&mut self, batch_index: u64, batch: &UpdateBatch) -> Result<u64, DurableError> {
+        let payload = encode_payload(batch_index, batch);
+        let mut record = Vec::with_capacity(8 + payload.len());
+        codec::put_u32(&mut record, payload.len() as u32);
+        codec::put_u32(&mut record, crc32(&payload));
+        record.extend_from_slice(&payload);
+        write_guarded(&mut self.file, &record, self.kill.as_deref(), &self.path)?;
+        self.records += 1;
+        self.bytes_appended += record.len() as u64;
+        match self.policy {
+            FsyncPolicy::EveryBatch => self.sync()?,
+            FsyncPolicy::EveryN(n) if n > 0 && self.records % n == 0 => self.sync()?,
+            _ => {}
+        }
+        Ok(record.len() as u64)
+    }
+
+    /// `fdatasync` the log now, regardless of policy.
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Records ever appended to the file (including before a resume).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes appended through this handle.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// Explicit syncs issued through this handle.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrc_data::{Bag, Value};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nrc-wal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir
+    }
+
+    fn batch(tag: &str, i: u64) -> UpdateBatch {
+        UpdateBatch::from_updates([
+            (
+                "M".to_string(),
+                Bag::from_pairs([(
+                    Value::pair(Value::str(format!("wal-{tag}-{i}")), Value::int(i as i64)),
+                    1,
+                )]),
+            ),
+            (
+                "N".to_string(),
+                Bag::from_pairs([(Value::str(format!("wal-{tag}-n{i}")), -2)]),
+            ),
+        ])
+    }
+
+    fn write_log(dir: &Path, tag: &str, n: u64) -> (PathBuf, Vec<WalRecord>) {
+        let path = dir.join("t.wal");
+        let mut wal = Wal::create(&path, FsyncPolicy::Never, None).expect("create");
+        let mut expect = Vec::new();
+        for i in 1..=n {
+            let b = batch(tag, i);
+            wal.append(i, &b).expect("append");
+            expect.push(WalRecord {
+                batch_index: i,
+                batch: b,
+            });
+        }
+        wal.sync().expect("sync");
+        (path, expect)
+    }
+
+    #[test]
+    fn scan_returns_all_appended_records() {
+        let dir = tmp_dir("all");
+        let (path, expect) = write_log(&dir, "all", 5);
+        let scan = scan(&path).expect("scan");
+        assert_eq!(scan.records, expect);
+        assert_eq!(scan.valid_len, scan.file_len);
+        assert_eq!(scan.torn_bytes(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Truncation at *every* byte offset yields a valid prefix of the
+    /// original records — the length check catches every possible tear,
+    /// and no truncation point ever produces a record that was not fully
+    /// appended (prefix-closure at the byte level).
+    #[test]
+    fn every_truncation_point_scans_to_a_record_prefix() {
+        let dir = tmp_dir("trunc");
+        let (path, expect) = write_log(&dir, "trunc", 3);
+        let bytes = std::fs::read(&path).expect("read");
+        let cut_path = dir.join("cut.wal");
+        for cut in 0..=bytes.len() {
+            std::fs::write(&cut_path, &bytes[..cut]).expect("write cut");
+            let scan = scan(&cut_path).expect("torn files always scan");
+            assert!(scan.records.len() <= expect.len());
+            assert_eq!(
+                scan.records,
+                expect[..scan.records.len()],
+                "cut at byte {cut} is not a record prefix"
+            );
+            assert!(scan.valid_len <= cut as u64);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A bit flip anywhere in the record region invalidates the record it
+    /// lands in (length or checksum validation), so the scan returns
+    /// exactly the records before it — damaged data is truncated, never
+    /// mis-applied. Flips in the 8-byte magic make the file foreign and
+    /// error instead.
+    #[test]
+    fn every_bit_flip_truncates_never_misapplies() {
+        let dir = tmp_dir("flip");
+        let (path, expect) = write_log(&dir, "flip", 3);
+        let bytes = std::fs::read(&path).expect("read");
+        let flip_path = dir.join("flip.wal");
+        for pos in 0..bytes.len() {
+            let mut damaged = bytes.clone();
+            damaged[pos] ^= 0x10;
+            std::fs::write(&flip_path, &damaged).expect("write flipped");
+            match scan(&flip_path) {
+                Ok(scan) => {
+                    assert!(pos >= WAL_MAGIC.len(), "magic flip at {pos} must error");
+                    assert_eq!(
+                        scan.records,
+                        expect[..scan.records.len()],
+                        "flip at byte {pos} altered a scanned record"
+                    );
+                    assert!(
+                        scan.records.len() < expect.len(),
+                        "flip at byte {pos} went undetected"
+                    );
+                }
+                Err(DurableError::Corrupt { .. }) => {
+                    assert!(pos < WAL_MAGIC.len(), "only magic flips are Corrupt");
+                }
+                Err(other) => panic!("unexpected error at byte {pos}: {other}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `resume` truncates the torn tail and appending continues cleanly:
+    /// the re-scanned log is old prefix + new records.
+    #[test]
+    fn resume_truncates_and_appends() {
+        let dir = tmp_dir("resume");
+        let (path, expect) = write_log(&dir, "resume", 3);
+        // Tear the last record by dropping 3 bytes.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("tear");
+        let s = scan(&path).expect("scan torn");
+        assert_eq!(s.records.len(), 2);
+        assert!(s.torn_bytes() > 0);
+        let mut wal = Wal::resume(&path, FsyncPolicy::EveryBatch, None, &s).expect("resume");
+        let b = batch("resume-post", 3);
+        wal.append(3, &b).expect("append after resume");
+        drop(wal);
+        let s2 = scan(&path).expect("rescan");
+        assert_eq!(s2.records.len(), 3);
+        assert_eq!(s2.records[..2], expect[..2]);
+        assert_eq!(s2.records[2].batch, b);
+        assert_eq!(s2.torn_bytes(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A missing file and a torn header both scan as empty; a foreign
+    /// header errors.
+    #[test]
+    fn header_edge_cases() {
+        let dir = tmp_dir("header");
+        let path = dir.join("t.wal");
+        let s = scan(&path).expect("missing file");
+        assert_eq!(s.records.len(), 0);
+        std::fs::write(&path, &WAL_MAGIC[..5]).expect("torn header");
+        let s = scan(&path).expect("torn header");
+        assert_eq!((s.records.len(), s.valid_len), (0, 0));
+        // resume from a torn header recreates the log.
+        let wal = Wal::resume(&path, FsyncPolicy::Never, None, &s).expect("recreate");
+        drop(wal);
+        assert_eq!(std::fs::read(&path).unwrap(), WAL_MAGIC);
+        std::fs::write(&path, b"GARBAGE!x").expect("foreign");
+        assert!(matches!(scan(&path), Err(DurableError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_policy_cadence() {
+        let dir = tmp_dir("fsync");
+        let path = dir.join("t.wal");
+        let mut wal = Wal::create(&path, FsyncPolicy::EveryN(3), None).expect("create");
+        for i in 1..=7 {
+            wal.append(i, &batch("fsync", i)).expect("append");
+        }
+        assert_eq!(wal.syncs(), 2, "records 3 and 6 sync under EveryN(3)");
+        let mut wal = Wal::create(&path, FsyncPolicy::EveryBatch, None).expect("recreate");
+        for i in 1..=4 {
+            wal.append(i, &batch("fsync2", i)).expect("append");
+        }
+        assert_eq!(wal.syncs(), 4);
+        let mut wal = Wal::create(&path, FsyncPolicy::Never, None).expect("recreate");
+        for i in 1..=4 {
+            wal.append(i, &batch("fsync3", i)).expect("append");
+        }
+        assert_eq!(wal.syncs(), 0);
+        // EveryN(0) is Never.
+        let mut wal = Wal::create(&path, FsyncPolicy::EveryN(0), None).expect("recreate");
+        wal.append(1, &batch("fsync4", 1)).expect("append");
+        assert_eq!(wal.syncs(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

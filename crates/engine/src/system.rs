@@ -232,6 +232,24 @@ impl UpdateBatch {
         }
     }
 
+    /// Reconstruct a batch from already-coalesced segments — the durability
+    /// export/import seam. A write-ahead log persists a batch as its
+    /// coalesced [`UpdateBatch::segments`] plus the raw-update count;
+    /// rebuilding from that pair must reproduce the original batch exactly
+    /// (coalescing is idempotent, so re-coalescing here is a safe no-op for
+    /// well-formed input and repairs duplicate-relation segments in
+    /// hand-built input).
+    pub fn from_coalesced<I>(segments: I, raw_updates: u64) -> UpdateBatch
+    where
+        I: IntoIterator<Item = (String, Bag)>,
+    {
+        let segments = coalesce_updates(segments);
+        UpdateBatch {
+            segments,
+            raw_updates,
+        }
+    }
+
     /// Add one update to the batch, `⊎`-merging it into the relation's
     /// existing segment if there is one.
     pub fn push(&mut self, rel: impl Into<String>, delta: Bag) {

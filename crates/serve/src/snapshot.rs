@@ -178,6 +178,21 @@ impl Snapshot {
         Ok(self.view(view)?.cardinality())
     }
 
+    /// Every view's frozen state as fully materialized *nested* bags, in
+    /// name order — the checkpoint export seam. Durability persists views
+    /// in nested form regardless of maintenance strategy: nesting resolves
+    /// every label through the snapshot's frozen context dictionaries while
+    /// the snapshot's pin still shields the slots involved, so nothing
+    /// arena-dependent (and no possible `StaleVid`) reaches the encoder.
+    /// Shredded views pay their one-time nesting here if no reader
+    /// materialized them earlier.
+    pub fn resolved_views(&self) -> Result<Vec<(String, Bag)>, ServeError> {
+        self.views
+            .iter()
+            .map(|(name, snap)| Ok((name.clone(), snap.bag()?.clone())))
+            .collect()
+    }
+
     /// Look up the inner bag a label denotes in a *shredded* view's frozen
     /// context dictionaries (`None` when the label defines nothing there).
     /// Errors with [`ServeError::NotShredded`] for views maintained in

@@ -12,15 +12,33 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// A config running `cases` cases.
+    /// A config running exactly `cases` cases, ignoring the environment
+    /// (for tests whose case count is semantically fixed).
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
     }
+
+    /// A config running `default_cases` cases unless the `PROPTEST_CASES`
+    /// environment variable overrides it — upstream proptest's behavior, so
+    /// CI can dial property depth without touching test sources. An unset
+    /// or unparsable variable falls back to the default.
+    pub fn with_cases_env(default_cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases: env_cases().unwrap_or(default_cases),
+        }
+    }
+}
+
+/// `PROPTEST_CASES` as a case count, when set and parsable.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable via `PROPTEST_CASES` like
+    /// [`ProptestConfig::with_cases_env`].
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 64 }
+        ProptestConfig::with_cases_env(64)
     }
 }
 
@@ -78,6 +96,22 @@ impl std::error::Error for TestCaseError {}
 mod tests {
     use super::*;
     use rand::Rng;
+
+    #[test]
+    fn cases_respect_environment_override() {
+        // One test owns the variable (this module has no other env readers
+        // running concurrently against it).
+        std::env::set_var("PROPTEST_CASES", "13");
+        assert_eq!(ProptestConfig::with_cases_env(64).cases, 13);
+        assert_eq!(ProptestConfig::default().cases, 13);
+        // Exact counts ignore the environment.
+        assert_eq!(ProptestConfig::with_cases(5).cases, 5);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(ProptestConfig::with_cases_env(7).cases, 7);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::with_cases_env(9).cases, 9);
+        assert_eq!(ProptestConfig::default().cases, 64);
+    }
 
     #[test]
     fn deterministic_rng_reproduces() {

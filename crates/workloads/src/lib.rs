@@ -18,16 +18,21 @@
 //! * [`serve_mix`] — deterministic read-op streams (skewed point lookups,
 //!   misses, bounded scans) to run against snapshots while the [`stream`]
 //!   writer ingests — the mixed read/write shape of the serving
-//!   experiment (E12).
+//!   experiment (E12);
+//! * [`recovery`] — prebuilt (fully materialized) streams plus seeded
+//!   crash-offset sampling for the durability experiment (E13) and the
+//!   kill-point differential harness.
 
 pub mod movies;
 pub mod orders;
+pub mod recovery;
 pub mod serve_mix;
 pub mod skew;
 pub mod stream;
 
 pub use movies::MovieGen;
 pub use orders::OrdersGen;
+pub use recovery::{kill_offsets, RecoveryPlan};
 pub use serve_mix::{reader_op_sets, reader_ops, ReadMixConfig, ReadOp};
 pub use skew::SkewGen;
 pub use stream::{StreamConfig, StreamGen};

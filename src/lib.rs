@@ -10,6 +10,7 @@
 //! * [`parser`] — NRC⁺ surface syntax
 //! * [`circuit`] — NC⁰/TC⁰ circuit substrate (Theorem 9)
 //! * [`serve`] — concurrent snapshot serving (single writer, many readers)
+//! * [`durable`] — write-ahead log, checkpoints, crash recovery
 //! * [`workloads`] — seeded data and update generators
 //!
 //! The end-to-end design — parser → typecheck → delta/shredding → engine
@@ -52,6 +53,7 @@
 pub use nrc_circuit as circuit;
 pub use nrc_core as core;
 pub use nrc_data as data;
+pub use nrc_durable as durable;
 pub use nrc_engine as engine;
 pub use nrc_parser as parser;
 pub use nrc_serve as serve;

@@ -18,25 +18,15 @@
 //! is assertable here (unlike in the data crate's unit-test binary) because
 //! every test touching the arena in this process holds the same lock.
 
+mod common;
+
+use common::{drain, fresh_case, serial};
 use nrc_core::builder::{cmp_lit, filter_query, rel};
 use nrc_core::expr::CmpOp;
 use nrc_data::{intern, Bag, DataError, Value, Vid};
 use nrc_engine::{CollectPolicy, IvmSystem, Parallelism, Strategy as Maintain, UpdateBatch};
 use nrc_workloads::{StreamConfig, StreamGen};
 use proptest::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
-static SERIAL: Mutex<()> = Mutex::new(());
-static CASE: AtomicU64 = AtomicU64::new(0);
-
-fn serial() -> std::sync::MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
-}
-
-fn fresh_case() -> u64 {
-    CASE.fetch_add(1, Ordering::Relaxed)
-}
 
 /// The sampled sweep budgets of the issue: minimal, small, odd, unbounded.
 fn arb_budget() -> impl Strategy<Value = u64> {
@@ -67,7 +57,7 @@ fn query_pool(idx: usize) -> nrc_core::Expr {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases_env(24))]
 
     /// Random (query, update stream, policy) triples with bounded collects
     /// interleaved at random points between batches: the four strategies
@@ -236,36 +226,11 @@ proptest! {
 
 /// A payload unique to (test case, element index).
 fn payload(case: u64, elem: u16) -> Value {
-    Value::Tuple(vec![
-        Value::str(format!("prop-bgc-case-{case}")),
-        Value::int(elem as i64),
-    ])
+    common::payload("prop-bgc-case", case, elem)
 }
 
 /// `k` flat payloads in a bag plus one nested bag value of `nested`
 /// children (so reclamation must ride the release cascade).
 fn build_garbage(case: u64, k: usize, nested: usize) -> (Bag, Value) {
-    let bag = Bag::from_values((0..k as u16).map(|i| payload(case, i)));
-    let inner: Vec<Value> = (1000..1000 + nested as u16)
-        .map(|i| payload(case, i))
-        .collect();
-    let nested_val = Value::Bag(Bag::from_values(inner));
-    let holder = Bag::from_values([nested_val.clone()]);
-    // Fold the holder into the returned bag so dropping it releases both.
-    let mut all = bag;
-    all.union_assign(&holder);
-    (all, nested_val)
-}
-
-/// Unbounded sweeps until quiescent; returns the total slots freed.
-fn drain() -> u64 {
-    let mut freed = 0;
-    for _ in 0..64 {
-        let s = intern::collect_now();
-        freed += s.freed;
-        if s.freed == 0 && s.pending == 0 {
-            return freed;
-        }
-    }
-    panic!("arena backlog failed to drain");
+    common::build_garbage("prop-bgc-case", case, k, nested)
 }

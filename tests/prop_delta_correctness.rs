@@ -9,6 +9,8 @@
 //! triples, with simplified and unsimplified deltas, and for every relation
 //! of multi-relation databases.
 
+mod common;
+
 use nrc_core::delta::delta_wrt_rel;
 use nrc_core::eval::{eval_query, Env};
 use nrc_core::generator::{GenConfig, QueryGen};
@@ -18,7 +20,8 @@ use nrc_core::typecheck::TypeEnv;
 #[test]
 fn proposition_4_1_holds_on_random_inc_queries() {
     let mut checked = 0;
-    for seed in 0..250u64 {
+    let cases = common::case_count(250);
+    for seed in 0..cases {
         let mut g = QueryGen::new(seed, GenConfig::default());
         let db = g.gen_database();
         let q = g.gen_inc_query(&db);
@@ -65,13 +68,18 @@ fn proposition_4_1_holds_on_random_inc_queries() {
             checked += 1;
         }
     }
-    assert!(checked > 200, "only {checked} cases exercised");
+    // Coverage floor scales with the dialed case count (most seeds yield
+    // at least one free relation to differentiate against).
+    assert!(
+        checked as u64 > cases * 4 / 5,
+        "only {checked} cases exercised"
+    );
 }
 
 #[test]
 fn proposition_4_1_composes_over_update_sequences() {
     // Applying k successive deltas equals recomputation after k updates.
-    for seed in 0..60u64 {
+    for seed in 0..common::case_count(60) {
         let mut g = QueryGen::new(seed, GenConfig::default());
         let mut db = g.gen_database();
         let q = g.gen_inc_query(&db);
@@ -99,7 +107,7 @@ fn proposition_4_1_composes_over_update_sequences() {
 #[test]
 fn deltas_of_input_independent_queries_are_empty() {
     // Lemma 1 as an end-to-end property.
-    for seed in 0..80u64 {
+    for seed in 0..common::case_count(80) {
         let mut g = QueryGen::new(seed, GenConfig::default());
         let db = g.gen_database();
         let q = g.gen_inc_query(&db);

@@ -8,30 +8,17 @@
 //! themselves and use per-case-unique payloads: a sweep must never be able
 //! to confuse one case's values with another's.
 
+mod common;
+
+use common::{fresh_case, serial};
 use nrc_data::{intern, Bag, DataError, Value, Vid};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
-static SERIAL: Mutex<()> = Mutex::new(());
-static CASE: AtomicU64 = AtomicU64::new(0);
-
-fn serial() -> std::sync::MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
-}
-
-fn fresh_case() -> u64 {
-    CASE.fetch_add(1, Ordering::Relaxed)
-}
 
 /// A payload unique to (test case, element index): ever-fresh with respect
 /// to every other case that ever ran in this process.
 fn payload(case: u64, elem: u16) -> Value {
-    Value::Tuple(vec![
-        Value::str(format!("prop-gc-case-{case}")),
-        Value::int(elem as i64),
-    ])
+    common::payload("prop-gc-case", case, elem)
 }
 
 const SLOTS: usize = 4;
@@ -80,7 +67,7 @@ fn check_live(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig::with_cases_env(96))]
 
     /// Random insert/union/drop/collect interleavings: live ids resolve to
     /// the same values before and after every collection.

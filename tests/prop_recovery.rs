@@ -1,0 +1,480 @@
+//! Kill-point differential crash-recovery harness — the durability PR's
+//! headline property: an injected-failpoint workload killed at a random
+//! byte offset of its durable output (mid-record, mid-checkpoint, between
+//! fsyncs — wherever the byte lands), then recovered, must equal a
+//! never-crashed sequential replay of the same stream, for all four
+//! maintenance strategies. Plus the satellite properties:
+//!
+//! * **WAL replay is idempotent and prefix-closed**: scanning is
+//!   side-effect-free, every byte-truncation of the log scans to a record
+//!   prefix, and replaying that prefix reproduces exactly the sequential
+//!   state at its batch index — a torn or garbage tail is truncated, never
+//!   mis-applied.
+//! * **Checkpoint round-trip across GC**: state persisted under
+//!   `CollectPolicy::Bounded` and recovered after arena slot reuse answers
+//!   `scan`/`get`/`lookup_label` identically — nothing arena-dependent (no
+//!   possible `StaleVid`) lives in the on-disk format.
+//! * **Double crash**: crashing again during post-recovery ingest and
+//!   recovering a second (and third) time stays on the reference replay —
+//!   recovery is idempotent.
+//!
+//! The arena is process-global, so cases serialize and use case-unique
+//! payload prefixes (the shared discipline in `tests/common`).
+
+mod common;
+
+use common::{fresh_case, serial};
+use nrc_core::builder::{cmp_lit, filter_query, rel, related_query};
+use nrc_core::expr::CmpOp;
+use nrc_core::Expr;
+use nrc_data::{Bag, Value};
+use nrc_durable::{
+    wal, DurableError, DurableOptions, DurableSystem, FsyncPolicy, KillPoint, ViewSpec, Wal,
+    WAL_FILE,
+};
+use nrc_engine::{CollectPolicy, Strategy, UpdateBatch, ViewStateSnapshot};
+use nrc_workloads::{kill_offsets, RecoveryPlan, StreamConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A self-cleaning scratch directory under the system temp dir, unique per
+/// (process, case, tag) so parallel test binaries never collide.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str, case: u64) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "nrc-prop-recovery-{}-{case}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Queries every strategy accepts (IncNRC⁺, flat) over the streaming
+/// movies schema — the kill-point differential runs all four strategies
+/// over the same query.
+fn query_pool(idx: usize) -> Expr {
+    match idx {
+        0 => rel("M"),
+        1 => filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "genre0")),
+        _ => filter_query("M", cmp_lit("x", vec![1], CmpOp::Eq, "genre1")),
+    }
+}
+
+/// The sampled WAL fsync policies: every one of the three variants, with
+/// two `EveryN` cadences.
+fn fsync_pool(idx: usize) -> FsyncPolicy {
+    match idx {
+        0 => FsyncPolicy::EveryBatch,
+        1 => FsyncPolicy::EveryN(2),
+        2 => FsyncPolicy::EveryN(3),
+        _ => FsyncPolicy::Never,
+    }
+}
+
+fn opts(fsync: FsyncPolicy, checkpoint_every: u64, kill: Option<Arc<KillPoint>>) -> DurableOptions {
+    DurableOptions {
+        fsync,
+        checkpoint_every,
+        kill,
+    }
+}
+
+/// Assert every view of `sys` equals the reference replay state.
+fn check_views(
+    sys: &DurableSystem,
+    expected: &BTreeMap<String, Bag>,
+    at: &str,
+) -> Result<(), TestCaseError> {
+    for (name, want) in expected {
+        prop_assert_eq!(
+            &sys.view(name).expect("recovered view"),
+            want,
+            "view {} diverged from the uncrashed replay {}",
+            name,
+            at
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_env(12))]
+
+    /// The headline differential: ingest the plan once uncrashed (metering
+    /// the guarded byte volume), re-run it with a kill budget at a random
+    /// byte of that volume, recover, and require the recovered state to
+    /// equal the sequential replay at the recovered batch index — then
+    /// crash *again* mid-continuation and recover twice more.
+    #[test]
+    fn recovered_state_equals_uncrashed_replay(
+        seed in 0u64..10_000,
+        nbatches in 1usize..7,
+        batch_size in 1usize..6,
+        delete_tenths in 0usize..5,
+        query_idx in 0usize..3,
+        fsync_idx in 0usize..4,
+        checkpoint_every in 0u64..4,
+        kill_salt in 0u64..10_000,
+    ) {
+        let _serial = serial();
+        let case = fresh_case();
+        let cfg = StreamConfig {
+            batch_size,
+            delete_fraction: delete_tenths as f64 / 10.0,
+            genres: 3,
+            directors: 3,
+            payload_prefix: format!("prop-rec-{case}-"),
+            ..StreamConfig::default()
+        };
+        let plan = RecoveryPlan::generate(seed, cfg, 12, nbatches);
+        let q = query_pool(query_idx);
+        let view_list = [
+            ("re", q.clone(), Strategy::Reevaluate),
+            ("fo", q.clone(), Strategy::FirstOrder),
+            ("rc", q.clone(), Strategy::Recursive),
+            ("sh", q.clone(), Strategy::Shredded),
+        ];
+        let states = common::recovery_plan_states(&plan, &view_list);
+        let specs: Vec<ViewSpec> = view_list
+            .iter()
+            .map(|(n, q, s)| ViewSpec::new(*n, q.clone(), *s))
+            .collect();
+        let fsync = fsync_pool(fsync_idx);
+
+        // --- Uncrashed run: the reference, metered for its byte volume ---
+        let meter = KillPoint::arm(u64::MAX);
+        let dir_ok = TempDir::new("uncrashed", case);
+        let mut ok_sys = DurableSystem::create(
+            dir_ok.path(),
+            plan.db.clone(),
+            &specs,
+            opts(fsync, checkpoint_every, Some(Arc::clone(&meter))),
+        ).expect("create uncrashed");
+        for batch in &plan.batches {
+            ok_sys
+                .apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+                .expect("uncrashed apply");
+        }
+        check_views(&ok_sys, &states[nbatches], "with no crash at all")?;
+        let total = u64::MAX - meter.remaining();
+        prop_assert!(total > 0, "ingest must write guarded bytes");
+        drop(ok_sys);
+
+        // --- Crashed run: identical stream, kill at a random byte ---
+        let budget = kill_offsets(seed ^ kill_salt, total, 1)[0];
+        let dir = TempDir::new("crashed", case);
+        let mut crashed = DurableSystem::create(
+            dir.path(),
+            plan.db.clone(),
+            &specs,
+            opts(fsync, checkpoint_every, Some(KillPoint::arm(budget))),
+        ).expect("create crashed");
+        let mut acked = 0u64;
+        let mut died = false;
+        for batch in &plan.batches {
+            match crashed.apply_batch(&UpdateBatch::from_updates(batch.iter().cloned())) {
+                Ok(()) => acked += 1,
+                Err(e) => {
+                    prop_assert!(e.is_kill(), "only the injected kill may fail: {}", e);
+                    died = true;
+                    break;
+                }
+            }
+        }
+        if died {
+            // The instance is poisoned: nothing further may reach the log.
+            prop_assert!(crashed.is_dead());
+            let refused = crashed
+                .apply_batch(&UpdateBatch::from_updates(plan.batches[0].iter().cloned()));
+            prop_assert!(matches!(refused, Err(DurableError::Dead)));
+        }
+        drop(crashed); // process death: completed write()s survive
+
+        // --- First recovery: on the reference replay, near the ack line ---
+        let (rec, rstats) = DurableSystem::recover(
+            dir.path(),
+            &specs,
+            opts(fsync, checkpoint_every, None),
+        ).expect("first recovery");
+        let idx = rec.batch_index();
+        // Log-before-apply: every acked batch is durable, and at most the
+        // one in-flight batch beyond the ack line can have reached the log.
+        prop_assert!(
+            idx >= acked && idx <= acked + 1,
+            "recovered to batch {} but {} were acked",
+            idx,
+            acked
+        );
+        prop_assert_eq!(
+            rstats.batches_replayed,
+            idx - rstats.checkpoint_index,
+            "replay must cover exactly the gap from checkpoint to tip"
+        );
+        check_views(&rec, &states[idx as usize], "after the first crash")?;
+        drop(rec);
+
+        // --- Double crash: continue ingest, killed again at a new byte ---
+        let budget2 = kill_offsets(kill_salt.wrapping_add(seed).wrapping_add(1), total, 1)[0];
+        let (mut cont, _) = DurableSystem::recover(
+            dir.path(),
+            &specs,
+            opts(fsync, checkpoint_every, Some(KillPoint::arm(budget2))),
+        ).expect("recovery for continuation");
+        prop_assert_eq!(cont.batch_index(), idx, "re-recovery must land on the same index");
+        let mut acked2 = idx;
+        for batch in &plan.batches[idx as usize..] {
+            match cont.apply_batch(&UpdateBatch::from_updates(batch.iter().cloned())) {
+                Ok(()) => acked2 += 1,
+                Err(e) => {
+                    prop_assert!(e.is_kill(), "only the injected kill may fail: {}", e);
+                    break;
+                }
+            }
+        }
+        drop(cont);
+
+        // --- Second recovery, then recovery-after-recovery ---
+        let (rec2, _) = DurableSystem::recover(
+            dir.path(),
+            &specs,
+            opts(fsync, checkpoint_every, None),
+        ).expect("second recovery");
+        let idx2 = rec2.batch_index();
+        prop_assert!(
+            idx2 >= acked2 && idx2 <= acked2 + 1,
+            "second recovery reached batch {} but {} were acked",
+            idx2,
+            acked2
+        );
+        check_views(&rec2, &states[idx2 as usize], "after the second crash")?;
+        drop(rec2);
+
+        let (rec3, rstats3) = DurableSystem::recover(
+            dir.path(),
+            &specs,
+            opts(fsync, checkpoint_every, None),
+        ).expect("recovery after recovery");
+        prop_assert_eq!(rec3.batch_index(), idx2, "recovery must be idempotent");
+        prop_assert_eq!(
+            rstats3.torn_bytes_truncated, 0,
+            "the earlier recovery already truncated the torn tail"
+        );
+        check_views(&rec3, &states[idx2 as usize], "after recovering twice in a row")?;
+    }
+
+    /// WAL replay is idempotent and prefix-closed: scanning is read-only,
+    /// any byte-truncation scans to a record prefix, and replaying that
+    /// prefix reproduces the sequential state at its index exactly.
+    #[test]
+    fn wal_replay_is_idempotent_and_prefix_closed(
+        seed in 0u64..10_000,
+        nbatches in 1usize..6,
+        batch_size in 1usize..5,
+        delete_tenths in 0usize..5,
+        cut_salt in 0u64..10_000,
+    ) {
+        let _serial = serial();
+        let case = fresh_case();
+        let cfg = StreamConfig {
+            batch_size,
+            delete_fraction: delete_tenths as f64 / 10.0,
+            genres: 3,
+            directors: 3,
+            payload_prefix: format!("prop-wal-{case}-"),
+            ..StreamConfig::default()
+        };
+        let plan = RecoveryPlan::generate(seed, cfg, 12, nbatches);
+        let view_list = [("all", rel("M"), Strategy::FirstOrder)];
+        let states = common::recovery_plan_states(&plan, &view_list);
+
+        let dir = TempDir::new("wal", case);
+        std::fs::create_dir_all(dir.path()).expect("mkdir");
+        let path = dir.path().join(WAL_FILE);
+        let mut log = Wal::create(&path, FsyncPolicy::Never, None).expect("create wal");
+        for (i, batch) in plan.batches.iter().enumerate() {
+            log.append(i as u64 + 1, &UpdateBatch::from_updates(batch.iter().cloned()))
+                .expect("append");
+        }
+        drop(log);
+
+        // Scanning twice observes the identical record sequence and leaves
+        // the file untouched.
+        let full = wal::scan(&path).expect("scan");
+        let again = wal::scan(&path).expect("rescan");
+        let indices: Vec<u64> = full.records.iter().map(|r| r.batch_index).collect();
+        prop_assert_eq!(
+            &indices,
+            &again.records.iter().map(|r| r.batch_index).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(indices, (1..=nbatches as u64).collect::<Vec<_>>());
+        prop_assert_eq!(full.torn_bytes(), 0);
+
+        // Truncate at a random byte: the scan must yield a record prefix,
+        // and replaying it lands exactly on the sequential state.
+        let cut = kill_offsets(seed ^ cut_salt, full.file_len, 1)[0];
+        let bytes = std::fs::read(&path).expect("read wal");
+        let cut_path = dir.path().join("cut.wal");
+        std::fs::write(&cut_path, &bytes[..cut as usize]).expect("write cut");
+        let prefix = wal::scan(&cut_path).expect("scan cut");
+        let k = prefix.records.len();
+        prop_assert!(k <= nbatches);
+        prop_assert_eq!(
+            prefix.records.iter().map(|r| r.batch_index).collect::<Vec<_>>(),
+            (1..=k as u64).collect::<Vec<_>>(),
+            "a truncated log must scan to a contiguous record prefix"
+        );
+
+        // Replay determinism/idempotence: folding the scanned prefix into
+        // the replay helper twice gives the same state both times, equal
+        // to the reference at batch index k.
+        let replayed: Vec<Vec<(String, Bag)>> = plan.batches[..k].to_vec();
+        for _ in 0..2 {
+            let got = common::plan_states(plan.db.clone(), &replayed, &view_list);
+            prop_assert_eq!(
+                &got[k]["all"],
+                &states[k]["all"],
+                "prefix replay diverged at batch {}",
+                k
+            );
+        }
+    }
+
+    /// Checkpoint round-trip across GC: persist under
+    /// `CollectPolicy::Bounded`, drive arena slot reuse after the writer
+    /// dies, recover, and require `scan`/`get`/`lookup_label` agreement —
+    /// the on-disk format holds no arena-dependent state.
+    #[test]
+    fn checkpoint_round_trip_survives_slot_reuse(
+        seed in 0u64..10_000,
+        nbatches in 1usize..5,
+        batch_size in 1usize..6,
+        churn in 8usize..48,
+    ) {
+        let _serial = serial();
+        let case = fresh_case();
+        let cfg = StreamConfig {
+            batch_size,
+            delete_fraction: 0.4,
+            genres: 3,
+            directors: 3,
+            payload_prefix: format!("prop-ckpt-{case}-"),
+            ..StreamConfig::default()
+        };
+        let plan = RecoveryPlan::generate(seed, cfg, 10, nbatches);
+        let specs = [
+            ViewSpec::new("all", rel("M"), Strategy::FirstOrder),
+            ViewSpec::new("sh", related_query(), Strategy::Shredded),
+        ];
+
+        let dir = TempDir::new("ckpt", case);
+        let mut sys = DurableSystem::create(
+            dir.path(),
+            plan.db.clone(),
+            &specs,
+            opts(FsyncPolicy::Never, 1, None),
+        ).expect("create");
+        sys.set_collect_policy(CollectPolicy::Bounded { max_slots: 4, every: 1 });
+        for batch in &plan.batches {
+            sys.apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+                .expect("apply");
+        }
+        sys.checkpoint_now().expect("checkpoint");
+        let all_before = scan_pairs(&sys);
+        let related_before = related_pairs(&sys);
+        drop(sys);
+
+        // Drive slot reuse: drain the dropped system's garbage, then churn
+        // fresh payloads into the freed slots. If a Vid (rather than its
+        // value) had leaked into the checkpoint, recovery below would now
+        // resolve it against a reused slot.
+        common::drain();
+        let churn_case = fresh_case();
+        let churn_bag = Bag::from_values(
+            (0..churn as u16).map(|i| common::payload("prop-ckpt-churn", churn_case, i)),
+        );
+
+        let (rec, rstats) = DurableSystem::recover(
+            dir.path(),
+            &specs,
+            opts(FsyncPolicy::Never, 1, None),
+        ).expect("recover across GC");
+        prop_assert_eq!(
+            rstats.batches_replayed, 0,
+            "the tip checkpoint leaves nothing to replay"
+        );
+        prop_assert_eq!(rec.batch_index(), nbatches as u64);
+
+        // scan: identical ordered pairs; get: identical multiplicities.
+        let all_after = scan_pairs(&rec);
+        prop_assert_eq!(&all_before, &all_after, "scan diverged across the round-trip");
+        let snap = rec.snapshot();
+        for (v, m) in &all_before {
+            prop_assert_eq!(snap.get("all", v).expect("get"), *m);
+        }
+        drop(snap);
+
+        // lookup_label: the recovered shredded view's label indirection
+        // resolves every flat tuple to the same (name, inner-bag) multiset
+        // the original served — label *identity* may differ across runs,
+        // label *meaning* may not.
+        prop_assert_eq!(
+            related_before,
+            related_pairs(&rec),
+            "label resolution diverged across the round-trip"
+        );
+        drop(churn_bag);
+    }
+}
+
+/// Ordered `(value, multiplicity)` scan of the `all` view via the
+/// published snapshot.
+fn scan_pairs(sys: &DurableSystem) -> Vec<(Value, i64)> {
+    sys.snapshot().scan("all", usize::MAX).expect("scan")
+}
+
+/// The shredded `related` view decoded through its label indirection: each
+/// flat tuple `<name, label>` resolved to `(name, inner pairs, mult)` via
+/// `Snapshot::lookup_label`, sorted — a label-allocation-independent
+/// fingerprint of the view's meaning.
+#[allow(clippy::type_complexity)]
+fn related_pairs(sys: &DurableSystem) -> Vec<(Value, Vec<(Value, i64)>, i64)> {
+    let flat = match sys.serving().engine().view_state("sh").expect("view state") {
+        ViewStateSnapshot::Shredded { flat, .. } => flat.clone(),
+        other => panic!("sh must snapshot shredded, got {other:?}"),
+    };
+    let snap = sys.snapshot();
+    let mut out: Vec<(Value, Vec<(Value, i64)>, i64)> = flat
+        .iter()
+        .map(|(v, m)| {
+            let name = v.project(0).expect("name field").clone();
+            let label = v
+                .project(1)
+                .expect("label field")
+                .as_label()
+                .expect("label")
+                .clone();
+            let inner = snap
+                .lookup_label("sh", &label)
+                .expect("lookup")
+                .expect("label must define a bag");
+            (name, inner.iter().map(|(x, k)| (x.clone(), k)).collect(), m)
+        })
+        .collect();
+    out.sort();
+    out
+}

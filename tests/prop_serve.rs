@@ -17,6 +17,9 @@
 //! The arena is process-global, so cases serialize and use case-unique
 //! payload prefixes (same discipline as `tests/prop_bounded_gc.rs`).
 
+mod common;
+
+use common::{fresh_case, serial};
 use nrc_core::builder::{cmp_lit, filter_query, rel};
 use nrc_core::expr::CmpOp;
 use nrc_data::{intern, Bag};
@@ -24,19 +27,8 @@ use nrc_engine::{CollectPolicy, IvmSystem, Parallelism, Strategy, UpdateBatch};
 use nrc_serve::{ServingSystem, Snapshot};
 use nrc_workloads::{StreamConfig, StreamGen};
 use proptest::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-
-static SERIAL: Mutex<()> = Mutex::new(());
-static CASE: AtomicU64 = AtomicU64::new(0);
-
-fn serial() -> std::sync::MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
-}
-
-fn fresh_case() -> u64 {
-    CASE.fetch_add(1, Ordering::Relaxed)
-}
 
 /// The sampled reclamation policies: no collection, tight bounded pacing,
 /// self-sized bounded pacing, periodic full sweeps.
@@ -64,7 +56,7 @@ fn observe(snap: &Snapshot) -> (u64, Bag, Bag) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    #![proptest_config(ProptestConfig::with_cases_env(16))]
 
     /// Random (stream, policy, interleaving) triples with reader threads
     /// polling concurrently: all observations agree with sequential
@@ -148,27 +140,24 @@ proptest! {
 
         // Sequential replay of the identical stream, one state per batch
         // index.
-        let mut replay_gen = StreamGen::new(seed, cfg);
-        let replay_db = replay_gen.database(20);
-        let mut replay = IvmSystem::new(replay_db);
-        replay.set_parallelism(Parallelism::Sequential);
-        replay.register("hot", hot, Strategy::FirstOrder).expect("hot");
-        replay.register("all", rel("M"), Strategy::FirstOrder).expect("all");
-        let mut states: Vec<(Bag, Bag)> =
-            vec![(replay.view("hot").expect("hot"), replay.view("all").expect("all"))];
-        for _ in 0..nbatches {
-            let batch = UpdateBatch::from_updates(replay_gen.next_batch());
-            replay.apply_batch(&batch).expect("replay batch");
-            states.push((replay.view("hot").expect("hot"), replay.view("all").expect("all")));
-        }
+        let states = common::stream_states(
+            seed,
+            &cfg,
+            20,
+            nbatches,
+            &[
+                ("hot", hot, Strategy::FirstOrder),
+                ("all", rel("M"), Strategy::FirstOrder),
+            ],
+        );
         for (batch_index, hot_obs, all_obs) in observations.into_inner().unwrap() {
-            let (hot_exp, all_exp) = &states[batch_index as usize];
+            let state = &states[batch_index as usize];
             prop_assert_eq!(
-                &hot_obs, hot_exp,
+                &hot_obs, &state["hot"],
                 "hot view read diverged from replay at batch {}", batch_index
             );
             prop_assert_eq!(
-                &all_obs, all_exp,
+                &all_obs, &state["all"],
                 "all view read diverged from replay at batch {}", batch_index
             );
         }

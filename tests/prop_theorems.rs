@@ -2,6 +2,8 @@
 //! separation) and the finiteness of recursive IVM, over generator-produced
 //! queries.
 
+mod common;
+
 use nrc_core::cost::{cost, lt, size_of_bag, tcost, Cost, CostEnv};
 use nrc_core::degree::degree_of_wrt;
 use nrc_core::delta::{delta_tower, delta_wrt_rel};
@@ -12,7 +14,8 @@ use nrc_core::typecheck::TypeEnv;
 #[test]
 fn theorem_2_degree_drops_by_one_along_towers() {
     let mut checked = 0;
-    for seed in 0..400u64 {
+    let cases = common::case_count(400);
+    for seed in 0..cases {
         let mut g = QueryGen::new(seed, GenConfig::default());
         let db = g.gen_database();
         let q = g.gen_inc_query(&db);
@@ -46,13 +49,19 @@ fn theorem_2_degree_drops_by_one_along_towers() {
             checked += 1;
         }
     }
-    assert!(checked > 100, "only {checked} towers exercised");
+    // Coverage floor scales with the dialed case count (~1 tower per 4
+    // seeds survives the degree/independence filters).
+    assert!(
+        checked as u64 > cases / 4,
+        "only {checked} towers exercised"
+    );
 }
 
 #[test]
 fn theorem_4_deltas_cost_strictly_less() {
     let mut checked = 0;
-    for seed in 0..400u64 {
+    let cases = common::case_count(400);
+    for seed in 0..cases {
         let cfg = GenConfig {
             rel_card: 8,
             ..GenConfig::default()
@@ -93,14 +102,17 @@ fn theorem_4_deltas_cost_strictly_less() {
             checked += 1;
         }
     }
-    assert!(checked > 100, "only {checked} cost comparisons exercised");
+    assert!(
+        checked as u64 > cases / 4,
+        "only {checked} cost comparisons exercised"
+    );
 }
 
 #[test]
 fn size_of_respects_the_strict_order_for_small_updates() {
     // size(ΔR) ≺ size(R) whenever ΔR has strictly fewer tuples of the same
     // shape — the definition of an *incremental* update (§4.2).
-    for seed in 0..100u64 {
+    for seed in 0..common::case_count(100) {
         let mut g = QueryGen::new(seed, GenConfig::default());
         let db = g.gen_database();
         for rel in db.relation_names() {

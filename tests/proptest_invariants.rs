@@ -33,7 +33,7 @@ fn arb_dict() -> impl Strategy<Value = Dictionary> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases_env(128))]
 
     #[test]
     fn bag_union_is_commutative(a in arb_bag(), b in arb_bag()) {
@@ -173,7 +173,7 @@ fn shadow_insert(shadow: &mut std::collections::BTreeMap<Value, i64>, v: &Value,
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases_env(128))]
 
     /// Canonical form survives every operation sequence — no element is
     /// ever stored with multiplicity zero — and the interned, id-keyed bag
