@@ -26,6 +26,17 @@ use nrc_bench::{
 };
 use std::io::Write;
 
+/// Run E9 and persist its machine-readable report — the artifact the CI
+/// `replay-smoke` job budgets against (interned replay must stay ≥1.5×
+/// the seed representation on first-order and shredded).
+fn run_e9(quick: bool) -> Table {
+    let report = e9_intern::measure(quick);
+    if let Err(e) = e9_intern::write_replay_report(&report, "results/e9_replay.json") {
+        eprintln!("warning: could not write results/e9_replay.json: {e}");
+    }
+    e9_intern::report_table(&report)
+}
+
 /// Run E10 and persist its machine-readable report — the artifact the CI
 /// `memory-smoke` job budgets against.
 fn run_e10(quick: bool) -> Table {
@@ -105,7 +116,7 @@ fn main() {
         ("e6", e6_circuit::run),
         ("e7", e7_degree::run),
         ("e8", e8_batch::run),
-        ("e9", e9_intern::run),
+        ("e9", run_e9),
         ("e10", run_e10),
         ("e11", run_e11),
         ("e12", run_e12),

@@ -26,6 +26,7 @@ use crate::report::{fmt_us, Table};
 use crate::{time_avg_us, time_us};
 use nrc_data::{intern, Bag, Value};
 use nrc_engine::{IvmSystem, Parallelism, Strategy, UpdateBatch};
+use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -151,32 +152,75 @@ pub fn replay_seed(initial: &[SeedBag], per_batch: &[Vec<SeedBag>]) -> usize {
     states.iter().map(SeedBag::distinct_count).sum()
 }
 
-/// Run the experiment.
-pub fn run(quick: bool) -> Table {
+/// One strategy's replay measurements.
+#[derive(Clone, Debug, Serialize)]
+pub struct StrategyReplay {
+    /// Strategy name (`reevaluate` / `first-order` / `recursive` /
+    /// `shredded`).
+    pub strategy: String,
+    /// End-to-end engine ingest, µs per raw update (context column).
+    pub engine_us_per_update: f64,
+    /// Interned-representation state replay, µs per raw update.
+    pub interned_us_per_update: f64,
+    /// Seed value-keyed replica state replay, µs per raw update.
+    pub seed_us_per_update: f64,
+    /// `round(100 × seed / interned)` — the replay speed-up, ×100.
+    pub speedup_x100: u64,
+    /// `round(100 × interned / seed)` — the inverse ratio the replay
+    /// budget gates on: ≤ 66 ⇔ interned replay ≥ 1.5× faster than the
+    /// seed representation.
+    pub replay_cost_pct: u64,
+    /// Interned replay throughput, whole delta batches per second.
+    pub interned_batches_per_s: u64,
+    /// Seed-replica replay throughput, batches per second.
+    pub seed_batches_per_s: u64,
+}
+
+/// The full E9 outcome: per-strategy rows plus the budget-gated flat
+/// scalars (the `replay_cost_pct_*` fields are what
+/// `results/replay_budget.json` reads — CI's claw-back gate for the GC
+/// liveness tax documented in docs/PERFORMANCE.md).
+#[derive(Clone, Debug, Serialize)]
+pub struct ReplayReport {
+    /// Ran at quick sizes?
+    pub quick: bool,
+    /// Initial relation cardinality.
+    pub n: usize,
+    /// Delta batches replayed.
+    pub batches: usize,
+    /// Raw updates per batch.
+    pub batch_size: usize,
+    /// Replay repetitions averaged per measurement.
+    pub reps: usize,
+    /// Per-strategy `replay_cost_pct`, flattened for the budget gate
+    /// (`json_u64_field` reads flat integer fields).
+    pub replay_cost_pct_reevaluate: u64,
+    /// See [`StrategyReplay::replay_cost_pct`].
+    pub replay_cost_pct_first_order: u64,
+    /// See [`StrategyReplay::replay_cost_pct`].
+    pub replay_cost_pct_recursive: u64,
+    /// See [`StrategyReplay::replay_cost_pct`].
+    pub replay_cost_pct_shredded: u64,
+    /// Interned replay batches/s for the two gated strategies, for trend
+    /// tracking in the uploaded artifacts.
+    pub replay_batches_per_s_first_order: u64,
+    /// See [`ReplayReport::replay_batches_per_s_first_order`].
+    pub replay_batches_per_s_shredded: u64,
+    /// Per-strategy measurements.
+    pub rows: Vec<StrategyReplay>,
+}
+
+/// Run the experiment and collect the machine-readable report.
+pub fn measure(quick: bool) -> ReplayReport {
     let (n, nbatches, batch_size) = crate::e8_batch::sizes(quick);
     let reps = if quick { 8 } else { 20 };
-    let mut t = Table::new(
-        "E9",
-        format!(
-            "hash-consed interning vs. seed value-keyed bags: \
-             {nbatches} batches × {batch_size} updates over n={n}, \
-             state-maintenance replay ×{reps}"
-        ),
-        &[
-            "strategy",
-            "engine batched / upd",
-            "state ⊎ interned / upd",
-            "state ⊎ seed / upd",
-            "state ⊎ speed-up",
-        ],
-    );
     let strategies = [
         ("reevaluate", Strategy::Reevaluate),
         ("first-order", Strategy::FirstOrder),
         ("recursive", Strategy::Recursive),
         ("shredded", Strategy::Shredded),
     ];
-    let mut speedups = Vec::new();
+    let mut rows = Vec::new();
     for (name, strategy) in strategies {
         // Identical stream per strategy: same seed, fresh generator.
         let cfg = nrc_workloads::StreamConfig {
@@ -207,23 +251,98 @@ pub fn run(quick: bool) -> Table {
             std::hint::black_box(replay_seed(&seed_initial, &seed_batches));
         }) / raw;
         let speedup = seed_us / interned_us.max(1e-9);
-        speedups.push((name, speedup));
+        let batches_per_s = |us_per_update: f64| {
+            let total_us = us_per_update * raw;
+            if total_us <= 0.0 {
+                0
+            } else {
+                (nbatches as f64 / (total_us / 1e6)).round() as u64
+            }
+        };
+        rows.push(StrategyReplay {
+            strategy: name.to_string(),
+            engine_us_per_update: engine_us,
+            interned_us_per_update: interned_us,
+            seed_us_per_update: seed_us,
+            speedup_x100: (speedup * 100.0).round() as u64,
+            replay_cost_pct: ((interned_us / seed_us.max(1e-9)) * 100.0).round() as u64,
+            interned_batches_per_s: batches_per_s(interned_us),
+            seed_batches_per_s: batches_per_s(seed_us),
+        });
+    }
+    let pct = |name: &str| {
+        rows.iter()
+            .find(|r| r.strategy == name)
+            .map_or(u64::MAX, |r| r.replay_cost_pct)
+    };
+    let bps = |name: &str| {
+        rows.iter()
+            .find(|r| r.strategy == name)
+            .map_or(0, |r| r.interned_batches_per_s)
+    };
+    ReplayReport {
+        quick,
+        n,
+        batches: nbatches,
+        batch_size,
+        reps,
+        replay_cost_pct_reevaluate: pct("reevaluate"),
+        replay_cost_pct_first_order: pct("first-order"),
+        replay_cost_pct_recursive: pct("recursive"),
+        replay_cost_pct_shredded: pct("shredded"),
+        replay_batches_per_s_first_order: bps("first-order"),
+        replay_batches_per_s_shredded: bps("shredded"),
+        rows,
+    }
+}
+
+/// Render the report as the markdown table the harness prints.
+pub fn report_table(r: &ReplayReport) -> Table {
+    let mut t = Table::new(
+        "E9",
+        format!(
+            "hash-consed interning vs. seed value-keyed bags: \
+             {} batches × {} updates over n={}, \
+             state-maintenance replay ×{}",
+            r.batches, r.batch_size, r.n, r.reps
+        ),
+        &[
+            "strategy",
+            "engine batched / upd",
+            "state ⊎ interned / upd",
+            "state ⊎ seed / upd",
+            "state ⊎ speed-up",
+        ],
+    );
+    for row in &r.rows {
         t.row(vec![
-            name.to_string(),
-            fmt_us(engine_us),
-            fmt_us(interned_us),
-            fmt_us(seed_us),
-            format!("{speedup:.1}×"),
+            row.strategy.clone(),
+            fmt_us(row.engine_us_per_update),
+            fmt_us(row.interned_us_per_update),
+            fmt_us(row.seed_us_per_update),
+            format!("{:.1}×", row.speedup_x100 as f64 / 100.0),
         ]);
     }
-    let fast = speedups.iter().filter(|(_, s)| *s > 1.0).count();
+    let fast = r.rows.iter().filter(|row| row.speedup_x100 > 100).count();
     t.note(format!(
         "identical ⊎-algebra on identical deltas; only the element keying differs \
-         (interned Vid ids vs. materialized Value trees). {fast}/4 strategies \
+         (interned Vid ids vs. materialized Value trees). {fast}/{} strategies \
          replay faster interned; {} distinct values interned process-wide",
+        r.rows.len(),
         intern::interned_count()
     ));
     t
+}
+
+/// Persist the machine-readable report (the artifact
+/// `results/replay_budget.json` gates in the CI `replay-smoke` job).
+pub fn write_replay_report(r: &ReplayReport, path: &str) -> std::io::Result<()> {
+    crate::write_json_report(r, path)
+}
+
+/// Run the experiment (measure + render).
+pub fn run(quick: bool) -> Table {
+    report_table(&measure(quick))
 }
 
 #[cfg(test)]

@@ -17,40 +17,210 @@
 //! clone a value tree. The value-level API (`iter`, `insert`,
 //! `multiplicity`, …) is preserved by resolving ids on read; the `*_id`
 //! methods expose the id-native fast path for hot call sites.
+//!
+//! # Representation tiers
+//!
+//! A bag carries one of two physical representations, selected by size:
+//!
+//! * **Small** — a strictly sorted `Vec<(Vid, i64)>` (columnar, one
+//!   allocation, branch-predictable linear merges) for bags of at most
+//!   [`Bag::SMALL_TIER_MAX`] distinct elements: the transient deltas and
+//!   modest view states every hot engine path is made of;
+//! * **Tree** — the shared `Arc<VidMap<i64>>` (copy-on-write `BTreeMap`)
+//!   for large persistent state, where `O(log n)` point upserts beat
+//!   rebuilding a long run.
+//!
+//! Both tiers maintain the same canonical form (strictly ascending keys, no
+//! zero multiplicities), so `Eq`/`Ord`/`Hash` and iteration order are
+//! bit-identical across tiers — a small bag and a tree bag with the same
+//! contents are *equal* and indistinguishable through the public API. A
+//! small bag that grows past the threshold promotes to the tree tier by
+//! transferring its key retains (no arena traffic); bags never demote. The
+//! retain/release liveness bookkeeping lives behind the tier-agnostic seam
+//! in `livemap`: small-tier merges batch their arena retains into one pass
+//! proportional to the key-set delta, never the bag size.
 
 use crate::error::DataError;
 use crate::intern::{self, Vid};
-use crate::livemap::VidMap;
+use crate::livemap::{SortedVidRun, VidMap};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Json, Serialize};
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// The two physical representations of a bag (see the module docs): a
+/// columnar sorted run for small/transient bags, a shared copy-on-write
+/// tree for large persistent state. Canonical form is identical in both.
+enum Repr {
+    Small(SortedVidRun),
+    Tree(Arc<VidMap<i64>>),
+}
 
 /// A generalized bag of [`Value`]s.
 ///
-/// Internally a sorted map from interned element id to non-zero
-/// multiplicity, giving canonical representation, deterministic iteration
-/// (identical to the seed's value-keyed order — `Ord` on [`Vid`] refines the
-/// canonical `Ord` on [`Value`]), `O(log n)` lookup with `O(1)` key
-/// comparisons, and `O(min(n, m))`-ish union.
-/// The map is reference-counted with copy-on-write semantics: cloning a bag
-/// (e.g. binding relations into evaluation environments, or snapshotting the
-/// database before an update) is O(1); the map is copied only when a shared
-/// bag is mutated.
+/// Internally a sorted collection of interned element ids with non-zero
+/// multiplicities, in one of two tiers (see the module docs): a columnar
+/// sorted run below [`Bag::SMALL_TIER_MAX`] distinct elements, a shared
+/// copy-on-write tree above it. Both give canonical representation and
+/// deterministic iteration (identical to the seed's value-keyed order —
+/// `Ord` on [`Vid`] refines the canonical `Ord` on [`Value`]). Cloning a
+/// tree-tier bag (e.g. binding relations into evaluation environments, or
+/// snapshotting the database before an update) is an `O(1)` `Arc` bump;
+/// cloning a small bag is one flat memcpy plus a dense retain pass.
 ///
-/// The element keys participate in arena reclamation: the map (a
-/// `VidMap`) retains each key's arena slot while present and releases it
-/// on removal/drop, which is what lets `intern::collect` reclaim values no
-/// bag references anymore.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+/// The element keys participate in arena reclamation: both tiers retain
+/// each key's arena slot while present and release it on removal/drop,
+/// which is what lets `intern::collect` reclaim values no bag references
+/// anymore. Small-tier merges batch that bookkeeping: arena traffic is
+/// proportional to the key-set *delta* of an operation, not the bag size.
 pub struct Bag {
-    elems: Arc<VidMap<i64>>,
+    repr: Repr,
+}
+
+/// Iterator over a bag's `(id, multiplicity)` pairs in canonical order,
+/// returned by [`Bag::ids`]. Items are `Copy`; both tiers yield the exact
+/// same sequence for equal bags.
+pub struct Ids<'a> {
+    inner: IdsInner<'a>,
+}
+
+enum IdsInner<'a> {
+    Small(std::slice::Iter<'a, (Vid, i64)>),
+    Tree(std::collections::btree_map::Iter<'a, Vid, i64>),
+}
+
+impl Iterator for Ids<'_> {
+    type Item = (Vid, i64);
+
+    fn next(&mut self) -> Option<(Vid, i64)> {
+        match &mut self.inner {
+            IdsInner::Small(it) => it.next().copied(),
+            IdsInner::Tree(it) => it.next().map(|(&id, &m)| (id, m)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            IdsInner::Small(it) => it.size_hint(),
+            IdsInner::Tree(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for Ids<'_> {}
+
+/// Sort raw `(id, multiplicity)` pairs and coalesce them into canonical
+/// form: duplicates summed (overflow panics, like [`Bag::insert_id`]),
+/// zeros dropped, keys strictly ascending.
+fn coalesce_pairs<I: IntoIterator<Item = (Vid, i64)>>(pairs: I) -> Vec<(Vid, i64)> {
+    let mut pairs: Vec<(Vid, i64)> = pairs.into_iter().filter(|&(_, m)| m != 0).collect();
+    pairs.sort_unstable_by_key(|&(id, _)| id);
+    let mut out: Vec<(Vid, i64)> = Vec::with_capacity(pairs.len());
+    for (id, m) in pairs {
+        match out.last_mut() {
+            Some((last, acc)) if *last == id => {
+                *acc = acc.checked_add(m).expect("bag multiplicity overflow in ⊎");
+            }
+            _ => {
+                if let Some(&(_, 0)) = out.last() {
+                    out.pop();
+                }
+                out.push((id, m));
+            }
+        }
+    }
+    if let Some(&(_, 0)) = out.last() {
+        out.pop();
+    }
+    out
+}
+
+/// Linear merge of two canonical runs into one (`a ⊎ b`): sums collisions
+/// (overflow-checked), drops zeros, stays strictly sorted. Pure pair
+/// arithmetic — no arena traffic; liveness is settled when the final run is
+/// turned into a bag.
+fn merge_runs(a: Vec<(Vid, i64)>, b: Vec<(Vid, i64)>) -> Result<Vec<(Vid, i64)>, DataError> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut a = a.into_iter().peekable();
+    let mut b = b.into_iter().peekable();
+    loop {
+        let step = match (a.peek(), b.peek()) {
+            (Some(&(ka, _)), Some(&(kb, _))) => ka.cmp(&kb),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => break,
+        };
+        match step {
+            Ordering::Less => out.push(a.next().expect("peeked")),
+            Ordering::Greater => out.push(b.next().expect("peeked")),
+            Ordering::Equal => {
+                let (id, ma) = a.next().expect("peeked");
+                let (_, mb) = b.next().expect("peeked");
+                let sum = ma.checked_add(mb).ok_or(DataError::Overflow { op: "⊎" })?;
+                if sum != 0 {
+                    out.push((id, sum));
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 impl Bag {
+    /// Largest distinct-element count held in the columnar small tier.
+    ///
+    /// Below this a bag is one sorted `Vec<(Vid, i64)>` (≤ 8 KiB of pairs):
+    /// merges are linear, branch-predictable walks and the arena retains of
+    /// an operation batch into one pass over the key-set delta. Past it the
+    /// bag promotes (once, by retain transfer — bags never demote) to the
+    /// shared copy-on-write tree, where `O(log n)` point upserts beat
+    /// rebuilding a long run and clones are `O(1)` `Arc` bumps.
+    pub const SMALL_TIER_MAX: usize = 512;
+
     /// The empty bag `∅`.
+    #[must_use]
     pub fn empty() -> Bag {
         Bag::default()
+    }
+
+    /// Is this bag currently held in the columnar small tier? Small and
+    /// tree bags of equal contents are fully interchangeable (`Eq`/`Ord`/
+    /// `Hash`/iteration agree); this observer exists for tier-invariant
+    /// tests and capacity diagnostics.
+    #[must_use]
+    pub fn is_small_tier(&self) -> bool {
+        matches!(self.repr, Repr::Small(_))
+    }
+
+    /// Build from a canonical run, retaining every key in one dense pass
+    /// and choosing the tier by size — the single construction funnel of
+    /// every bulk operation.
+    fn from_canonical_pairs(pairs: Vec<(Vid, i64)>) -> Bag {
+        if pairs.len() <= Bag::SMALL_TIER_MAX {
+            Bag {
+                repr: Repr::Small(SortedVidRun::from_unretained(pairs)),
+            }
+        } else {
+            for &(id, _) in &pairs {
+                intern::retain(id);
+            }
+            Bag {
+                repr: Repr::Tree(Arc::new(VidMap::from_retained_sorted(pairs))),
+            }
+        }
+    }
+
+    /// Promote a small run past the threshold into the tree tier by
+    /// transferring its key retains — no arena traffic.
+    fn maybe_promote(&mut self) {
+        if let Repr::Small(run) = &mut self.repr {
+            if run.len() > Bag::SMALL_TIER_MAX {
+                let pairs = std::mem::take(run).into_retained_pairs();
+                self.repr = Repr::Tree(Arc::new(VidMap::from_retained_sorted(pairs)));
+            }
+        }
     }
 
     /// The singleton bag `{v}` (multiplicity 1).
@@ -67,31 +237,20 @@ impl Bag {
 
     /// Build a bag from values, each with multiplicity 1 (duplicates sum).
     pub fn from_values<I: IntoIterator<Item = Value>>(values: I) -> Bag {
-        let mut b = Bag::empty();
-        for v in values {
-            b.insert(v, 1);
-        }
-        b
+        Bag::from_pairs(values.into_iter().map(|v| (v, 1)))
     }
 
     /// Build a bag from `(value, multiplicity)` pairs (duplicates sum, zeros
     /// dropped).
     pub fn from_pairs<I: IntoIterator<Item = (Value, i64)>>(pairs: I) -> Bag {
-        let mut b = Bag::empty();
-        for (v, m) in pairs {
-            b.insert(v, m);
-        }
-        b
+        Bag::from_id_pairs(pairs.into_iter().map(|(v, m)| (intern::intern(v), m)))
     }
 
     /// Build a bag from `(id, multiplicity)` pairs (duplicates sum, zeros
-    /// dropped) — the id-native sibling of [`Bag::from_pairs`].
+    /// dropped) — the id-native sibling of [`Bag::from_pairs`]. One sort +
+    /// coalesce pass, one batched retain pass.
     pub fn from_id_pairs<I: IntoIterator<Item = (Vid, i64)>>(pairs: I) -> Bag {
-        let mut b = Bag::empty();
-        for (id, m) in pairs {
-            b.insert_id(id, m);
-        }
-        b
+        Bag::from_canonical_pairs(coalesce_pairs(pairs))
     }
 
     /// Add `mult` copies of `v` (negative removes). Zero-multiplicity
@@ -119,13 +278,20 @@ impl Bag {
         if mult == 0 {
             return Ok(());
         }
-        Arc::make_mut(&mut self.elems).upsert_with(id, |current| match current {
-            None => Ok(Some(mult)),
-            Some(&m) => {
-                let new = m.checked_add(mult).ok_or(DataError::Overflow { op: "⊎" })?;
-                Ok((new != 0).then_some(new))
+        match &mut self.repr {
+            Repr::Small(run) => {
+                run.insert(id, mult)?;
+                self.maybe_promote();
+                Ok(())
             }
-        })
+            Repr::Tree(map) => Arc::make_mut(map).upsert_with(id, |current| match current {
+                None => Ok(Some(mult)),
+                Some(&m) => {
+                    let new = m.checked_add(mult).ok_or(DataError::Overflow { op: "⊎" })?;
+                    Ok((new != 0).then_some(new))
+                }
+            }),
+        }
     }
 
     /// The multiplicity of `v` (0 when absent). Probing for a value that was
@@ -136,59 +302,74 @@ impl Bag {
 
     /// Id-native [`Bag::multiplicity`].
     pub fn multiplicity_id(&self, id: Vid) -> i64 {
-        self.elems.get(&id).copied().unwrap_or(0)
+        match &self.repr {
+            Repr::Small(run) => run.get(id).unwrap_or(0),
+            Repr::Tree(map) => map.get(&id).copied().unwrap_or(0),
+        }
     }
 
     /// Is this the empty bag?
     pub fn is_empty(&self) -> bool {
-        self.elems.is_empty()
+        match &self.repr {
+            Repr::Small(run) => run.is_empty(),
+            Repr::Tree(map) => map.is_empty(),
+        }
     }
 
     /// Number of *distinct* elements.
     pub fn distinct_count(&self) -> usize {
-        self.elems.len()
+        match &self.repr {
+            Repr::Small(run) => run.len(),
+            Repr::Tree(map) => map.len(),
+        }
     }
 
     /// Cardinality "including repetitions" (§2.2, Ex. 5): the sum of the
     /// absolute multiplicities. Deletions weigh as much as insertions — a
     /// delta of 5 deletions has cardinality 5.
     pub fn cardinality(&self) -> u64 {
-        self.elems.values().map(|m| m.unsigned_abs()).sum()
+        self.ids().map(|(_, m)| m.unsigned_abs()).sum()
     }
 
     /// Sum of signed multiplicities (the "net" size; can be negative for
     /// delta bags).
     pub fn net_cardinality(&self) -> i64 {
-        self.elems.values().sum()
+        self.ids().map(|(_, m)| m).sum()
     }
 
     /// Are all multiplicities non-negative (i.e. is this a *proper* bag
     /// rather than a signed delta)?
     pub fn is_proper(&self) -> bool {
-        self.elems.values().all(|&m| m >= 0)
+        self.ids().all(|(_, m)| m >= 0)
     }
 
     /// Iterate over `(element, multiplicity)` pairs in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (&Value, i64)> {
-        self.elems.iter().map(|(id, &m)| (id.value(), m))
+        self.ids().map(|(id, m)| (id.value(), m))
     }
 
     /// Iterate over `(id, multiplicity)` pairs in canonical order — the
     /// id-native sibling of [`Bag::iter`] (no resolution, `Copy` items).
-    pub fn ids(&self) -> impl Iterator<Item = (Vid, i64)> + '_ {
-        self.elems.iter().map(|(&id, &m)| (id, m))
+    /// Both tiers yield the identical sequence for equal bags.
+    pub fn ids(&self) -> Ids<'_> {
+        Ids {
+            inner: match &self.repr {
+                Repr::Small(run) => IdsInner::Small(run.as_slice().iter()),
+                Repr::Tree(map) => IdsInner::Tree(map.iter()),
+            },
+        }
     }
 
     /// The smallest element's id, if any (also the interner's rank seed for
     /// bags-as-values).
     pub(crate) fn first_id(&self) -> Option<Vid> {
-        self.elems.keys().next().copied()
+        self.ids().next().map(|(id, _)| id)
     }
 
     /// Iterate over elements, repeated `multiplicity` times. Panics in debug
     /// builds if any multiplicity is negative; intended for proper bags.
     pub fn iter_expanded(&self) -> impl Iterator<Item = &Value> {
-        self.elems.iter().flat_map(|(id, &m)| {
+        self.ids().flat_map(|(id, m)| {
             debug_assert!(m >= 0, "iter_expanded over a signed delta bag");
             std::iter::repeat_n(id.value(), m.max(0) as usize)
         })
@@ -199,40 +380,55 @@ impl Bag {
     pub fn union(&self, other: &Bag) -> Bag {
         // Merge the smaller into a clone of the larger (union of two
         // materialized bags costs time proportional to the smaller one, the
-        // assumption made in the §2.2 cost analysis). Keys are `Copy` ids:
-        // no value tree is cloned.
-        let (mut big, small) = if self.elems.len() >= other.elems.len() {
-            (self.clone(), other)
+        // assumption made in the §2.2 cost analysis — for the small tier
+        // "proportional" is the linear merge plus delta-sized retains).
+        let (big, small) = if self.distinct_count() >= other.distinct_count() {
+            (self, other)
         } else {
-            (other.clone(), self)
+            (other, self)
         };
-        for (id, m) in small.ids() {
-            big.insert_id(id, m);
-        }
-        big
+        let mut out = big.clone();
+        out.union_assign(small);
+        out
     }
 
-    /// In-place bag addition `self ⊎= other`.
+    /// In-place bag addition `self ⊎= other`: a linear merge over sorted
+    /// runs in the small tier, per-key upserts in the tree tier.
     pub fn union_assign(&mut self, other: &Bag) {
-        for (id, m) in other.ids() {
-            self.insert_id(id, m);
-        }
+        self.union_assign_scaled(other, 1)
+            .expect("bag multiplicity overflow in ⊎");
     }
 
     /// In-place scaled addition `self ⊎= k · other` without materializing
     /// the scaled intermediate — the inner step of `for`-loop accumulation
     /// (`acc ⊎= m · body`) and of flatten.
     pub fn union_assign_scaled(&mut self, other: &Bag, k: i64) -> Result<(), DataError> {
-        if k == 0 {
+        if k == 0 || other.is_empty() {
             return Ok(());
         }
-        for (id, m) in other.ids() {
-            let scaled = m
-                .checked_mul(k)
-                .ok_or(DataError::Overflow { op: "scaled ⊎" })?;
-            self.try_insert_id(id, scaled)?;
+        if self.is_empty() && k == 1 {
+            // `∅ ⊎ b = b`: tree clones are O(1) Arc bumps, small clones one
+            // dense retain pass — either beats re-merging.
+            *self = other.clone();
+            return Ok(());
         }
-        Ok(())
+        match &mut self.repr {
+            Repr::Small(run) => {
+                run.merge_scaled(other.ids(), k)?;
+                self.maybe_promote();
+                Ok(())
+            }
+            Repr::Tree(map) => {
+                let map = Arc::make_mut(map);
+                for (id, m) in other.ids() {
+                    let scaled = m
+                        .checked_mul(k)
+                        .ok_or(DataError::Overflow { op: "scaled ⊎" })?;
+                    tree_insert(map, id, scaled)?;
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Extend-style `⊎`: add every `(value, multiplicity)` pair from an
@@ -240,27 +436,43 @@ impl Bag {
     /// sibling of [`Bag::union_assign`], used when coalescing many deltas
     /// without materializing each as a separate bag first.
     pub fn extend_pairs<I: IntoIterator<Item = (Value, i64)>>(&mut self, pairs: I) {
-        for (v, m) in pairs {
-            self.insert(v, m);
-        }
+        self.extend_id_pairs(pairs.into_iter().map(|(v, m)| (intern::intern(v), m)));
     }
 
-    /// Id-native [`Bag::extend_pairs`].
+    /// Id-native [`Bag::extend_pairs`]: the incoming pairs are sorted and
+    /// coalesced once, then merged through the same linear path as
+    /// [`Bag::union_assign`] — one batched retain pass, no per-pair tree
+    /// walks.
     pub fn extend_id_pairs<I: IntoIterator<Item = (Vid, i64)>>(&mut self, pairs: I) {
-        for (id, m) in pairs {
-            self.insert_id(id, m);
+        let run = coalesce_pairs(pairs);
+        if run.is_empty() {
+            return;
         }
+        match &mut self.repr {
+            Repr::Small(r) => {
+                r.merge_scaled(run.into_iter(), 1)
+                    .expect("bag multiplicity overflow in ⊎");
+            }
+            Repr::Tree(map) => {
+                let map = Arc::make_mut(map);
+                for (id, m) in run {
+                    tree_insert(map, id, m).expect("bag multiplicity overflow in ⊎");
+                }
+            }
+        }
+        self.maybe_promote();
     }
 
-    /// Coalesce many bags into one by `⊎` in a single pre-sized pass.
+    /// Coalesce many bags into one by `⊎` with a k-way merge.
     ///
-    /// All pairs are gathered and sorted once (by interned id — an integer
-    /// rank compare), multiplicities of equal elements are summed, zeros
-    /// dropped, and the result map is bulk-built from the sorted run —
-    /// `O(N log N)` in the total number of entries, with none of the
-    /// per-bag rebalancing that a fold of [`Bag::union`]s performs. This is
-    /// the primitive behind batched update coalescing
-    /// (`δ(u₁ ⊎ u₂ ⊎ …)` preprocessing).
+    /// Each input contributes its canonical sorted run; the runs are merged
+    /// in a pairwise tournament (every pair participates in `O(log k)`
+    /// linear merges), collisions summed and zeros dropped along the way,
+    /// and the winning run becomes the result bag with a single batched
+    /// retain pass — `O(N log k)` pair moves for `N` total entries, with
+    /// none of the per-bag tree rebalancing a fold of [`Bag::union`]s
+    /// performs and no per-entry arena traffic. This is the primitive
+    /// behind batched update coalescing (`δ(u₁ ⊎ u₂ ⊎ …)` preprocessing).
     ///
     /// ```
     /// use nrc_data::{Bag, Value};
@@ -272,51 +484,38 @@ impl Bag {
     /// ```
     #[must_use = "`union_many` returns the coalesced bag"]
     pub fn union_many<'a, I: IntoIterator<Item = &'a Bag>>(bags: I) -> Bag {
-        let bags: Vec<&Bag> = bags.into_iter().collect();
+        let bags: Vec<&Bag> = bags.into_iter().filter(|b| !b.is_empty()).collect();
         match bags.len() {
             0 => return Bag::empty(),
             1 => return bags[0].clone(),
             _ => {}
         }
-        let total: usize = bags.iter().map(|b| b.distinct_count()).sum();
-        let mut pairs: Vec<(Vid, i64)> = Vec::with_capacity(total);
-        for b in &bags {
-            pairs.extend(b.ids());
-        }
-        pairs.sort_unstable_by_key(|&(id, _)| id);
-        let mut merged: Vec<(Vid, i64)> = Vec::with_capacity(pairs.len());
-        for (id, m) in pairs {
-            match merged.last_mut() {
-                Some((last, acc)) if *last == id => {
-                    *acc = acc.checked_add(m).expect("bag multiplicity overflow in ⊎")
-                }
-                _ => {
-                    if let Some((_, 0)) = merged.last() {
-                        merged.pop();
-                    }
-                    merged.push((id, m));
+        // Seed the tournament with every bag's canonical run (tree tiers
+        // materialize their pairs once), then merge pairs of runs until one
+        // remains.
+        let mut runs: Vec<Vec<(Vid, i64)>> = bags.iter().map(|b| b.ids().collect()).collect();
+        while runs.len() > 1 {
+            let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut it = runs.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(merge_runs(a, b).expect("bag multiplicity overflow in ⊎")),
+                    None => next.push(a),
                 }
             }
+            runs = next;
         }
-        if let Some((_, 0)) = merged.last() {
-            merged.pop();
-        }
-        Bag {
-            elems: Arc::new(merged.into_iter().collect()),
-        }
+        Bag::from_canonical_pairs(runs.pop().unwrap_or_default())
     }
 
     /// Bag negation `⊖`: negates every multiplicity.
     #[must_use = "`negate` returns a new bag and leaves `self` unchanged"]
     pub fn negate(&self) -> Bag {
-        Bag {
-            elems: Arc::new(
-                self.elems
-                    .iter()
-                    .map(|(&id, &m)| (id, m.checked_neg().expect("bag multiplicity overflow in ⊖")))
-                    .collect(),
-            ),
-        }
+        let pairs = self
+            .ids()
+            .map(|(id, m)| (id, m.checked_neg().expect("bag multiplicity overflow in ⊖")))
+            .collect();
+        Bag::from_canonical_pairs(pairs)
     }
 
     /// Group difference `self ⊎ ⊖(other)` — *not* the truncating bag minus
@@ -324,39 +523,36 @@ impl Bag {
     /// negative.
     #[must_use = "`difference` returns a new bag and leaves `self` unchanged"]
     pub fn difference(&self, other: &Bag) -> Bag {
-        self.union(&other.negate())
+        let mut out = self.clone();
+        out.union_assign_scaled(other, -1)
+            .expect("bag multiplicity overflow in ⊖");
+        out
     }
 
     /// Multiply every multiplicity by `k` (`k = 0` yields `∅`), failing with
-    /// [`DataError::Overflow`] instead of silently wrapping.
+    /// [`DataError::Overflow`] instead of silently wrapping. One linear pass
+    /// over the canonical run, one batched retain pass.
     pub fn scale(&self, k: i64) -> Result<Bag, DataError> {
         match k {
             0 => return Ok(Bag::empty()),
             1 => return Ok(self.clone()),
             _ => {}
         }
-        let elems = self
-            .elems
-            .iter()
-            .map(|(&id, &m)| {
+        let pairs = self
+            .ids()
+            .map(|(id, m)| {
                 m.checked_mul(k)
                     .map(|scaled| (id, scaled))
                     .ok_or(DataError::Overflow { op: "scale" })
             })
-            .collect::<Result<VidMap<_>, _>>()?;
-        Ok(Bag {
-            elems: Arc::new(elems),
-        })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Bag::from_canonical_pairs(pairs))
     }
 
     /// Map every element through `f`, summing multiplicities of collisions.
     #[must_use = "`map` returns a new bag and leaves `self` unchanged"]
     pub fn map<F: FnMut(&Value) -> Value>(&self, mut f: F) -> Bag {
-        let mut out = Bag::empty();
-        for (v, m) in self.iter() {
-            out.insert(f(v), m);
-        }
-        out
+        Bag::from_pairs(self.iter().map(|(v, m)| (f(v), m)))
     }
 
     /// The delta taking `self` to `target`: `target ⊎ ⊖(self)`.
@@ -398,6 +594,100 @@ impl Bag {
         Ok(out)
     }
 }
+
+/// The tree tier's overflow-checked point upsert (shared by the per-key and
+/// the pre-coalesced bulk paths).
+fn tree_insert(map: &mut VidMap<i64>, id: Vid, mult: i64) -> Result<(), DataError> {
+    debug_assert!(mult != 0, "zero multiplicities never reach the upsert");
+    map.upsert_with(id, |current| match current {
+        None => Ok(Some(mult)),
+        Some(&m) => {
+            let new = m.checked_add(mult).ok_or(DataError::Overflow { op: "⊎" })?;
+            Ok((new != 0).then_some(new))
+        }
+    })
+}
+
+impl Default for Bag {
+    fn default() -> Bag {
+        Bag {
+            repr: Repr::Small(SortedVidRun::new()),
+        }
+    }
+}
+
+impl Clone for Bag {
+    fn clone(&self) -> Bag {
+        Bag {
+            repr: match &self.repr {
+                Repr::Small(run) => Repr::Small(run.clone()),
+                Repr::Tree(map) => Repr::Tree(Arc::clone(map)),
+            },
+        }
+    }
+}
+
+// Equality, ordering and hashing are defined over the canonical pair
+// sequence, which both tiers produce identically — so a small bag and a
+// tree bag of equal contents are fully interchangeable (including as
+// interned `Value::Bag` keys and dictionary definitions). The definitions
+// coincide with the previous derived ones over `BTreeMap<Vid, i64>`
+// (lexicographic iterator comparison of `(key, value)` pairs; length-then-
+// entries hashing).
+
+impl PartialEq for Bag {
+    fn eq(&self, other: &Bag) -> bool {
+        if let (Repr::Tree(a), Repr::Tree(b)) = (&self.repr, &other.repr) {
+            if Arc::ptr_eq(a, b) {
+                return true;
+            }
+        }
+        self.distinct_count() == other.distinct_count() && self.ids().eq(other.ids())
+    }
+}
+
+impl Eq for Bag {}
+
+impl PartialOrd for Bag {
+    fn partial_cmp(&self, other: &Bag) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bag {
+    fn cmp(&self, other: &Bag) -> Ordering {
+        self.ids().cmp(other.ids())
+    }
+}
+
+impl Hash for Bag {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.distinct_count().hash(state);
+        for (id, m) in self.ids() {
+            id.hash(state);
+            m.hash(state);
+        }
+    }
+}
+
+impl Serialize for Bag {
+    /// Tier-independent: both representations serialize as the sorted
+    /// `[id, multiplicity]` pair array (the shape the former derived impl
+    /// produced). Real persistence goes through [`crate::codec`], which is
+    /// arena-independent; this JSON form serves diagnostics.
+    fn to_json(&self) -> Json {
+        Json::Object(vec![(
+            "elems".to_string(),
+            Json::Array(
+                self.ids()
+                    .map(|(id, m)| Json::Array(vec![id.to_json(), m.to_json()]))
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+impl Deserialize for Bag {}
 
 impl FromIterator<Value> for Bag {
     fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
@@ -612,6 +902,25 @@ mod tests {
     }
 
     #[test]
+    fn union_many_tournament_matches_fold_for_many_runs() {
+        // Seven bags of staggered overlap: the pairwise tournament must
+        // agree with a left fold of binary unions, including interior
+        // cancellations.
+        let bags: Vec<Bag> = (0..7i64)
+            .map(|i| {
+                b(&[
+                    (i, i + 1),
+                    (i + 1, -(i + 1)),
+                    (100 + (i % 3), 2),
+                    (50, if i % 2 == 0 { 1 } else { -1 }),
+                ])
+            })
+            .collect();
+        let folded = bags.iter().fold(Bag::empty(), |acc, x| acc.union(x));
+        assert_eq!(Bag::union_many(bags.iter()), folded);
+    }
+
+    #[test]
     fn extend_pairs_sums_collisions() {
         let mut bag = b(&[(1, 1)]);
         bag.extend_pairs([(Value::int(1), 2), (Value::int(2), 1), (Value::int(2), -1)]);
@@ -668,5 +977,83 @@ mod tests {
         let outer = Bag::from_values([inner_a.clone(), inner_b.clone()]);
         assert_eq!(outer.multiplicity(&inner_a), 1);
         assert!(inner_a < inner_b);
+    }
+
+    #[test]
+    fn growth_promotes_small_to_tree_and_back_never() {
+        let n = Bag::SMALL_TIER_MAX as i64 + 10;
+        let mut bag = Bag::empty();
+        assert!(bag.is_small_tier());
+        for i in 0..n {
+            bag.insert(Value::int(i), 1);
+        }
+        assert!(!bag.is_small_tier(), "growth past the threshold promotes");
+        assert_eq!(bag.distinct_count(), n as usize);
+        // Shrinking below the threshold does not demote (hysteresis).
+        for i in 0..n - 1 {
+            bag.insert(Value::int(i), -1);
+        }
+        assert!(!bag.is_small_tier());
+        assert_eq!(bag.distinct_count(), 1);
+        assert_eq!(bag.multiplicity(&Value::int(n - 1)), 1);
+    }
+
+    #[test]
+    fn tiers_are_interchangeable_in_eq_ord_hash_and_iteration() {
+        use std::collections::hash_map::DefaultHasher;
+        let n = Bag::SMALL_TIER_MAX as i64 + 50;
+        // `big` grows through promotion; `shrunk` is the same content
+        // reached by cancelling `big` down — a tree-tier bag whose size is
+        // small-tier territory.
+        let mut big = Bag::empty();
+        for i in 0..n {
+            big.insert(Value::int(i), 2);
+        }
+        let mut shrunk = big.clone();
+        for i in 3..n {
+            shrunk.insert(Value::int(i), -2);
+        }
+        let small = b(&[(0, 2), (1, 2), (2, 2)]);
+        assert!(small.is_small_tier());
+        assert!(!shrunk.is_small_tier());
+        assert_eq!(small, shrunk);
+        assert_eq!(small.cmp(&shrunk), std::cmp::Ordering::Equal);
+        let hash_of = |bag: &Bag| {
+            let mut h = DefaultHasher::new();
+            bag.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash_of(&small), hash_of(&shrunk));
+        assert!(small.ids().eq(shrunk.ids()));
+        assert_eq!(
+            small.ids().collect::<Vec<_>>(),
+            shrunk.ids().collect::<Vec<_>>()
+        );
+        // Mixed-tier algebra: union of a tree bag and a small bag.
+        let mut mixed = shrunk.union(&small);
+        assert_eq!(mixed, small.scale(2).unwrap());
+        mixed.union_assign_scaled(&small, -2).unwrap();
+        assert!(mixed.is_empty());
+        // Ord is the canonical pair order regardless of tier.
+        let smaller = b(&[(0, 1)]);
+        assert!(smaller < small);
+        assert_eq!(small.partial_cmp(&shrunk), Some(std::cmp::Ordering::Equal));
+    }
+
+    #[test]
+    fn bulk_constructors_pick_the_tier_by_size() {
+        let small = Bag::from_pairs((0..10i64).map(|i| (Value::int(i), 1)));
+        assert!(small.is_small_tier());
+        let big = Bag::from_pairs((0..Bag::SMALL_TIER_MAX as i64 + 1).map(|i| (Value::int(i), 1)));
+        assert!(!big.is_small_tier());
+        // Derived results follow their own size, not the source tier.
+        assert!(big.scale(3).unwrap().distinct_count() > Bag::SMALL_TIER_MAX);
+        assert!(!big.negate().is_small_tier());
+        let merged = Bag::union_many([&big, &big.negate()]);
+        assert!(merged.is_empty());
+        assert!(
+            merged.is_small_tier(),
+            "empty results live in the small tier"
+        );
     }
 }

@@ -25,7 +25,6 @@ use crate::intern::{self, Vid};
 use crate::livemap::VidMap;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -247,32 +246,36 @@ impl Dictionary {
     }
 
     /// Batched in-place addition: `self ⊎= d₁ ⊎ d₂ ⊎ …` with the map
-    /// unshared once for the whole batch. Definitions touched by several
-    /// deltas are merged with [`Bag::union_many`] rather than pairwise.
+    /// unshared once for the whole batch. All per-label contributions are
+    /// collected into one flat sorted run (no per-label `Vec` allocation)
+    /// and each touched definition is merged through the k-way kernel of
+    /// [`Bag::union_many`] in a single pass over its group.
     pub fn add_assign_many<'a, I: IntoIterator<Item = &'a Dictionary>>(&mut self, others: I) {
-        let others: Vec<&Dictionary> = others.into_iter().filter(|d| !d.is_empty()).collect();
-        if others.is_empty() {
+        let mut contribs: Vec<(Vid, &Bag)> =
+            others.into_iter().flat_map(|d| d.entry_ids()).collect();
+        if contribs.is_empty() {
             return;
         }
+        // Stable sort keeps each label's deltas in arrival order; equal
+        // labels become one contiguous group.
+        contribs.sort_by_key(|&(id, _)| id);
         let entries = Arc::make_mut(&mut self.entries);
-        // Group the per-label contributions across all deltas, then merge
-        // each label's bags in one pass.
-        let mut touched: BTreeMap<Vid, Vec<&Bag>> = BTreeMap::new();
-        for d in &others {
-            for (id, b) in d.entry_ids() {
-                touched.entry(id).or_default().push(b);
+        let mut at = 0;
+        while at < contribs.len() {
+            let (id, first) = contribs[at];
+            let mut end = at + 1;
+            while end < contribs.len() && contribs[end].0 == id {
+                end += 1;
             }
-        }
-        for (id, bags) in touched {
             let entry = entries.or_default_mut(id);
-            if bags.len() == 1 {
-                entry.union_assign(bags[0]);
+            if end - at == 1 {
+                entry.union_assign(first);
             } else {
-                let mut all = Vec::with_capacity(bags.len() + 1);
-                all.push(&*entry);
-                all.extend(bags);
-                *entry = Bag::union_many(all);
+                *entry = Bag::union_many(
+                    std::iter::once(&*entry).chain(contribs[at..end].iter().map(|&(_, b)| b)),
+                );
             }
+            at = end;
         }
     }
 

@@ -37,6 +37,13 @@
 //! anymore, reusing their slots under fresh generation tags (stale ids fail
 //! deterministically). See the reclamation section of [`intern`] and the
 //! epoch-pin API ([`intern::pin`], [`ArenaStats`]).
+//!
+//! [`Bag`] itself is *two-tier*: below [`Bag::SMALL_TIER_MAX`] distinct
+//! elements a bag is one columnar sorted `Vec<(Vid, i64)>` whose merges are
+//! linear passes with batched arena retains; above it, a shared
+//! copy-on-write tree whose clones are `O(1)`. The tiers share one
+//! canonical form, so they are indistinguishable through the public API —
+//! see the [`bag`] module docs.
 
 pub mod bag;
 pub mod base;

@@ -35,23 +35,82 @@ use nrc_data::{Bag, Epoch, EpochPin, Label, Value};
 use nrc_engine::{EngineError, ViewStateSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
-/// Decrements the shared outstanding-snapshot counter on drop, so
-/// [`crate::ServeStats::outstanding_snapshots`] tracks exactly the
-/// snapshots still alive anywhere in the process.
-struct BacklogToken(Arc<AtomicU64>);
+/// The writer-shared record of every snapshot still alive anywhere in the
+/// process: a total count (the *snapshot backlog*,
+/// [`crate::ServeStats::outstanding_snapshots`]) plus a per-batch-index
+/// census so the *oldest* outstanding snapshot is observable
+/// ([`crate::ServeStats::oldest_snapshot_age_batches`]) — a leaked
+/// [`SnapshotReader`] holding an ancient snapshot pins the GC horizon, and
+/// its age is how that leak shows up in telemetry.
+pub(crate) struct SnapshotLedger {
+    outstanding: AtomicU64,
+    /// `batch_index → live snapshots published at that index`.
+    by_batch: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl SnapshotLedger {
+    pub(crate) fn new() -> SnapshotLedger {
+        SnapshotLedger {
+            outstanding: AtomicU64::new(0),
+            by_batch: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Snapshots currently alive (backlog count).
+    pub(crate) fn outstanding(&self) -> u64 {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// The smallest batch index any live snapshot was published at
+    /// (`None` when no snapshot is alive). Dropping the oldest snapshot
+    /// advances this.
+    pub(crate) fn oldest_batch(&self) -> Option<u64> {
+        self.by_batch
+            .lock()
+            .expect("snapshot ledger")
+            .keys()
+            .next()
+            .copied()
+    }
+}
+
+/// Registers one live snapshot in the shared [`SnapshotLedger`] on
+/// creation and deregisters it on drop, so the backlog count and the
+/// oldest-snapshot census track exactly the snapshots still alive anywhere
+/// in the process.
+struct BacklogToken {
+    ledger: Arc<SnapshotLedger>,
+    batch_index: u64,
+}
 
 impl BacklogToken {
-    fn new(counter: &Arc<AtomicU64>) -> BacklogToken {
-        counter.fetch_add(1, Ordering::Relaxed);
-        BacklogToken(Arc::clone(counter))
+    fn new(ledger: &Arc<SnapshotLedger>, batch_index: u64) -> BacklogToken {
+        ledger.outstanding.fetch_add(1, Ordering::Relaxed);
+        *ledger
+            .by_batch
+            .lock()
+            .expect("snapshot ledger")
+            .entry(batch_index)
+            .or_insert(0) += 1;
+        BacklogToken {
+            ledger: Arc::clone(ledger),
+            batch_index,
+        }
     }
 }
 
 impl Drop for BacklogToken {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::Relaxed);
+        self.ledger.outstanding.fetch_sub(1, Ordering::Relaxed);
+        let mut by_batch = self.ledger.by_batch.lock().expect("snapshot ledger");
+        if let Some(count) = by_batch.get_mut(&self.batch_index) {
+            *count -= 1;
+            if *count == 0 {
+                by_batch.remove(&self.batch_index);
+            }
+        }
     }
 }
 
@@ -108,7 +167,7 @@ impl Snapshot {
         batch_index: u64,
         views: BTreeMap<String, ViewStateSnapshot>,
         pin: EpochPin,
-        outstanding: &Arc<AtomicU64>,
+        ledger: &Arc<SnapshotLedger>,
     ) -> Snapshot {
         Snapshot {
             batch_index,
@@ -118,7 +177,7 @@ impl Snapshot {
                 .map(|(n, s)| (n, ViewSnap::new(s)))
                 .collect(),
             _pin: pin,
-            _token: BacklogToken::new(outstanding),
+            _token: BacklogToken::new(ledger, batch_index),
         }
     }
 

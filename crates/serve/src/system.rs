@@ -11,7 +11,7 @@
 
 use crate::error::ServeError;
 use crate::feed::{FeedDelta, FeedShared, Subscription};
-use crate::snapshot::{PublishCell, Snapshot, SnapshotReader};
+use crate::snapshot::{PublishCell, Snapshot, SnapshotLedger, SnapshotReader};
 use nrc_core::Expr;
 use nrc_data::{intern, Bag};
 use nrc_engine::{
@@ -19,7 +19,6 @@ use nrc_engine::{
 };
 use serde::Serialize;
 use std::collections::BTreeMap;
-use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Weak};
 
 /// Counters describing the serving layer, in the spirit of
@@ -40,6 +39,12 @@ pub struct ServeStats {
     /// the stats were taken: the oldest epoch any pin (snapshots included)
     /// still shields from collection. `0` when nothing is pinned.
     pub pin_horizon_epoch: u64,
+    /// How many batches behind the published snapshot the *oldest* live
+    /// snapshot is (`published_batch_index − its batch index`; 0 when no
+    /// snapshot is alive). A leaked [`SnapshotReader`] holding an ancient
+    /// snapshot pins the GC horizon forever — a monotonically growing age
+    /// under steady ingest is exactly that leak made observable.
+    pub oldest_snapshot_age_batches: u64,
     /// Live subscriptions (slots whose consumer handle is still alive).
     pub subscribers: u64,
     /// Feed deltas pushed to subscribers over the system's lifetime.
@@ -60,7 +65,7 @@ struct SubSlot {
 pub struct ServingSystem {
     engine: IvmSystem,
     cell: Arc<PublishCell>,
-    outstanding: Arc<AtomicU64>,
+    ledger: Arc<SnapshotLedger>,
     subs: Vec<SubSlot>,
     /// Did the subscriber set change since the engine's capture-view set
     /// was last synced? (Avoids rebuilding the set on every batch.)
@@ -74,12 +79,12 @@ impl ServingSystem {
     /// Wrap an engine (with or without views registered yet) and publish
     /// the initial snapshot.
     pub fn new(engine: IvmSystem) -> Result<ServingSystem, ServeError> {
-        let outstanding = Arc::new(AtomicU64::new(0));
-        let initial = Self::build_snapshot(&engine, &outstanding)?;
+        let ledger = Arc::new(SnapshotLedger::new());
+        let initial = Self::build_snapshot(&engine, &ledger)?;
         Ok(ServingSystem {
             engine,
             cell: Arc::new(PublishCell::new(Arc::new(initial))),
-            outstanding,
+            ledger,
             subs: Vec::new(),
             subs_dirty: false,
             snapshots_published: 1,
@@ -182,7 +187,7 @@ impl ServingSystem {
     }
 
     fn publish(&mut self) -> Result<(), ServeError> {
-        let snap = Self::build_snapshot(&self.engine, &self.outstanding)?;
+        let snap = Self::build_snapshot(&self.engine, &self.ledger)?;
         self.cell.publish(Arc::new(snap));
         self.snapshots_published += 1;
         Ok(())
@@ -192,7 +197,7 @@ impl ServingSystem {
     /// epoch pin.
     fn build_snapshot(
         engine: &IvmSystem,
-        outstanding: &Arc<AtomicU64>,
+        ledger: &Arc<SnapshotLedger>,
     ) -> Result<Snapshot, ServeError> {
         // Pin first: anything that dies from here on stays resolvable for
         // the snapshot's lifetime, on top of the retains its maps hold.
@@ -207,7 +212,7 @@ impl ServingSystem {
             engine.batch_stats().batches_applied,
             views,
             pin,
-            outstanding,
+            ledger,
         ))
     }
 
@@ -260,11 +265,16 @@ impl ServingSystem {
     /// delivery/drop totals).
     #[must_use]
     pub fn serve_stats(&self) -> ServeStats {
+        let published_batch_index = self.snapshot().batch_index();
         ServeStats {
             snapshots_published: self.snapshots_published,
-            published_batch_index: self.snapshot().batch_index(),
-            outstanding_snapshots: self.outstanding.load(std::sync::atomic::Ordering::Relaxed),
+            published_batch_index,
+            outstanding_snapshots: self.ledger.outstanding(),
             pin_horizon_epoch: intern::pin_horizon().map_or(0, |e| e.0),
+            oldest_snapshot_age_batches: self
+                .ledger
+                .oldest_batch()
+                .map_or(0, |oldest| published_batch_index.saturating_sub(oldest)),
             subscribers: self
                 .subs
                 .iter()

@@ -332,6 +332,36 @@ fn snapshot_pins_hold_the_gc_horizon_and_drops_advance_it() {
 }
 
 #[test]
+fn oldest_snapshot_age_tracks_the_laggard_and_drops_advance_it() {
+    let _serial = serial();
+    let mut serve = serving_movies();
+    let oldest = serve.snapshot(); // batch 0
+    assert_eq!(serve.serve_stats().oldest_snapshot_age_batches, 0);
+    for i in 0..4 {
+        let name = format!("Age-{i:03}");
+        serve
+            .apply_update("M", Bag::from_values([movie(&name, "Action", "Mann")]))
+            .unwrap();
+    }
+    let middle = serve.snapshot(); // batch 4
+    serve
+        .apply_update("M", Bag::from_values([movie("Age-mid", "Action", "Mann")]))
+        .unwrap(); // published index now 5
+    let stats = serve.serve_stats();
+    assert_eq!(stats.published_batch_index, 5);
+    assert_eq!(
+        stats.oldest_snapshot_age_batches, 5,
+        "a leaked pre-ingest snapshot ages one batch per publish: {stats:?}"
+    );
+    // Dropping the oldest snapshot advances the age to the next laggard…
+    drop(oldest);
+    assert_eq!(serve.serve_stats().oldest_snapshot_age_batches, 1);
+    // …and with no held snapshots left, the published one is the oldest.
+    drop(middle);
+    assert_eq!(serve.serve_stats().oldest_snapshot_age_batches, 0);
+}
+
+#[test]
 fn label_lookups_resolve_against_shredded_context_dictionaries() {
     let _serial = serial();
     let mut serve = serving_movies();
