@@ -21,8 +21,8 @@
 
 use nrc_bench::Table;
 use nrc_bench::{
-    budget, e10_gc, e11_latency, e12_serve, e13_durable, e1_related, e2_filter, e3_recursive,
-    e4_cost, e5_deep, e6_circuit, e7_degree, e8_batch, e9_intern,
+    budget, e10_gc, e11_latency, e12_serve, e13_durable, e14_planner, e1_related, e2_filter,
+    e3_recursive, e4_cost, e5_deep, e6_circuit, e7_degree, e8_batch, e9_intern,
 };
 use std::io::Write;
 
@@ -77,6 +77,16 @@ fn run_e13(quick: bool) -> Table {
     e13_durable::report_table(&report)
 }
 
+/// Run E14 and persist its machine-readable report — the artifact the CI
+/// `planner-smoke` job budgets against.
+fn run_e14(quick: bool) -> Table {
+    let report = e14_planner::measure(quick);
+    if let Err(e) = e14_planner::write_planner_report(&report, "results/e14_planner.json") {
+        eprintln!("warning: could not write results/e14_planner.json: {e}");
+    }
+    e14_planner::report_table(&report)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("check-budget") {
@@ -121,6 +131,7 @@ fn main() {
         ("e11", run_e11),
         ("e12", run_e12),
         ("e13", run_e13),
+        ("e14", run_e14),
     ];
     let known: Vec<&str> = runs.iter().map(|(id, _)| *id).collect();
     for sel in &selected {

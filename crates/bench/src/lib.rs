@@ -21,12 +21,14 @@
 //! | E11 | Collection pacing: bounded incremental sweeps vs stop-the-world tail latency |
 //! | E12 | Concurrent snapshot serving: reader throughput + consistency vs live ingest |
 //! | E13 | Durability: WAL fsync-policy overhead + crash-recovery throughput |
+//! | E14 | Planner ablation: auto-picked strategy within 1.25× of best hand-picked |
 
 pub mod budget;
 pub mod e10_gc;
 pub mod e11_latency;
 pub mod e12_serve;
 pub mod e13_durable;
+pub mod e14_planner;
 pub mod e1_related;
 pub mod e2_filter;
 pub mod e3_recursive;

@@ -27,8 +27,10 @@ pub mod eval_lazy;
 pub mod expr;
 pub mod generator;
 pub mod optimize;
+pub mod plan;
 pub mod shred;
 pub mod typecheck;
 
 pub use expr::{BoolExpr, CmpOp, Expr, Operand, ScalarRef};
+pub use plan::{plan_query, Candidate, PlanError, PlannedStrategy, QueryPlan};
 pub use typecheck::{typecheck, TypeEnv, TypeError};

@@ -1,6 +1,7 @@
 //! Error type of the durability layer.
 
 use nrc_data::{CodecError, DataError};
+use nrc_engine::NrcError;
 use nrc_serve::ServeError;
 use std::fmt;
 use std::path::PathBuf;
@@ -15,6 +16,10 @@ use std::path::PathBuf;
 /// with recomputation.
 #[derive(Debug)]
 pub enum DurableError {
+    /// A text-based view registration failed (parse, typecheck, planning
+    /// or engine registration) — see [`NrcError`]; the durable state is
+    /// unchanged.
+    Query(NrcError),
     /// An I/O operation failed.
     Io {
         /// The file or directory involved.
@@ -64,6 +69,7 @@ impl fmt::Display for DurableError {
             DurableError::NoCheckpoint { dir } => {
                 write!(f, "no usable checkpoint in {}", dir.display())
             }
+            DurableError::Query(e) => write!(f, "query registration failed: {e}"),
             DurableError::Serve(e) => write!(f, "serving error: {e}"),
             DurableError::Data(e) => write!(f, "data error: {e}"),
             DurableError::Killed => write!(f, "injected failpoint killed the write"),
@@ -77,10 +83,17 @@ impl std::error::Error for DurableError {
         match self {
             DurableError::Io { source, .. } => Some(source),
             DurableError::Codec(e) => Some(e),
+            DurableError::Query(e) => Some(e),
             DurableError::Serve(e) => Some(e),
             DurableError::Data(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<NrcError> for DurableError {
+    fn from(e: NrcError) -> DurableError {
+        DurableError::Query(e)
     }
 }
 

@@ -34,7 +34,7 @@ use crate::kill::KillPoint;
 use crate::wal::{self, FsyncPolicy, Wal};
 use nrc_core::Expr;
 use nrc_data::{Bag, Database};
-use nrc_engine::{CollectPolicy, IvmSystem, Parallelism, Strategy, UpdateBatch};
+use nrc_engine::{CollectPolicy, IvmSystem, Parallelism, QueryPlan, Strategy, UpdateBatch};
 use nrc_serve::{ServeStats, ServingSystem, Snapshot, SnapshotReader};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -281,6 +281,43 @@ impl DurableSystem {
             self.write_checkpoint(true)?;
         }
         Ok(())
+    }
+
+    /// Register a view from NRC⁺ query text with an auto-picked strategy
+    /// (see [`nrc_engine::IvmSystem::register_query`]) and checkpoint, so
+    /// the new view's state is recoverable immediately.
+    ///
+    /// Durability persists *data*, not query plans: recovery re-registers
+    /// caller-supplied [`ViewSpec`]s, so callers must keep
+    /// `ViewSpec::new(name, plan.query.clone(), plan.chosen.into())` from
+    /// the returned plan and pass it to [`DurableSystem::recover`].
+    ///
+    /// Parse/typecheck/plan/registration failures leave the durable state
+    /// unchanged (no poisoning); a checkpoint failure afterwards poisons
+    /// the instance exactly like [`DurableSystem::checkpoint_now`].
+    pub fn register_query(&mut self, name: &str, src: &str) -> Result<QueryPlan, DurableError> {
+        if self.dead {
+            return Err(DurableError::Dead);
+        }
+        let plan = self.serve.register_query(name, src)?;
+        self.checkpoint_now()?;
+        Ok(plan)
+    }
+
+    /// Like [`DurableSystem::register_query`], but force `strategy` (see
+    /// [`nrc_engine::IvmSystem::register_query_with`]).
+    pub fn register_query_with(
+        &mut self,
+        name: &str,
+        src: &str,
+        strategy: Strategy,
+    ) -> Result<QueryPlan, DurableError> {
+        if self.dead {
+            return Err(DurableError::Dead);
+        }
+        let plan = self.serve.register_query_with(name, src, strategy)?;
+        self.checkpoint_now()?;
+        Ok(plan)
     }
 
     /// Write a checkpoint of the current state now.

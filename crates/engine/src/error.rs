@@ -1,10 +1,16 @@
-//! Engine error type.
+//! Engine error types: [`EngineError`] for the maintenance machinery, and
+//! the unified [`NrcError`] front-door error for the text-based
+//! `register_query` path (parse → typecheck → plan → register), so callers
+//! match one enum instead of five per-crate error types.
 
+use nrc_core::cost::CostError;
 use nrc_core::delta::DeltaError;
 use nrc_core::eval::EvalError;
+use nrc_core::plan::PlanError;
 use nrc_core::shred::ShredError;
 use nrc_core::typecheck::TypeError;
 use nrc_data::DataError;
+use nrc_parser::ParseError;
 use std::fmt;
 
 /// Errors raised by the IVM engine.
@@ -81,5 +87,114 @@ impl From<ShredError> for EngineError {
 impl From<DataError> for EngineError {
     fn from(e: DataError) -> Self {
         EngineError::Data(e)
+    }
+}
+
+/// The unified error of the text-based registration path. Every variant
+/// carries the query source it was raised against, so `Display` can quote
+/// the offending fragment (parse errors render a caret-underlined snippet
+/// via [`nrc_parser::ParseError::render`]) and `source()` exposes the
+/// underlying per-layer error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NrcError {
+    /// The query text failed to lex or parse.
+    Parse {
+        /// The spanned parse error.
+        error: ParseError,
+        /// The query source it was raised against.
+        src: String,
+    },
+    /// The parsed query does not typecheck against the database schema.
+    Type {
+        /// The typing error.
+        error: TypeError,
+        /// The query source it was raised against.
+        src: String,
+    },
+    /// The planner's cost transformation failed.
+    Cost {
+        /// The cost error.
+        error: CostError,
+        /// The query source it was raised against.
+        src: String,
+    },
+    /// Registration or maintenance failed inside the engine (also wraps
+    /// serving-layer failures surfaced through the passthroughs).
+    Engine {
+        /// The engine error.
+        error: EngineError,
+        /// The query source it was raised against.
+        src: String,
+    },
+}
+
+impl NrcError {
+    /// Wrap an engine error with the query source it was raised against.
+    pub fn engine(error: EngineError, src: impl Into<String>) -> NrcError {
+        NrcError::Engine {
+            error,
+            src: src.into(),
+        }
+    }
+
+    /// Wrap a planner error with the query source it was raised against.
+    pub fn plan(error: PlanError, src: impl Into<String>) -> NrcError {
+        let src = src.into();
+        match error {
+            PlanError::Type(error) => NrcError::Type { error, src },
+            PlanError::Cost(error) => NrcError::Cost { error, src },
+        }
+    }
+
+    /// The query source this error was raised against.
+    pub fn src(&self) -> &str {
+        match self {
+            NrcError::Parse { src, .. }
+            | NrcError::Type { src, .. }
+            | NrcError::Cost { src, .. }
+            | NrcError::Engine { src, .. } => src,
+        }
+    }
+}
+
+/// First line of `src`, shortened to a quotable fragment.
+fn fragment(src: &str) -> String {
+    let line = src.trim().lines().next().unwrap_or("").trim();
+    let mut out: String = line.chars().take(60).collect();
+    if out.len() < line.len() {
+        out.push('…');
+    }
+    out
+}
+
+impl fmt::Display for NrcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NrcError::Parse { error, src } => write!(f, "{}", error.render(src)),
+            NrcError::Type { error, src } => {
+                write!(f, "{error} in query `{}`", fragment(src))
+            }
+            NrcError::Cost { error, src } => {
+                write!(
+                    f,
+                    "cost analysis failed: {error} in query `{}`",
+                    fragment(src)
+                )
+            }
+            NrcError::Engine { error, src } => {
+                write!(f, "{error} in query `{}`", fragment(src))
+            }
+        }
+    }
+}
+
+impl std::error::Error for NrcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NrcError::Parse { error, .. } => Some(error),
+            NrcError::Type { error, .. } => Some(error),
+            NrcError::Cost { error, .. } => Some(error),
+            NrcError::Engine { error, .. } => Some(error),
+        }
     }
 }

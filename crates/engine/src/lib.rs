@@ -32,13 +32,16 @@
 
 pub mod error;
 pub mod recursive;
+pub mod register;
 pub mod shredded;
 pub mod stats;
 pub mod system;
 pub mod view;
 
-pub use error::EngineError;
+pub use error::{EngineError, NrcError};
+pub use nrc_core::plan::{Candidate, PlannedStrategy, QueryPlan};
 pub use nrc_data::ArenaStats;
+pub use register::{parse_and_plan, DEFAULT_UPDATE_CARD};
 pub use shredded::ShreddedUpdate;
 pub use stats::{BatchStats, ViewStats};
 pub use system::{CollectPolicy, IvmSystem, Parallelism, Strategy, UpdateBatch, ViewStateSnapshot};

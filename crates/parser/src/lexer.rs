@@ -2,6 +2,42 @@
 
 use std::fmt;
 
+/// A half-open byte range `[start, end)` into the source text.
+///
+/// Spans survive into [`crate::ParseError`], whose
+/// [`render`](crate::ParseError::render) helper turns them back into a
+/// caret-underlined snippet of the offending line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte (`start == end` marks a point,
+    /// e.g. end of input).
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `at`.
+    pub fn point(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// Byte length (0 for point spans).
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Is this a point span?
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
 /// The kind of a token.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TokenKind {
@@ -83,13 +119,13 @@ impl fmt::Display for TokenKind {
     }
 }
 
-/// A token with its source position (byte offset and 1-based line).
+/// A token with its source position (byte span and 1-based line).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Token {
     /// What was lexed.
     pub kind: TokenKind,
-    /// Byte offset in the input.
-    pub offset: usize,
+    /// Byte range in the input.
+    pub span: Span,
     /// 1-based line number.
     pub line: usize,
 }
@@ -101,6 +137,8 @@ pub struct LexError {
     pub message: String,
     /// 1-based line number.
     pub line: usize,
+    /// Byte range of the offending input.
+    pub span: Span,
 }
 
 impl fmt::Display for LexError {
@@ -120,199 +158,123 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
     while i < bytes.len() {
         let c = bytes[i] as char;
         let start = i;
-        match c {
+        let err = move |message: String, end: usize| LexError {
+            message,
+            line,
+            span: Span::new(start, end.max(start + 1).min(input.len())),
+        };
+        // Each arm yields the token kind and the byte offset just past it;
+        // whitespace/comments continue the scan instead.
+        let kind = match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                continue;
             }
-            c if c.is_whitespace() => i += 1,
+            c if c.is_whitespace() => {
+                i += 1;
+                continue;
+            }
             '-' if bytes.get(i + 1) == Some(&b'-') => {
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
                 }
+                continue;
             }
             '(' => {
-                out.push(Token {
-                    kind: TokenKind::LParen,
-                    offset: start,
-                    line,
-                });
                 i += 1;
+                TokenKind::LParen
             }
             ')' => {
-                out.push(Token {
-                    kind: TokenKind::RParen,
-                    offset: start,
-                    line,
-                });
                 i += 1;
+                TokenKind::RParen
             }
             ',' => {
-                out.push(Token {
-                    kind: TokenKind::Comma,
-                    offset: start,
-                    line,
-                });
                 i += 1;
+                TokenKind::Comma
             }
             '.' => {
-                out.push(Token {
-                    kind: TokenKind::Dot,
-                    offset: start,
-                    line,
-                });
                 i += 1;
+                TokenKind::Dot
             }
             ';' => {
-                out.push(Token {
-                    kind: TokenKind::Semi,
-                    offset: start,
-                    line,
-                });
                 i += 1;
+                TokenKind::Semi
             }
             '*' => {
-                out.push(Token {
-                    kind: TokenKind::Star,
-                    offset: start,
-                    line,
-                });
                 i += 1;
+                TokenKind::Star
             }
             '-' => {
-                out.push(Token {
-                    kind: TokenKind::Minus,
-                    offset: start,
-                    line,
-                });
                 i += 1;
+                TokenKind::Minus
             }
             ':' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token {
-                        kind: TokenKind::Assign,
-                        offset: start,
-                        line,
-                    });
                     i += 2;
+                    TokenKind::Assign
                 } else {
-                    out.push(Token {
-                        kind: TokenKind::Colon,
-                        offset: start,
-                        line,
-                    });
                     i += 1;
+                    TokenKind::Colon
                 }
             }
             '+' => {
                 if bytes.get(i + 1) == Some(&b'+') {
-                    out.push(Token {
-                        kind: TokenKind::PlusPlus,
-                        offset: start,
-                        line,
-                    });
                     i += 2;
+                    TokenKind::PlusPlus
                 } else {
-                    return Err(LexError {
-                        message: "expected ++".into(),
-                        line,
-                    });
+                    return Err(err("expected ++".into(), i + 1));
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token {
-                        kind: TokenKind::Le,
-                        offset: start,
-                        line,
-                    });
                     i += 2;
+                    TokenKind::Le
                 } else {
-                    out.push(Token {
-                        kind: TokenKind::Lt,
-                        offset: start,
-                        line,
-                    });
                     i += 1;
+                    TokenKind::Lt
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token {
-                        kind: TokenKind::Ge,
-                        offset: start,
-                        line,
-                    });
                     i += 2;
+                    TokenKind::Ge
                 } else {
-                    out.push(Token {
-                        kind: TokenKind::Gt,
-                        offset: start,
-                        line,
-                    });
                     i += 1;
+                    TokenKind::Gt
                 }
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token {
-                        kind: TokenKind::EqEq,
-                        offset: start,
-                        line,
-                    });
                     i += 2;
+                    TokenKind::EqEq
                 } else {
-                    return Err(LexError {
-                        message: "expected == (assignment is :=)".into(),
-                        line,
-                    });
+                    return Err(err("expected == (assignment is :=)".into(), i + 1));
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token {
-                        kind: TokenKind::Ne,
-                        offset: start,
-                        line,
-                    });
                     i += 2;
+                    TokenKind::Ne
                 } else {
-                    out.push(Token {
-                        kind: TokenKind::Bang,
-                        offset: start,
-                        line,
-                    });
                     i += 1;
+                    TokenKind::Bang
                 }
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    out.push(Token {
-                        kind: TokenKind::AndAnd,
-                        offset: start,
-                        line,
-                    });
                     i += 2;
+                    TokenKind::AndAnd
                 } else {
-                    return Err(LexError {
-                        message: "expected &&".into(),
-                        line,
-                    });
+                    return Err(err("expected &&".into(), i + 1));
                 }
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    out.push(Token {
-                        kind: TokenKind::OrOr,
-                        offset: start,
-                        line,
-                    });
                     i += 2;
+                    TokenKind::OrOr
                 } else {
-                    return Err(LexError {
-                        message: "expected ||".into(),
-                        line,
-                    });
+                    return Err(err("expected ||".into(), i + 1));
                 }
             }
             '"' => {
@@ -320,12 +282,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(LexError {
-                                message: "unterminated string literal".into(),
-                                line,
-                            })
-                        }
+                        None => return Err(err("unterminated string literal".into(), input.len())),
                         Some(b'"') => {
                             i += 1;
                             break;
@@ -335,12 +292,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                                 Some(b'"') => s.push('"'),
                                 Some(b'\\') => s.push('\\'),
                                 Some(b'n') => s.push('\n'),
-                                other => {
-                                    return Err(LexError {
-                                        message: format!("bad escape {other:?}"),
-                                        line,
-                                    })
-                                }
+                                other => return Err(err(format!("bad escape {other:?}"), i + 2)),
                             }
                             i += 2;
                         }
@@ -350,11 +302,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                out.push(Token {
-                    kind: TokenKind::Str(s),
-                    offset: start,
-                    line,
-                });
+                TokenKind::Str(s)
             }
             c if c.is_ascii_digit() => {
                 let mut j = i;
@@ -362,16 +310,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 let text = &input[i..j];
-                let v: i64 = text.parse().map_err(|_| LexError {
-                    message: format!("integer literal {text} out of range"),
-                    line,
-                })?;
-                out.push(Token {
-                    kind: TokenKind::Int(v),
-                    offset: start,
-                    line,
-                });
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| err(format!("integer literal {text} out of range"), j))?;
                 i = j;
+                TokenKind::Int(v)
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut j = i;
@@ -380,24 +323,21 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 {
                     j += 1;
                 }
-                out.push(Token {
-                    kind: TokenKind::Ident(input[i..j].to_owned()),
-                    offset: start,
-                    line,
-                });
+                let text = input[i..j].to_owned();
                 i = j;
+                TokenKind::Ident(text)
             }
-            other => {
-                return Err(LexError {
-                    message: format!("unexpected character {other:?}"),
-                    line,
-                })
-            }
-        }
+            other => return Err(err(format!("unexpected character {other:?}"), i + 1)),
+        };
+        out.push(Token {
+            kind,
+            span: Span::new(start, i),
+            line,
+        });
     }
     out.push(Token {
         kind: TokenKind::Eof,
-        offset: input.len(),
+        span: Span::point(input.len()),
         line,
     });
     Ok(out)
@@ -498,5 +438,24 @@ mod tests {
                 TokenKind::Eof,
             ]
         );
+    }
+
+    #[test]
+    fn tokens_carry_byte_spans() {
+        let toks = lex("for m in M").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 3)); // for
+        assert_eq!(toks[1].span, Span::new(4, 5)); // m
+        assert_eq!(toks[3].span, Span::new(9, 10)); // M
+        assert_eq!(toks[4].span, Span::point(10)); // eof
+    }
+
+    #[test]
+    fn lex_errors_carry_spans() {
+        let e = lex("ab # cd").unwrap_err();
+        assert_eq!(e.span, Span::new(3, 4));
+        let e = lex("x = y").unwrap_err();
+        assert_eq!(e.span.start, 2);
+        let e = lex("\"open").unwrap_err();
+        assert_eq!(e.span, Span::new(0, 5));
     }
 }

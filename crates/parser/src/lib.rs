@@ -33,7 +33,7 @@ pub mod names;
 pub mod parser;
 pub mod pretty;
 
-pub use lexer::{lex, LexError, Token, TokenKind};
+pub use lexer::{lex, LexError, Span, Token, TokenKind};
 pub use names::NameTree;
 pub use parser::{parse_expr, parse_program, ParseError, Program, RelationDecl};
 pub use pretty::{to_surface, PrettyError};

@@ -1,6 +1,6 @@
 //! Recursive-descent parser producing `nrc_core::Expr`.
 
-use crate::lexer::{lex, LexError, Token, TokenKind};
+use crate::lexer::{lex, LexError, Span, Token, TokenKind};
 use crate::names::NameTree;
 use nrc_core::expr::{BoolExpr, CmpOp, Expr, Operand, ScalarRef};
 use nrc_core::typecheck::{infer, TypeEnv};
@@ -28,13 +28,45 @@ pub struct Program {
     pub queries: Vec<(String, Expr)>,
 }
 
-/// A parse failure with its source line.
+/// A parse failure with its source line and byte span.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// Explanation.
     pub message: String,
     /// 1-based line.
     pub line: usize,
+    /// Byte range of the offending input (a point span at end of input for
+    /// unexpected-EOF errors).
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Render the error against the source it came from: the message, the
+    /// offending line, and a caret underline of the span.
+    ///
+    /// ```text
+    /// parse error on line 1: unknown name `Nope`
+    ///   for m in Nope union sng(m)
+    ///            ^^^^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let start = self.span.start.min(src.len());
+        let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = src[start..].find('\n').map_or(src.len(), |i| start + i);
+        let line_text = &src[line_start..line_end];
+        // Columns in characters, so the caret lines up under multi-byte
+        // source too.
+        let col = src[line_start..start].chars().count();
+        let width = src[start..self.span.end.clamp(start, line_end)]
+            .chars()
+            .count()
+            .max(1);
+        format!(
+            "{self}\n  {line_text}\n  {}{}",
+            " ".repeat(col),
+            "^".repeat(width)
+        )
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -50,6 +82,7 @@ impl From<LexError> for ParseError {
         ParseError {
             message: e.message,
             line: e.line,
+            span: e.span,
         }
     }
 }
@@ -77,6 +110,9 @@ pub fn parse_expr(src: &str, relations: &[RelationDecl]) -> Result<Expr, ParseEr
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Index of the most recently bumped token — the anchor for errors
+    /// raised after the offending token was consumed.
+    last: usize,
     schemas: BTreeMap<String, (Type, NameTree)>,
     elem_vars: Vec<(String, Type, NameTree)>,
     let_vars: Vec<(String, Type, NameTree)>,
@@ -88,6 +124,7 @@ impl Parser {
         Parser {
             tokens,
             pos: 0,
+            last: 0,
             schemas: BTreeMap::new(),
             elem_vars: vec![],
             let_vars: vec![],
@@ -103,8 +140,13 @@ impl Parser {
         self.tokens[self.pos].line
     }
 
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
     fn bump(&mut self) -> TokenKind {
         let k = self.tokens[self.pos].kind.clone();
+        self.last = self.pos;
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
@@ -115,6 +157,18 @@ impl Parser {
         Err(ParseError {
             message: message.into(),
             line: self.line(),
+            span: self.span(),
+        })
+    }
+
+    /// Like [`Parser::err`], but anchored at the most recently bumped token
+    /// (for errors discovered after consuming the offending token).
+    fn err_prev<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let t = &self.tokens[self.last];
+        Err(ParseError {
+            message: message.into(),
+            line: t.line,
+            span: t.span,
         })
     }
 
@@ -144,7 +198,7 @@ impl Parser {
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.bump() {
             TokenKind::Ident(s) => Ok(s),
-            other => self.err(format!("expected identifier, found `{other}`")),
+            other => self.err_prev(format!("expected identifier, found `{other}`")),
         }
     }
 
@@ -177,6 +231,7 @@ impl Parser {
         infer(e, &mut env).map_err(|te| ParseError {
             message: te.to_string(),
             line: self.line(),
+            span: self.span(),
         })
     }
 
@@ -259,7 +314,7 @@ impl Parser {
             match self.bump() {
                 TokenKind::Comma => continue,
                 TokenKind::RParen => break,
-                other => return self.err(format!("expected `,` or `)`, found `{other}`")),
+                other => return self.err_prev(format!("expected `,` or `)`, found `{other}`")),
             }
         }
         Ok((Type::Tuple(tys), NameTree::Fields(names)))
@@ -300,14 +355,15 @@ impl Parser {
                             TokenKind::Comma => continue,
                             TokenKind::RParen => break,
                             other => {
-                                return self.err(format!("expected `,` or `)`, found `{other}`"))
+                                return self
+                                    .err_prev(format!("expected `,` or `)`, found `{other}`"))
                             }
                         }
                     }
                     Ok((Type::Tuple(tys), NameTree::None))
                 }
             }
-            other => self.err(format!("expected a type, found `{other}`")),
+            other => self.err_prev(format!("expected a type, found `{other}`")),
         }
     }
 
@@ -537,7 +593,7 @@ impl Parser {
             match self.bump() {
                 TokenKind::Comma => continue,
                 TokenKind::Gt => break,
-                other => return self.err(format!("expected `,` or `>`, found `{other}`")),
+                other => return self.err_prev(format!("expected `,` or `>`, found `{other}`")),
             }
         }
         Ok(match comps.len() {
@@ -616,7 +672,7 @@ impl Parser {
         if self.lookup_let(&name).is_some() {
             return Ok(Expr::Var(name));
         }
-        self.err(format!("unknown name `{name}`"))
+        self.err_prev(format!("unknown name `{name}`"))
     }
 
     /// Parse the `.field` chain of an element-variable path and desugar by
@@ -631,13 +687,13 @@ impl Parser {
             let field = match self.bump() {
                 TokenKind::Ident(s) => s,
                 TokenKind::Int(i) => i.to_string(),
-                other => return self.err(format!("expected field name, found `{other}`")),
+                other => return self.err_prev(format!("expected field name, found `{other}`")),
             };
             let Some((idx, sub)) = names.resolve(&field, &ty) else {
-                return self.err(format!("no field `{field}` on {ty}"));
+                return self.err_prev(format!("no field `{field}` on {ty}"));
             };
             let Type::Tuple(ts) = &ty else {
-                return self.err(format!("`{field}` projects a non-tuple {ty}"));
+                return self.err_prev(format!("`{field}` projects a non-tuple {ty}"));
             };
             ty = ts[idx].clone();
             names = sub;
@@ -717,7 +773,9 @@ impl Parser {
             TokenKind::Le => CmpOp::Le,
             TokenKind::Gt => CmpOp::Gt,
             TokenKind::Ge => CmpOp::Ge,
-            other => return self.err(format!("expected comparison operator, found `{other}`")),
+            other => {
+                return self.err_prev(format!("expected comparison operator, found `{other}`"))
+            }
         };
         let rhs = self.pred_operand()?;
         Ok(BoolExpr::Cmp(lhs, op, rhs))
@@ -731,7 +789,7 @@ impl Parser {
             TokenKind::Ident(s) if s == "false" => Ok(Operand::Lit(BaseValue::Bool(false))),
             TokenKind::Ident(var) => {
                 let Some((var_ty, var_names)) = self.lookup_elem(&var) else {
-                    return self.err(format!("unknown variable `{var}` in predicate"));
+                    return self.err_prev(format!("unknown variable `{var}` in predicate"));
                 };
                 let mut path = vec![];
                 let mut ty = var_ty;
@@ -741,13 +799,15 @@ impl Parser {
                     let field = match self.bump() {
                         TokenKind::Ident(s) => s,
                         TokenKind::Int(i) => i.to_string(),
-                        other => return self.err(format!("expected field name, found `{other}`")),
+                        other => {
+                            return self.err_prev(format!("expected field name, found `{other}`"))
+                        }
                     };
                     let Some((idx, sub)) = names.resolve(&field, &ty) else {
-                        return self.err(format!("no field `{field}` on {ty}"));
+                        return self.err_prev(format!("no field `{field}` on {ty}"));
                     };
                     let Type::Tuple(ts) = &ty else {
-                        return self.err(format!("`{field}` projects a non-tuple {ty}"));
+                        return self.err_prev(format!("`{field}` projects a non-tuple {ty}"));
                     };
                     ty = ts[idx].clone();
                     names = sub;
@@ -760,7 +820,7 @@ impl Parser {
                 }
                 Ok(Operand::Ref(ScalarRef { var, path }))
             }
-            other => self.err(format!("expected predicate operand, found `{other}`")),
+            other => self.err_prev(format!("expected predicate operand, found `{other}`")),
         }
     }
 }
@@ -913,6 +973,38 @@ mod tests {
     #[test]
     fn parse_errors_on_trailing_input() {
         assert!(parse_expr("M M", &[movie_decl()]).is_err());
+    }
+
+    #[test]
+    fn errors_carry_spans_and_render_carets() {
+        let src = "for m in Nope union sng(m)";
+        let err = parse_expr(src, &[]).unwrap_err();
+        assert_eq!(&src[err.span.start..err.span.end], "Nope");
+        let rendered = err.render(src);
+        assert!(rendered.contains("unknown name"), "got {rendered}");
+        assert!(rendered.contains(src), "got {rendered}");
+        assert!(rendered.contains("\n           ^^^^"), "got {rendered}");
+    }
+
+    #[test]
+    fn render_points_at_the_right_line_of_multiline_sources() {
+        let src = "for m in M union\n  sng(m.title)";
+        let err = parse_expr(src, &[movie_decl()]).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(&src[err.span.start..err.span.end], "title");
+        let rendered = err.render(src);
+        assert!(rendered.contains("  sng(m.title)"), "got {rendered}");
+        assert!(!rendered.contains("for m in M"), "got {rendered}");
+    }
+
+    #[test]
+    fn eof_errors_render_a_point_caret() {
+        let src = "for m in M union";
+        let err = parse_expr(src, &[movie_decl()]).unwrap_err();
+        assert!(err.span.start >= src.len() - 1);
+        // Rendering must not panic or index out of bounds at end of input.
+        let rendered = err.render(src);
+        assert!(rendered.contains('^'), "got {rendered}");
     }
 
     #[test]

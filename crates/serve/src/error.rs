@@ -41,3 +41,16 @@ impl From<EngineError> for ServeError {
         ServeError::Engine(e)
     }
 }
+
+/// Lower a serving-layer error into the engine error it wraps (or the
+/// closest engine-level description), so the text-registration passthroughs
+/// can surface everything through the unified `NrcError`.
+pub fn serve_to_engine(e: ServeError) -> EngineError {
+    match e {
+        ServeError::Engine(inner) => inner,
+        ServeError::UnknownView(v) => EngineError::UnknownView(v),
+        ServeError::NotShredded(v) => {
+            EngineError::WrongStrategy(format!("view {v} is not shredded"))
+        }
+    }
+}

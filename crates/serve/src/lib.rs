@@ -61,7 +61,7 @@ pub mod feed;
 pub mod snapshot;
 pub mod system;
 
-pub use error::ServeError;
+pub use error::{serve_to_engine, ServeError};
 pub use feed::{FeedDelta, Subscription};
 pub use snapshot::{Snapshot, SnapshotReader};
 pub use system::{ServeStats, ServingSystem};

@@ -9,13 +9,15 @@
 //! contention — see `crate` docs for the full protocol and safety
 //! argument.
 
+use crate::error::serve_to_engine;
 use crate::error::ServeError;
 use crate::feed::{FeedDelta, FeedShared, Subscription};
 use crate::snapshot::{PublishCell, Snapshot, SnapshotLedger, SnapshotReader};
 use nrc_core::Expr;
 use nrc_data::{intern, Bag};
 use nrc_engine::{
-    BatchStats, CollectPolicy, EngineError, IvmSystem, Parallelism, Strategy, UpdateBatch,
+    BatchStats, CollectPolicy, EngineError, IvmSystem, NrcError, Parallelism, QueryPlan, Strategy,
+    UpdateBatch,
 };
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -103,6 +105,30 @@ impl ServingSystem {
     ) -> Result<(), ServeError> {
         self.engine.register(name, query, strategy)?;
         self.publish()
+    }
+
+    /// Register a view from NRC⁺ query text with an auto-picked strategy
+    /// (see [`IvmSystem::register_query`]) and republish, so readers
+    /// immediately see the new view's initial materialization.
+    pub fn register_query(&mut self, name: &str, src: &str) -> Result<QueryPlan, NrcError> {
+        let plan = self.engine.register_query(name, src)?;
+        self.publish()
+            .map_err(|e| NrcError::engine(serve_to_engine(e), src))?;
+        Ok(plan)
+    }
+
+    /// Register a view from NRC⁺ query text under a forced strategy (see
+    /// [`IvmSystem::register_query_with`]) and republish.
+    pub fn register_query_with(
+        &mut self,
+        name: &str,
+        src: &str,
+        strategy: Strategy,
+    ) -> Result<QueryPlan, NrcError> {
+        let plan = self.engine.register_query_with(name, src, strategy)?;
+        self.publish()
+            .map_err(|e| NrcError::engine(serve_to_engine(e), src))?;
+        Ok(plan)
     }
 
     /// Apply a coalesced batch of updates, publish the post-batch
