@@ -133,8 +133,10 @@ pub struct QueryPlan {
     pub result_ty: Type,
     /// The winning strategy.
     pub chosen: PlannedStrategy,
-    /// Estimated per-update `tcost` of the winner.
-    pub est: u64,
+    /// Estimated per-update `tcost` of the winner. `None` only when a
+    /// strategy the planner had no estimate for was forced via
+    /// `register_query_with` and the engine accepted it anyway.
+    pub est: Option<u64>,
     /// Every candidate in enumeration order, feasible or not.
     pub candidates: Vec<Candidate>,
     /// The assumed update cardinality `d` the estimates were built with.
@@ -157,7 +159,10 @@ impl fmt::Display for QueryPlan {
     /// One line: `chosen: shredded (est 1.2k) over first-order (est 9.8k),
     /// …` — the winner first, every other candidate after `over`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "chosen: {} (est {})", self.chosen, humanize(self.est))?;
+        match self.est {
+            Some(est) => write!(f, "chosen: {} (est {})", self.chosen, humanize(est))?,
+            None => write!(f, "chosen: {} (no estimate)", self.chosen)?,
+        }
         let others: Vec<String> = self
             .candidates
             .iter()
@@ -216,8 +221,11 @@ pub fn humanize(n: u64) -> String {
     const UNITS: [(u64, &str); 3] = [(1_000_000_000, "G"), (1_000_000, "M"), (1_000, "k")];
     for (scale, suffix) in UNITS {
         if n >= scale {
-            let tenths = n * 10 / scale;
-            return format!("{}.{}{suffix}", tenths / 10, tenths % 10);
+            // Whole and tenths computed separately so the scaling never
+            // overflows, even at u64::MAX (saturated estimates are real).
+            let whole = n / scale;
+            let tenths = (n % scale) * 10 / scale;
+            return format!("{whole}.{tenths}{suffix}");
         }
     }
     n.to_string()
@@ -351,7 +359,7 @@ pub fn plan_query(
         query,
         result_ty,
         chosen: winner.2,
-        est: winner.0,
+        est: Some(winner.0),
         candidates,
         update_card,
     })
@@ -461,5 +469,8 @@ mod tests {
         assert_eq!(humanize(1_234), "1.2k");
         assert_eq!(humanize(9_800_000), "9.8M");
         assert_eq!(humanize(3_100_000_000), "3.1G");
+        // Saturated estimates (shredded bounds use saturating arithmetic)
+        // must not overflow the tenths computation.
+        assert_eq!(humanize(u64::MAX), "18446744073.7G");
     }
 }

@@ -163,9 +163,10 @@ impl IvmSystem {
         self.register(name, plan.query.clone(), strategy)
             .map_err(|e| NrcError::engine(e, src))?;
         plan.chosen = strategy.into();
-        if let Some(est) = plan.candidate(plan.chosen).and_then(|c| c.est) {
-            plan.est = est;
-        }
+        // Honest estimate for the forced pick: `None` when the planner had
+        // no estimate for it (rejected, but the engine accepted it anyway),
+        // never another candidate's number.
+        plan.est = plan.candidate(plan.chosen).and_then(|c| c.est);
         Ok(plan)
     }
 }
@@ -241,6 +242,40 @@ mod tests {
         assert_eq!(plan.chosen, PlannedStrategy::Reevaluate);
         sys.apply_update("M", &example_movies_update()).unwrap();
         assert_eq!(sys.view("all").unwrap().cardinality(), 4);
+    }
+
+    #[test]
+    fn forcing_an_unestimated_strategy_drops_the_estimate() {
+        // Shredding a flat view: the planner rejects it (no estimate) but
+        // the engine accepts it — the plan must not report another
+        // candidate's number as the chosen one's.
+        let mut sys = IvmSystem::new(example_movies());
+        let plan = sys
+            .register_query_with(
+                "flat",
+                "for m in M where m.2 == \"Drama\" union sng(m)",
+                Strategy::Shredded,
+            )
+            .unwrap();
+        assert_eq!(plan.chosen, PlannedStrategy::Shredded);
+        assert!(plan.est.is_none());
+        let shown = plan.to_string();
+        assert!(
+            shown.starts_with("chosen: shredded (no estimate)"),
+            "stale estimate leaked into: {shown}"
+        );
+        assert_eq!(sys.view("flat").unwrap().cardinality(), 1);
+    }
+
+    #[test]
+    fn non_ascii_sources_error_without_panicking() {
+        let mut sys = IvmSystem::new(example_movies());
+        for src in ["é", "for é in M union sng(é)", "\"déjà", "x == é"] {
+            let err = sys.register_query("x", src).unwrap_err();
+            // Display renders the caret snippet against the source; it must
+            // never slice mid-character.
+            assert!(!err.to_string().is_empty());
+        }
     }
 
     #[test]

@@ -156,12 +156,19 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
     let mut i = 0;
     let mut line = 1;
     while i < bytes.len() {
-        let c = bytes[i] as char;
+        // Decode the real character (not just the first byte), so multibyte
+        // input is classified and reported correctly.
+        let c = input[i..].chars().next().expect("i is on a char boundary");
         let start = i;
-        let err = move |message: String, end: usize| LexError {
-            message,
-            line,
-            span: Span::new(start, end.max(start + 1).min(input.len())),
+        let err = move |message: String, end: usize| {
+            // Never end a span mid-character: cover at least the whole
+            // character at `start`, so spans always slice cleanly.
+            let min_end = start + input[start..].chars().next().map_or(1, char::len_utf8);
+            LexError {
+                message,
+                line,
+                span: Span::new(start, end.max(min_end).min(input.len())),
+            }
         };
         // Each arm yields the token kind and the byte offset just past it;
         // whitespace/comments continue the scan instead.
@@ -172,7 +179,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 continue;
             }
             c if c.is_whitespace() => {
-                i += 1;
+                i += c.len_utf8();
                 continue;
             }
             '-' if bytes.get(i + 1) == Some(&b'-') => {
@@ -296,9 +303,14 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                             }
                             i += 2;
                         }
-                        Some(&b) => {
+                        Some(&b) if b.is_ascii() => {
                             s.push(b as char);
                             i += 1;
+                        }
+                        Some(_) => {
+                            let ch = input[i..].chars().next().expect("on a char boundary");
+                            s.push(ch);
+                            i += ch.len_utf8();
                         }
                     }
                 }
@@ -327,7 +339,12 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 i = j;
                 TokenKind::Ident(text)
             }
-            other => return Err(err(format!("unexpected character {other:?}"), i + 1)),
+            other => {
+                return Err(err(
+                    format!("unexpected character {other:?}"),
+                    i + other.len_utf8(),
+                ))
+            }
         };
         out.push(Token {
             kind,
@@ -457,5 +474,36 @@ mod tests {
         assert_eq!(e.span.start, 2);
         let e = lex("\"open").unwrap_err();
         assert_eq!(e.span, Span::new(0, 5));
+    }
+
+    #[test]
+    fn multibyte_errors_quote_the_char_and_span_all_its_bytes() {
+        // The message names the actual character, not its first UTF-8 byte.
+        let e = lex("é").unwrap_err();
+        assert!(e.message.contains('é'), "message was: {}", e.message);
+        // The span covers the whole character, so slicing `src` with it
+        // never splits a char.
+        assert_eq!(e.span, Span::new(0, 2));
+        let e = lex("ab 🦀 cd").unwrap_err();
+        assert_eq!(e.span, Span::new(3, 7));
+        assert!(e.message.contains('🦀'));
+    }
+
+    #[test]
+    fn multibyte_whitespace_and_string_contents_survive() {
+        // U+00A0 (no-break space) is whitespace: skipped, not an error.
+        assert_eq!(
+            kinds("a\u{a0}b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+        // Non-ASCII string contents come through intact, not byte-mangled.
+        assert_eq!(
+            kinds("\"héllo — 🦀\""),
+            vec![TokenKind::Str("héllo — 🦀".into()), TokenKind::Eof]
+        );
     }
 }

@@ -50,17 +50,23 @@ impl ParseError {
     ///            ^^^^
     /// ```
     pub fn render(&self, src: &str) -> String {
-        let start = self.span.start.min(src.len());
+        // Spans are raw byte offsets; round the edges to char boundaries
+        // (start down, end up) so slicing can never panic mid-character.
+        let mut start = self.span.start.min(src.len());
+        while !src.is_char_boundary(start) {
+            start -= 1;
+        }
         let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
         let line_end = src[start..].find('\n').map_or(src.len(), |i| start + i);
         let line_text = &src[line_start..line_end];
         // Columns in characters, so the caret lines up under multi-byte
         // source too.
         let col = src[line_start..start].chars().count();
-        let width = src[start..self.span.end.clamp(start, line_end)]
-            .chars()
-            .count()
-            .max(1);
+        let mut end = self.span.end.clamp(start, line_end);
+        while !src.is_char_boundary(end) {
+            end += 1;
+        }
+        let width = src[start..end].chars().count().max(1);
         format!(
             "{self}\n  {line_text}\n  {}{}",
             " ".repeat(col),
@@ -857,6 +863,21 @@ mod tests {
          for m2 in M
            where m.name != m2.name && (m.gen == m2.gen || m.dir == m2.dir)
            union sng(m2.name)>";
+
+    #[test]
+    fn render_rounds_byte_spans_to_char_boundaries() {
+        // A span whose edges land mid-character (both inside the 2-byte
+        // `é`s) must still render instead of panicking on the slice.
+        let src = "for é in Mé union x";
+        let err = ParseError {
+            message: "synthetic".into(),
+            line: 1,
+            span: Span::new(5, 12),
+        };
+        let shown = err.render(src);
+        assert!(shown.contains('^'), "no caret in: {shown}");
+        assert!(shown.contains("for é in Mé union x"));
+    }
 
     #[test]
     fn parses_related_equivalently_to_builder() {

@@ -89,7 +89,7 @@ proptest! {
     #[test]
     fn register_query_never_panics_on_mutated_sources(
         base in 0usize..4,
-        mutations in prop::collection::vec((0usize..200, 32u32..127), 0..8),
+        mutations in prop::collection::vec((0usize..200, 32u32..512), 0..8),
         truncate in 0usize..200,
     ) {
         let bases = [
@@ -104,7 +104,14 @@ proptest! {
             if chars.is_empty() {
                 break;
             }
-            let c = char::from_u32(*code).unwrap();
+            // ASCII plus 2-byte chars straight from the code point; fold
+            // the top of the range onto 3- and 4-byte exemplars so every
+            // UTF-8 width lands in the soup (spans must never split them).
+            let c = match *code {
+                480.. => '🦀',
+                448..=479 => '→',
+                _ => char::from_u32(*code).unwrap(),
+            };
             let i = pos % chars.len();
             // Alternate replacement and insertion, keyed off the char.
             if *code % 2 == 0 {
