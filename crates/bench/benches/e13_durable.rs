@@ -36,7 +36,7 @@ fn ingest(plan: &RecoveryPlan, fsync: FsyncPolicy, tag: &str) -> u64 {
         DurableOptions {
             fsync,
             checkpoint_every: 0,
-            kill: None,
+            ..DurableOptions::default()
         },
     )
     .expect("create");
@@ -76,7 +76,7 @@ fn bench(c: &mut Criterion) {
     let opts = DurableOptions {
         fsync: FsyncPolicy::Never,
         checkpoint_every: 0,
-        kill: None,
+        ..DurableOptions::default()
     };
     let mut sys =
         DurableSystem::create(&dir, plan.db.clone(), &views(), opts.clone()).expect("create");
@@ -87,8 +87,7 @@ fn bench(c: &mut Criterion) {
     drop(sys);
     g.bench_function(BenchmarkId::new("recover", "128"), |b| {
         b.iter(|| {
-            let (rec, stats) =
-                DurableSystem::recover(&dir, &views(), opts.clone()).expect("recover");
+            let (rec, stats) = DurableSystem::recover(&dir, opts.clone()).expect("recover");
             assert_eq!(stats.batches_replayed, 128);
             criterion::black_box(rec.batch_index())
         })

@@ -21,8 +21,8 @@
 
 use nrc_bench::Table;
 use nrc_bench::{
-    budget, e10_gc, e11_latency, e12_serve, e13_durable, e14_planner, e1_related, e2_filter,
-    e3_recursive, e4_cost, e5_deep, e6_circuit, e7_degree, e8_batch, e9_intern,
+    budget, e10_gc, e11_latency, e12_serve, e13_durable, e14_planner, e16_timetravel, e1_related,
+    e2_filter, e3_recursive, e4_cost, e5_deep, e6_circuit, e7_degree, e8_batch, e9_intern,
 };
 use std::io::Write;
 
@@ -87,6 +87,17 @@ fn run_e14(quick: bool) -> Table {
     e14_planner::report_table(&report)
 }
 
+/// Run E16 and persist its machine-readable report — the artifact the CI
+/// `timetravel-smoke` job budgets against.
+fn run_e16(quick: bool) -> Table {
+    let report = e16_timetravel::measure(quick);
+    if let Err(e) = e16_timetravel::write_timetravel_report(&report, "results/e16_timetravel.json")
+    {
+        eprintln!("warning: could not write results/e16_timetravel.json: {e}");
+    }
+    e16_timetravel::report_table(&report)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("check-budget") {
@@ -132,6 +143,7 @@ fn main() {
         ("e12", run_e12),
         ("e13", run_e13),
         ("e14", run_e14),
+        ("e16", run_e16),
     ];
     let known: Vec<&str> = runs.iter().map(|(id, _)| *id).collect();
     for sel in &selected {

@@ -151,7 +151,7 @@ fn overhead_cell(label: &str, fsync: FsyncPolicy, quick: bool) -> DurableCell {
         DurableOptions {
             fsync,
             checkpoint_every: 0,
-            kill: None,
+            ..DurableOptions::default()
         },
     )
     .expect("create durable system");
@@ -191,7 +191,7 @@ fn recovery_row(nbatches: usize) -> RecoveryRow {
     let opts = DurableOptions {
         fsync: FsyncPolicy::Never,
         checkpoint_every: 0,
-        kill: None,
+        ..DurableOptions::default()
     };
     let dir = scratch_dir(&format!("recover-{nbatches}"));
     let mut sys = DurableSystem::create(&dir, plan.db.clone(), &views, opts.clone())
@@ -203,7 +203,7 @@ fn recovery_row(nbatches: usize) -> RecoveryRow {
     drop(sys); // crash: the directory is checkpoint@0 + a full WAL tail
 
     let t = Instant::now();
-    let (rec, stats) = DurableSystem::recover(&dir, &views, opts).expect("recover");
+    let (rec, stats) = DurableSystem::recover(&dir, opts).expect("recover");
     let recover_us = t.elapsed().as_nanos() as f64 / 1e3;
     assert_eq!(
         stats.batches_replayed, nbatches as u64,

@@ -1,0 +1,293 @@
+//! E16 — time travel and backfill on the durable log.
+//!
+//! Two questions the self-describing durable directory must answer
+//! quantitatively:
+//!
+//! 1. **What does a point-in-time read cost?** One directory is built with
+//!    periodic checkpoints under `LogRetention::KeepAll`, then
+//!    [`DurableSystem::recover_at`] is timed at a sweep of targets:
+//!    stream origin, the worst replay gap just below a checkpoint
+//!    boundary, mid-stream, and the tip. The gated scalar
+//!    (`recover_at_us_per_batch`) is the tip read amortized over the whole
+//!    retained history — the scalability claim: a historical read pays
+//!    for one checkpoint plus at most one checkpoint interval of replay,
+//!    never for the length of the log.
+//! 2. **What does registering a view late cost?** After the full ingest,
+//!    [`DurableSystem::backfill_query`] registers a second view and
+//!    replays the retained log to synthesize its complete per-batch delta
+//!    history. The gated scalar (`backfill_us_per_batch`) is that replay
+//!    amortized per durable batch; the report also carries the ungated
+//!    ratio of backfill time to the original ingest time (backfill does
+//!    the engine work again, for one view instead of all of them). The
+//!    synthesized history is verified before timing ends: Σ of its deltas
+//!    from ∅ must equal the live view.
+//!
+//! The harness writes `results/e16_timetravel.json`; CI's
+//! `timetravel-smoke` job gates both scalars against
+//! `results/timetravel_budget.json`.
+
+use crate::report::{fmt_us, Table};
+use nrc_data::Bag;
+use nrc_durable::{DurableOptions, DurableSystem, FsyncPolicy, LogRetention};
+use nrc_engine::UpdateBatch;
+use nrc_workloads::{RecoveryPlan, StreamConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Sweep parameters: `(initial cardinality, batches, batch size,
+/// checkpoint_every)`.
+pub fn sizes(quick: bool) -> (usize, usize, usize, u64) {
+    if quick {
+        (32, 256, 4, 16)
+    } else {
+        (64, 2048, 8, 64)
+    }
+}
+
+/// The view maintained from stream origin.
+const FROM_START_SRC: &str = "for x in M where x.1 == \"genre0\" union sng(x)";
+/// The view registered only at the end, via backfill.
+const BACKFILL_SRC: &str = "for x in M where x.1 == \"genre1\" union sng(x)";
+
+/// One point of the point-in-time sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct TimeTravelRow {
+    /// Target durable batch index.
+    pub k: u64,
+    /// Batches replayed beyond the checkpoint the read started from.
+    pub replayed: u64,
+    /// Wall time of `recover_at(k)` end to end, µs.
+    pub recover_us: f64,
+    /// `recover_us` amortized over the `k` batches of history it
+    /// navigates (`k = 0` reads the origin checkpoint alone).
+    pub us_per_hist_batch: f64,
+}
+
+/// The full E16 outcome: the sweep, the backfill cell, gated scalars.
+#[derive(Clone, Debug, Serialize)]
+pub struct TimeTravelReport {
+    /// Ran at quick sizes?
+    pub quick: bool,
+    /// Initial relation cardinality.
+    pub n: usize,
+    /// Durable batches ingested.
+    pub batches: usize,
+    /// Raw updates per batch.
+    pub batch_size: usize,
+    /// Checkpoint cadence of the directory.
+    pub checkpoint_every: u64,
+    /// Total ingest wall time, µs (the baseline backfill is compared to).
+    pub ingest_total_us: f64,
+    /// Tip `recover_at` amortized over the whole retained history, whole
+    /// µs per batch rounded up — gated by
+    /// `results/timetravel_budget.json`.
+    pub recover_at_us_per_batch: u64,
+    /// Backfill (log replay + history synthesis + live registration)
+    /// amortized per durable batch, whole µs rounded up — gated by the
+    /// same budget.
+    pub backfill_us_per_batch: u64,
+    /// Backfill wall time as a percentage of the original ingest wall
+    /// time (ungated context: backfill redoes the engine work once, for
+    /// one view).
+    pub backfill_vs_ingest_pct: u64,
+    /// Backfill wall time, µs.
+    pub backfill_us: f64,
+    /// The point-in-time sweep.
+    pub rows: Vec<TimeTravelRow>,
+}
+
+/// A scratch durable directory unique to (process, tag), removed when the
+/// measurement is done.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nrc-e16-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn drain_garbage() {
+    nrc_data::intern::collect_now();
+    nrc_data::intern::collect_now();
+}
+
+/// Run the measurements (the harness writes the report to
+/// `results/e16_timetravel.json`; [`run`] renders it as a table).
+pub fn measure(quick: bool) -> TimeTravelReport {
+    let (n, nbatches, batch_size, checkpoint_every) = sizes(quick);
+    let cfg = StreamConfig::ever_fresh(batch_size, "e16-timetravel");
+    let plan = RecoveryPlan::generate(16, cfg, n, nbatches);
+    let opts = DurableOptions {
+        fsync: FsyncPolicy::Never,
+        checkpoint_every,
+        retention: LogRetention::KeepAll,
+        kill: None,
+    };
+    let dir = scratch_dir("sweep");
+
+    // --- Ingest: one view maintained from origin, periodic checkpoints ---
+    let mut sys =
+        DurableSystem::create(&dir, plan.db.clone(), &[], opts.clone()).expect("create durable");
+    sys.register_query(FROM_START_SRC_NAME, FROM_START_SRC)
+        .expect("register from-start view");
+    let ingest_start = Instant::now();
+    for batch in &plan.batches {
+        sys.apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+            .expect("durable batch");
+    }
+    let ingest_total_us = ingest_start.elapsed().as_nanos() as f64 / 1e3;
+    let nb = nbatches as u64;
+
+    // --- Point-in-time sweep: origin, worst gap, middle, tip ---
+    let worst_gap = (checkpoint_every - 1).min(nb);
+    let tip_boundary = (nb / checkpoint_every) * checkpoint_every;
+    let mut targets = vec![0, worst_gap, nb / 2, tip_boundary.saturating_sub(1), nb];
+    targets.sort_unstable();
+    targets.dedup();
+    let mut rows = Vec::new();
+    for &k in &targets {
+        drain_garbage();
+        let t = Instant::now();
+        let (hist, stats) = DurableSystem::recover_at(&dir, k, opts.clone()).expect("recover_at");
+        let recover_us = t.elapsed().as_nanos() as f64 / 1e3;
+        assert_eq!(hist.batch_index(), k, "recover_at must land exactly on k");
+        assert!(hist.is_read_only());
+        rows.push(TimeTravelRow {
+            k,
+            replayed: stats.batches_replayed,
+            recover_us,
+            us_per_hist_batch: recover_us / (k.max(1) as f64),
+        });
+        drop(hist);
+    }
+    let tip_row = rows.last().expect("non-empty sweep");
+    let recover_at_us_per_batch = (tip_row.recover_us / nb as f64).ceil().max(1.0) as u64;
+
+    // --- Backfill: register the second view over the whole history ---
+    drain_garbage();
+    let t = Instant::now();
+    let bf = sys
+        .backfill_query(BACKFILL_SRC_NAME, BACKFILL_SRC)
+        .expect("backfill");
+    let backfill_us = t.elapsed().as_nanos() as f64 / 1e3;
+    assert_eq!(
+        bf.batches_replayed, nb,
+        "backfill must replay the whole log"
+    );
+    let hist = bf.feed.drain();
+    assert_eq!(hist.len(), nbatches + 1, "origin delta + one per batch");
+    let mut folded = Bag::default();
+    for d in &hist {
+        folded.union_assign(&d.delta);
+    }
+    assert_eq!(
+        folded,
+        sys.view(BACKFILL_SRC_NAME).expect("backfilled view"),
+        "history must fold from the empty bag to the live state"
+    );
+    drop(hist);
+    drop(bf);
+    drop(sys);
+    let _ = std::fs::remove_dir_all(&dir);
+    drain_garbage();
+
+    TimeTravelReport {
+        quick,
+        n,
+        batches: nbatches,
+        batch_size,
+        checkpoint_every,
+        ingest_total_us,
+        recover_at_us_per_batch,
+        backfill_us_per_batch: (backfill_us / nb as f64).ceil().max(1.0) as u64,
+        backfill_vs_ingest_pct: if ingest_total_us > 0.0 {
+            ((backfill_us / ingest_total_us) * 100.0).ceil() as u64
+        } else {
+            0
+        },
+        backfill_us,
+        rows,
+    }
+}
+
+const FROM_START_SRC_NAME: &str = "hot";
+const BACKFILL_SRC_NAME: &str = "late";
+
+/// Render a [`TimeTravelReport`] as the experiment table.
+pub fn report_table(r: &TimeTravelReport) -> Table {
+    let mut t = Table::new(
+        "E16",
+        format!(
+            "time travel and backfill: recover_at sweep plus full-log \
+             backfill over {} batches × {} updates (n={}, checkpoint every \
+             {}, KeepAll retention)",
+            r.batches, r.batch_size, r.n, r.checkpoint_every
+        ),
+        &["cell", "k", "replayed", "wall", "µs/batch"],
+    );
+    for row in &r.rows {
+        t.row(vec![
+            "recover_at".to_string(),
+            row.k.to_string(),
+            row.replayed.to_string(),
+            fmt_us(row.recover_us),
+            format!("{:.2}", row.us_per_hist_batch),
+        ]);
+    }
+    t.row(vec![
+        "backfill".to_string(),
+        r.batches.to_string(),
+        r.batches.to_string(),
+        fmt_us(r.backfill_us),
+        format!("{:.2}", r.backfill_us / r.batches.max(1) as f64),
+    ]);
+    t.row(vec![
+        "ingest-baseline".to_string(),
+        r.batches.to_string(),
+        "-".to_string(),
+        fmt_us(r.ingest_total_us),
+        format!("{:.2}", r.ingest_total_us / r.batches.max(1) as f64),
+    ]);
+    t.note(format!(
+        "gated: recover_at_us_per_batch={} (tip read over full history), \
+         backfill_us_per_batch={}; backfill = {}% of ingest wall time",
+        r.recover_at_us_per_batch, r.backfill_us_per_batch, r.backfill_vs_ingest_pct
+    ));
+    t
+}
+
+/// Run E16 and render its table (the harness persists the JSON report).
+pub fn run(quick: bool) -> Table {
+    report_table(&measure(quick))
+}
+
+/// Persist the machine-readable report the CI `timetravel-smoke` job
+/// budgets against.
+pub fn write_timetravel_report(r: &TimeTravelReport, path: &str) -> std::io::Result<()> {
+    crate::write_json_report(r, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_the_sweep_and_gated_scalars() {
+        let report = measure(true);
+        assert!(report.quick);
+        assert!(report.rows.len() >= 3, "origin, interior and tip points");
+        assert_eq!(report.rows.first().expect("origin").k, 0);
+        assert_eq!(report.rows.last().expect("tip").k, report.batches as u64);
+        for row in &report.rows {
+            assert!(
+                row.replayed < report.checkpoint_every,
+                "replay gap must stay under one checkpoint interval, got {} at k={}",
+                row.replayed,
+                row.k
+            );
+        }
+        assert!(report.recover_at_us_per_batch >= 1);
+        assert!(report.backfill_us_per_batch >= 1);
+        let table = report_table(&report);
+        assert!(table.to_markdown().contains("recover_at"));
+    }
+}

@@ -29,6 +29,7 @@ pub mod e11_latency;
 pub mod e12_serve;
 pub mod e13_durable;
 pub mod e14_planner;
+pub mod e16_timetravel;
 pub mod e1_related;
 pub mod e2_filter;
 pub mod e3_recursive;

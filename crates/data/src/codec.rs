@@ -37,7 +37,10 @@ pub struct CodecError {
 }
 
 impl CodecError {
-    fn new(detail: impl Into<String>) -> CodecError {
+    /// A decode failure (exposed for layered formats — the durability
+    /// crate's catalog records report their own tag/version mismatches
+    /// through the same error).
+    pub fn new(detail: impl Into<String>) -> CodecError {
         CodecError {
             detail: detail.into(),
         }

@@ -10,11 +10,18 @@
 //! check — recomputation must reproduce them exactly, or the checkpoint is
 //! rejected.
 //!
+//! A checkpoint also embeds the **query catalog** at its batch index
+//! ([`crate::catalog`]): every registration, in order, with its strategy
+//! and (when expressible) its NRC⁺ source text. The catalog is what lets
+//! [`crate::DurableSystem::recover`] re-register text-registered views
+//! from the directory alone, no caller-supplied specs needed.
+//!
 //! ```text
-//! file := magic "NRCCKP01" len:u32 crc:u32 body[len]
+//! file := magic "NRCCKP02" len:u32 crc:u32 body[len]
 //! body := batch_index:u64
 //!         nrels:u32 (name:str elem_type bag)*
 //!         nviews:u32 (name:str bag)*
+//!         ncat:u32 catalog_entry*
 //! ```
 //!
 //! **Atomicity.** A checkpoint is written to `<name>.tmp`, synced, and
@@ -26,6 +33,7 @@
 //! tampering — falls back to the next-newest valid checkpoint, with the
 //! WAL supplying the longer replay tail.
 
+use crate::catalog::{self, CatalogEntry};
 use crate::error::{io_err, DurableError};
 use crate::kill::{write_guarded, KillPoint};
 use crate::wal::crc32;
@@ -35,7 +43,7 @@ use std::fs::File;
 use std::path::{Path, PathBuf};
 
 /// File magic identifying a checkpoint (8 bytes, version-suffixed).
-pub const CKPT_MAGIC: &[u8; 8] = b"NRCCKP01";
+pub const CKPT_MAGIC: &[u8; 8] = b"NRCCKP02";
 
 /// Extension of finished checkpoints.
 const CKPT_EXT: &str = "nrcck";
@@ -49,6 +57,8 @@ pub struct CheckpointData {
     pub relations: Vec<(String, Type, Bag)>,
     /// Published views in nested form, for post-recovery verification.
     pub views: Vec<(String, Bag)>,
+    /// The query catalog at this batch index, in registration order.
+    pub catalog: Vec<CatalogEntry>,
 }
 
 /// File name of the checkpoint at `batch_index` (zero-padded so
@@ -71,6 +81,7 @@ fn encode_body(data: &CheckpointData) -> Vec<u8> {
         codec::put_str(&mut out, name);
         codec::encode_bag(bag, &mut out);
     }
+    catalog::encode_catalog(&data.catalog, &mut out);
     out
 }
 
@@ -92,11 +103,13 @@ fn decode_body(body: &[u8]) -> Result<CheckpointData, DurableError> {
         let bag = codec::decode_bag(&mut r)?;
         views.push((name, bag));
     }
+    let cat = catalog::decode_catalog(&mut r)?;
     r.finish()?;
     Ok(CheckpointData {
         batch_index,
         relations,
         views,
+        catalog: cat,
     })
 }
 
@@ -168,9 +181,9 @@ pub struct CheckpointScan {
     pub rejected: usize,
 }
 
-/// Find the newest valid checkpoint in `dir`, skipping damaged ones, and
-/// remove leftover `.tmp` residue from crashed checkpoint writes.
-pub fn load_newest(dir: &Path) -> Result<CheckpointScan, DurableError> {
+/// List the finished checkpoint files in `dir` as `(index, path)`,
+/// removing leftover `.tmp` residue from crashed checkpoint writes.
+fn list(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurableError> {
     let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
     let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
     for entry in entries {
@@ -195,8 +208,24 @@ pub fn load_newest(dir: &Path) -> Result<CheckpointScan, DurableError> {
             candidates.push((index, path));
         }
     }
-    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+    Ok(candidates)
+}
+
+/// Find the newest valid checkpoint in `dir`, skipping damaged ones, and
+/// remove leftover `.tmp` residue from crashed checkpoint writes.
+pub fn load_newest(dir: &Path) -> Result<CheckpointScan, DurableError> {
+    load_newest_at(dir, u64::MAX)
+}
+
+/// Find the newest valid checkpoint at or below batch index `max_index` —
+/// the checkpoint point-in-time recovery starts from. Counts every
+/// finished checkpoint file as scanned; rejects only damaged candidates
+/// actually tried (index ≤ `max_index`).
+pub fn load_newest_at(dir: &Path, max_index: u64) -> Result<CheckpointScan, DurableError> {
+    let mut candidates = list(dir)?;
     let scanned = candidates.len();
+    candidates.retain(|c| c.0 <= max_index);
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
     let mut rejected = 0;
     for (_, path) in candidates {
         match load(&path) {
@@ -215,6 +244,20 @@ pub fn load_newest(dir: &Path) -> Result<CheckpointScan, DurableError> {
         scanned,
         rejected,
     })
+}
+
+/// Delete every checkpoint whose index is below `index` (the
+/// `TruncateAtCheckpoint` retention action). Returns how many were
+/// removed; removal failures are ignored — a leftover checkpoint is
+/// inert.
+pub fn prune_below(dir: &Path, index: u64) -> Result<usize, DurableError> {
+    let mut removed = 0;
+    for (ckpt_index, path) in list(dir)? {
+        if ckpt_index < index && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 #[cfg(test)]
@@ -245,6 +288,18 @@ mod tests {
             batch_index: index,
             relations: vec![("M".to_string(), Type::bag(ty), bag.clone())],
             views: vec![("all".to_string(), bag)],
+            catalog: vec![
+                CatalogEntry {
+                    name: "all".to_string(),
+                    source: Some("M".to_string()),
+                    strategy: nrc_engine::Strategy::FirstOrder,
+                },
+                CatalogEntry {
+                    name: format!("opaque-{tag}"),
+                    source: None,
+                    strategy: nrc_engine::Strategy::Shredded,
+                },
+            ],
         }
     }
 
@@ -312,6 +367,28 @@ mod tests {
         let scan = load_newest(&dir).expect("scan all damaged");
         assert!(scan.newest.is_none());
         assert_eq!(scan.rejected, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `load_newest_at` selects the newest checkpoint at or below the
+    /// target index — the point-in-time entry point — and `prune_below`
+    /// implements the truncation half of retention.
+    #[test]
+    fn newest_at_and_prune() {
+        let dir = tmp_dir("at");
+        for index in [0, 3, 8] {
+            write(&dir, &data(&format!("at{index}"), index), None).expect("write");
+        }
+        for (target, want) in [(0, 0), (2, 0), (3, 3), (7, 3), (8, 8), (u64::MAX, 8)] {
+            let scan = load_newest_at(&dir, target).expect("scan");
+            let (d, _) = scan.newest.expect("a checkpoint at or below the target");
+            assert_eq!(d.batch_index, want, "target {target}");
+            assert_eq!(scan.scanned, 3, "scanned counts every finished file");
+        }
+        assert_eq!(prune_below(&dir, 8).expect("prune"), 2);
+        assert!(load_newest_at(&dir, 7).expect("scan").newest.is_none());
+        let scan = load_newest(&dir).expect("scan");
+        assert_eq!(scan.newest.expect("survivor").0.batch_index, 8);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

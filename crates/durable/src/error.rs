@@ -46,6 +46,27 @@ pub enum DurableError {
     Serve(ServeError),
     /// The data layer rejected an operation.
     Data(DataError),
+    /// The view cannot be recovered from the on-disk catalog alone: its
+    /// query has no surface form (`source: None` in the catalog), so
+    /// recovery needs the caller to supply it via
+    /// [`DurableSystem::recover_with_views`](crate::DurableSystem::recover_with_views).
+    Uncataloged {
+        /// The view whose catalog entry carries no source.
+        view: String,
+    },
+    /// The retained log no longer covers the requested history — a
+    /// point-in-time or backfill target older than what
+    /// `LogRetention::TruncateAtCheckpoint` kept.
+    HistoryTruncated {
+        /// The durable directory.
+        dir: PathBuf,
+        /// What history was needed and what survives.
+        detail: String,
+    },
+    /// This instance is a read-only historical snapshot
+    /// ([`DurableSystem::recover_at`](crate::DurableSystem::recover_at));
+    /// it accepts no writes, registrations or checkpoints.
+    ReadOnly,
     /// An injected failpoint exhausted its byte budget mid-write — the
     /// simulated crash of the kill-point test harness. The system that
     /// observed it is dead; the on-disk state is exactly what a process
@@ -72,6 +93,23 @@ impl fmt::Display for DurableError {
             DurableError::Query(e) => write!(f, "query registration failed: {e}"),
             DurableError::Serve(e) => write!(f, "serving error: {e}"),
             DurableError::Data(e) => write!(f, "data error: {e}"),
+            DurableError::Uncataloged { view } => write!(
+                f,
+                "view {view} has no catalog source; recover_with_views must supply it"
+            ),
+            DurableError::HistoryTruncated { dir, detail } => {
+                write!(
+                    f,
+                    "retained log in {} is too short: {detail}",
+                    dir.display()
+                )
+            }
+            DurableError::ReadOnly => {
+                write!(
+                    f,
+                    "historical snapshot is read-only (recovered at a point in time)"
+                )
+            }
             DurableError::Killed => write!(f, "injected failpoint killed the write"),
             DurableError::Dead => write!(f, "durable system is dead after an earlier failure"),
         }

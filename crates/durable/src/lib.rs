@@ -2,58 +2,82 @@
 //!
 //! Durability for the NRC⁺ incremental-view-maintenance serving system
 //! (PODS 2016 reproduction): a write-ahead update log, periodic snapshot
-//! checkpoints, and crash recovery.
+//! checkpoints, a durable query catalog, and crash / point-in-time
+//! recovery.
 //!
 //! A [`DurableSystem`] wraps the serving layer's
 //! [`ServingSystem`](nrc_serve::ServingSystem) so that every applied
-//! [`UpdateBatch`](nrc_engine::UpdateBatch) survives process death:
+//! [`UpdateBatch`](nrc_engine::UpdateBatch) — and every registered query —
+//! survives process death:
 //!
 //! * [`wal`] — a hand-rolled, length-prefixed, CRC-32-checksummed binary
-//!   log appended *before* each batch is applied, under a configurable
-//!   [`FsyncPolicy`] (`EveryBatch` / `EveryN` / `Never`). Replay is
-//!   prefix-closed; torn tails are truncated, never partially applied.
+//!   log of batches *and view registrations*, appended before either is
+//!   applied, under a configurable [`FsyncPolicy`] (`EveryBatch` /
+//!   `EveryN` / `Never`). The log is segmented: each checkpoint rolls a
+//!   fresh `wal-<base>.nrcwal` file, so retention can drop whole
+//!   superseded segments. Replay is prefix-closed; torn tails are
+//!   truncated, never partially applied.
 //! * [`checkpoint`] — atomic (tmp + rename) full-state images: base
-//!   relations and published views with every value resolved through the
-//!   intern seam ([`nrc_data::codec`]), so the on-disk format is
-//!   arena-/generation-independent and survives GC slot reuse.
-//! * [`DurableSystem::recover`] — newest valid checkpoint + WAL tail
-//!   replay, verified against the checkpoint's persisted views.
+//!   relations, published views, and the query [`catalog`], with every
+//!   value resolved through the intern seam ([`nrc_data::codec`]), so the
+//!   on-disk format is arena-/generation-independent and survives GC slot
+//!   reuse.
+//! * [`DurableSystem::recover`] — newest valid checkpoint + log suffix
+//!   replay, re-registering every view from the embedded catalog (no
+//!   caller-supplied specs) and verifying recomputation against the
+//!   checkpoint's persisted bags.
+//! * [`DurableSystem::recover_at`] — point-in-time recovery: a read-only
+//!   snapshot of the state as of any retained durable batch index.
+//! * [`DurableSystem::backfill_query`] — register a view after the fact
+//!   and replay the retained log to synthesize the per-batch delta feed
+//!   it would have produced from stream origin.
 //! * [`KillPoint`] — deterministic crash injection (a byte budget over
 //!   durable writes) powering the kill-point differential harness in
 //!   `tests/prop_recovery.rs`: recovered state ≡ never-crashed sequential
 //!   replay, at any crash byte, for all four maintenance strategies.
 //!
 //! ```
-//! use nrc_core::builder::rel;
-//! use nrc_durable::{DurableOptions, DurableSystem, FsyncPolicy, ViewSpec};
-//! use nrc_engine::{Strategy, UpdateBatch};
+//! use nrc_durable::{DurableOptions, DurableSystem, FsyncPolicy};
+//! use nrc_engine::UpdateBatch;
 //! use nrc_data::database::{example_movies, example_movies_update};
 //!
 //! let dir = std::env::temp_dir().join("nrc-durable-doc");
 //! let _ = std::fs::remove_dir_all(&dir);
-//! let views = [ViewSpec::new("all", rel("M"), Strategy::FirstOrder)];
 //! let opts = DurableOptions { fsync: FsyncPolicy::EveryBatch, ..DurableOptions::default() };
 //!
-//! let mut sys = DurableSystem::create(&dir, example_movies(), &views, opts.clone()).unwrap();
+//! let mut sys = DurableSystem::create(&dir, example_movies(), &[], opts.clone()).unwrap();
+//! sys.register_query("dramas", "for m in M where m.2 == \"Drama\" union sng(m)").unwrap();
 //! let batch = UpdateBatch::from_updates([("M".to_string(), example_movies_update())]);
 //! sys.apply_batch(&batch).unwrap();
-//! let before = sys.view("all").unwrap();
+//! let before = sys.view("dramas").unwrap();
 //! drop(sys); // "crash"
 //!
-//! let (recovered, stats) = DurableSystem::recover(&dir, &views, opts).unwrap();
-//! assert_eq!(recovered.view("all").unwrap(), before);
+//! // The directory is self-describing: no view specs needed.
+//! let (recovered, stats) = DurableSystem::recover(&dir, opts.clone()).unwrap();
+//! assert_eq!(recovered.view("dramas").unwrap(), before);
 //! assert_eq!(stats.batches_replayed, 1);
+//!
+//! // Time travel: the state as of batch 0, read-only.
+//! let (origin, _) = DurableSystem::recover_at(&dir, 0, opts).unwrap();
+//! assert_eq!(origin.view("dramas").unwrap().cardinality(), 1);
+//! assert!(origin.is_read_only());
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+pub mod catalog;
 pub mod checkpoint;
 pub mod error;
 pub mod kill;
 pub mod system;
 pub mod wal;
 
+pub use catalog::CatalogEntry;
 pub use checkpoint::CheckpointData;
 pub use error::DurableError;
 pub use kill::KillPoint;
-pub use system::{DurableOptions, DurableStats, DurableSystem, RecoveryStats, ViewSpec, WAL_FILE};
-pub use wal::{crc32, FsyncPolicy, Wal, WalRecord, WalScan};
+pub use system::{
+    Backfill, DurableOptions, DurableStats, DurableSystem, LogRetention, RecoveryStats, ViewSpec,
+};
+pub use wal::{
+    crc32, segment_file_name, FsyncPolicy, RegRecord, Wal, WalEntry, WalRecord, WalScan,
+};

@@ -1,5 +1,5 @@
-//! [`DurableSystem`]: a [`ServingSystem`] whose applied batches survive
-//! process death.
+//! [`DurableSystem`]: a [`ServingSystem`] whose applied batches — and
+//! registered queries — survive process death.
 //!
 //! ## Protocol
 //!
@@ -9,43 +9,69 @@
 //!   the log: a crash between append and apply loses nothing (recovery
 //!   replays the record); a crash mid-append truncates the torn record and
 //!   the batch was simply never accepted.
+//! * **Log before register.** Post-creation registrations follow the same
+//!   discipline: [`DurableSystem::register_query`] appends a WAL
+//!   *registration record* carrying the view's [`CatalogEntry`] (name,
+//!   NRC⁺ source, strategy) and syncs it before acking. Registrations are
+//!   recovered from the log exactly like batches — there is no forced
+//!   checkpoint on registration, so [`DurableStats::checkpoints_written`]
+//!   now advances only on the `checkpoint_every` cadence (and explicit
+//!   [`DurableSystem::checkpoint_now`] calls), not per registration.
 //! * **Periodic checkpoints.** Every `checkpoint_every` batches (and once
 //!   at creation, so batch index 0 is always recoverable) the full state —
-//!   base relations plus every published view in nested, value-resolved
-//!   form — is written atomically beside the log. Checkpoints bound
-//!   recovery *time*; they never extend the durable prefix, which the WAL
-//!   alone defines.
-//! * **Recovery** = newest valid checkpoint + WAL tail. Views are
-//!   re-registered (recomputing their state at the checkpoint index),
-//!   verified against the checkpoint's persisted view bags, and the log
-//!   records with higher indices are replayed in order. Recovery is
-//!   idempotent — it mutates nothing but the torn tail truncation — so
-//!   crashing during or right after recovery and recovering again yields
-//!   the same state (the double-crash case of `tests/prop_recovery.rs`).
+//!   base relations, every published view in nested, value-resolved form,
+//!   and the query catalog — is written atomically beside the log, and the
+//!   WAL rolls over to a fresh segment based at the checkpoint index.
+//!   Checkpoints bound recovery *time*; they never extend the durable
+//!   prefix, which the WAL alone defines.
+//! * **Recovery** = newest valid checkpoint + log suffix. The embedded
+//!   catalog re-registers every view (recomputing its state at the
+//!   checkpoint index) with **no caller-supplied specs**; the recomputed
+//!   states are verified against the checkpoint's persisted view bags;
+//!   the segment chain is replayed in stream order, applying batches and
+//!   late registrations alike. Recovery is idempotent — it mutates
+//!   nothing but the torn tail truncation — so crashing during or right
+//!   after recovery and recovering again yields the same state.
+//! * **Time travel.** Because the catalog makes the directory
+//!   self-describing and `LogRetention::KeepAll` keeps every segment and
+//!   checkpoint, [`DurableSystem::recover_at`] can rebuild the state *as
+//!   of any durable batch index*, and [`DurableSystem::backfill_query`]
+//!   can register a view late and synthesize the per-batch delta feed it
+//!   *would* have produced had it been registered from stream origin.
+//!   Both lean on the IVM guarantee the differential tests enforce: a
+//!   view's state is a pure function of the database, so re-registration
+//!   at index `k` reproduces exactly the state incremental maintenance
+//!   would have carried there.
 //!
 //! The durable batch index is persistent and 1-based; the inner engine
 //! restarts from the checkpoint, so its in-memory `batches_applied` counts
 //! from the checkpoint, not from stream origin. [`DurableSystem::batch_index`]
-//! always reports the durable index.
+//! always reports the durable index, and recovered systems re-base their
+//! feed indices (see [`ServingSystem::set_batch_index_base`]) so
+//! subscription deltas stay stream-absolute across crashes.
 
+use crate::catalog::CatalogEntry;
 use crate::checkpoint::{self, CheckpointData};
 use crate::error::DurableError;
 use crate::kill::KillPoint;
-use crate::wal::{self, FsyncPolicy, Wal};
+use crate::wal::{self, FsyncPolicy, Wal, WalEntry, WalScan};
 use nrc_core::Expr;
 use nrc_data::{Bag, Database};
-use nrc_engine::{CollectPolicy, IvmSystem, Parallelism, QueryPlan, Strategy, UpdateBatch};
-use nrc_serve::{ServeStats, ServingSystem, Snapshot, SnapshotReader};
+use nrc_engine::{
+    query_source, CollectPolicy, IvmSystem, Parallelism, QueryPlan, Strategy, UpdateBatch,
+};
+use nrc_serve::{FeedDelta, ServeStats, ServingSystem, Snapshot, SnapshotReader, Subscription};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Name of the write-ahead log inside a durable directory.
-pub const WAL_FILE: &str = "updates.wal";
-
-/// A view registration recovery must be able to repeat: durability
-/// persists *data*, not query plans, so the caller supplies the views —
-/// exactly as it supplied them to [`DurableSystem::create`] — and recovery
-/// recomputes their state from the checkpointed relations.
+/// A view registration recovery can repeat for a query that has **no NRC⁺
+/// surface form** (registered from a raw [`Expr`] using shredding-internal
+/// constructs, say). Cataloged views — everything registered through
+/// [`DurableSystem::register_query`] or creation-time specs whose query
+/// renders back to source — need no specs at recovery; `ViewSpec`s are the
+/// escape hatch [`DurableSystem::recover_with_views`] feeds the views the
+/// catalog marks `source: None`.
 #[derive(Clone, Debug)]
 pub struct ViewSpec {
     /// View name.
@@ -67,6 +93,25 @@ impl ViewSpec {
     }
 }
 
+/// What happens to history the newest checkpoint has superseded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LogRetention {
+    /// Keep every WAL segment and checkpoint ever written. The directory
+    /// stays navigable to any point in its life —
+    /// [`DurableSystem::recover_at`] and [`DurableSystem::backfill_query`]
+    /// both need the log back to the index they target. Recovery cost is
+    /// unaffected (replay starts at the newest segment at or below the
+    /// checkpoint, never at origin); disk is the only price.
+    #[default]
+    KeepAll,
+    /// After each checkpoint, delete WAL segments and checkpoints strictly
+    /// below it. Bounds disk to one checkpoint interval of log, at the
+    /// cost of history: `recover_at` targets below the newest checkpoint
+    /// and `backfill_query` (which replays from origin) fail with
+    /// [`DurableError::HistoryTruncated`].
+    TruncateAtCheckpoint,
+}
+
 /// Tunables of a [`DurableSystem`].
 #[derive(Clone, Debug)]
 pub struct DurableOptions {
@@ -75,38 +120,55 @@ pub struct DurableOptions {
     /// Write a checkpoint every this many batches; `0` keeps only the
     /// creation-time checkpoint (recovery then replays the whole log).
     pub checkpoint_every: u64,
+    /// What happens to superseded history at each checkpoint.
+    pub retention: LogRetention,
     /// Crash-injection byte budget for the kill-point harness; `None` in
     /// production.
     pub kill: Option<Arc<KillPoint>>,
 }
 
 impl Default for DurableOptions {
-    /// Safe-by-default: sync every batch, checkpoint every 1024.
+    /// Safe-by-default: sync every batch, checkpoint every 1024, keep all
+    /// history.
     fn default() -> DurableOptions {
         DurableOptions {
             fsync: FsyncPolicy::EveryBatch,
             checkpoint_every: 1024,
+            retention: LogRetention::KeepAll,
             kill: None,
         }
     }
 }
 
-/// Counters of durable work done by one system instance.
+/// Counters of durable work.
+///
+/// `checkpoints_written` counts work done *by this instance* (zero right
+/// after recovery); `last_checkpoint_index` describes *the directory* (the
+/// newest checkpoint's durable batch index, whoever wrote it). The old
+/// single `checkpoints` counter conflated the two — a recovered system
+/// reported a nonzero index with zero work done, and callers could not
+/// tell cadence from inheritance.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DurableStats {
-    /// Batches durably applied through this instance.
+    /// Durable batch index of the last applied batch (the durable prefix
+    /// length, including batches applied by previous instances).
     pub batches: u64,
-    /// WAL bytes appended by this instance.
+    /// WAL bytes appended by this instance (across segment rolls).
     pub wal_bytes: u64,
-    /// Explicit WAL syncs issued.
+    /// Explicit WAL syncs issued by this instance.
     pub wal_syncs: u64,
-    /// Checkpoints written (including the creation-time one).
-    pub checkpoints: u64,
-    /// Durable batch index of the newest checkpoint.
+    /// Checkpoints written by this instance (including the creation-time
+    /// one for [`DurableSystem::create`]; `0` right after recovery).
+    /// Advances on the `checkpoint_every` cadence and explicit
+    /// [`DurableSystem::checkpoint_now`] calls only — registrations no
+    /// longer force a checkpoint (they are WAL records now).
+    pub checkpoints_written: u64,
+    /// Durable batch index of the directory's newest checkpoint — a
+    /// property of the directory, not of this instance's work.
     pub last_checkpoint_index: u64,
 }
 
-/// What [`DurableSystem::recover`] found and did.
+/// What recovery found and did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
     /// Durable batch index of the checkpoint recovery started from.
@@ -115,34 +177,140 @@ pub struct RecoveryStats {
     pub checkpoints_scanned: usize,
     /// Checkpoint files that failed validation and were skipped.
     pub checkpoints_rejected: usize,
-    /// Valid WAL records found (from stream origin, not just the tail).
+    /// WAL segments scanned (the chain from the checkpoint to the tip).
+    pub segments_scanned: usize,
+    /// Valid WAL records found in the scanned segments (both kinds).
     pub wal_records: u64,
-    /// WAL records actually replayed (index > checkpoint).
+    /// Batch records actually replayed (index > checkpoint).
     pub batches_replayed: u64,
-    /// Torn/garbage bytes truncated from the WAL tail.
+    /// Registration records actually replayed (views not already in the
+    /// checkpoint's catalog).
+    pub registrations_replayed: u64,
+    /// Torn/garbage bytes truncated from the live tail. Always `0` for
+    /// [`DurableSystem::recover_at`] — a historical snapshot mutates
+    /// nothing, not even the torn tail.
     pub torn_bytes_truncated: u64,
 }
 
-/// A serving system with a write-ahead log and periodic checkpoints.
+/// What [`DurableSystem::backfill_query`] did: the registered plan, the
+/// synthesized history feed, and how much log it replayed.
+pub struct Backfill {
+    /// The live registration's plan (chosen strategy, estimates).
+    pub plan: QueryPlan,
+    /// A subscription preloaded with the view's full per-batch delta
+    /// history: a batch-index-0 delta carrying the state at stream origin
+    /// (the change *from nothing*), then one delta per durable batch
+    /// through the present. Folding it from the empty bag reproduces every
+    /// historical state; live deltas continue seamlessly after it.
+    pub feed: Subscription,
+    /// Batches replayed from the retained log to synthesize the history.
+    pub batches_replayed: u64,
+}
+
+/// A serving system with a write-ahead log, periodic checkpoints and a
+/// durable query catalog.
 pub struct DurableSystem {
     serve: ServingSystem,
-    wal: Wal,
+    /// `None` for read-only historical snapshots ([`DurableSystem::recover_at`]).
+    wal: Option<Wal>,
     dir: PathBuf,
     opts: DurableOptions,
     /// Durable (persistent, 1-based) batch index of the last applied batch.
     applied: u64,
-    checkpoints: u64,
+    /// The in-memory catalog, in registration order; embedded in every
+    /// checkpoint this instance writes.
+    catalog: Vec<CatalogEntry>,
+    checkpoints_written: u64,
     last_checkpoint_index: u64,
+    /// WAL bytes/syncs retired with rolled-over segment handles.
+    rolled_wal_bytes: u64,
+    rolled_wal_syncs: u64,
+    read_only: bool,
     /// Set on any durable-path error: the in-memory state may be ahead of
     /// or behind the log in ways this instance can no longer reconcile.
     dead: bool,
 }
 
+/// The replayable log suffix: the scanned segment chain from the segment
+/// covering `from_index` to the tip, with per-segment scans chained by
+/// batch index.
+struct LogSuffix {
+    /// `(base, path, scan)` per segment, in base order.
+    segments: Vec<(u64, PathBuf, WalScan)>,
+}
+
+impl LogSuffix {
+    /// Scan the chain of WAL segments covering batch indices
+    /// `(from_index, ..]`: the newest segment based at or below
+    /// `from_index`, then every later segment, each validated to chain
+    /// exactly from its predecessor's last batch index. Only the tip may
+    /// have a torn tail — an interior gap is damage recovery cannot
+    /// attribute to a crash.
+    fn scan(dir: &Path, from_index: u64) -> Result<LogSuffix, DurableError> {
+        let all = wal::list_segments(dir)?;
+        if all.is_empty() {
+            return Ok(LogSuffix {
+                segments: Vec::new(),
+            });
+        }
+        let start = match all.iter().rposition(|(base, _)| *base <= from_index) {
+            Some(i) => i,
+            None => {
+                return Err(DurableError::HistoryTruncated {
+                    dir: dir.to_path_buf(),
+                    detail: format!(
+                        "no WAL segment based at or below batch {from_index} \
+                         (oldest retained base is {})",
+                        all[0].0
+                    ),
+                })
+            }
+        };
+        let mut segments = Vec::with_capacity(all.len() - start);
+        let mut prev_last: Option<u64> = None;
+        for (base, path) in all.into_iter().skip(start) {
+            let scan = wal::scan(&path, base)?;
+            if let Some(last) = prev_last {
+                if base != last {
+                    return Err(DurableError::Corrupt {
+                        path,
+                        detail: format!(
+                            "segment base {base} does not chain from the previous \
+                             segment's last batch {last}"
+                        ),
+                    });
+                }
+            }
+            prev_last = Some(scan.last_batch_index());
+            segments.push((base, path, scan));
+        }
+        Ok(LogSuffix { segments })
+    }
+
+    fn records(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|(_, _, s)| s.entries.len() as u64)
+            .sum()
+    }
+
+    fn entries(&self) -> impl Iterator<Item = &WalEntry> {
+        self.segments.iter().flat_map(|(_, _, s)| s.entries.iter())
+    }
+
+    /// The tip segment's `(path, scan)`, if any segment exists.
+    fn tip(&self) -> Option<(&PathBuf, &WalScan)> {
+        self.segments.last().map(|(_, p, s)| (p, s))
+    }
+}
+
 impl DurableSystem {
     /// Create a durable system in `dir` (created if missing): build the
-    /// engine over `db`, register `views`, write the initial checkpoint,
-    /// and start the WAL. Creation is provisioning and is not
-    /// kill-guarded; the byte budget (if armed) meters subsequent ingest.
+    /// engine over `db`, register `views`, start the WAL at segment base
+    /// 0, and write the initial checkpoint — catalog included, so the
+    /// directory is self-describing from birth. Creation is provisioning
+    /// and is not kill-guarded; the byte budget (if armed) meters
+    /// subsequent ingest.
     pub fn create(
         dir: &Path,
         db: Database,
@@ -152,18 +320,29 @@ impl DurableSystem {
         std::fs::create_dir_all(dir).map_err(|e| crate::error::io_err(dir, e))?;
         let engine = IvmSystem::new(db);
         let mut serve = ServingSystem::new(engine)?;
+        let mut catalog = Vec::with_capacity(views.len());
         for v in views {
             serve.register(v.name.clone(), v.query.clone(), v.strategy)?;
+            catalog.push(CatalogEntry {
+                name: v.name.clone(),
+                source: query_source(&v.query),
+                strategy: v.strategy,
+            });
         }
-        let wal = Wal::create(&dir.join(WAL_FILE), opts.fsync, opts.kill.clone())?;
+        let wal_path = dir.join(wal::segment_file_name(0));
+        let wal = Wal::create(&wal_path, 0, opts.fsync, opts.kill.clone())?;
         let mut sys = DurableSystem {
             serve,
-            wal,
+            wal: Some(wal),
             dir: dir.to_path_buf(),
             opts,
             applied: 0,
-            checkpoints: 0,
+            catalog,
+            checkpoints_written: 0,
             last_checkpoint_index: 0,
+            rolled_wal_bytes: 0,
+            rolled_wal_syncs: 0,
+            read_only: false,
             dead: false,
         };
         // The initial checkpoint is unguarded too: without it a torn
@@ -172,89 +351,245 @@ impl DurableSystem {
         Ok(sys)
     }
 
-    /// Recover the durable system persisted in `dir`: newest valid
-    /// checkpoint, re-registered views verified against it, WAL tail
-    /// replayed, torn tail truncated.
+    /// Recover the durable system persisted in `dir` from its own catalog:
+    /// newest valid checkpoint, every cataloged view re-registered from
+    /// its stored NRC⁺ source and verified against the checkpoint's
+    /// persisted bags, log suffix replayed (batches and late registrations
+    /// in stream order), torn tail truncated.
+    ///
+    /// Fails with [`DurableError::Uncataloged`] if some view's query has
+    /// no surface form — [`DurableSystem::recover_with_views`] is the
+    /// escape hatch that supplies those by name.
     pub fn recover(
+        dir: &Path,
+        opts: DurableOptions,
+    ) -> Result<(DurableSystem, RecoveryStats), DurableError> {
+        Self::recover_impl(dir, u64::MAX, &[], opts, false)
+    }
+
+    /// Like [`DurableSystem::recover`], but with caller-supplied
+    /// [`ViewSpec`]s filling in catalog entries whose query has no NRC⁺
+    /// surface form (`source: None`). Specs for views the catalog already
+    /// covers are ignored; specs for views the directory has never seen
+    /// are registered fresh after recovery completes (and cataloged from
+    /// then on).
+    pub fn recover_with_views(
         dir: &Path,
         views: &[ViewSpec],
         opts: DurableOptions,
     ) -> Result<(DurableSystem, RecoveryStats), DurableError> {
-        let ckpt_scan = checkpoint::load_newest(dir)?;
+        Self::recover_impl(dir, u64::MAX, views, opts, false)
+    }
+
+    /// Point-in-time recovery: rebuild the state **as of durable batch
+    /// index `batch_index`** — newest valid checkpoint at or below it,
+    /// plus log replay up to and including it (registrations made at that
+    /// index included). The result is a read-only historical snapshot:
+    /// every mutating call fails with [`DurableError::ReadOnly`], and the
+    /// directory is untouched (not even torn tails are truncated), so the
+    /// live log can keep growing elsewhere.
+    ///
+    /// Under [`LogRetention::TruncateAtCheckpoint`], targets older than
+    /// the newest checkpoint fail with [`DurableError::HistoryTruncated`].
+    pub fn recover_at(
+        dir: &Path,
+        batch_index: u64,
+        opts: DurableOptions,
+    ) -> Result<(DurableSystem, RecoveryStats), DurableError> {
+        Self::recover_impl(dir, batch_index, &[], opts, true)
+    }
+
+    fn recover_impl(
+        dir: &Path,
+        max_index: u64,
+        extra: &[ViewSpec],
+        opts: DurableOptions,
+        read_only: bool,
+    ) -> Result<(DurableSystem, RecoveryStats), DurableError> {
+        let ckpt_scan = checkpoint::load_newest_at(dir, max_index)?;
         let Some((ckpt, ckpt_path)) = ckpt_scan.newest else {
+            // Distinguish "nothing here at all" from "history this old is
+            // gone" — the latter is what retention pruning leaves behind.
+            if max_index < u64::MAX && checkpoint::load_newest(dir)?.newest.is_some() {
+                return Err(DurableError::HistoryTruncated {
+                    dir: dir.to_path_buf(),
+                    detail: format!("no checkpoint at or below batch {max_index} survives"),
+                });
+            }
             return Err(DurableError::NoCheckpoint {
                 dir: dir.to_path_buf(),
             });
         };
 
-        // Rebuild the database and recompute every view at the checkpoint
-        // index (registration evaluates the query over the database).
+        // Rebuild the database and re-register every cataloged view at the
+        // checkpoint index (registration evaluates the query over the
+        // database — the purity guarantee makes this equivalent to having
+        // maintained the view all along).
         let mut db = Database::new();
         for (name, ty, bag) in &ckpt.relations {
             db.insert_relation(name.clone(), ty.clone(), bag.clone());
         }
         let engine = IvmSystem::new(db);
         let mut serve = ServingSystem::new(engine)?;
-        for v in views {
-            serve.register(v.name.clone(), v.query.clone(), v.strategy)?;
+        let mut catalog: Vec<CatalogEntry> = Vec::with_capacity(ckpt.catalog.len());
+        for entry in &ckpt.catalog {
+            Self::register_from_entry(&mut serve, entry, extra)?;
+            catalog.push(entry.clone());
         }
 
         // Integrity gate: recomputation must reproduce the persisted view
-        // bags exactly. Comparison is in nested, value-resolved form, so
-        // it is independent of label allocation and arena layout.
+        // bags exactly — but only for the views the checkpoint itself
+        // recorded. Gating the caller's whole spec set against the
+        // checkpoint (as this used to) misdiagnosed a view registered
+        // after the checkpoint as corruption and made the directory
+        // unrecoverable; extra views are registered after the gate.
         let snap = serve.snapshot();
-        let recomputed = snap.resolved_views()?;
-        if recomputed != ckpt.views {
-            return Err(DurableError::Corrupt {
-                path: ckpt_path,
-                detail: "checkpoint views disagree with recomputation from its relations"
-                    .to_string(),
-            });
-        }
-        drop(snap);
-
-        // Replay the WAL tail beyond the checkpoint.
-        let wal_path = dir.join(WAL_FILE);
-        let scan = wal::scan(&wal_path)?;
-        let mut applied = ckpt.batch_index;
-        let mut replayed = 0u64;
-        for record in &scan.records {
-            if record.batch_index <= ckpt.batch_index {
-                continue;
-            }
-            if record.batch_index != applied + 1 {
+        let resolved = snap.resolved_views()?;
+        let by_name: BTreeMap<&String, &Bag> = resolved.iter().map(|(n, b)| (n, b)).collect();
+        for (name, bag) in &ckpt.views {
+            if by_name.get(name).copied() != Some(bag) {
                 return Err(DurableError::Corrupt {
-                    path: wal_path.clone(),
-                    detail: format!("WAL skips from batch {applied} to {}", record.batch_index),
+                    path: ckpt_path,
+                    detail: format!(
+                        "checkpoint view {name} disagrees with recomputation from its relations"
+                    ),
                 });
             }
-            serve.apply_batch(&record.batch)?;
-            applied = record.batch_index;
-            replayed += 1;
         }
+        drop(by_name);
+        drop(resolved);
+        drop(snap);
+
+        // Feed indices must stay stream-absolute: the inner engine counts
+        // batches from the checkpoint, so base it there before replay.
+        serve.set_batch_index_base(ckpt.batch_index);
+
+        // Replay the log suffix beyond the checkpoint, batches and late
+        // registrations in stream order, stopping past `max_index`.
+        let suffix = LogSuffix::scan(dir, ckpt.batch_index)?;
+        let mut applied = ckpt.batch_index;
+        let mut batches_replayed = 0u64;
+        let mut registrations_replayed = 0u64;
+        'replay: for entry in suffix.entries() {
+            match entry {
+                WalEntry::Batch(r) => {
+                    if r.batch_index <= applied {
+                        continue; // covered by the checkpoint
+                    }
+                    if r.batch_index > max_index {
+                        break 'replay;
+                    }
+                    if r.batch_index != applied + 1 {
+                        return Err(DurableError::Corrupt {
+                            path: dir.to_path_buf(),
+                            detail: format!("log skips from batch {applied} to {}", r.batch_index),
+                        });
+                    }
+                    serve.apply_batch(&r.batch)?;
+                    applied = r.batch_index;
+                    batches_replayed += 1;
+                }
+                WalEntry::Registration(r) => {
+                    if r.at_index > max_index {
+                        break 'replay;
+                    }
+                    // Registration replay is idempotent by name: a record
+                    // whose view the checkpoint's catalog already carries
+                    // was registered above.
+                    if serve.engine().view_names().any(|n| *n == r.entry.name) {
+                        continue;
+                    }
+                    Self::register_from_entry(&mut serve, &r.entry, extra)?;
+                    catalog.push(r.entry.clone());
+                    registrations_replayed += 1;
+                }
+            }
+        }
+
+        // Escape-hatch specs for views the directory has never seen:
+        // register them fresh, after the gate and the replay, so they can
+        // never be mistaken for (or collide with) recovered state.
+        for spec in extra {
+            if serve.engine().view_names().any(|n| *n == spec.name) {
+                continue;
+            }
+            serve.register(spec.name.clone(), spec.query.clone(), spec.strategy)?;
+            catalog.push(CatalogEntry {
+                name: spec.name.clone(),
+                source: query_source(&spec.query),
+                strategy: spec.strategy,
+            });
+        }
+
+        let (torn, wal_handle) = match (read_only, suffix.tip()) {
+            // A historical snapshot must not mutate the directory: no
+            // truncation, no open append handle.
+            (true, _) => (0, None),
+            (false, Some((path, scan))) => (
+                scan.torn_bytes(),
+                Some(Wal::resume(path, opts.fsync, opts.kill.clone(), scan)?),
+            ),
+            (false, None) => {
+                // No segment survives (possible only on hand-pruned
+                // directories): start a fresh one at the recovered index.
+                let path = dir.join(wal::segment_file_name(applied));
+                (
+                    0,
+                    Some(Wal::create(&path, applied, opts.fsync, opts.kill.clone())?),
+                )
+            }
+        };
 
         let stats = RecoveryStats {
             checkpoint_index: ckpt.batch_index,
             checkpoints_scanned: ckpt_scan.scanned,
             checkpoints_rejected: ckpt_scan.rejected,
-            wal_records: scan.records.len() as u64,
-            batches_replayed: replayed,
-            torn_bytes_truncated: scan.torn_bytes(),
+            segments_scanned: suffix.segments.len(),
+            wal_records: suffix.records(),
+            batches_replayed,
+            registrations_replayed,
+            torn_bytes_truncated: torn,
         };
-        let wal = Wal::resume(&wal_path, opts.fsync, opts.kill.clone(), &scan)?;
         Ok((
             DurableSystem {
                 serve,
-                wal,
+                wal: wal_handle,
                 dir: dir.to_path_buf(),
                 opts,
                 applied,
-                checkpoints: 0,
+                catalog,
+                checkpoints_written: 0,
                 last_checkpoint_index: ckpt.batch_index,
+                rolled_wal_bytes: 0,
+                rolled_wal_syncs: 0,
+                read_only,
                 dead: false,
             },
             stats,
         ))
+    }
+
+    /// Register one cataloged view on `serve`: from its stored source when
+    /// it has one, else from a caller-supplied spec of the same name.
+    fn register_from_entry(
+        serve: &mut ServingSystem,
+        entry: &CatalogEntry,
+        extra: &[ViewSpec],
+    ) -> Result<(), DurableError> {
+        match &entry.source {
+            Some(src) => {
+                serve.register_query_with(&entry.name, src, entry.strategy)?;
+            }
+            None => {
+                let Some(spec) = extra.iter().find(|s| s.name == entry.name) else {
+                    return Err(DurableError::Uncataloged {
+                        view: entry.name.clone(),
+                    });
+                };
+                serve.register(spec.name.clone(), spec.query.clone(), entry.strategy)?;
+            }
+        }
+        Ok(())
     }
 
     /// Durably apply one batch: WAL append (+ policy fsync) first, engine
@@ -262,9 +597,7 @@ impl DurableSystem {
     /// Any failure — including the injected [`DurableError::Killed`] —
     /// poisons this instance; the directory stays recoverable.
     pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<(), DurableError> {
-        if self.dead {
-            return Err(DurableError::Dead);
-        }
+        self.check_writable()?;
         let index = self.applied + 1;
         if let Err(e) = self.try_apply(index, batch) {
             self.dead = true;
@@ -273,8 +606,22 @@ impl DurableSystem {
         Ok(())
     }
 
+    fn check_writable(&self) -> Result<(), DurableError> {
+        if self.dead {
+            return Err(DurableError::Dead);
+        }
+        if self.read_only {
+            return Err(DurableError::ReadOnly);
+        }
+        Ok(())
+    }
+
+    fn wal_mut(&mut self) -> &mut Wal {
+        self.wal.as_mut().expect("writable system has a WAL")
+    }
+
     fn try_apply(&mut self, index: u64, batch: &UpdateBatch) -> Result<(), DurableError> {
-        self.wal.append(index, batch)?;
+        self.wal_mut().append(index, batch)?;
         self.serve.apply_batch(batch)?;
         self.applied = index;
         if self.opts.checkpoint_every > 0 && index % self.opts.checkpoint_every == 0 {
@@ -284,47 +631,214 @@ impl DurableSystem {
     }
 
     /// Register a view from NRC⁺ query text with an auto-picked strategy
-    /// (see [`nrc_engine::IvmSystem::register_query`]) and checkpoint, so
-    /// the new view's state is recoverable immediately.
+    /// (see [`nrc_engine::IvmSystem::register_query`]), appending a synced
+    /// WAL registration record so the view is durable the moment this
+    /// acks — recovery re-registers it from the catalog with **no**
+    /// caller-supplied spec.
     ///
-    /// Durability persists *data*, not query plans: recovery re-registers
-    /// caller-supplied [`ViewSpec`]s, so callers must keep
-    /// `ViewSpec::new(name, plan.query.clone(), plan.chosen.into())` from
-    /// the returned plan and pass it to [`DurableSystem::recover`].
+    /// Registration no longer forces a checkpoint: durability comes from
+    /// the log record, so `checkpoints_written` advances only on the
+    /// `checkpoint_every` batch cadence (and explicit
+    /// [`DurableSystem::checkpoint_now`] calls).
     ///
     /// Parse/typecheck/plan/registration failures leave the durable state
-    /// unchanged (no poisoning); a checkpoint failure afterwards poisons
-    /// the instance exactly like [`DurableSystem::checkpoint_now`].
+    /// unchanged (no poisoning); a failure while logging the record —
+    /// including an injected kill — poisons the instance, and the unacked
+    /// registration is torn from the log at the next recovery exactly
+    /// like an unacked batch.
     pub fn register_query(&mut self, name: &str, src: &str) -> Result<QueryPlan, DurableError> {
-        if self.dead {
-            return Err(DurableError::Dead);
-        }
+        self.check_writable()?;
         let plan = self.serve.register_query(name, src)?;
-        self.checkpoint_now()?;
+        let entry = CatalogEntry {
+            name: name.to_owned(),
+            source: query_source(&plan.query),
+            strategy: plan.chosen.into(),
+        };
+        self.log_registration(entry)?;
         Ok(plan)
     }
 
     /// Like [`DurableSystem::register_query`], but force `strategy` (see
-    /// [`nrc_engine::IvmSystem::register_query_with`]).
+    /// [`nrc_engine::IvmSystem::register_query_with`]). The forced
+    /// strategy is cataloged, so recovery re-registers under it too.
     pub fn register_query_with(
         &mut self,
         name: &str,
         src: &str,
         strategy: Strategy,
     ) -> Result<QueryPlan, DurableError> {
-        if self.dead {
-            return Err(DurableError::Dead);
-        }
+        self.check_writable()?;
         let plan = self.serve.register_query_with(name, src, strategy)?;
-        self.checkpoint_now()?;
+        let entry = CatalogEntry {
+            name: name.to_owned(),
+            source: query_source(&plan.query),
+            strategy,
+        };
+        self.log_registration(entry)?;
         Ok(plan)
+    }
+
+    /// Append + sync one registration record, poisoning on failure, and
+    /// admit the entry to the in-memory catalog on success. The sync is
+    /// unconditional (policy-independent): registrations are rare and an
+    /// acked one must never be lost to a lazy fsync policy.
+    fn log_registration(&mut self, entry: CatalogEntry) -> Result<(), DurableError> {
+        let at_index = self.applied;
+        let logged = self
+            .wal_mut()
+            .append_registration(at_index, &entry)
+            .and_then(|_| self.wal_mut().sync());
+        if let Err(e) = logged {
+            self.dead = true;
+            return Err(e);
+        }
+        self.catalog.push(entry);
+        Ok(())
+    }
+
+    /// Register a view **after the fact** and recover the history it
+    /// missed: parse and register `src` (auto-picked strategy) on the live
+    /// system, then replay the retained log from stream origin against a
+    /// scratch engine to synthesize the per-batch delta feed the view
+    /// would have produced had it existed from batch 0.
+    ///
+    /// The returned [`Backfill::feed`] is a live subscription preloaded
+    /// with that history (a batch-0 delta carrying the origin state, then
+    /// one delta per durable batch); deltas of future batches follow
+    /// seamlessly. Soundness leans on the IVM purity guarantee the
+    /// differential tests enforce — a view's state is a pure function of
+    /// the database, so replaying the same update stream through a fresh
+    /// registration yields exactly the deltas incremental maintenance
+    /// would have emitted — and the replay's final state is verified
+    /// against the live registration before the feed is handed out.
+    ///
+    /// Needs the full log: under [`LogRetention::TruncateAtCheckpoint`]
+    /// this fails with [`DurableError::HistoryTruncated`].
+    pub fn backfill_query(&mut self, name: &str, src: &str) -> Result<Backfill, DurableError> {
+        self.check_writable()?;
+        let plan = nrc_engine::parse_and_plan(
+            name,
+            src,
+            self.serve.engine().database(),
+            nrc_engine::DEFAULT_UPDATE_CARD,
+        )?;
+        self.backfill_inner(name, src, plan.chosen.into())
+    }
+
+    /// Like [`DurableSystem::backfill_query`], but force `strategy` for
+    /// both the historical replay and the live registration.
+    pub fn backfill_query_with(
+        &mut self,
+        name: &str,
+        src: &str,
+        strategy: Strategy,
+    ) -> Result<Backfill, DurableError> {
+        self.check_writable()?;
+        self.backfill_inner(name, src, strategy)
+    }
+
+    fn backfill_inner(
+        &mut self,
+        name: &str,
+        src: &str,
+        strategy: Strategy,
+    ) -> Result<Backfill, DurableError> {
+        // History starts at the origin checkpoint (batch 0, written at
+        // creation); retention may have pruned it.
+        let scan0 = checkpoint::load_newest_at(&self.dir, 0)?;
+        let Some((ckpt0, _)) = scan0.newest else {
+            return Err(DurableError::HistoryTruncated {
+                dir: self.dir.clone(),
+                detail: "no origin checkpoint (batch 0) survives; backfill needs \
+                         LogRetention::KeepAll"
+                    .to_string(),
+            });
+        };
+
+        // Scratch replay: a throwaway engine carrying only the new view,
+        // fed the whole retained stream with delta capture on.
+        let mut db0 = Database::new();
+        for (rel, ty, bag) in &ckpt0.relations {
+            db0.insert_relation(rel.clone(), ty.clone(), bag.clone());
+        }
+        let mut scratch = IvmSystem::new(db0);
+        scratch.register_query_with(name, src, strategy)?;
+        scratch.set_delta_capture_views(std::iter::once(name.to_owned()).collect());
+
+        let mut history = vec![FeedDelta {
+            batch_index: 0,
+            delta: scratch.view(name).map_err(nrc_serve::ServeError::from)?,
+        }];
+        let suffix = LogSuffix::scan(&self.dir, 0)?;
+        let mut replayed_to = 0u64;
+        for entry in suffix.entries() {
+            let WalEntry::Batch(r) = entry else {
+                continue; // other views' registrations: irrelevant here
+            };
+            if r.batch_index <= replayed_to {
+                continue;
+            }
+            if r.batch_index > self.applied {
+                break; // an unacked tail record; the live prefix ends here
+            }
+            scratch
+                .apply_batch(&r.batch)
+                .map_err(nrc_serve::ServeError::from)?;
+            let delta = scratch.take_view_deltas().remove(name).unwrap_or_default();
+            history.push(FeedDelta {
+                batch_index: r.batch_index,
+                delta,
+            });
+            replayed_to = r.batch_index;
+        }
+        if replayed_to != self.applied {
+            return Err(DurableError::HistoryTruncated {
+                dir: self.dir.clone(),
+                detail: format!(
+                    "retained log replays to batch {replayed_to}, but the live \
+                     system is at batch {}",
+                    self.applied
+                ),
+            });
+        }
+
+        // Register live, then verify the replay converged on the live
+        // state — a mismatch means the log and the directory disagree
+        // about history, which poisons this instance like any other
+        // durable-path inconsistency.
+        let plan = self.serve.register_query_with(name, src, strategy)?;
+        let live = self.serve.view(name).map_err(nrc_serve::ServeError::from)?;
+        let replayed_state = scratch.view(name).map_err(nrc_serve::ServeError::from)?;
+        if live != replayed_state {
+            self.dead = true;
+            return Err(DurableError::Corrupt {
+                path: self.dir.clone(),
+                detail: format!(
+                    "backfill replay of {name} disagrees with registration over \
+                     the live database"
+                ),
+            });
+        }
+        drop(scratch);
+
+        self.log_registration(CatalogEntry {
+            name: name.to_owned(),
+            source: query_source(&plan.query),
+            strategy,
+        })?;
+        let feed = self
+            .serve
+            .subscribe_with_history(name, history.len() + 16, history)?;
+        Ok(Backfill {
+            plan,
+            feed,
+            batches_replayed: replayed_to,
+        })
     }
 
     /// Write a checkpoint of the current state now.
     pub fn checkpoint_now(&mut self) -> Result<(), DurableError> {
-        if self.dead {
-            return Err(DurableError::Dead);
-        }
+        self.check_writable()?;
         if let Err(e) = self.write_checkpoint(true) {
             self.dead = true;
             return Err(e);
@@ -336,9 +850,7 @@ impl DurableSystem {
         // The WAL must not lag the checkpoint on disk: recovery trusts a
         // checkpoint unconditionally, so everything up to its index must
         // be at least as durable as the checkpoint itself.
-        if self.applied > 0 {
-            self.wal.sync()?;
-        }
+        self.wal_mut().sync()?;
         let db = self.serve.engine().database();
         let mut relations = Vec::new();
         for (name, bag) in db.iter() {
@@ -356,6 +868,7 @@ impl DurableSystem {
             batch_index: self.applied,
             relations,
             views,
+            catalog: self.catalog.clone(),
         };
         let kill = if guarded {
             self.opts.kill.as_deref()
@@ -363,8 +876,26 @@ impl DurableSystem {
             None
         };
         checkpoint::write(&self.dir, &data, kill)?;
-        self.checkpoints += 1;
+        self.checkpoints_written += 1;
         self.last_checkpoint_index = self.applied;
+
+        // Roll the log: later records land in a fresh segment based at
+        // the checkpoint, so recovery opens exactly one segment chain and
+        // retention can drop whole superseded files.
+        if self.applied > self.wal.as_ref().expect("writable").base() {
+            let path = self.dir.join(wal::segment_file_name(self.applied));
+            let next = Wal::create(&path, self.applied, self.opts.fsync, self.opts.kill.clone())?;
+            let old = self.wal.replace(next).expect("writable");
+            self.rolled_wal_bytes += old.bytes_appended();
+            self.rolled_wal_syncs += old.syncs();
+        }
+        if self.opts.retention == LogRetention::TruncateAtCheckpoint {
+            // Superseded history: checkpoints below the new one, and
+            // segments below the one that covers it. Pruning is advisory
+            // (failures ignored) — leftovers are inert.
+            checkpoint::prune_below(&self.dir, self.applied)?;
+            wal::prune_segments_below(&self.dir, self.wal.as_ref().expect("writable").base())?;
+        }
         Ok(())
     }
 
@@ -398,6 +929,18 @@ impl DurableSystem {
         &self.serve
     }
 
+    /// Subscribe to a view's per-batch change feed (see
+    /// [`ServingSystem::subscribe`]). Feed indices are durable batch
+    /// indices — stream-absolute even on recovered instances.
+    pub fn subscribe(&mut self, view: &str, capacity: usize) -> Result<Subscription, DurableError> {
+        Ok(self.serve.subscribe(view, capacity)?)
+    }
+
+    /// The query catalog as this instance knows it, in registration order.
+    pub fn catalog(&self) -> &[CatalogEntry] {
+        &self.catalog
+    }
+
     /// Serving-layer counters.
     pub fn serve_stats(&self) -> ServeStats {
         self.serve.serve_stats()
@@ -405,11 +948,16 @@ impl DurableSystem {
 
     /// Durability counters.
     pub fn durable_stats(&self) -> DurableStats {
+        let (live_bytes, live_syncs) = self
+            .wal
+            .as_ref()
+            .map(|w| (w.bytes_appended(), w.syncs()))
+            .unwrap_or((0, 0));
         DurableStats {
             batches: self.applied,
-            wal_bytes: self.wal.bytes_appended(),
-            wal_syncs: self.wal.syncs(),
-            checkpoints: self.checkpoints,
+            wal_bytes: self.rolled_wal_bytes + live_bytes,
+            wal_syncs: self.rolled_wal_syncs + live_syncs,
+            checkpoints_written: self.checkpoints_written,
             last_checkpoint_index: self.last_checkpoint_index,
         }
     }
@@ -419,9 +967,10 @@ impl DurableSystem {
         &self.dir
     }
 
-    /// Path of the write-ahead log.
-    pub fn wal_path(&self) -> PathBuf {
-        self.dir.join(WAL_FILE)
+    /// Path of the live write-ahead log segment, if this instance holds
+    /// one (historical snapshots do not).
+    pub fn wal_path(&self) -> Option<PathBuf> {
+        self.wal.as_ref().map(|w| w.path().to_path_buf())
     }
 
     /// Pass-through: view refresh execution mode.
@@ -432,6 +981,12 @@ impl DurableSystem {
     /// Pass-through: engine reclamation pacing.
     pub fn set_collect_policy(&mut self, policy: CollectPolicy) {
         self.serve.set_collect_policy(policy);
+    }
+
+    /// Is this instance a read-only historical snapshot
+    /// ([`DurableSystem::recover_at`])?
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
     }
 
     /// Is this instance poisoned by an earlier failure?

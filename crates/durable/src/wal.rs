@@ -1,22 +1,34 @@
-//! The write-ahead update log.
+//! The write-ahead update log: segmented, kind-tagged, self-validating.
 //!
-//! An append-only file of self-validating records, one per applied
-//! [`UpdateBatch`]:
+//! The log is a chain of **segment** files, one per checkpoint boundary
+//! (`wal-<base>.nrcwal`, zero-padded so lexicographic order is numeric
+//! order). A segment's *base* is the durable batch index it starts after:
+//! its first batch record carries index `base + 1`. Segmenting is what
+//! makes log retention a file-level operation ([`crate::system::LogRetention`])
+//! and recovery scans O(tail): recovery starts at the newest segment whose
+//! base is at or below its checkpoint, never at stream origin.
 //!
 //! ```text
-//! file   := magic "NRCWAL01" record*
-//! record := len:u32 crc:u32 payload[len]
-//! payload:= batch_index:u64 raw_updates:u64 nsegs:u32 (rel:str bag)*
+//! segment := magic "NRCWAL02" base:u64 record*
+//! record  := len:u32 crc:u32 payload[len]
+//! payload := kind:u8 body
+//! body(0) := batch_index:u64 raw_updates:u64 nsegs:u32 (rel:str bag)*   -- a batch
+//! body(1) := at_index:u64 catalog_entry                                 -- a registration
 //! ```
 //!
 //! All integers are little-endian; bags are encoded through
-//! [`nrc_data::codec`], so payloads carry resolved values, never arena ids.
-//! `crc` is CRC-32 (IEEE) over the payload. A record is *valid* iff its
-//! length fits in the file, its checksum matches, its payload decodes, and
-//! its batch index is the successor of the previous record's — the log is
-//! therefore **prefix-closed**: the set of valid logs is closed under
-//! truncation to a record boundary, and [`scan`] returns the longest valid
-//! prefix of any byte string.
+//! [`nrc_data::codec`], so payloads carry resolved values, never arena
+//! ids; `catalog_entry` is the versioned encoding of
+//! [`crate::catalog::CatalogEntry`]. `crc` is CRC-32 (IEEE) over the
+//! payload. A record is *valid* iff its length fits in the file, its
+//! checksum matches, its payload decodes, and it is **in sequence**: a
+//! batch record's index must be the successor of the segment's last batch
+//! index (starting from `base`), and a registration record's `at_index`
+//! must equal the segment's last batch index — registrations sit between
+//! the batch they follow and the next one, exactly where they happened.
+//! The log is therefore **prefix-closed**: the set of valid segments is
+//! closed under truncation to a record boundary, and [`scan`] returns the
+//! longest valid prefix of any byte string.
 //!
 //! **Torn-tail argument.** A crash can leave any byte prefix of the last
 //! in-flight record (writes are appends; earlier bytes are never touched).
@@ -28,6 +40,7 @@
 //! partially applied because validation precedes decoding and decoding
 //! precedes application.
 
+use crate::catalog::{self, CatalogEntry};
 use crate::error::{io_err, DurableError};
 use crate::kill::{write_guarded, KillPoint};
 use nrc_data::codec;
@@ -37,8 +50,20 @@ use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// File magic identifying a WAL (8 bytes, version-suffixed).
-pub const WAL_MAGIC: &[u8; 8] = b"NRCWAL01";
+/// File magic identifying a WAL segment (8 bytes, version-suffixed).
+pub const WAL_MAGIC: &[u8; 8] = b"NRCWAL02";
+
+/// Byte length of a segment header: magic + base index.
+const HEADER_LEN: usize = 16;
+
+/// Extension of WAL segment files.
+const WAL_EXT: &str = "nrcwal";
+
+/// Record kind: an applied update batch.
+const KIND_BATCH: u8 = 0;
+
+/// Record kind: a view registration (catalog record).
+const KIND_REGISTRATION: u8 = 1;
 
 /// Upper bound on a single record payload; a length field beyond it is
 /// unconditionally garbage (guards the scanner against absurd allocations
@@ -96,11 +121,57 @@ pub fn crc32(data: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
+// ----------------------------------------------------------- segment names
+
+/// File name of the WAL segment starting after batch `base` (zero-padded
+/// so lexicographic order is numeric order).
+pub fn segment_file_name(base: u64) -> String {
+    format!("wal-{base:020}.{WAL_EXT}")
+}
+
+/// List the WAL segments in `dir`, ascending by base.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurableError> {
+    let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(&format!(".{WAL_EXT}")))
+        else {
+            continue;
+        };
+        if let Ok(base) = stem.parse::<u64>() {
+            segments.push((base, path));
+        }
+    }
+    segments.sort_by_key(|s| s.0);
+    Ok(segments)
+}
+
+/// Delete every segment whose base is below `base` (the
+/// `TruncateAtCheckpoint` retention action). Returns how many were
+/// removed; removal failures are ignored — a leftover segment is inert.
+pub fn prune_segments_below(dir: &Path, base: u64) -> Result<usize, DurableError> {
+    let mut removed = 0;
+    for (seg_base, path) in list_segments(dir)? {
+        if seg_base < base && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
 // ------------------------------------------------------------- payloads
 
-/// Encode one record payload (no framing).
-fn encode_payload(batch_index: u64, batch: &UpdateBatch) -> Vec<u8> {
+/// Encode one batch-record payload (no framing).
+fn encode_batch_payload(batch_index: u64, batch: &UpdateBatch) -> Vec<u8> {
     let mut out = Vec::new();
+    out.push(KIND_BATCH);
     codec::put_u64(&mut out, batch_index);
     codec::put_u64(&mut out, batch.raw_updates());
     let segments: Vec<(&str, &nrc_data::Bag)> = batch.segments().collect();
@@ -112,42 +183,96 @@ fn encode_payload(batch_index: u64, batch: &UpdateBatch) -> Vec<u8> {
     out
 }
 
+/// Encode one registration-record payload (no framing).
+fn encode_registration_payload(at_index: u64, entry: &CatalogEntry) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(KIND_REGISTRATION);
+    codec::put_u64(&mut out, at_index);
+    catalog::encode_entry(entry, &mut out);
+    out
+}
+
 /// Decode one record payload, re-interning its bags.
-fn decode_payload(payload: &[u8]) -> Result<WalRecord, DurableError> {
+fn decode_payload(payload: &[u8]) -> Result<WalEntry, DurableError> {
     let mut r = codec::Reader::new(payload);
-    let batch_index = r.u64("batch index")?;
-    let raw_updates = r.u64("raw updates")?;
-    let nsegs = r.len("segments")?;
-    let mut segments = Vec::with_capacity(nsegs);
-    for _ in 0..nsegs {
-        let rel = r.str("relation")?;
-        let bag = codec::decode_bag(&mut r)?;
-        segments.push((rel, bag));
+    match r.u8("record kind")? {
+        KIND_BATCH => {
+            let batch_index = r.u64("batch index")?;
+            let raw_updates = r.u64("raw updates")?;
+            let nsegs = r.len("segments")?;
+            let mut segments = Vec::with_capacity(nsegs);
+            for _ in 0..nsegs {
+                let rel = r.str("relation")?;
+                let bag = codec::decode_bag(&mut r)?;
+                segments.push((rel, bag));
+            }
+            r.finish()?;
+            Ok(WalEntry::Batch(WalRecord {
+                batch_index,
+                batch: UpdateBatch::from_coalesced(segments, raw_updates),
+            }))
+        }
+        KIND_REGISTRATION => {
+            let at_index = r.u64("registration index")?;
+            let entry = catalog::decode_entry(&mut r)?;
+            r.finish()?;
+            Ok(WalEntry::Registration(RegRecord { at_index, entry }))
+        }
+        other => Err(DurableError::Codec(nrc_data::CodecError::new(format!(
+            "unknown WAL record kind {other}"
+        )))),
     }
-    r.finish()?;
-    Ok(WalRecord {
-        batch_index,
-        batch: UpdateBatch::from_coalesced(segments, raw_updates),
-    })
 }
 
 // ------------------------------------------------------------------ scan
 
-/// One valid WAL record.
+/// One valid WAL batch record.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WalRecord {
-    /// The durable batch index this record carries (1-based, contiguous).
+    /// The durable batch index this record carries (1-based, contiguous
+    /// from the segment's base).
     pub batch_index: u64,
     /// The batch itself, reconstructed through the intern seam.
     pub batch: UpdateBatch,
 }
 
-/// The result of scanning a WAL file: its longest valid prefix.
+/// One valid WAL registration record: a view registered at a point in the
+/// stream (after batch `at_index`, before batch `at_index + 1`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegRecord {
+    /// The durable batch index the registration happened at.
+    pub at_index: u64,
+    /// The cataloged registration itself.
+    pub entry: CatalogEntry,
+}
+
+/// One valid WAL record of either kind, in log order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalEntry {
+    /// An applied update batch.
+    Batch(WalRecord),
+    /// A view registration.
+    Registration(RegRecord),
+}
+
+impl WalEntry {
+    /// The batch record, if this entry is one.
+    pub fn as_batch(&self) -> Option<&WalRecord> {
+        match self {
+            WalEntry::Batch(r) => Some(r),
+            WalEntry::Registration(_) => None,
+        }
+    }
+}
+
+/// The result of scanning one WAL segment: its longest valid prefix.
 #[derive(Clone, Debug)]
 pub struct WalScan {
-    /// The valid records, in log order.
-    pub records: Vec<WalRecord>,
-    /// Byte length of the valid prefix (magic + whole records); the file
+    /// The segment's base index (first batch record carries `base + 1`).
+    pub base: u64,
+    /// The valid entries, in log order.
+    pub entries: Vec<WalEntry>,
+    /// Byte length of the valid prefix (header + whole records); the file
     /// should be truncated here before appending resumes.
     pub valid_len: u64,
     /// Byte length of the file as scanned.
@@ -159,18 +284,35 @@ impl WalScan {
     pub fn torn_bytes(&self) -> u64 {
         self.file_len - self.valid_len
     }
+
+    /// The batch index the segment's valid prefix reaches (its base when
+    /// it holds no batch records).
+    pub fn last_batch_index(&self) -> u64 {
+        self.entries
+            .iter()
+            .rev()
+            .find_map(|e| e.as_batch().map(|r| r.batch_index))
+            .unwrap_or(self.base)
+    }
+
+    /// The valid batch records, in log order.
+    pub fn batch_records(&self) -> impl Iterator<Item = &WalRecord> {
+        self.entries.iter().filter_map(|e| e.as_batch())
+    }
 }
 
-/// Scan `path` and return its longest valid record prefix. A missing file
-/// scans as empty (a crash before the WAL's first byte). A present file
-/// whose header is not a (possibly torn) prefix of [`WAL_MAGIC`] is
-/// [`DurableError::Corrupt`] — it is not ours to truncate.
-pub fn scan(path: &Path) -> Result<WalScan, DurableError> {
+/// Scan the segment at `path` (whose file name claims base `base`) and
+/// return its longest valid record prefix. A missing file or a torn
+/// header scans as empty (a crash before the segment's first record). A
+/// present header that is neither a prefix of [`WAL_MAGIC`]`+base` nor
+/// matches it is [`DurableError::Corrupt`] — it is not ours to truncate.
+pub fn scan(path: &Path, base: u64) -> Result<WalScan, DurableError> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Ok(WalScan {
-                records: Vec::new(),
+                base,
+                entries: Vec::new(),
                 valid_len: 0,
                 file_len: 0,
             })
@@ -178,30 +320,35 @@ pub fn scan(path: &Path) -> Result<WalScan, DurableError> {
         Err(e) => return Err(io_err(path, e)),
     };
     let file_len = bytes.len() as u64;
-    if bytes.len() < WAL_MAGIC.len() {
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(WAL_MAGIC);
+    codec::put_u64(&mut header, base);
+    if bytes.len() < HEADER_LEN {
         // A torn header is recoverable (valid prefix = nothing); anything
         // else in its place is foreign.
-        if WAL_MAGIC.starts_with(&bytes) {
+        if header.starts_with(&bytes) {
             return Ok(WalScan {
-                records: Vec::new(),
+                base,
+                entries: Vec::new(),
                 valid_len: 0,
                 file_len,
             });
         }
         return Err(DurableError::Corrupt {
             path: path.to_path_buf(),
-            detail: "short header is not a WAL magic prefix".to_string(),
+            detail: "short header is not a WAL segment header prefix".to_string(),
         });
     }
-    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+    if bytes[..HEADER_LEN] != header[..] {
         return Err(DurableError::Corrupt {
             path: path.to_path_buf(),
-            detail: "bad WAL magic".to_string(),
+            detail: format!("bad WAL magic or base (segment claims base {base})"),
         });
     }
 
-    let mut records = Vec::new();
-    let mut off = WAL_MAGIC.len();
+    let mut entries: Vec<WalEntry> = Vec::new();
+    let mut last_index = base;
+    let mut off = HEADER_LEN;
     loop {
         let rem = bytes.len() - off;
         if rem < 8 {
@@ -216,21 +363,28 @@ pub fn scan(path: &Path) -> Result<WalScan, DurableError> {
         if crc32(payload) != crc {
             break; // torn or bit-damaged payload
         }
-        let Ok(record) = decode_payload(payload) else {
+        let Ok(entry) = decode_payload(payload) else {
             break; // checksum collision on garbage: still refuse to apply
         };
-        let expected = records
-            .last()
-            .map(|r: &WalRecord| r.batch_index + 1)
-            .unwrap_or(record.batch_index);
-        if record.batch_index != expected {
-            break; // non-contiguous: treat as tail
+        match &entry {
+            WalEntry::Batch(r) => {
+                if r.batch_index != last_index + 1 {
+                    break; // non-contiguous: treat as tail
+                }
+                last_index = r.batch_index;
+            }
+            WalEntry::Registration(r) => {
+                if r.at_index != last_index {
+                    break; // out-of-sequence registration: treat as tail
+                }
+            }
         }
-        records.push(record);
+        entries.push(entry);
         off += 8 + len as usize;
     }
     Ok(WalScan {
-        records,
+        base,
+        entries,
         valid_len: off as u64,
         file_len,
     })
@@ -238,10 +392,11 @@ pub fn scan(path: &Path) -> Result<WalScan, DurableError> {
 
 // ------------------------------------------------------------------- Wal
 
-/// An open WAL with an append cursor and an fsync policy.
+/// An open WAL segment with an append cursor and an fsync policy.
 pub struct Wal {
     file: File,
     path: PathBuf,
+    base: u64,
     policy: FsyncPolicy,
     kill: Option<Arc<KillPoint>>,
     /// Records ever appended to this file (drives `EveryN` cadence).
@@ -253,20 +408,25 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// Create (or overwrite) the WAL at `path` and write its header. The
-    /// header write is not kill-guarded: creation is provisioning, not the
-    /// serving traffic the crash harness tears.
+    /// Create (or overwrite) the segment at `path` with base `base` and
+    /// write its header. The header write is not kill-guarded: creation
+    /// is provisioning, not the serving traffic the crash harness tears.
     pub fn create(
         path: &Path,
+        base: u64,
         policy: FsyncPolicy,
         kill: Option<Arc<KillPoint>>,
     ) -> Result<Wal, DurableError> {
         let mut file = File::create(path).map_err(|e| io_err(path, e))?;
-        file.write_all(WAL_MAGIC).map_err(|e| io_err(path, e))?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(WAL_MAGIC);
+        codec::put_u64(&mut header, base);
+        file.write_all(&header).map_err(|e| io_err(path, e))?;
         file.sync_data().map_err(|e| io_err(path, e))?;
         Ok(Wal {
             file,
             path: path.to_path_buf(),
+            base,
             policy,
             kill,
             records: 0,
@@ -275,7 +435,7 @@ impl Wal {
         })
     }
 
-    /// Reopen the WAL after recovery: truncate to `scan`'s valid prefix
+    /// Reopen a segment after recovery: truncate to `scan`'s valid prefix
     /// (discarding the torn tail forever) and position for append.
     /// `scan.valid_len == 0` (missing file or torn header) recreates it.
     pub fn resume(
@@ -284,8 +444,8 @@ impl Wal {
         kill: Option<Arc<KillPoint>>,
         scan: &WalScan,
     ) -> Result<Wal, DurableError> {
-        if scan.valid_len < WAL_MAGIC.len() as u64 {
-            return Wal::create(path, policy, kill);
+        if scan.valid_len < HEADER_LEN as u64 {
+            return Wal::create(path, scan.base, policy, kill);
         }
         let mut file = OpenOptions::new()
             .read(true)
@@ -298,18 +458,18 @@ impl Wal {
         Ok(Wal {
             file,
             path: path.to_path_buf(),
+            base: scan.base,
             policy,
             kill,
-            records: scan.records.len() as u64,
+            records: scan.entries.len() as u64,
             bytes_appended: 0,
             syncs: 0,
         })
     }
 
-    /// Append one record (frame + checksummed payload), then apply the
-    /// fsync policy. Returns the record's size in bytes.
-    pub fn append(&mut self, batch_index: u64, batch: &UpdateBatch) -> Result<u64, DurableError> {
-        let payload = encode_payload(batch_index, batch);
+    /// Frame, checksum and append one payload, then apply the fsync
+    /// policy. Returns the record's size in bytes.
+    fn append_payload(&mut self, payload: Vec<u8>) -> Result<u64, DurableError> {
         let mut record = Vec::with_capacity(8 + payload.len());
         codec::put_u32(&mut record, payload.len() as u32);
         codec::put_u32(&mut record, crc32(&payload));
@@ -325,11 +485,31 @@ impl Wal {
         Ok(record.len() as u64)
     }
 
+    /// Append one batch record.
+    pub fn append(&mut self, batch_index: u64, batch: &UpdateBatch) -> Result<u64, DurableError> {
+        self.append_payload(encode_batch_payload(batch_index, batch))
+    }
+
+    /// Append one registration record — the log half of the query catalog
+    /// (log-before-register, the same discipline as log-before-apply).
+    pub fn append_registration(
+        &mut self,
+        at_index: u64,
+        entry: &CatalogEntry,
+    ) -> Result<u64, DurableError> {
+        self.append_payload(encode_registration_payload(at_index, entry))
+    }
+
     /// `fdatasync` the log now, regardless of policy.
     pub fn sync(&mut self) -> Result<(), DurableError> {
         self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
         self.syncs += 1;
         Ok(())
+    }
+
+    /// The segment's base index.
+    pub fn base(&self) -> u64 {
+        self.base
     }
 
     /// Records ever appended to the file (including before a resume).
@@ -347,7 +527,7 @@ impl Wal {
         self.syncs
     }
 
-    /// The log's path.
+    /// The segment's path.
     pub fn path(&self) -> &Path {
         &self.path
     }
@@ -357,6 +537,7 @@ impl Wal {
 mod tests {
     use super::*;
     use nrc_data::{Bag, Value};
+    use nrc_engine::Strategy;
 
     fn tmp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("nrc-wal-test-{}-{name}", std::process::id()));
@@ -381,17 +562,25 @@ mod tests {
         ])
     }
 
-    fn write_log(dir: &Path, tag: &str, n: u64) -> (PathBuf, Vec<WalRecord>) {
-        let path = dir.join("t.wal");
-        let mut wal = Wal::create(&path, FsyncPolicy::Never, None).expect("create");
+    fn entry(name: &str) -> CatalogEntry {
+        CatalogEntry {
+            name: name.to_string(),
+            source: Some("M".to_string()),
+            strategy: Strategy::FirstOrder,
+        }
+    }
+
+    fn write_log(dir: &Path, tag: &str, n: u64) -> (PathBuf, Vec<WalEntry>) {
+        let path = dir.join(segment_file_name(0));
+        let mut wal = Wal::create(&path, 0, FsyncPolicy::Never, None).expect("create");
         let mut expect = Vec::new();
         for i in 1..=n {
             let b = batch(tag, i);
             wal.append(i, &b).expect("append");
-            expect.push(WalRecord {
+            expect.push(WalEntry::Batch(WalRecord {
                 batch_index: i,
                 batch: b,
-            });
+            }));
         }
         wal.sync().expect("sync");
         (path, expect)
@@ -401,10 +590,96 @@ mod tests {
     fn scan_returns_all_appended_records() {
         let dir = tmp_dir("all");
         let (path, expect) = write_log(&dir, "all", 5);
-        let scan = scan(&path).expect("scan");
-        assert_eq!(scan.records, expect);
+        let scan = scan(&path, 0).expect("scan");
+        assert_eq!(scan.entries, expect);
         assert_eq!(scan.valid_len, scan.file_len);
         assert_eq!(scan.torn_bytes(), 0);
+        assert_eq!(scan.last_batch_index(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Registration records interleave with batches and scan back in log
+    /// order; one at the wrong stream position invalidates the tail.
+    #[test]
+    fn registration_records_interleave_in_stream_order() {
+        let dir = tmp_dir("reg");
+        let path = dir.join(segment_file_name(0));
+        let mut wal = Wal::create(&path, 0, FsyncPolicy::Never, None).expect("create");
+        wal.append_registration(0, &entry("early")).expect("reg@0");
+        wal.append(1, &batch("reg", 1)).expect("b1");
+        wal.append_registration(1, &entry("mid")).expect("reg@1");
+        wal.append(2, &batch("reg", 2)).expect("b2");
+        drop(wal);
+        let s = scan(&path, 0).expect("scan");
+        assert_eq!(s.entries.len(), 4);
+        assert_eq!(s.last_batch_index(), 2);
+        assert!(matches!(
+            &s.entries[0],
+            WalEntry::Registration(r) if r.at_index == 0 && r.entry.name == "early"
+        ));
+        assert!(matches!(
+            &s.entries[2],
+            WalEntry::Registration(r) if r.at_index == 1 && r.entry.name == "mid"
+        ));
+        assert_eq!(s.batch_records().count(), 2);
+
+        // A registration claiming an index the segment never reached is
+        // out of sequence: the scan stops before it.
+        let mut wal = Wal::resume(&path, FsyncPolicy::Never, None, &s).expect("resume");
+        wal.append_registration(7, &entry("wrong")).expect("append");
+        drop(wal);
+        let s2 = scan(&path, 0).expect("rescan");
+        assert_eq!(s2.entries.len(), 4, "out-of-sequence registration is tail");
+        assert!(s2.torn_bytes() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A non-zero base shifts the contiguity origin: the first batch
+    /// record must carry `base + 1`.
+    #[test]
+    fn segment_base_anchors_contiguity() {
+        let dir = tmp_dir("base");
+        let path = dir.join(segment_file_name(40));
+        let mut wal = Wal::create(&path, 40, FsyncPolicy::Never, None).expect("create");
+        assert_eq!(wal.base(), 40);
+        wal.append(41, &batch("base", 41)).expect("append");
+        wal.append(42, &batch("base", 42)).expect("append");
+        drop(wal);
+        let s = scan(&path, 40).expect("scan");
+        assert_eq!(s.batch_records().count(), 2);
+        assert_eq!(s.last_batch_index(), 42);
+        // Scanning under the wrong claimed base is a header mismatch.
+        assert!(matches!(scan(&path, 0), Err(DurableError::Corrupt { .. })));
+        // A fresh segment whose first record skips base+1 scans empty.
+        let path2 = dir.join(segment_file_name(50));
+        let mut wal = Wal::create(&path2, 50, FsyncPolicy::Never, None).expect("create");
+        wal.append(52, &batch("skip", 52)).expect("append");
+        drop(wal);
+        let s = scan(&path2, 50).expect("scan");
+        assert_eq!(s.entries.len(), 0);
+        assert_eq!(s.last_batch_index(), 50);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_listing_and_pruning() {
+        let dir = tmp_dir("list");
+        for base in [0u64, 8, 16] {
+            Wal::create(
+                &dir.join(segment_file_name(base)),
+                base,
+                FsyncPolicy::Never,
+                None,
+            )
+            .expect("create");
+        }
+        std::fs::write(dir.join("not-a-segment.txt"), b"x").unwrap();
+        let segs = list_segments(&dir).expect("list");
+        assert_eq!(segs.iter().map(|s| s.0).collect::<Vec<_>>(), vec![0, 8, 16]);
+        let removed = prune_segments_below(&dir, 16).expect("prune");
+        assert_eq!(removed, 2);
+        let segs = list_segments(&dir).expect("relist");
+        assert_eq!(segs.iter().map(|s| s.0).collect::<Vec<_>>(), vec![16]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -417,14 +692,14 @@ mod tests {
         let dir = tmp_dir("trunc");
         let (path, expect) = write_log(&dir, "trunc", 3);
         let bytes = std::fs::read(&path).expect("read");
-        let cut_path = dir.join("cut.wal");
+        let cut_path = dir.join(segment_file_name(0)).with_extension("cut");
         for cut in 0..=bytes.len() {
             std::fs::write(&cut_path, &bytes[..cut]).expect("write cut");
-            let scan = scan(&cut_path).expect("torn files always scan");
-            assert!(scan.records.len() <= expect.len());
+            let scan = scan(&cut_path, 0).expect("torn files always scan");
+            assert!(scan.entries.len() <= expect.len());
             assert_eq!(
-                scan.records,
-                expect[..scan.records.len()],
+                scan.entries,
+                expect[..scan.entries.len()],
                 "cut at byte {cut} is not a record prefix"
             );
             assert!(scan.valid_len <= cut as u64);
@@ -435,33 +710,33 @@ mod tests {
     /// A bit flip anywhere in the record region invalidates the record it
     /// lands in (length or checksum validation), so the scan returns
     /// exactly the records before it — damaged data is truncated, never
-    /// mis-applied. Flips in the 8-byte magic make the file foreign and
+    /// mis-applied. Flips in the 16-byte header make the file foreign and
     /// error instead.
     #[test]
     fn every_bit_flip_truncates_never_misapplies() {
         let dir = tmp_dir("flip");
         let (path, expect) = write_log(&dir, "flip", 3);
         let bytes = std::fs::read(&path).expect("read");
-        let flip_path = dir.join("flip.wal");
+        let flip_path = dir.join(segment_file_name(0)).with_extension("flip");
         for pos in 0..bytes.len() {
             let mut damaged = bytes.clone();
             damaged[pos] ^= 0x10;
             std::fs::write(&flip_path, &damaged).expect("write flipped");
-            match scan(&flip_path) {
+            match scan(&flip_path, 0) {
                 Ok(scan) => {
-                    assert!(pos >= WAL_MAGIC.len(), "magic flip at {pos} must error");
+                    assert!(pos >= HEADER_LEN, "header flip at {pos} must error");
                     assert_eq!(
-                        scan.records,
-                        expect[..scan.records.len()],
+                        scan.entries,
+                        expect[..scan.entries.len()],
                         "flip at byte {pos} altered a scanned record"
                     );
                     assert!(
-                        scan.records.len() < expect.len(),
+                        scan.entries.len() < expect.len(),
                         "flip at byte {pos} went undetected"
                     );
                 }
                 Err(DurableError::Corrupt { .. }) => {
-                    assert!(pos < WAL_MAGIC.len(), "only magic flips are Corrupt");
+                    assert!(pos < HEADER_LEN, "only header flips are Corrupt");
                 }
                 Err(other) => panic!("unexpected error at byte {pos}: {other}"),
             }
@@ -478,17 +753,17 @@ mod tests {
         // Tear the last record by dropping 3 bytes.
         let bytes = std::fs::read(&path).expect("read");
         std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("tear");
-        let s = scan(&path).expect("scan torn");
-        assert_eq!(s.records.len(), 2);
+        let s = scan(&path, 0).expect("scan torn");
+        assert_eq!(s.entries.len(), 2);
         assert!(s.torn_bytes() > 0);
         let mut wal = Wal::resume(&path, FsyncPolicy::EveryBatch, None, &s).expect("resume");
         let b = batch("resume-post", 3);
         wal.append(3, &b).expect("append after resume");
         drop(wal);
-        let s2 = scan(&path).expect("rescan");
-        assert_eq!(s2.records.len(), 3);
-        assert_eq!(s2.records[..2], expect[..2]);
-        assert_eq!(s2.records[2].batch, b);
+        let s2 = scan(&path, 0).expect("rescan");
+        assert_eq!(s2.entries.len(), 3);
+        assert_eq!(s2.entries[..2], expect[..2]);
+        assert_eq!(s2.entries[2].as_batch().expect("batch").batch, b);
         assert_eq!(s2.torn_bytes(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -498,43 +773,58 @@ mod tests {
     #[test]
     fn header_edge_cases() {
         let dir = tmp_dir("header");
-        let path = dir.join("t.wal");
-        let s = scan(&path).expect("missing file");
-        assert_eq!(s.records.len(), 0);
-        std::fs::write(&path, &WAL_MAGIC[..5]).expect("torn header");
-        let s = scan(&path).expect("torn header");
-        assert_eq!((s.records.len(), s.valid_len), (0, 0));
-        // resume from a torn header recreates the log.
+        let path = dir.join(segment_file_name(0));
+        let s = scan(&path, 0).expect("missing file");
+        assert_eq!(s.entries.len(), 0);
+        std::fs::write(&path, &WAL_MAGIC[..5]).expect("torn magic");
+        let s = scan(&path, 0).expect("torn magic");
+        assert_eq!((s.entries.len(), s.valid_len), (0, 0));
+        // A complete magic with a torn base is still a torn header.
+        let mut torn_base = WAL_MAGIC.to_vec();
+        torn_base.extend_from_slice(&7u64.to_le_bytes()[..3]);
+        std::fs::write(&path, &torn_base).expect("torn base");
+        assert!(
+            matches!(scan(&path, 0), Err(DurableError::Corrupt { .. })),
+            "a torn base that disagrees with the claimed base is foreign"
+        );
+        std::fs::write(&path, &WAL_MAGIC[..]).expect("magic only");
+        let s = scan(&path, 0).expect("torn base prefix of base 0");
+        assert_eq!((s.entries.len(), s.valid_len), (0, 0));
+        // resume from a torn header recreates the segment.
         let wal = Wal::resume(&path, FsyncPolicy::Never, None, &s).expect("recreate");
         drop(wal);
-        assert_eq!(std::fs::read(&path).unwrap(), WAL_MAGIC);
+        let mut want = WAL_MAGIC.to_vec();
+        want.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(std::fs::read(&path).unwrap(), want);
         std::fs::write(&path, b"GARBAGE!x").expect("foreign");
-        assert!(matches!(scan(&path), Err(DurableError::Corrupt { .. })));
+        assert!(matches!(scan(&path, 0), Err(DurableError::Corrupt { .. })));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn fsync_policy_cadence() {
         let dir = tmp_dir("fsync");
-        let path = dir.join("t.wal");
-        let mut wal = Wal::create(&path, FsyncPolicy::EveryN(3), None).expect("create");
+        let path = dir.join(segment_file_name(0));
+        let mut wal = Wal::create(&path, 0, FsyncPolicy::EveryN(3), None).expect("create");
         for i in 1..=7 {
             wal.append(i, &batch("fsync", i)).expect("append");
         }
         assert_eq!(wal.syncs(), 2, "records 3 and 6 sync under EveryN(3)");
-        let mut wal = Wal::create(&path, FsyncPolicy::EveryBatch, None).expect("recreate");
+        let mut wal = Wal::create(&path, 0, FsyncPolicy::EveryBatch, None).expect("recreate");
         for i in 1..=4 {
             wal.append(i, &batch("fsync2", i)).expect("append");
         }
         assert_eq!(wal.syncs(), 4);
-        let mut wal = Wal::create(&path, FsyncPolicy::Never, None).expect("recreate");
+        let mut wal = Wal::create(&path, 0, FsyncPolicy::Never, None).expect("recreate");
         for i in 1..=4 {
             wal.append(i, &batch("fsync3", i)).expect("append");
         }
         assert_eq!(wal.syncs(), 0);
-        // EveryN(0) is Never.
-        let mut wal = Wal::create(&path, FsyncPolicy::EveryN(0), None).expect("recreate");
+        // EveryN(0) is Never. Registration records count toward the
+        // cadence exactly like batches.
+        let mut wal = Wal::create(&path, 0, FsyncPolicy::EveryN(0), None).expect("recreate");
         wal.append(1, &batch("fsync4", 1)).expect("append");
+        wal.append_registration(1, &entry("v")).expect("reg");
         assert_eq!(wal.syncs(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -41,7 +41,7 @@ pub mod view;
 pub use error::{EngineError, NrcError};
 pub use nrc_core::plan::{Candidate, PlannedStrategy, QueryPlan};
 pub use nrc_data::ArenaStats;
-pub use register::{parse_and_plan, DEFAULT_UPDATE_CARD};
+pub use register::{parse_and_plan, query_source, DEFAULT_UPDATE_CARD};
 pub use shredded::ShreddedUpdate;
 pub use stats::{BatchStats, ViewStats};
 pub use system::{CollectPolicy, IvmSystem, Parallelism, Strategy, UpdateBatch, ViewStateSnapshot};

@@ -110,6 +110,15 @@ fn parse_against(src: &str, db: &Database) -> Result<Expr, NrcError> {
     }
 }
 
+/// Render a query back to parseable NRC⁺ surface syntax, if it is
+/// expressible there — the spec-encoding seam the durable layer's query
+/// catalog persists. Plain NRC⁺ expressions (everything `parse_against`
+/// can produce) round-trip; shredding-internal constructs and delta
+/// relations have no surface form and yield `None`.
+pub fn query_source(query: &Expr) -> Option<String> {
+    nrc_parser::to_surface(query).ok()
+}
+
 /// Parse, typecheck, optimize and cost `src` against `db` — everything
 /// `register_query` does short of registering. Exposed for the serving and
 /// durable passthroughs and for the planner-ablation harness.

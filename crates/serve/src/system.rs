@@ -72,6 +72,13 @@ pub struct ServingSystem {
     /// Did the subscriber set change since the engine's capture-view set
     /// was last synced? (Avoids rebuilding the set on every batch.)
     subs_dirty: bool,
+    /// Offset added to the engine's in-memory batch counter wherever a
+    /// batch index is exposed to feeds. The durable layer recovers its
+    /// engine *from a checkpoint*, so the engine counts from the
+    /// checkpoint while the stream's indices are absolute; setting the
+    /// base to the checkpoint index keeps feed indices stream-absolute
+    /// across recovery (and lets backfilled history splice in seamlessly).
+    batch_index_base: u64,
     snapshots_published: u64,
     feed_pushed: u64,
     feed_dropped: u64,
@@ -89,6 +96,7 @@ impl ServingSystem {
             ledger,
             subs: Vec::new(),
             subs_dirty: false,
+            batch_index_base: 0,
             snapshots_published: 1,
             feed_pushed: 0,
             feed_dropped: 0,
@@ -189,10 +197,21 @@ impl ServingSystem {
         self.apply_batch(&batch)
     }
 
+    /// Set the feed batch-index base (see the field docs). Recovery-time
+    /// plumbing: call before any batch is applied through this instance.
+    pub fn set_batch_index_base(&mut self, base: u64) {
+        self.batch_index_base = base;
+    }
+
+    /// The batch index feeds stamp next: base + the engine's counter.
+    fn feed_batch_index(&self) -> u64 {
+        self.batch_index_base + self.engine.batch_stats().batches_applied
+    }
+
     /// Push one batch's captured deltas to every live subscriber of the
     /// matching view.
     fn fan_out(&mut self, deltas: &BTreeMap<String, Bag>) {
-        let batch_index = self.engine.batch_stats().batches_applied;
+        let batch_index = self.feed_batch_index();
         for slot in &self.subs {
             let Some(feed) = slot.feed.upgrade() else {
                 continue;
@@ -259,11 +278,36 @@ impl ServingSystem {
     /// delivery and drop-oldest backpressure semantics). Dropping the
     /// returned subscription unsubscribes.
     pub fn subscribe(&mut self, view: &str, capacity: usize) -> Result<Subscription, ServeError> {
+        self.subscribe_with_history(view, capacity, Vec::new())
+    }
+
+    /// Subscribe to a view's change feed with a preloaded **history**: the
+    /// given deltas are queued (oldest first) before any live delta, and
+    /// the capacity is clamped so none of them is dropped at creation.
+    /// This is the feed replay hook durable backfill uses — the history it
+    /// synthesizes starts with a batch-index-0 delta carrying the view's
+    /// full state at stream origin (its change *from nothing*), so folding
+    /// the feed from the empty bag reproduces every historical state and
+    /// `from_batch` is the index just before the first queued delta.
+    pub fn subscribe_with_history(
+        &mut self,
+        view: &str,
+        capacity: usize,
+        history: Vec<FeedDelta>,
+    ) -> Result<Subscription, ServeError> {
         if !self.engine.view_names().any(|n| n == view) {
             return Err(ServeError::UnknownView(view.to_owned()));
         }
-        let from_batch = self.engine.batch_stats().batches_applied;
-        let (sub, shared) = Subscription::new(view, capacity.max(1), from_batch);
+        let from_batch = match history.first() {
+            Some(first) => first.batch_index.saturating_sub(1),
+            None => self.feed_batch_index(),
+        };
+        let capacity = capacity.max(history.len()).max(1);
+        let (sub, shared) = Subscription::new(view, capacity, from_batch);
+        self.feed_pushed += history.len() as u64;
+        for delta in history {
+            shared.push(delta);
+        }
         self.subs.push(SubSlot {
             view: view.to_owned(),
             feed: Arc::downgrade(&shared),

@@ -17,6 +17,21 @@
 //! * **Double crash**: crashing again during post-recovery ingest and
 //!   recovering a second (and third) time stays on the reference replay —
 //!   recovery is idempotent.
+//! * **Point-in-time differential**: `recover_at(k)` equals the uncrashed
+//!   sequential replay at batch `k` — at, below and above checkpoint
+//!   indices — is read-only, idempotent, and leaves the live directory
+//!   recoverable to its tip; `TruncateAtCheckpoint` turns pruned targets
+//!   into `HistoryTruncated`, never silently-wrong state.
+//! * **Catalog recovery**: text-registered views come back from the
+//!   directory alone (no caller `ViewSpec`s), a kill inside
+//!   `register_query`'s durable write never leaves the directory
+//!   unrecoverable (the old whole-set integrity gate did), and a caller
+//!   spec the checkpoint has never seen registers fresh instead of
+//!   misdiagnosing as corruption.
+//! * **Backfill differential**: a view backfilled after the full stream
+//!   equals the same view registered from batch 0 — final state *and*
+//!   per-batch delta feed — for all four strategies; `KeepAll` retention
+//!   makes it possible, `TruncateAtCheckpoint` makes it fail loudly.
 //!
 //! The arena is process-global, so cases serialize and use case-unique
 //! payload prefixes (the shared discipline in `tests/common`).
@@ -29,8 +44,8 @@ use nrc_core::expr::CmpOp;
 use nrc_core::Expr;
 use nrc_data::{Bag, Value};
 use nrc_durable::{
-    wal, DurableError, DurableOptions, DurableSystem, FsyncPolicy, KillPoint, ViewSpec, Wal,
-    WAL_FILE,
+    wal, DurableError, DurableOptions, DurableSystem, FsyncPolicy, KillPoint, LogRetention,
+    ViewSpec, Wal,
 };
 use nrc_engine::{CollectPolicy, Strategy, UpdateBatch, ViewStateSnapshot};
 use nrc_workloads::{kill_offsets, RecoveryPlan, StreamConfig};
@@ -75,6 +90,9 @@ fn query_pool(idx: usize) -> Expr {
     }
 }
 
+/// The text twin of `query_pool(1)`, for the text-registration paths.
+const FILTER_SRC: &str = "for x in M where x.1 == \"genre0\" union sng(x)";
+
 /// The sampled WAL fsync policies: every one of the three variants, with
 /// two `EveryN` cadences.
 fn fsync_pool(idx: usize) -> FsyncPolicy {
@@ -90,6 +108,7 @@ fn opts(fsync: FsyncPolicy, checkpoint_every: u64, kill: Option<Arc<KillPoint>>)
     DurableOptions {
         fsync,
         checkpoint_every,
+        retention: LogRetention::KeepAll,
         kill,
     }
 }
@@ -120,6 +139,10 @@ proptest! {
     /// byte of that volume, recover, and require the recovered state to
     /// equal the sequential replay at the recovered batch index — then
     /// crash *again* mid-continuation and recover twice more.
+    ///
+    /// Recovery here is catalog-only (`recover`, no specs): every builder
+    /// query in the pool has a surface form, so the directory describes
+    /// itself.
     #[test]
     fn recovered_state_equals_uncrashed_replay(
         seed in 0u64..10_000,
@@ -208,7 +231,6 @@ proptest! {
         // --- First recovery: on the reference replay, near the ack line ---
         let (rec, rstats) = DurableSystem::recover(
             dir.path(),
-            &specs,
             opts(fsync, checkpoint_every, None),
         ).expect("first recovery");
         let idx = rec.batch_index();
@@ -225,6 +247,11 @@ proptest! {
             idx - rstats.checkpoint_index,
             "replay must cover exactly the gap from checkpoint to tip"
         );
+        // The stats split: a recovered instance has written no checkpoint
+        // of its own, yet knows the directory's newest checkpoint index.
+        let dstats = rec.durable_stats();
+        prop_assert_eq!(dstats.checkpoints_written, 0, "recovery writes no checkpoint");
+        prop_assert_eq!(dstats.last_checkpoint_index, rstats.checkpoint_index);
         check_views(&rec, &states[idx as usize], "after the first crash")?;
         drop(rec);
 
@@ -232,7 +259,6 @@ proptest! {
         let budget2 = kill_offsets(kill_salt.wrapping_add(seed).wrapping_add(1), total, 1)[0];
         let (mut cont, _) = DurableSystem::recover(
             dir.path(),
-            &specs,
             opts(fsync, checkpoint_every, Some(KillPoint::arm(budget2))),
         ).expect("recovery for continuation");
         prop_assert_eq!(cont.batch_index(), idx, "re-recovery must land on the same index");
@@ -251,7 +277,6 @@ proptest! {
         // --- Second recovery, then recovery-after-recovery ---
         let (rec2, _) = DurableSystem::recover(
             dir.path(),
-            &specs,
             opts(fsync, checkpoint_every, None),
         ).expect("second recovery");
         let idx2 = rec2.batch_index();
@@ -266,7 +291,6 @@ proptest! {
 
         let (rec3, rstats3) = DurableSystem::recover(
             dir.path(),
-            &specs,
             opts(fsync, checkpoint_every, None),
         ).expect("recovery after recovery");
         prop_assert_eq!(rec3.batch_index(), idx2, "recovery must be idempotent");
@@ -304,8 +328,8 @@ proptest! {
 
         let dir = TempDir::new("wal", case);
         std::fs::create_dir_all(dir.path()).expect("mkdir");
-        let path = dir.path().join(WAL_FILE);
-        let mut log = Wal::create(&path, FsyncPolicy::Never, None).expect("create wal");
+        let path = dir.path().join(wal::segment_file_name(0));
+        let mut log = Wal::create(&path, 0, FsyncPolicy::Never, None).expect("create wal");
         for (i, batch) in plan.batches.iter().enumerate() {
             log.append(i as u64 + 1, &UpdateBatch::from_updates(batch.iter().cloned()))
                 .expect("append");
@@ -314,12 +338,12 @@ proptest! {
 
         // Scanning twice observes the identical record sequence and leaves
         // the file untouched.
-        let full = wal::scan(&path).expect("scan");
-        let again = wal::scan(&path).expect("rescan");
-        let indices: Vec<u64> = full.records.iter().map(|r| r.batch_index).collect();
+        let full = wal::scan(&path, 0).expect("scan");
+        let again = wal::scan(&path, 0).expect("rescan");
+        let indices: Vec<u64> = full.batch_records().map(|r| r.batch_index).collect();
         prop_assert_eq!(
             &indices,
-            &again.records.iter().map(|r| r.batch_index).collect::<Vec<_>>()
+            &again.batch_records().map(|r| r.batch_index).collect::<Vec<_>>()
         );
         prop_assert_eq!(indices, (1..=nbatches as u64).collect::<Vec<_>>());
         prop_assert_eq!(full.torn_bytes(), 0);
@@ -328,13 +352,13 @@ proptest! {
         // and replaying it lands exactly on the sequential state.
         let cut = kill_offsets(seed ^ cut_salt, full.file_len, 1)[0];
         let bytes = std::fs::read(&path).expect("read wal");
-        let cut_path = dir.path().join("cut.wal");
+        let cut_path = dir.path().join(wal::segment_file_name(0)).with_extension("cut");
         std::fs::write(&cut_path, &bytes[..cut as usize]).expect("write cut");
-        let prefix = wal::scan(&cut_path).expect("scan cut");
-        let k = prefix.records.len();
+        let prefix = wal::scan(&cut_path, 0).expect("scan cut");
+        let k = prefix.batch_records().count();
         prop_assert!(k <= nbatches);
         prop_assert_eq!(
-            prefix.records.iter().map(|r| r.batch_index).collect::<Vec<_>>(),
+            prefix.batch_records().map(|r| r.batch_index).collect::<Vec<_>>(),
             (1..=k as u64).collect::<Vec<_>>(),
             "a truncated log must scan to a contiguous record prefix"
         );
@@ -358,6 +382,11 @@ proptest! {
     /// `CollectPolicy::Bounded`, drive arena slot reuse after the writer
     /// dies, recover, and require `scan`/`get`/`lookup_label` agreement —
     /// the on-disk format holds no arena-dependent state.
+    ///
+    /// Also the `recover_with_views` escape hatch and the integrity-gate
+    /// fix: a caller spec the directory has never seen registers fresh
+    /// after recovery instead of being misdiagnosed as checkpoint
+    /// corruption (the old whole-set gate failed `Corrupt` here).
     #[test]
     fn checkpoint_round_trip_survives_slot_reuse(
         seed in 0u64..10_000,
@@ -408,9 +437,13 @@ proptest! {
             (0..churn as u16).map(|i| common::payload("prop-ckpt-churn", churn_case, i)),
         );
 
-        let (rec, rstats) = DurableSystem::recover(
+        // An extra spec the directory has never seen rides along: the old
+        // integrity gate called this corruption; it must register fresh.
+        let mut with_extra = specs.to_vec();
+        with_extra.push(ViewSpec::new("all2", rel("M"), Strategy::Recursive));
+        let (rec, rstats) = DurableSystem::recover_with_views(
             dir.path(),
-            &specs,
+            &with_extra,
             opts(FsyncPolicy::Never, 1, None),
         ).expect("recover across GC");
         prop_assert_eq!(
@@ -418,6 +451,11 @@ proptest! {
             "the tip checkpoint leaves nothing to replay"
         );
         prop_assert_eq!(rec.batch_index(), nbatches as u64);
+        prop_assert_eq!(
+            rec.view("all2").expect("fresh extra view"),
+            rec.view("all").expect("recovered view"),
+            "the never-cataloged extra spec must register fresh over the recovered db"
+        );
 
         // scan: identical ordered pairs; get: identical multiplicities.
         let all_after = scan_pairs(&rec);
@@ -438,6 +476,424 @@ proptest! {
             "label resolution diverged across the round-trip"
         );
         drop(churn_bag);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_env(8))]
+
+    /// Point-in-time differential: `recover_at(k)` must equal the
+    /// uncrashed sequential replay at batch `k` for every retained `k` —
+    /// at, below and above checkpoint indices — must be read-only and
+    /// idempotent, and must leave the directory recoverable to its tip.
+    /// Under `TruncateAtCheckpoint`, pruned targets fail `HistoryTruncated`
+    /// and surviving ones still match the replay.
+    #[test]
+    fn point_in_time_recovery_matches_replay(
+        seed in 0u64..10_000,
+        nbatches in 1usize..7,
+        batch_size in 1usize..5,
+        delete_tenths in 0usize..5,
+        checkpoint_every in 0u64..4,
+        k_salt in 0u64..10_000,
+    ) {
+        let _serial = serial();
+        let case = fresh_case();
+        let cfg = StreamConfig {
+            batch_size,
+            delete_fraction: delete_tenths as f64 / 10.0,
+            genres: 3,
+            directors: 3,
+            payload_prefix: format!("prop-pit-{case}-"),
+            ..StreamConfig::default()
+        };
+        let plan = RecoveryPlan::generate(seed, cfg, 12, nbatches);
+        let view_list = [
+            ("all", rel("M"), Strategy::FirstOrder),
+            ("flt", query_pool(1), Strategy::Reevaluate),
+        ];
+        let states = common::recovery_plan_states(&plan, &view_list);
+        let specs: Vec<ViewSpec> = view_list
+            .iter()
+            .map(|(n, q, s)| ViewSpec::new(*n, q.clone(), *s))
+            .collect();
+        let n = nbatches as u64;
+
+        let dir = TempDir::new("pit", case);
+        let mut sys = DurableSystem::create(
+            dir.path(),
+            plan.db.clone(),
+            &specs,
+            opts(FsyncPolicy::Never, checkpoint_every, None),
+        ).expect("create");
+        for batch in &plan.batches {
+            sys.apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+                .expect("apply");
+        }
+        drop(sys);
+
+        // Targets: origin, tip, a random interior k, and (when periodic
+        // checkpoints ran) the newest checkpoint boundary itself plus the
+        // index just below it — the seams where off-by-ones live.
+        let mut ks = vec![0, n, k_salt % (n + 1)];
+        if checkpoint_every > 0 && n >= checkpoint_every {
+            let boundary = (n / checkpoint_every) * checkpoint_every;
+            ks.push(boundary);
+            ks.push(boundary.saturating_sub(1));
+        }
+        for &k in &ks {
+            let (hist, hstats) = DurableSystem::recover_at(
+                dir.path(),
+                k,
+                opts(FsyncPolicy::Never, checkpoint_every, None),
+            ).expect("recover_at");
+            prop_assert_eq!(hist.batch_index(), k, "recover_at must land exactly on k");
+            prop_assert!(hstats.checkpoint_index <= k);
+            check_views(&hist, &states[k as usize], "in the historical snapshot")?;
+
+            // Read-only: no writes, registrations or checkpoints, and the
+            // directory is untouched (not even torn-tail truncation).
+            prop_assert!(hist.is_read_only());
+            prop_assert_eq!(hstats.torn_bytes_truncated, 0);
+            let mut hist = hist;
+            prop_assert!(matches!(
+                hist.apply_batch(&UpdateBatch::from_updates(plan.batches[0].iter().cloned())),
+                Err(DurableError::ReadOnly)
+            ));
+            prop_assert!(matches!(
+                hist.register_query("nope", FILTER_SRC),
+                Err(DurableError::ReadOnly)
+            ));
+            prop_assert!(matches!(hist.checkpoint_now(), Err(DurableError::ReadOnly)));
+            drop(hist);
+
+            // Idempotence: the same point twice is the same state.
+            let (hist2, _) = DurableSystem::recover_at(
+                dir.path(),
+                k,
+                opts(FsyncPolicy::Never, checkpoint_every, None),
+            ).expect("recover_at twice");
+            check_views(&hist2, &states[k as usize], "recovering at k a second time")?;
+        }
+
+        // Beyond the tip clamps to the tip.
+        let (past, _) = DurableSystem::recover_at(
+            dir.path(),
+            n + 5,
+            opts(FsyncPolicy::Never, checkpoint_every, None),
+        ).expect("recover_at past the tip");
+        prop_assert_eq!(past.batch_index(), n);
+        drop(past);
+
+        // The historical reads mutated nothing: full recovery still lands
+        // on the tip state.
+        let (tip, _) = DurableSystem::recover(
+            dir.path(),
+            opts(FsyncPolicy::Never, checkpoint_every, None),
+        ).expect("tip recovery after time travel");
+        prop_assert_eq!(tip.batch_index(), n);
+        check_views(&tip, &states[nbatches], "at the tip after historical reads")?;
+        drop(tip);
+
+        // --- Retention: TruncateAtCheckpoint prunes history loudly ---
+        let dir_tr = TempDir::new("pit-trunc", case);
+        let tr_opts = DurableOptions {
+            fsync: FsyncPolicy::Never,
+            checkpoint_every: 2,
+            retention: LogRetention::TruncateAtCheckpoint,
+            kill: None,
+        };
+        let mut sys = DurableSystem::create(dir_tr.path(), plan.db.clone(), &specs, tr_opts.clone())
+            .expect("create truncating");
+        for batch in &plan.batches {
+            sys.apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+                .expect("apply");
+        }
+        let newest_ckpt = sys.durable_stats().last_checkpoint_index;
+        drop(sys);
+        for k in 0..=n {
+            let res = DurableSystem::recover_at(dir_tr.path(), k, tr_opts.clone());
+            if k < newest_ckpt {
+                prop_assert!(
+                    matches!(res, Err(DurableError::HistoryTruncated { .. })),
+                    "pruned target {} must fail HistoryTruncated, not answer wrong",
+                    k
+                );
+            } else {
+                let (hist, _) = res.expect("retained point-in-time");
+                check_views(&hist, &states[k as usize], "under TruncateAtCheckpoint")?;
+            }
+        }
+    }
+
+    /// Catalog recovery: a view registered from query text mid-stream
+    /// comes back from the directory alone — no caller `ViewSpec`s — with
+    /// the registration replayed from its WAL record in stream order, and
+    /// a kill inside `register_query`'s durable write never leaves the
+    /// directory unrecoverable (the regression the old forced-checkpoint
+    /// design hit: its whole-set integrity gate failed `Corrupt` on any
+    /// checkpoint written mid-registration).
+    #[test]
+    fn catalog_recovers_text_registrations(
+        seed in 0u64..10_000,
+        nbatches in 2usize..7,
+        batch_size in 1usize..5,
+        reg_after in 0usize..6,
+        kill_salt in 0u64..10_000,
+    ) {
+        let _serial = serial();
+        let case = fresh_case();
+        let reg_after = reg_after.min(nbatches - 1);
+        let cfg = StreamConfig {
+            batch_size,
+            delete_fraction: 0.2,
+            genres: 3,
+            directors: 3,
+            payload_prefix: format!("prop-cat-{case}-"),
+            ..StreamConfig::default()
+        };
+        let plan = RecoveryPlan::generate(seed, cfg, 12, nbatches);
+        let specs = [ViewSpec::new("all", rel("M"), Strategy::FirstOrder)];
+
+        // --- Reference run: register "late" mid-stream, meter the bytes ---
+        let meter = KillPoint::arm(u64::MAX);
+        let dir = TempDir::new("cat", case);
+        let mut sys = DurableSystem::create(
+            dir.path(),
+            plan.db.clone(),
+            &specs,
+            opts(FsyncPolicy::Never, 0, Some(Arc::clone(&meter))),
+        ).expect("create");
+        for batch in &plan.batches[..reg_after] {
+            sys.apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+                .expect("apply");
+        }
+        let before_reg = u64::MAX - meter.remaining();
+        sys.register_query("late", FILTER_SRC).expect("register late");
+        let after_reg = u64::MAX - meter.remaining();
+        prop_assert!(after_reg > before_reg, "registration must write log bytes");
+        for batch in &plan.batches[reg_after..] {
+            sys.apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+                .expect("apply");
+        }
+        // Cadence: with checkpoint_every = 0, registration must NOT have
+        // forced a checkpoint — only the creation-time one exists.
+        prop_assert_eq!(
+            sys.durable_stats().checkpoints_written, 1,
+            "register_query must respect checkpoint_every (no forced checkpoint)"
+        );
+        let late_before = sys.view("late").expect("live late view");
+        let all_before = sys.view("all").expect("live all view");
+        drop(sys);
+
+        // --- Catalog-only recovery: no specs at all ---
+        let (rec, rstats) = DurableSystem::recover(
+            dir.path(),
+            opts(FsyncPolicy::Never, 0, None),
+        ).expect("catalog recovery");
+        prop_assert_eq!(rec.batch_index(), nbatches as u64);
+        prop_assert_eq!(
+            rstats.registrations_replayed, 1,
+            "the late registration lives in the log, not the origin checkpoint"
+        );
+        prop_assert_eq!(&rec.view("late").expect("recovered late"), &late_before);
+        prop_assert_eq!(&rec.view("all").expect("recovered all"), &all_before);
+        prop_assert_eq!(rec.catalog().len(), 2, "create view + late view");
+        // Checkpoint the recovered state: the catalog moves into the
+        // checkpoint, so the next recovery replays no registrations.
+        let mut rec = rec;
+        rec.checkpoint_now().expect("checkpoint recovered state");
+        drop(rec);
+        let (rec2, rstats2) = DurableSystem::recover(
+            dir.path(),
+            opts(FsyncPolicy::Never, 0, None),
+        ).expect("recovery after checkpoint");
+        prop_assert_eq!(rstats2.registrations_replayed, 0);
+        prop_assert_eq!(&rec2.view("late").expect("late from checkpoint catalog"), &late_before);
+        drop(rec2);
+
+        // --- Kill inside register_query's durable write ---
+        let reg_bytes = after_reg - before_reg;
+        let budget = before_reg + 1 + (kill_salt % reg_bytes);
+        let dir_k = TempDir::new("cat-kill", case);
+        let mut sys = DurableSystem::create(
+            dir_k.path(),
+            plan.db.clone(),
+            &specs,
+            opts(FsyncPolicy::Never, 0, Some(KillPoint::arm(budget))),
+        ).expect("create killed");
+        for batch in &plan.batches[..reg_after] {
+            sys.apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+                .expect("apply before register");
+        }
+        let reg = sys.register_query("late", FILTER_SRC);
+        let reg_acked = match reg {
+            Ok(_) => true,
+            Err(e) => {
+                prop_assert!(e.is_kill(), "only the injected kill may fail: {}", e);
+                prop_assert!(sys.is_dead(), "a torn registration poisons the instance");
+                false
+            }
+        };
+        drop(sys);
+        // The regression: whatever byte the kill landed on, the directory
+        // recovers — with the view iff its record was acked.
+        let (rec_k, _) = DurableSystem::recover(
+            dir_k.path(),
+            opts(FsyncPolicy::Never, 0, None),
+        ).expect("recovery after mid-registration kill");
+        prop_assert_eq!(rec_k.batch_index(), reg_after as u64);
+        prop_assert!(rec_k.view("all").is_ok(), "creation views always recover");
+        if reg_acked {
+            prop_assert!(rec_k.view("late").is_ok(), "acked registration must survive");
+        } else {
+            prop_assert!(rec_k.view("late").is_err(), "unacked registration is torn away");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_env(6))]
+
+    /// Backfill differential: for every maintenance strategy, a view
+    /// backfilled after the whole stream must equal the same view
+    /// registered from batch 0 — the final state, the synthesized
+    /// per-batch delta history, and the live deltas that follow — and its
+    /// history must fold from ∅ to the live state (the Σ-of-deltas
+    /// invariant). `TruncateAtCheckpoint` fails it loudly instead.
+    #[test]
+    fn backfill_equals_registered_from_start(
+        seed in 0u64..10_000,
+        nbatches in 1usize..6,
+        batch_size in 1usize..5,
+        delete_tenths in 0usize..5,
+        checkpoint_every in 0u64..3,
+        strat_idx in 0usize..4,
+    ) {
+        let _serial = serial();
+        let case = fresh_case();
+        let cfg = StreamConfig {
+            batch_size,
+            delete_fraction: delete_tenths as f64 / 10.0,
+            genres: 3,
+            directors: 3,
+            payload_prefix: format!("prop-bf-{case}-"),
+            ..StreamConfig::default()
+        };
+        let plan = RecoveryPlan::generate(seed, cfg, 12, nbatches);
+        let n = nbatches as u64;
+        let strategy = [
+            Strategy::Reevaluate,
+            Strategy::FirstOrder,
+            Strategy::Recursive,
+            Strategy::Shredded,
+        ][strat_idx];
+
+        // --- Reference: registered from batch 0, feed drained live ---
+        let dir_ref = TempDir::new("bf-ref", case);
+        let mut sys_ref = DurableSystem::create(
+            dir_ref.path(),
+            plan.db.clone(),
+            &[],
+            opts(FsyncPolicy::Never, checkpoint_every, None),
+        ).expect("create reference");
+        sys_ref.register_query_with("v", FILTER_SRC, strategy).expect("register from start");
+        let origin_state = sys_ref.view("v").expect("origin state");
+        let sub_ref = sys_ref.subscribe("v", nbatches + 4).expect("subscribe");
+        for batch in &plan.batches {
+            sys_ref
+                .apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+                .expect("reference apply");
+        }
+        let ref_deltas = sub_ref.drain();
+        prop_assert_eq!(sub_ref.dropped(), 0);
+        prop_assert_eq!(ref_deltas.len(), nbatches);
+
+        // --- Backfilled: same stream, view registered only at the end ---
+        let dir_bf = TempDir::new("bf", case);
+        let mut sys_bf = DurableSystem::create(
+            dir_bf.path(),
+            plan.db.clone(),
+            &[],
+            opts(FsyncPolicy::Never, checkpoint_every, None),
+        ).expect("create backfill");
+        for batch in &plan.batches {
+            sys_bf
+                .apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+                .expect("backfill apply");
+        }
+        let bf = sys_bf.backfill_query_with("v", FILTER_SRC, strategy).expect("backfill");
+        prop_assert_eq!(bf.batches_replayed, n);
+        prop_assert_eq!(
+            &sys_bf.view("v").expect("backfilled view"),
+            &sys_ref.view("v").expect("reference view"),
+            "backfilled final state diverged from registered-from-start"
+        );
+
+        // History: a batch-0 delta carrying the origin state, then exactly
+        // the deltas the from-start feed delivered, index for index.
+        let hist = bf.feed.drain();
+        prop_assert_eq!(bf.feed.dropped(), 0);
+        prop_assert_eq!(hist.len(), nbatches + 1);
+        prop_assert_eq!(hist[0].batch_index, 0);
+        prop_assert_eq!(&hist[0].delta, &origin_state);
+        for (i, (got, want)) in hist[1..].iter().zip(&ref_deltas).enumerate() {
+            prop_assert_eq!(got.batch_index, i as u64 + 1);
+            prop_assert_eq!(want.batch_index, i as u64 + 1);
+            prop_assert_eq!(
+                &got.delta,
+                &want.delta,
+                "synthesized delta {} diverged from the live feed",
+                i + 1
+            );
+        }
+
+        // Σ-of-deltas: the history folds from ∅ to the live state.
+        let mut folded = Bag::default();
+        for d in &hist {
+            folded.union_assign(&d.delta);
+        }
+        prop_assert_eq!(&folded, &sys_bf.view("v").expect("live state"));
+
+        // Live continuation: one more batch lands in both feeds at the
+        // same stream-absolute index with the same delta.
+        let extra = UpdateBatch::from_updates(plan.batches[0].iter().cloned());
+        sys_ref.apply_batch(&extra).expect("reference continuation");
+        sys_bf.apply_batch(&extra).expect("backfill continuation");
+        let cont_ref = sub_ref.drain();
+        let cont_bf = bf.feed.drain();
+        prop_assert_eq!(cont_ref.len(), 1);
+        prop_assert_eq!(cont_bf.len(), 1);
+        prop_assert_eq!(cont_bf[0].batch_index, n + 1);
+        prop_assert_eq!(cont_ref[0].batch_index, n + 1);
+        prop_assert_eq!(&cont_bf[0].delta, &cont_ref[0].delta);
+        drop(sys_ref);
+        drop(sys_bf);
+
+        // --- Retention: truncated history refuses to backfill ---
+        if nbatches >= 2 {
+            let dir_tr = TempDir::new("bf-trunc", case);
+            let tr_opts = DurableOptions {
+                fsync: FsyncPolicy::Never,
+                checkpoint_every: 2,
+                retention: LogRetention::TruncateAtCheckpoint,
+                kill: None,
+            };
+            let mut sys_tr = DurableSystem::create(dir_tr.path(), plan.db.clone(), &[], tr_opts)
+                .expect("create truncating");
+            for batch in &plan.batches {
+                sys_tr
+                    .apply_batch(&UpdateBatch::from_updates(batch.iter().cloned()))
+                    .expect("apply");
+            }
+            prop_assert!(
+                matches!(
+                    sys_tr.backfill_query_with("v", FILTER_SRC, strategy),
+                    Err(DurableError::HistoryTruncated { .. })
+                ),
+                "backfill over a truncated log must fail loudly"
+            );
+        }
     }
 }
 
