@@ -21,8 +21,9 @@
 
 use nrc_bench::Table;
 use nrc_bench::{
-    budget, e10_gc, e11_latency, e12_serve, e13_durable, e14_planner, e16_timetravel, e1_related,
-    e2_filter, e3_recursive, e4_cost, e5_deep, e6_circuit, e7_degree, e8_batch, e9_intern,
+    budget, e10_gc, e11_latency, e12_serve, e13_durable, e14_planner, e16_timetravel, e17_obs,
+    e1_related, e2_filter, e3_recursive, e4_cost, e5_deep, e6_circuit, e7_degree, e8_batch,
+    e9_intern,
 };
 use std::io::Write;
 
@@ -98,6 +99,20 @@ fn run_e16(quick: bool) -> Table {
     e16_timetravel::report_table(&report)
 }
 
+/// Run E17 and persist its machine-readable report plus the all-layer
+/// metrics snapshot — the artifacts the CI `obs-smoke` job budgets
+/// against.
+fn run_e17(quick: bool) -> Table {
+    let report = e17_obs::measure(quick);
+    if let Err(e) = e17_obs::write_obs_report(&report, "results/e17_obs.json") {
+        eprintln!("warning: could not write results/e17_obs.json: {e}");
+    }
+    if let Err(e) = e17_obs::write_metrics_snapshot("results/e17_metrics.json") {
+        eprintln!("warning: could not write results/e17_metrics.json: {e}");
+    }
+    e17_obs::report_table(&report)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("check-budget") {
@@ -144,6 +159,7 @@ fn main() {
         ("e13", run_e13),
         ("e14", run_e14),
         ("e16", run_e16),
+        ("e17", run_e17),
     ];
     let known: Vec<&str> = runs.iter().map(|(id, _)| *id).collect();
     for sel in &selected {

@@ -28,7 +28,7 @@
 
 use crate::report::{fmt_us, Table};
 use nrc_data::Bag;
-use nrc_durable::{DurableOptions, DurableSystem, FsyncPolicy, LogRetention};
+use nrc_durable::{DurableOptions, DurableSystem, FsyncPolicy, LogRetention, RecoveryStats};
 use nrc_engine::UpdateBatch;
 use nrc_workloads::{RecoveryPlan, StreamConfig};
 use serde::Serialize;
@@ -93,6 +93,9 @@ pub struct TimeTravelReport {
     pub backfill_vs_ingest_pct: u64,
     /// Backfill wall time, µs.
     pub backfill_us: f64,
+    /// What the tip `recover_at` found and did (now `Serialize`, so the
+    /// report carries the full recovery accounting verbatim).
+    pub tip_recovery: RecoveryStats,
     /// The point-in-time sweep.
     pub rows: Vec<TimeTravelRow>,
 }
@@ -144,6 +147,7 @@ pub fn measure(quick: bool) -> TimeTravelReport {
     targets.sort_unstable();
     targets.dedup();
     let mut rows = Vec::new();
+    let mut tip_recovery = RecoveryStats::default();
     for &k in &targets {
         drain_garbage();
         let t = Instant::now();
@@ -151,6 +155,7 @@ pub fn measure(quick: bool) -> TimeTravelReport {
         let recover_us = t.elapsed().as_nanos() as f64 / 1e3;
         assert_eq!(hist.batch_index(), k, "recover_at must land exactly on k");
         assert!(hist.is_read_only());
+        tip_recovery = stats; // targets are sorted; the last one is the tip
         rows.push(TimeTravelRow {
             k,
             replayed: stats.batches_replayed,
@@ -205,6 +210,7 @@ pub fn measure(quick: bool) -> TimeTravelReport {
             0
         },
         backfill_us,
+        tip_recovery,
         rows,
     }
 }

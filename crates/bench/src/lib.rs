@@ -22,6 +22,7 @@
 //! | E12 | Concurrent snapshot serving: reader throughput + consistency vs live ingest |
 //! | E13 | Durability: WAL fsync-policy overhead + crash-recovery throughput |
 //! | E14 | Planner ablation: auto-picked strategy within 1.25× of best hand-picked |
+//! | E17 | Observability: ≤ 5% instrumentation overhead on durable ingest |
 
 pub mod budget;
 pub mod e10_gc;
@@ -30,6 +31,7 @@ pub mod e12_serve;
 pub mod e13_durable;
 pub mod e14_planner;
 pub mod e16_timetravel;
+pub mod e17_obs;
 pub mod e1_related;
 pub mod e2_filter;
 pub mod e3_recursive;

@@ -48,7 +48,20 @@ use serde::{Deserialize, Json, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, LazyLock};
+
+/// Count one Small→Tree promotion in `data.bag.tier_promotions`. Promotion
+/// is rare by design (only bags crossing [`Bag::SMALL_TIER_MAX`]), so the
+/// cached-handle lookup plus a relaxed `fetch_add` is negligible; when
+/// instrumentation is globally off even that is skipped.
+#[inline]
+fn count_tier_promotion() {
+    static PROMOTIONS: LazyLock<Arc<nrc_obs::Counter>> =
+        LazyLock::new(|| nrc_obs::counter("data.bag.tier_promotions"));
+    if nrc_obs::enabled() {
+        PROMOTIONS.inc();
+    }
+}
 
 /// The two physical representations of a bag (see the module docs): a
 /// columnar sorted run for small/transient bags, a shared copy-on-write
@@ -203,6 +216,7 @@ impl Bag {
                 repr: Repr::Small(SortedVidRun::from_unretained(pairs)),
             }
         } else {
+            count_tier_promotion();
             for &(id, _) in &pairs {
                 intern::retain(id);
             }
@@ -217,6 +231,7 @@ impl Bag {
     fn maybe_promote(&mut self) {
         if let Repr::Small(run) = &mut self.repr {
             if run.len() > Bag::SMALL_TIER_MAX {
+                count_tier_promotion();
                 let pairs = std::mem::take(run).into_retained_pairs();
                 self.repr = Repr::Tree(Arc::new(VidMap::from_retained_sorted(pairs)));
             }

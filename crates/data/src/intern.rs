@@ -587,6 +587,7 @@ pub fn collect(horizon: Epoch) -> CollectStats {
 /// both hit zero. `max_slots == 0` examines nothing and just reports the
 /// backlog.
 pub fn collect_bounded(horizon: Epoch, max_slots: u64) -> CollectStats {
+    let obs_start = nrc_obs::enabled().then(std::time::Instant::now);
     let interner = &*INTERNER;
     let _sweep = interner.sweep.lock().expect("intern sweep");
     let mut limit = horizon.0.min(EPOCH.load(AtomicOrdering::Acquire));
@@ -666,6 +667,19 @@ pub fn collect_bounded(horizon: Epoch, max_slots: u64) -> CollectStats {
     }
     stats.pending =
         queue.len() as u64 + interner.dying.lock().expect("intern dying list").len() as u64;
+    if let Some(t) = obs_start {
+        // Cached registry handles: collection runs at the GC cadence, not
+        // per record, so one relaxed add each is well below noise.
+        static COLLECTIONS: LazyLock<std::sync::Arc<nrc_obs::Counter>> =
+            LazyLock::new(|| nrc_obs::counter("data.arena.collections"));
+        static FREED: LazyLock<std::sync::Arc<nrc_obs::Counter>> =
+            LazyLock::new(|| nrc_obs::counter("data.arena.freed_slots"));
+        static COLLECT_NS: LazyLock<std::sync::Arc<nrc_obs::Histogram>> =
+            LazyLock::new(|| nrc_obs::histogram("data.arena.collect_ns"));
+        COLLECTIONS.inc();
+        FREED.add(stats.freed);
+        COLLECT_NS.record(t.elapsed().as_nanos() as u64);
+    }
     stats
 }
 

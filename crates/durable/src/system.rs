@@ -61,6 +61,7 @@ use nrc_engine::{
     query_source, CollectPolicy, IvmSystem, Parallelism, QueryPlan, Strategy, UpdateBatch,
 };
 use nrc_serve::{FeedDelta, ServeStats, ServingSystem, Snapshot, SnapshotReader, Subscription};
+use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -148,7 +149,7 @@ impl Default for DurableOptions {
 /// single `checkpoints` counter conflated the two — a recovered system
 /// reported a nonzero index with zero work done, and callers could not
 /// tell cadence from inheritance.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct DurableStats {
     /// Durable batch index of the last applied batch (the durable prefix
     /// length, including batches applied by previous instances).
@@ -169,7 +170,7 @@ pub struct DurableStats {
 }
 
 /// What recovery found and did.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct RecoveryStats {
     /// Durable batch index of the checkpoint recovery started from.
     pub checkpoint_index: u64,
@@ -406,6 +407,7 @@ impl DurableSystem {
         opts: DurableOptions,
         read_only: bool,
     ) -> Result<(DurableSystem, RecoveryStats), DurableError> {
+        let obs_start = nrc_obs::enabled().then(std::time::Instant::now);
         let ckpt_scan = checkpoint::load_newest_at(dir, max_index)?;
         let Some((ckpt, ckpt_path)) = ckpt_scan.newest else {
             // Distinguish "nothing here at all" from "history this old is
@@ -550,6 +552,9 @@ impl DurableSystem {
             registrations_replayed,
             torn_bytes_truncated: torn,
         };
+        if let Some(t) = obs_start {
+            Self::export_recovery_metrics(&stats, t.elapsed().as_nanos() as u64);
+        }
         Ok((
             DurableSystem {
                 serve,
@@ -567,6 +572,39 @@ impl DurableSystem {
             },
             stats,
         ))
+    }
+
+    /// Export one recovery run into the metrics registry: a wall-clock
+    /// histogram plus cumulative counters mirroring [`RecoveryStats`]
+    /// (recovery is rare, so counters accumulate across runs — a process
+    /// that recovers twice reports the sum; per-run detail lives in the
+    /// returned stats struct).
+    fn export_recovery_metrics(stats: &RecoveryStats, nanos: u64) {
+        use std::sync::{Arc, LazyLock};
+        struct Handles {
+            total_ns: Arc<nrc_obs::Histogram>,
+            runs: Arc<nrc_obs::Counter>,
+            batches_replayed: Arc<nrc_obs::Counter>,
+            registrations_replayed: Arc<nrc_obs::Counter>,
+            torn_bytes: Arc<nrc_obs::Counter>,
+            checkpoint_index: Arc<nrc_obs::Gauge>,
+        }
+        static HANDLES: LazyLock<Handles> = LazyLock::new(|| Handles {
+            total_ns: nrc_obs::histogram("durable.recovery.total_ns"),
+            runs: nrc_obs::counter("durable.recovery.runs"),
+            batches_replayed: nrc_obs::counter("durable.recovery.batches_replayed"),
+            registrations_replayed: nrc_obs::counter("durable.recovery.registrations_replayed"),
+            torn_bytes: nrc_obs::counter("durable.recovery.torn_bytes_truncated"),
+            checkpoint_index: nrc_obs::gauge("durable.recovery.checkpoint_index"),
+        });
+        HANDLES.total_ns.record(nanos);
+        HANDLES.runs.inc();
+        HANDLES.batches_replayed.add(stats.batches_replayed);
+        HANDLES
+            .registrations_replayed
+            .add(stats.registrations_replayed);
+        HANDLES.torn_bytes.add(stats.torn_bytes_truncated);
+        HANDLES.checkpoint_index.set_u64(stats.checkpoint_index);
     }
 
     /// Register one cataloged view on `serve`: from its stored source when
@@ -621,7 +659,24 @@ impl DurableSystem {
     }
 
     fn try_apply(&mut self, index: u64, batch: &UpdateBatch) -> Result<(), DurableError> {
-        self.wal_mut().append(index, batch)?;
+        // The durable layer opens the batch's flight-recorder trace: it is
+        // the outermost scope, so the serve/engine guards below nest into
+        // it and every stage span lands in one trace keyed by the durable
+        // (stream-absolute) batch index.
+        let _trace = nrc_obs::trace::guard(index);
+        let t = nrc_obs::enabled().then(std::time::Instant::now);
+        let bytes = self.wal_mut().append(index, batch)?;
+        if let Some(t) = t {
+            use std::sync::{Arc, LazyLock};
+            static APPEND_NS: LazyLock<Arc<nrc_obs::Histogram>> =
+                LazyLock::new(|| nrc_obs::histogram("durable.wal.append_ns"));
+            static BYTES: LazyLock<Arc<nrc_obs::Counter>> =
+                LazyLock::new(|| nrc_obs::counter("durable.wal.bytes"));
+            let ns = t.elapsed().as_nanos() as u64;
+            APPEND_NS.record(ns);
+            BYTES.add(bytes);
+            nrc_obs::trace::span("wal_append", format!("bytes={bytes}"), ns);
+        }
         self.serve.apply_batch(batch)?;
         self.applied = index;
         if self.opts.checkpoint_every > 0 && index % self.opts.checkpoint_every == 0 {
@@ -847,6 +902,7 @@ impl DurableSystem {
     }
 
     fn write_checkpoint(&mut self, guarded: bool) -> Result<(), DurableError> {
+        let obs_start = nrc_obs::enabled().then(std::time::Instant::now);
         // The WAL must not lag the checkpoint on disk: recovery trusts a
         // checkpoint unconditionally, so everything up to its index must
         // be at least as durable as the checkpoint itself.
@@ -895,6 +951,14 @@ impl DurableSystem {
             // (failures ignored) — leftovers are inert.
             checkpoint::prune_below(&self.dir, self.applied)?;
             wal::prune_segments_below(&self.dir, self.wal.as_ref().expect("writable").base())?;
+        }
+        if let Some(t) = obs_start {
+            use std::sync::{Arc, LazyLock};
+            static WRITE_NS: LazyLock<Arc<nrc_obs::Histogram>> =
+                LazyLock::new(|| nrc_obs::histogram("durable.checkpoint.write_ns"));
+            let ns = t.elapsed().as_nanos() as u64;
+            WRITE_NS.record(ns);
+            nrc_obs::trace::span("checkpoint", format!("at={}", self.applied), ns);
         }
         Ok(())
     }

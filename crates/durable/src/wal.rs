@@ -502,8 +502,20 @@ impl Wal {
 
     /// `fdatasync` the log now, regardless of policy.
     pub fn sync(&mut self) -> Result<(), DurableError> {
+        let t = nrc_obs::enabled().then(std::time::Instant::now);
         self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
         self.syncs += 1;
+        if let Some(t) = t {
+            use std::sync::{Arc, LazyLock};
+            static FSYNC_NS: LazyLock<Arc<nrc_obs::Histogram>> =
+                LazyLock::new(|| nrc_obs::histogram("durable.wal.fsync_ns"));
+            static SYNCS: LazyLock<Arc<nrc_obs::Counter>> =
+                LazyLock::new(|| nrc_obs::counter("durable.wal.syncs"));
+            let ns = t.elapsed().as_nanos() as u64;
+            FSYNC_NS.record(ns);
+            SYNCS.inc();
+            nrc_obs::trace::span("fsync", String::new(), ns);
+        }
         Ok(())
     }
 

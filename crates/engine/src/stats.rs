@@ -22,6 +22,12 @@ pub struct ViewStats {
     /// Number of auxiliary materializations (recursive IVM) or dictionary
     /// entries (shredded IVM) owned by this view.
     pub materialized_aux: u64,
+    /// Cumulative wall nanoseconds spent refreshing this view inside
+    /// `apply_batch`/`apply_update`. Only accumulated while `nrc_obs`
+    /// instrumentation is enabled (the timing itself costs two clock
+    /// reads per refresh); the same samples feed the
+    /// `engine.view.refresh_ns` registry histogram.
+    pub refresh_nanos: u64,
 }
 
 /// Counters describing the batched maintenance path

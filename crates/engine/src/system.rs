@@ -224,8 +224,23 @@ impl UpdateBatch {
     where
         I: IntoIterator<Item = (String, Bag)>,
     {
+        let obs_start = nrc_obs::enabled().then(Instant::now);
         let mut raw = 0u64;
         let segments = coalesce_updates(updates.into_iter().inspect(|_| raw += 1));
+        if let Some(t) = obs_start {
+            static COALESCE_NS: std::sync::LazyLock<std::sync::Arc<nrc_obs::Histogram>> =
+                std::sync::LazyLock::new(|| nrc_obs::histogram("engine.batch.coalesce_ns"));
+            let ns = t.elapsed().as_nanos() as u64;
+            COALESCE_NS.record(ns);
+            // Lands in this thread's open trace if the caller coalesces
+            // inside a batch scope; a plain no-op otherwise (coalescing
+            // usually happens before the batch is handed to a system).
+            nrc_obs::trace::span(
+                "coalesce",
+                format!("raw={raw} segments={}", segments.len()),
+                ns,
+            );
+        }
         UpdateBatch {
             segments,
             raw_updates: raw,
@@ -361,6 +376,13 @@ pub struct IvmSystem {
     last_view_deltas: BTreeMap<String, Bag>,
     /// Counters for the batched maintenance path.
     batch_stats: BatchStats,
+    /// Per-relation EWMA (α = ¼, same smoothing as the auto-bounded GC
+    /// budget) of the coalesced delta cardinality each batch applied —
+    /// the observed counterpart of the planner's assumed
+    /// `DEFAULT_UPDATE_CARD`, exported as
+    /// `engine.relation.<name>.delta_card_ewma` and surfaced through
+    /// `QueryPlan::observed_card`.
+    delta_card_ewma: BTreeMap<String, u64>,
 }
 
 impl IvmSystem {
@@ -380,7 +402,19 @@ impl IvmSystem {
             capture_pre: BTreeMap::new(),
             last_view_deltas: BTreeMap::new(),
             batch_stats: BatchStats::default(),
+            delta_card_ewma: BTreeMap::new(),
         }
+    }
+
+    /// The observed EWMA of coalesced delta cardinality for `rel`, if any
+    /// batch touching it has been applied (see the field docs).
+    pub fn delta_card_ewma(&self, rel: &str) -> Option<u64> {
+        self.delta_card_ewma.get(rel).copied()
+    }
+
+    /// All per-relation delta-cardinality EWMAs observed so far.
+    pub fn delta_card_ewmas(&self) -> &BTreeMap<String, u64> {
+        &self.delta_card_ewma
     }
 
     /// Select how [`IvmSystem::apply_batch`] executes view refreshes.
@@ -695,6 +729,11 @@ impl IvmSystem {
     /// ```
     pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<(), EngineError> {
         let start = Instant::now();
+        // Opens a flight-recorder trace scope when this system is the
+        // outermost layer; under serve/durable the outer scope already owns
+        // the trace and this only deepens it.
+        let _trace = nrc_obs::trace::guard(self.batch_stats.batches_applied);
+        let obs_on = nrc_obs::enabled();
         if self.capture.enabled() {
             self.begin_delta_capture();
         }
@@ -708,6 +747,7 @@ impl IvmSystem {
                 // exactly the sequential outcome.
                 continue;
             }
+            let seg_start = obs_on.then(Instant::now);
             if let Err(e) = self.apply_update_with(rel, delta, parallel) {
                 // Earlier segments stay applied (documented); fall through so
                 // the stats below still account for the work performed.
@@ -715,7 +755,23 @@ impl IvmSystem {
                 break;
             }
             segments += 1;
-            delta_card += delta.cardinality();
+            let card = delta.cardinality();
+            delta_card += card;
+            // Observed-cardinality groundwork for the planner: smooth each
+            // relation's coalesced delta size with the same α = ¼ EWMA the
+            // auto-bounded GC budget uses.
+            let ewma = nrc_obs::ewma_u64(self.delta_card_ewma.get(rel).copied(), card);
+            self.delta_card_ewma.insert(rel.clone(), ewma);
+            if let Some(t) = seg_start {
+                nrc_obs::global()
+                    .gauge(&format!("engine.relation.{rel}.delta_card_ewma"))
+                    .set_u64(ewma);
+                nrc_obs::trace::span(
+                    "segment_refresh",
+                    format!("{rel} card={card}"),
+                    t.elapsed().as_nanos() as u64,
+                );
+            }
         }
         self.batch_stats.batches_applied += 1;
         self.batch_stats.updates_coalesced += batch.raw_updates;
@@ -740,7 +796,62 @@ impl IvmSystem {
         self.batch_stats.batch_nanos += nanos;
         self.batch_stats.last_batch_nanos = nanos;
         self.batch_stats.arena = intern::arena_stats();
+        if obs_on {
+            self.export_batch_metrics(batch, segments, delta_card, nanos);
+        }
         outcome
+    }
+
+    /// Re-export the batch outcome through the global metrics registry:
+    /// counters accumulate per-batch increments (additive across concurrent
+    /// systems), the apply time feeds the `engine.batch.apply_ns`
+    /// histogram, and the arena occupancy just snapshotted into
+    /// `BatchStats::arena` is mirrored to `data.arena.*` gauges (the arena
+    /// is process-global, so last-writer-wins is the truth).
+    fn export_batch_metrics(
+        &self,
+        batch: &UpdateBatch,
+        segments: u64,
+        delta_card: u64,
+        nanos: u64,
+    ) {
+        use std::sync::{Arc, LazyLock};
+        struct Handles {
+            applies: Arc<nrc_obs::Counter>,
+            updates: Arc<nrc_obs::Counter>,
+            segments: Arc<nrc_obs::Counter>,
+            delta_card: Arc<nrc_obs::Counter>,
+            apply_ns: Arc<nrc_obs::Histogram>,
+            arena_live: Arc<nrc_obs::Gauge>,
+            arena_bytes: Arc<nrc_obs::Gauge>,
+            arena_dead: Arc<nrc_obs::Gauge>,
+            arena_reused: Arc<nrc_obs::Gauge>,
+            gc_backlog: Arc<nrc_obs::Gauge>,
+        }
+        static HANDLES: LazyLock<Handles> = LazyLock::new(|| Handles {
+            applies: nrc_obs::counter("engine.batch.applies"),
+            updates: nrc_obs::counter("engine.batch.updates_coalesced"),
+            segments: nrc_obs::counter("engine.batch.segments"),
+            delta_card: nrc_obs::counter("engine.batch.delta_cardinality"),
+            apply_ns: nrc_obs::histogram("engine.batch.apply_ns"),
+            arena_live: nrc_obs::gauge("data.arena.live_values"),
+            arena_bytes: nrc_obs::gauge("data.arena.live_bytes"),
+            arena_dead: nrc_obs::gauge("data.arena.dead_total"),
+            arena_reused: nrc_obs::gauge("data.arena.reused_total"),
+            gc_backlog: nrc_obs::gauge("engine.gc.backlog_slots"),
+        });
+        let h = &*HANDLES;
+        h.applies.inc();
+        h.updates.add(batch.raw_updates);
+        h.segments.add(segments);
+        h.delta_card.add(delta_card);
+        h.apply_ns.record(nanos);
+        let arena = &self.batch_stats.arena;
+        h.arena_live.set_u64(arena.live);
+        h.arena_bytes.set_u64(arena.bytes);
+        h.arena_dead.set_u64(arena.dead);
+        h.arena_reused.set_u64(arena.reused);
+        h.gc_backlog.set_u64(self.batch_stats.collect_backlog);
     }
 
     /// Run the configured [`CollectPolicy`] at the batch boundary (all
@@ -874,6 +985,16 @@ impl IvmSystem {
         self.batch_stats.last_collect_nanos = nanos;
         self.batch_stats.max_collect_nanos = self.batch_stats.max_collect_nanos.max(nanos);
         self.batch_stats.collect_backlog = swept.pending;
+        if nrc_obs::enabled() {
+            static GC_NS: std::sync::LazyLock<std::sync::Arc<nrc_obs::Histogram>> =
+                std::sync::LazyLock::new(|| nrc_obs::histogram("engine.gc.pause_ns"));
+            GC_NS.record(nanos);
+            nrc_obs::trace::span(
+                "gc",
+                format!("freed={} backlog={}", swept.freed, swept.pending),
+                nanos,
+            );
+        }
         swept.freed
     }
 
@@ -911,9 +1032,17 @@ impl IvmSystem {
             let db = &self.db;
             let store = self.store.as_ref();
             let shredded_update = shredded_update.as_ref();
+            // Per-view refresh timing: two clock reads per view when
+            // instrumentation is on, nothing when off. Safe from rayon
+            // workers — the histogram is lock-free and `refresh_nanos`
+            // lives in the view each worker exclusively holds; the
+            // flight-recorder trace is deliberately *not* touched here
+            // (it is single-writer, owned by the batch thread).
+            let obs_on = nrc_obs::enabled();
             let refresh = |kind: &mut ViewKind| -> Result<(), EngineError> {
-                match kind {
-                    ViewKind::Reeval(_) => Ok(()),
+                let t = obs_on.then(Instant::now);
+                let result = match kind {
+                    ViewKind::Reeval(_) => return Ok(()),
                     ViewKind::FirstOrder(v) => v.apply(db, rel, delta),
                     ViewKind::Recursive(v) => v.apply_with(db, rel, delta, parallel),
                     ViewKind::Shredded(v) => {
@@ -921,7 +1050,11 @@ impl IvmSystem {
                         let store = store.expect("store exists");
                         v.apply_with(db, store, rel, upd, parallel)
                     }
+                };
+                if let Some(t) = t {
+                    record_view_refresh(kind, t.elapsed().as_nanos() as u64);
                 }
+                result
             };
             run_over_views(&mut self.views, parallel, refresh)?;
         }
@@ -932,8 +1065,18 @@ impl IvmSystem {
         // Re-evaluation baselines read the *new* state.
         {
             let db = &self.db;
+            let obs_on = nrc_obs::enabled();
             run_over_views(&mut self.views, parallel, |kind| match kind {
-                ViewKind::Reeval(v) => v.refresh(db),
+                ViewKind::Reeval(v) => {
+                    let t = obs_on.then(Instant::now);
+                    let result = v.refresh(db);
+                    if let Some(t) = t {
+                        let ns = t.elapsed().as_nanos() as u64;
+                        v.stats.refresh_nanos += ns;
+                        view_refresh_hist().record(ns);
+                    }
+                    result
+                }
                 _ => Ok(()),
             })?;
         }
@@ -1080,6 +1223,26 @@ impl IvmSystem {
     pub fn view_names(&self) -> impl Iterator<Item = &String> {
         self.views.keys()
     }
+}
+
+/// The shared `engine.view.refresh_ns` histogram every view refresh
+/// reports into (all strategies, all systems).
+fn view_refresh_hist() -> &'static nrc_obs::Histogram {
+    static HIST: std::sync::LazyLock<std::sync::Arc<nrc_obs::Histogram>> =
+        std::sync::LazyLock::new(|| nrc_obs::histogram("engine.view.refresh_ns"));
+    &HIST
+}
+
+/// Account one timed view refresh: cumulative per-view nanos in its
+/// [`ViewStats`] plus a sample in `engine.view.refresh_ns`.
+fn record_view_refresh(kind: &mut ViewKind, nanos: u64) {
+    match kind {
+        ViewKind::Reeval(v) => v.stats.refresh_nanos += nanos,
+        ViewKind::FirstOrder(v) => v.stats.refresh_nanos += nanos,
+        ViewKind::Recursive(v) => v.stats.refresh_nanos += nanos,
+        ViewKind::Shredded(v) => v.stats.refresh_nanos += nanos,
+    }
+    view_refresh_hist().record(nanos);
 }
 
 /// Run `refresh` over every registered view, sequentially or fanned out

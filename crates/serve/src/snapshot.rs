@@ -74,6 +74,18 @@ impl SnapshotLedger {
             .next()
             .copied()
     }
+
+    /// The full census: `(publication batch index, live snapshots of that
+    /// vintage)` in ascending index order — what the snapshot-TTL leak
+    /// check walks.
+    pub(crate) fn census(&self) -> Vec<(u64, u64)> {
+        self.by_batch
+            .lock()
+            .expect("snapshot ledger")
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
 }
 
 /// Registers one live snapshot in the shared [`SnapshotLedger`] on
@@ -323,6 +335,11 @@ pub struct SnapshotReader {
     cell: Arc<PublishCell>,
     seen: u64,
     cached: Arc<Snapshot>,
+    /// This reader's private shard of the `serve.read.ns` histogram,
+    /// created on the first timed read: recording never contends with other
+    /// readers' cache lines, and the registry merges all shards at
+    /// snapshot time.
+    read_ns: Option<Arc<nrc_obs::Histogram>>,
 }
 
 impl Clone for SnapshotReader {
@@ -331,6 +348,8 @@ impl Clone for SnapshotReader {
             cell: Arc::clone(&self.cell),
             seen: self.seen,
             cached: Arc::clone(&self.cached),
+            // The clone serves a different thread: it gets its own shard.
+            read_ns: None,
         }
     }
 }
@@ -338,7 +357,12 @@ impl Clone for SnapshotReader {
 impl SnapshotReader {
     pub(crate) fn new(cell: Arc<PublishCell>) -> SnapshotReader {
         let (seen, cached) = cell.load();
-        SnapshotReader { cell, seen, cached }
+        SnapshotReader {
+            cell,
+            seen,
+            cached,
+            read_ns: None,
+        }
     }
 
     /// The most recently published snapshot. One atomic load when nothing
@@ -357,5 +381,49 @@ impl SnapshotReader {
     /// An owned handle to the most recently published snapshot.
     pub fn snapshot(&mut self) -> Arc<Snapshot> {
         Arc::clone(self.current())
+    }
+
+    /// This reader's `serve.read.ns` shard, created on first use.
+    fn read_hist(&mut self) -> &nrc_obs::Histogram {
+        self.read_ns
+            .get_or_insert_with(|| nrc_obs::histogram_shard("serve.read.ns"))
+    }
+
+    /// Timed point lookup against the current snapshot: the multiplicity of
+    /// `v` in the view. The latency (snapshot refresh included — that *is*
+    /// part of what a reader waits for) lands in this reader's private
+    /// `serve.read.ns` histogram shard.
+    pub fn get(&mut self, view: &str, v: &Value) -> Result<i64, ServeError> {
+        let t = nrc_obs::enabled().then(std::time::Instant::now);
+        let result = self.current().get(view, v);
+        if let Some(t) = t {
+            let ns = t.elapsed().as_nanos() as u64;
+            self.read_hist().record(ns);
+        }
+        result
+    }
+
+    /// Timed ordered scan of up to `limit` pairs (see [`Snapshot::scan`]);
+    /// latency recorded like [`SnapshotReader::get`].
+    pub fn scan(&mut self, view: &str, limit: usize) -> Result<Vec<(Value, i64)>, ServeError> {
+        let t = nrc_obs::enabled().then(std::time::Instant::now);
+        let result = self.current().scan(view, limit);
+        if let Some(t) = t {
+            let ns = t.elapsed().as_nanos() as u64;
+            self.read_hist().record(ns);
+        }
+        result
+    }
+
+    /// Timed view cardinality (see [`Snapshot::cardinality`]); latency
+    /// recorded like [`SnapshotReader::get`].
+    pub fn cardinality(&mut self, view: &str) -> Result<u64, ServeError> {
+        let t = nrc_obs::enabled().then(std::time::Instant::now);
+        let result = self.current().cardinality(view);
+        if let Some(t) = t {
+            let ns = t.elapsed().as_nanos() as u64;
+            self.read_hist().record(ns);
+        }
+        result
     }
 }

@@ -23,6 +23,32 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Weak};
 
+/// Serving-layer tunables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ServeOptions {
+    /// Snapshot TTL for leak detection: a live snapshot more than this many
+    /// batches older than the published one is counted in the
+    /// `serve.snapshots.leak_suspects` gauge and listed in
+    /// [`ServeStats::leak_suspects`]. `None` (the default) disables the
+    /// check. Purely observational — old snapshots are never invalidated;
+    /// the point is making a leaked [`SnapshotReader`] that pins the GC
+    /// horizon visible instead of silent.
+    pub max_snapshot_age_batches: Option<u64>,
+}
+
+/// One snapshot population flagged by the snapshot-TTL check: every live
+/// snapshot published at `batch_index` is `age_batches` behind the current
+/// publication, past [`ServeOptions::max_snapshot_age_batches`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct LeakSuspect {
+    /// The batch index the suspect snapshots were published at.
+    pub batch_index: u64,
+    /// How many batches behind the published snapshot they are.
+    pub age_batches: u64,
+    /// How many live snapshots of that vintage exist.
+    pub snapshots: u64,
+}
+
 /// Counters describing the serving layer, in the spirit of
 /// [`BatchStats`] for the batch path.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
@@ -53,6 +79,37 @@ pub struct ServeStats {
     pub feed_deltas_pushed: u64,
     /// Feed deltas lost to bounded-queue backpressure (drop-oldest laps).
     pub feed_deltas_dropped: u64,
+    /// The configured snapshot TTL the leak check ran with (`None` = check
+    /// disabled, [`ServeStats::leak_suspects`] always empty).
+    pub max_snapshot_age_batches: Option<u64>,
+    /// Live snapshots older than the TTL, grouped by publication batch
+    /// index (ascending — oldest vintage first).
+    pub leak_suspects: Vec<LeakSuspect>,
+}
+
+/// Cached handles to the serving layer's registry metrics (one lookup per
+/// process, relaxed atomics afterwards).
+struct ServeMetrics {
+    published: std::sync::Arc<nrc_obs::Counter>,
+    publish_ns: std::sync::Arc<nrc_obs::Histogram>,
+    outstanding: std::sync::Arc<nrc_obs::Gauge>,
+    oldest_age: std::sync::Arc<nrc_obs::Gauge>,
+    leak_suspects: std::sync::Arc<nrc_obs::Gauge>,
+    feed_pushed: std::sync::Arc<nrc_obs::Counter>,
+    feed_dropped: std::sync::Arc<nrc_obs::Counter>,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: std::sync::LazyLock<ServeMetrics> = std::sync::LazyLock::new(|| ServeMetrics {
+        published: nrc_obs::counter("serve.snapshots.published"),
+        publish_ns: nrc_obs::histogram("serve.snapshots.publish_ns"),
+        outstanding: nrc_obs::gauge("serve.snapshots.outstanding"),
+        oldest_age: nrc_obs::gauge("serve.snapshots.oldest_age_batches"),
+        leak_suspects: nrc_obs::gauge("serve.snapshots.leak_suspects"),
+        feed_pushed: nrc_obs::counter("serve.feed.pushed"),
+        feed_dropped: nrc_obs::counter("serve.feed.dropped"),
+    });
+    &METRICS
 }
 
 /// A writer-side subscription slot. Weak on purpose: dropping the
@@ -82,12 +139,18 @@ pub struct ServingSystem {
     snapshots_published: u64,
     feed_pushed: u64,
     feed_dropped: u64,
+    options: ServeOptions,
 }
 
 impl ServingSystem {
     /// Wrap an engine (with or without views registered yet) and publish
     /// the initial snapshot.
     pub fn new(engine: IvmSystem) -> Result<ServingSystem, ServeError> {
+        Self::new_with(engine, ServeOptions::default())
+    }
+
+    /// Like [`ServingSystem::new`], with explicit [`ServeOptions`].
+    pub fn new_with(engine: IvmSystem, options: ServeOptions) -> Result<ServingSystem, ServeError> {
         let ledger = Arc::new(SnapshotLedger::new());
         let initial = Self::build_snapshot(&engine, &ledger)?;
         Ok(ServingSystem {
@@ -100,7 +163,20 @@ impl ServingSystem {
             snapshots_published: 1,
             feed_pushed: 0,
             feed_dropped: 0,
+            options,
         })
+    }
+
+    /// Change the serving options (takes effect from the next publication /
+    /// stats call).
+    pub fn set_serve_options(&mut self, options: ServeOptions) {
+        self.options = options;
+    }
+
+    /// The current serving options.
+    #[must_use]
+    pub fn serve_options(&self) -> ServeOptions {
+        self.options
     }
 
     /// Register a view under a maintenance strategy and republish, so
@@ -152,6 +228,10 @@ impl ServingSystem {
     /// while `dropped()` stays 0 and any failure tells it to resync from a
     /// fresh snapshot.
     pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<(), ServeError> {
+        // Own the flight-recorder trace when serving is the outermost layer
+        // (so the publish span below lands in it); under `DurableSystem`
+        // the durable scope is already open and this only nests.
+        let _trace = nrc_obs::trace::guard(self.feed_batch_index() + 1);
         self.prune_subscribers();
         // Capture costs nothing for views nobody is listening to; the
         // engine's capture set is re-synced only when subscriptions
@@ -184,6 +264,9 @@ impl ServingSystem {
             if let Some(feed) = slot.feed.upgrade() {
                 feed.note_lost();
                 self.feed_dropped += 1;
+                if nrc_obs::enabled() {
+                    serve_metrics().feed_dropped.inc();
+                }
             }
         }
     }
@@ -212,6 +295,7 @@ impl ServingSystem {
     /// matching view.
     fn fan_out(&mut self, deltas: &BTreeMap<String, Bag>) {
         let batch_index = self.feed_batch_index();
+        let obs_on = nrc_obs::enabled();
         for slot in &self.subs {
             let Some(feed) = slot.feed.upgrade() else {
                 continue;
@@ -221,6 +305,12 @@ impl ServingSystem {
             self.feed_pushed += 1;
             if lapped {
                 self.feed_dropped += 1;
+            }
+            if obs_on {
+                serve_metrics().feed_pushed.inc();
+                if lapped {
+                    serve_metrics().feed_dropped.inc();
+                }
             }
         }
     }
@@ -232,10 +322,58 @@ impl ServingSystem {
     }
 
     fn publish(&mut self) -> Result<(), ServeError> {
+        let t = nrc_obs::enabled().then(std::time::Instant::now);
         let snap = Self::build_snapshot(&self.engine, &self.ledger)?;
+        let batch_index = snap.batch_index();
         self.cell.publish(Arc::new(snap));
         self.snapshots_published += 1;
+        if let Some(t) = t {
+            let ns = t.elapsed().as_nanos() as u64;
+            serve_metrics().published.inc();
+            serve_metrics().publish_ns.record(ns);
+            nrc_obs::trace::span("publish", format!("batch={batch_index}"), ns);
+            self.export_snapshot_gauges(batch_index);
+        }
         Ok(())
+    }
+
+    /// Mirror the snapshot-backlog state (and the TTL leak check) to the
+    /// registry so one metrics snapshot sees it without polling
+    /// [`ServingSystem::serve_stats`].
+    fn export_snapshot_gauges(&self, published_batch_index: u64) {
+        let m = serve_metrics();
+        m.outstanding.set_u64(self.ledger.outstanding());
+        m.oldest_age.set_u64(
+            self.ledger
+                .oldest_batch()
+                .map_or(0, |oldest| published_batch_index.saturating_sub(oldest)),
+        );
+        let suspects: u64 = self
+            .leak_suspects(published_batch_index)
+            .iter()
+            .map(|s| s.snapshots)
+            .sum();
+        m.leak_suspects.set_u64(suspects);
+    }
+
+    /// The snapshot-TTL check: live snapshot vintages older than
+    /// [`ServeOptions::max_snapshot_age_batches`] (empty when unset).
+    fn leak_suspects(&self, published_batch_index: u64) -> Vec<LeakSuspect> {
+        let Some(limit) = self.options.max_snapshot_age_batches else {
+            return Vec::new();
+        };
+        self.ledger
+            .census()
+            .into_iter()
+            .filter_map(|(batch_index, snapshots)| {
+                let age_batches = published_batch_index.saturating_sub(batch_index);
+                (age_batches > limit).then_some(LeakSuspect {
+                    batch_index,
+                    age_batches,
+                    snapshots,
+                })
+            })
+            .collect()
     }
 
     /// Freeze every registered view (O(views) `Arc` bumps) under a fresh
@@ -305,6 +443,9 @@ impl ServingSystem {
         let capacity = capacity.max(history.len()).max(1);
         let (sub, shared) = Subscription::new(view, capacity, from_batch);
         self.feed_pushed += history.len() as u64;
+        if nrc_obs::enabled() {
+            serve_metrics().feed_pushed.add(history.len() as u64);
+        }
         for delta in history {
             shared.push(delta);
         }
@@ -336,6 +477,12 @@ impl ServingSystem {
     #[must_use]
     pub fn serve_stats(&self) -> ServeStats {
         let published_batch_index = self.snapshot().batch_index();
+        let leak_suspects = self.leak_suspects(published_batch_index);
+        if nrc_obs::enabled() {
+            // Stats polling doubles as a gauge refresh: readers may have
+            // dropped (or leaked further) since the last publication.
+            self.export_snapshot_gauges(published_batch_index);
+        }
         ServeStats {
             snapshots_published: self.snapshots_published,
             published_batch_index,
@@ -352,6 +499,8 @@ impl ServingSystem {
                 .count() as u64,
             feed_deltas_pushed: self.feed_pushed,
             feed_deltas_dropped: self.feed_dropped,
+            max_snapshot_age_batches: self.options.max_snapshot_age_batches,
+            leak_suspects,
         }
     }
 

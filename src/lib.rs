@@ -11,6 +11,7 @@
 //! * [`circuit`] — NC⁰/TC⁰ circuit substrate (Theorem 9)
 //! * [`serve`] — concurrent snapshot serving (single writer, many readers)
 //! * [`durable`] — write-ahead log, checkpoints, crash recovery
+//! * [`obs`] — metrics registry and per-batch flight recorder
 //! * [`workloads`] — seeded data and update generators
 //!
 //! The end-to-end design — parser → typecheck → delta/shredding → engine
@@ -55,6 +56,7 @@ pub use nrc_core as core;
 pub use nrc_data as data;
 pub use nrc_durable as durable;
 pub use nrc_engine as engine;
+pub use nrc_obs as obs;
 pub use nrc_parser as parser;
 pub use nrc_serve as serve;
 pub use nrc_workloads as workloads;

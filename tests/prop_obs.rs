@@ -1,0 +1,214 @@
+//! `proptest`-driven invariants of the observability layer (`nrc-obs`):
+//!
+//! * **Quantile error bound** — for random sample sets spanning every
+//!   magnitude, each log2/8-sub-bucketed histogram quantile brackets the
+//!   exact same-rank sorted-sample quantile from above by at most the
+//!   documented 12.5% relative error (`exact ≤ reported` and
+//!   `8·reported < 9·exact` for exact > 0), at every probed q.
+//! * **Merge ≡ concatenation** — `Histogram::merge` of two independently
+//!   recorded histograms snapshots identically (count, sum, max, every
+//!   bucket) to one histogram that recorded the concatenated samples, so
+//!   per-thread shards can be folded without distortion.
+//! * **Concurrent totals are exact** — counters and histograms hammered
+//!   from many threads lose nothing: final counts and sums equal the
+//!   arithmetic totals of everything recorded (the primitives are
+//!   relaxed-atomic increments, not sampled).
+//! * **No torn traces** — a bounded `FlightRecorder` ring under
+//!   concurrent submitters and a racing dumper only ever returns traces
+//!   whose span lists are internally consistent with the submitting
+//!   thread's signature (submission moves whole `BatchTrace` values under
+//!   one lock; eviction can drop a trace but never splice two).
+//!
+//! These suites use instance-level `Registry`/`FlightRecorder` values —
+//! never the process-wide globals — so they neither disturb nor depend on
+//! instrumentation running elsewhere in the test process.
+
+use nrc_obs::trace::FlightRecorder;
+use nrc_obs::{Counter, Histogram, HistogramSnapshot, Registry, TraceBuilder};
+use proptest::prelude::*;
+
+/// The exact rank-`⌈q·n⌉` quantile of a sorted sample set — the oracle
+/// the histogram's bucketed answer is compared against.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Samples spanning every magnitude class the bucket scheme handles:
+/// exact small values, mid-range octaves, and near-`u64::MAX` extremes.
+fn sample_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..16,
+            16u64..100_000,
+            100_000u64..10_000_000_000,
+            any::<u64>(),
+            (u64::MAX - 1024)..=u64::MAX,
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_env(64))]
+
+    /// Every reported quantile sits in `[exact, exact × 1.125)`.
+    #[test]
+    fn quantiles_stay_within_the_documented_error_bound(samples in sample_strategy()) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let reported = snap.quantile(q);
+            prop_assert!(reported >= exact, "q={q}: reported {reported} < exact {exact}");
+            prop_assert!(
+                (reported as u128) * 8 < (exact as u128) * 9 + 8,
+                "q={q}: reported {reported} breaches 12.5% bound over exact {exact}"
+            );
+        }
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        prop_assert_eq!(snap.count, samples.len() as u64);
+    }
+
+    /// `merge` is indistinguishable from having recorded the
+    /// concatenation — for the atomic merge and the snapshot-level one.
+    #[test]
+    fn merge_equals_concatenation(a in sample_strategy(), b in sample_strategy()) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        let hcat = Histogram::new();
+        for &v in a.iter().chain(&b) {
+            hcat.record(v);
+        }
+        let expected = hcat.snapshot();
+
+        // Snapshot-level merge (what Registry::snapshot does to shards).
+        let mut folded = HistogramSnapshot::empty();
+        folded.merge(&ha.snapshot());
+        folded.merge(&hb.snapshot());
+        prop_assert_eq!(&folded.count, &expected.count);
+        prop_assert_eq!(&folded.sum, &expected.sum);
+        prop_assert_eq!(&folded.max, &expected.max);
+        prop_assert_eq!(&folded.buckets, &expected.buckets);
+
+        // Atomic in-place merge.
+        ha.merge(&hb);
+        let merged = ha.snapshot();
+        prop_assert_eq!(&merged.count, &expected.count);
+        prop_assert_eq!(&merged.sum, &expected.sum);
+        prop_assert_eq!(&merged.max, &expected.max);
+        prop_assert_eq!(&merged.buckets, &expected.buckets);
+    }
+
+    /// Concurrent increments are never lost: totals are exact, not
+    /// statistical.
+    #[test]
+    fn concurrent_recording_totals_are_exact(
+        threads in 1usize..6,
+        per_thread in 1usize..300,
+        step in 1u64..50,
+    ) {
+        let reg = Registry::new();
+        let counter: std::sync::Arc<Counter> = reg.counter("t.hits");
+        let hist: std::sync::Arc<Histogram> = reg.histogram("t.ns");
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let counter = &counter;
+                let hist = &hist;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        counter.add(step);
+                        hist.record((t * per_thread + i) as u64);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        let n = (threads * per_thread) as u64;
+        prop_assert_eq!(snap.counters["t.hits"], n * step);
+        let h = &snap.histograms["t.ns"];
+        prop_assert_eq!(h.count, n);
+        // 0 + 1 + … + (threads·per_thread − 1), and nothing else.
+        prop_assert_eq!(h.sum, n * (n - 1) / 2);
+        prop_assert_eq!(h.max, n - 1);
+    }
+
+    /// A racing dumper only ever sees whole traces: every span of a
+    /// dumped trace carries its submitter's signature and the trace has
+    /// exactly the span count that submitter always writes.
+    #[test]
+    fn flight_recorder_traces_are_never_torn(
+        cap in 1usize..12,
+        writers in 1usize..5,
+        traces_each in 1usize..40,
+        spans_each in 1usize..6,
+    ) {
+        let rec = FlightRecorder::new(cap);
+        let dumped = std::thread::scope(|scope| {
+            for w in 0..writers {
+                let rec = &rec;
+                scope.spawn(move || {
+                    for t in 0..traces_each {
+                        // batch_index encodes the writer; every span tag
+                        // repeats it — a spliced trace would mix tags.
+                        let mut b = TraceBuilder::start(w as u64);
+                        for s in 0..spans_each {
+                            b.span("stage", format!("w{w}-t{t}-s{s}"), 1);
+                        }
+                        rec.submit(b.finish());
+                    }
+                });
+            }
+            let rec = &rec;
+            scope
+                .spawn(move || {
+                    let mut seen = Vec::new();
+                    for _ in 0..8 {
+                        seen.extend(rec.dump());
+                        std::thread::yield_now();
+                    }
+                    seen
+                })
+                .join()
+                .expect("dumper thread")
+        });
+        let final_dump = rec.dump();
+        prop_assert!(final_dump.len() <= cap);
+        prop_assert_eq!(
+            rec.submitted(),
+            (writers * traces_each) as u64,
+            "every submission must be counted even when evicted"
+        );
+        for trace in dumped.iter().chain(&final_dump) {
+            let w = trace.batch_index;
+            prop_assert!(w < writers as u64, "foreign trace: {trace:?}");
+            prop_assert_eq!(
+                trace.spans.len(),
+                spans_each,
+                "torn span list: {:?}",
+                trace
+            );
+            let expect = format!("w{w}-");
+            for span in &trace.spans {
+                prop_assert!(
+                    span.tag.starts_with(&expect),
+                    "span {:?} spliced into writer {}'s trace",
+                    span,
+                    w
+                );
+            }
+        }
+    }
+}
